@@ -1,0 +1,285 @@
+//! The adaptive broadcaster and its evaluation harness.
+//!
+//! Each *epoch* is one broadcast cycle: requests arrive, each experiencing
+//! the data wait `T(item)` of the current program (formula 1's per-item
+//! term); the estimator ingests them; periodically the index tree and
+//! allocation are rebuilt from the current estimates. The harness replays
+//! identical request streams against three policies:
+//!
+//! * **static** — built once from the initial popularity, never rebuilt
+//!   (what the paper's offline algorithm gives you),
+//! * **adaptive** — EMA estimates + periodic rebuild (this crate),
+//! * **oracle** — rebuilt every epoch from the true instantaneous
+//!   popularity (the unattainable lower reference).
+
+use crate::estimator::EmaEstimator;
+use crate::stream::DriftingWorkload;
+use bcast_core::baselines;
+use bcast_core::heuristics::sorting;
+use bcast_index_tree::knary;
+use bcast_types::Weight;
+
+/// Which §4.2-style heuristic reallocates the broadcast on rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocHeuristic {
+    /// The paper's Index Tree Sorting heuristic.
+    Sorting,
+    /// The frontier-greedy extension (better on large skewed instances;
+    /// see EXPERIMENTS.md finding F3).
+    #[default]
+    Frontier,
+}
+
+/// Rebuild configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Rebuild the tree + allocation every this many epochs (`None` =
+    /// never; the static policy).
+    pub rebuild_every: Option<u64>,
+    /// EMA decay for the estimator.
+    pub alpha: f64,
+    /// Index-tree fanout.
+    pub fanout: usize,
+    /// Broadcast channels.
+    pub channels: usize,
+    /// Allocation heuristic used at each rebuild.
+    pub heuristic: AllocHeuristic,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy {
+            rebuild_every: Some(4),
+            alpha: 0.4,
+            fanout: 4,
+            channels: 2,
+            heuristic: AllocHeuristic::default(),
+        }
+    }
+}
+
+/// A broadcast server that re-optimizes its program online.
+#[derive(Debug)]
+pub struct AdaptiveBroadcaster {
+    policy: RebuildPolicy,
+    estimator: EmaEstimator,
+    /// `wait_of[item]` — slot of the item's bucket in the current cycle.
+    wait_of: Vec<f64>,
+    cycle_len: usize,
+    epoch: u64,
+    rebuilds: u64,
+}
+
+impl AdaptiveBroadcaster {
+    /// Creates a broadcaster over `items` keyed items, building the initial
+    /// program from `initial_weights`.
+    ///
+    /// # Panics
+    /// Panics if `items == 0` or `initial_weights.len() != items`.
+    pub fn new(items: usize, initial_weights: &[Weight], policy: RebuildPolicy) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert_eq!(initial_weights.len(), items, "one weight per item");
+        let mut this = AdaptiveBroadcaster {
+            estimator: EmaEstimator::new(items, policy.alpha),
+            policy,
+            wait_of: Vec::new(),
+            cycle_len: 0,
+            epoch: 0,
+            rebuilds: 0,
+        };
+        this.rebuild(initial_weights);
+        this
+    }
+
+    /// Rebuild count (excluding the initial build... including it minus 1).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds - 1
+    }
+
+    /// Current cycle length in slots.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len
+    }
+
+    /// Expected data wait of `item` under the current program.
+    pub fn wait_of(&self, item: usize) -> f64 {
+        self.wait_of[item]
+    }
+
+    fn rebuild(&mut self, weights: &[Weight]) {
+        // Alphabetic shape keeps items key-searchable across rebuilds.
+        let tree = knary::build_weight_balanced(weights, self.policy.fanout)
+            .expect("items >= 1");
+        let schedule = match self.policy.heuristic {
+            AllocHeuristic::Sorting => sorting::sorting_schedule(&tree, self.policy.channels),
+            AllocHeuristic::Frontier => baselines::greedy_frontier(&tree, self.policy.channels),
+        };
+        // data_nodes() of an alphabetic tree is key order, so data node i
+        // is item i.
+        let mut wait = vec![0.0f64; weights.len()];
+        for (offset, members) in schedule.slots().iter().enumerate() {
+            for &n in members {
+                if tree.is_data(n) {
+                    let label = tree.label(n);
+                    let item: usize = label[1..]
+                        .parse()
+                        .expect("knary builders label data nodes D<key>");
+                    wait[item] = (offset + 1) as f64;
+                }
+            }
+        }
+        self.wait_of = wait;
+        self.cycle_len = schedule.len();
+        self.rebuilds += 1;
+    }
+
+    /// Serves one epoch of requests: returns their mean data wait under the
+    /// current program, then ingests them and rebuilds if due.
+    pub fn serve_epoch(&mut self, requests: &[usize]) -> f64 {
+        let mean = if requests.is_empty() {
+            0.0
+        } else {
+            requests.iter().map(|&i| self.wait_of[i]).sum::<f64>() / requests.len() as f64
+        };
+        for &i in requests {
+            self.estimator.observe(i);
+        }
+        self.estimator.roll_epoch();
+        self.epoch += 1;
+        if let Some(every) = self.policy.rebuild_every {
+            if self.epoch.is_multiple_of(every) {
+                let w = self.estimator.weights();
+                self.rebuild(&w);
+            }
+        }
+        mean
+    }
+}
+
+/// Per-policy outcome of a drift comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyReport {
+    /// Policy label.
+    pub name: &'static str,
+    /// Mean request wait across all epochs.
+    pub mean_wait: f64,
+    /// Mean wait per epoch (for plotting).
+    pub per_epoch: Vec<f64>,
+}
+
+/// Replays `epochs × requests_per_epoch` drifting requests against the
+/// static, adaptive and oracle policies, returning one report per policy
+/// (in that order). All three see the *same* request stream.
+pub fn run_comparison(
+    workload: &mut DriftingWorkload,
+    epochs: u64,
+    requests_per_epoch: usize,
+    policy: RebuildPolicy,
+) -> Vec<PolicyReport> {
+    let items = workload.len();
+    let initial = workload.true_weights(1000.0);
+    let mut static_b = AdaptiveBroadcaster::new(
+        items,
+        &initial,
+        RebuildPolicy {
+            rebuild_every: None,
+            ..policy
+        },
+    );
+    let mut adaptive_b = AdaptiveBroadcaster::new(items, &initial, policy);
+    let mut oracle_b = AdaptiveBroadcaster::new(
+        items,
+        &initial,
+        RebuildPolicy {
+            rebuild_every: None, // rebuilt manually from true weights
+            ..policy
+        },
+    );
+
+    let mut reports: Vec<PolicyReport> = ["static", "adaptive", "oracle"]
+        .into_iter()
+        .map(|name| PolicyReport {
+            name,
+            mean_wait: 0.0,
+            per_epoch: Vec::with_capacity(epochs as usize),
+        })
+        .collect();
+
+    for _ in 0..epochs {
+        let requests: Vec<usize> = (0..requests_per_epoch).map(|_| workload.sample()).collect();
+        let s = static_b.serve_epoch(&requests);
+        let a = adaptive_b.serve_epoch(&requests);
+        let o = oracle_b.serve_epoch(&requests);
+        // Oracle: rebuild from the *new* true distribution every epoch.
+        workload.roll_epoch();
+        oracle_b.rebuild(&workload.true_weights(1000.0));
+        for (r, v) in reports.iter_mut().zip([s, a, o]) {
+            r.per_epoch.push(v);
+            r.mean_wait += v / epochs as f64;
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::DriftKind;
+
+    #[test]
+    fn stationary_load_needs_no_adaptation() {
+        // With no drift, static (built from the true weights) is already
+        // right; adaptive must stay within a few percent of it.
+        let mut w = DriftingWorkload::new(40, 1.0, DriftKind::Rotate { step: 0 }, 1, 5);
+        let reports = run_comparison(&mut w, 40, 400, RebuildPolicy::default());
+        let (s, a) = (reports[0].mean_wait, reports[1].mean_wait);
+        assert!(
+            a <= s * 1.10,
+            "adaptive {a} should track static {s} on stationary load"
+        );
+    }
+
+    #[test]
+    fn adaptation_wins_under_drift() {
+        let mut w = DriftingWorkload::new(60, 1.1, DriftKind::HotspotJump, 8, 11);
+        let policy = RebuildPolicy {
+            rebuild_every: Some(2),
+            alpha: 0.6,
+            ..RebuildPolicy::default()
+        };
+        let reports = run_comparison(&mut w, 120, 600, policy);
+        let (s, a, o) = (
+            reports[0].mean_wait,
+            reports[1].mean_wait,
+            reports[2].mean_wait,
+        );
+        assert!(a < s, "adaptive {a} must beat static {s} under drift");
+        assert!(
+            o <= a * 1.05,
+            "oracle {o} should be at least as good as adaptive {a}"
+        );
+    }
+
+    #[test]
+    fn broadcaster_bookkeeping() {
+        let w: Vec<Weight> = (1..=10u32).map(Weight::from).collect();
+        let mut b = AdaptiveBroadcaster::new(10, &w, RebuildPolicy::default());
+        assert_eq!(b.rebuilds(), 0);
+        assert!(b.cycle_len() >= 10 / 2); // 10 data + index over 2 channels
+        for item in 0..10 {
+            assert!(b.wait_of(item) >= 1.0);
+        }
+        // Default policy rebuilds every 4 epochs.
+        for _ in 0..8 {
+            b.serve_epoch(&[0, 1, 2]);
+        }
+        assert_eq!(b.rebuilds(), 2);
+    }
+
+    #[test]
+    fn empty_epoch_is_harmless() {
+        let w: Vec<Weight> = (1..=4u32).map(Weight::from).collect();
+        let mut b = AdaptiveBroadcaster::new(4, &w, RebuildPolicy::default());
+        assert_eq!(b.serve_epoch(&[]), 0.0);
+    }
+}

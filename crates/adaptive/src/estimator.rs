@@ -1,0 +1,178 @@
+//! Access-frequency estimation from the request stream.
+//!
+//! The broadcast server cannot see true popularity; it sees requests (in
+//! the paper's hybrid setting, the on-demand up-link misses used to
+//! "re-estimate its access frequency" \[DCK97, SRB97\]). The standard
+//! streaming estimator is an exponential moving average over per-epoch
+//! request counts: cheap, O(items) memory, and tunably reactive via the
+//! decay factor `alpha`.
+
+use bcast_types::Weight;
+
+/// Exponential-moving-average frequency estimator.
+///
+/// Counts requests within an *epoch* (one broadcast cycle, typically); at
+/// each [`EmaEstimator::roll_epoch`] the running estimate becomes
+/// `alpha · count + (1 - alpha) · previous`. Higher `alpha` reacts faster
+/// but is noisier.
+///
+/// ```
+/// use bcast_adaptive::EmaEstimator;
+///
+/// let mut est = EmaEstimator::new(2, 0.5);
+/// est.observe(0);
+/// est.observe(0);
+/// est.roll_epoch();
+/// assert_eq!(est.estimate(0), 1.0); // 0.5 · 2 + 0.5 · 0
+/// assert_eq!(est.estimate(1), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmaEstimator {
+    alpha: f64,
+    counts: Vec<u64>,
+    estimate: Vec<f64>,
+    epochs: u64,
+}
+
+impl EmaEstimator {
+    /// Creates an estimator over `items` item ids with decay `alpha ∈
+    /// (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is out of `(0, 1]` or `items == 0`.
+    pub fn new(items: usize, alpha: f64) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EmaEstimator {
+            alpha,
+            counts: vec![0; items],
+            estimate: vec![0.0; items],
+            epochs: 0,
+        }
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no items are tracked (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records one request for `item`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range item id.
+    pub fn observe(&mut self, item: usize) {
+        self.counts[item] += 1;
+    }
+
+    /// Ends the current epoch, folding its counts into the estimate.
+    pub fn roll_epoch(&mut self) {
+        for (est, cnt) in self.estimate.iter_mut().zip(&mut self.counts) {
+            *est = self.alpha * (*cnt as f64) + (1.0 - self.alpha) * *est;
+            *cnt = 0;
+        }
+        self.epochs += 1;
+    }
+
+    /// Epochs rolled so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Current estimates as allocation weights. A small floor keeps items
+    /// that were never requested from collapsing to zero weight (they must
+    /// remain broadcastable and tie-breakable).
+    pub fn weights(&self) -> Vec<Weight> {
+        self.estimate
+            .iter()
+            .map(|&e| Weight::new(e.max(1e-6)).expect("EMA of counts is finite, non-negative"))
+            .collect()
+    }
+
+    /// Raw estimate for one item.
+    pub fn estimate(&self, item: usize) -> f64 {
+        self.estimate[item]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn converges_to_stationary_rates() {
+        let mut e = EmaEstimator::new(3, 0.3);
+        for _ in 0..200 {
+            for _ in 0..30 {
+                e.observe(0);
+            }
+            for _ in 0..10 {
+                e.observe(1);
+            }
+            e.roll_epoch();
+        }
+        assert!((e.estimate(0) - 30.0).abs() < 1e-6);
+        assert!((e.estimate(1) - 10.0).abs() < 1e-6);
+        assert!(e.estimate(2) < 1e-6);
+        assert_eq!(e.epochs(), 200);
+        // Weight floor keeps unseen items alive.
+        assert!(e.weights()[2].get() > 0.0);
+    }
+
+    #[test]
+    fn tracks_a_shift_within_a_few_epochs() {
+        let mut e = EmaEstimator::new(2, 0.5);
+        for _ in 0..20 {
+            for _ in 0..10 {
+                e.observe(0);
+            }
+            e.roll_epoch();
+        }
+        // Popularity flips to item 1.
+        for _ in 0..6 {
+            for _ in 0..10 {
+                e.observe(1);
+            }
+            e.roll_epoch();
+        }
+        assert!(
+            e.estimate(1) > e.estimate(0),
+            "estimator should have crossed over: {} vs {}",
+            e.estimate(1),
+            e.estimate(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_bad_alpha() {
+        let _ = EmaEstimator::new(1, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn estimates_bounded_by_max_epoch_count(
+            reqs in prop::collection::vec(0usize..4, 0..200),
+            alpha in 0.05f64..1.0,
+        ) {
+            let mut e = EmaEstimator::new(4, alpha);
+            let mut max_per_epoch = 0u64;
+            for chunk in reqs.chunks(20) {
+                for &r in chunk {
+                    e.observe(r);
+                }
+                max_per_epoch = max_per_epoch.max(chunk.len() as u64);
+                e.roll_epoch();
+            }
+            for i in 0..4 {
+                prop_assert!(e.estimate(i) <= max_per_epoch as f64 + 1e-9);
+                prop_assert!(e.estimate(i) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Hot-set selection: *which* items to broadcast — the first research
+//! category the paper's §1 surveys ("a small set of data items is
+//! preferred to be broadcast ... only most frequently accessed data items
+//! will be broadcast"), with the drop/re-estimate cycle of \[DCK97, SRB97\].
+//!
+//! Two pieces:
+//!
+//! * [`HotSetManager`] — maintains the broadcast set online from frequency
+//!   estimates, with hysteresis so items oscillating around the cutoff do
+//!   not thrash in and out of the program;
+//! * [`hybrid_cost`] / [`optimal_capacity`] — the push–pull trade-off: a
+//!   broadcast item costs its in-cycle wait (growing with the cycle
+//!   length), a dropped item costs a fixed on-demand (up-link) latency.
+//!   Sweeping the capacity locates the classic interior cutoff.
+
+use bcast_types::Weight;
+
+/// Configuration for [`HotSetManager`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSetConfig {
+    /// Number of items the broadcast program can carry.
+    pub capacity: usize,
+    /// Hysteresis margin in `[0, 1)`: a resident item is only evicted when
+    /// a challenger's estimate exceeds the resident's by this fraction.
+    /// `0` reduces to plain top-k (and thrashes on noisy estimates).
+    pub hysteresis: f64,
+}
+
+/// Membership changes from one update.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HotSetDecision {
+    /// Items promoted into the broadcast set.
+    pub promoted: Vec<usize>,
+    /// Items demoted to on-demand service.
+    pub demoted: Vec<usize>,
+}
+
+/// Online top-k-with-hysteresis membership over frequency estimates.
+#[derive(Debug, Clone)]
+pub struct HotSetManager {
+    config: HotSetConfig,
+    resident: Vec<bool>,
+}
+
+impl HotSetManager {
+    /// Creates a manager over `items` ids; the initial hot set is the
+    /// first `capacity` ids (callers with better priors should follow with
+    /// an [`update`](HotSetManager::update)).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0 || capacity > items` or `hysteresis`
+    /// outside `[0, 1)`.
+    pub fn new(items: usize, config: HotSetConfig) -> Self {
+        assert!(
+            config.capacity > 0 && config.capacity <= items,
+            "capacity must be in 1..=items"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.hysteresis),
+            "hysteresis must be in [0, 1)"
+        );
+        let mut resident = vec![false; items];
+        for r in resident.iter_mut().take(config.capacity) {
+            *r = true;
+        }
+        HotSetManager { config, resident }
+    }
+
+    /// Current membership.
+    pub fn is_hot(&self, item: usize) -> bool {
+        self.resident[item]
+    }
+
+    /// The hot items, ascending by id.
+    pub fn hot_items(&self) -> Vec<usize> {
+        (0..self.resident.len())
+            .filter(|&i| self.resident[i])
+            .collect()
+    }
+
+    /// Re-evaluates membership against fresh estimates. Challengers must
+    /// beat a resident by the hysteresis margin to evict it; each update
+    /// swaps as many pairs as justified.
+    pub fn update(&mut self, estimates: &[f64]) -> HotSetDecision {
+        assert_eq!(estimates.len(), self.resident.len(), "one estimate per item");
+        // Weakest residents ascending, strongest challengers descending.
+        let mut residents: Vec<usize> =
+            (0..estimates.len()).filter(|&i| self.resident[i]).collect();
+        let mut challengers: Vec<usize> =
+            (0..estimates.len()).filter(|&i| !self.resident[i]).collect();
+        residents.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
+        challengers.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]));
+
+        let mut decision = HotSetDecision::default();
+        let margin = 1.0 + self.config.hysteresis;
+        for (&out, &inn) in residents.iter().zip(&challengers) {
+            if estimates[inn] > estimates[out] * margin {
+                self.resident[out] = false;
+                self.resident[inn] = true;
+                decision.demoted.push(out);
+                decision.promoted.push(inn);
+            } else {
+                break; // sorted: no later pair can qualify either
+            }
+        }
+        decision
+    }
+}
+
+/// Expected per-request cost of a hybrid program: hot items are served by
+/// the broadcast (`wait_of[i]` slots, from the caller's schedule of the hot
+/// set), cold items by the up-link at a flat `on_demand_latency`.
+///
+/// `wait_of[i]` is only read for hot items.
+pub fn hybrid_cost(
+    weights: &[Weight],
+    hot: &[bool],
+    wait_of: &[f64],
+    on_demand_latency: f64,
+) -> f64 {
+    assert_eq!(weights.len(), hot.len());
+    assert_eq!(weights.len(), wait_of.len());
+    let total: f64 = weights.iter().map(|w| w.get()).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..weights.len() {
+        let cost = if hot[i] { wait_of[i] } else { on_demand_latency };
+        acc += weights[i].get() * cost;
+    }
+    acc / total
+}
+
+/// One point of the capacity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPoint {
+    /// Items broadcast.
+    pub capacity: usize,
+    /// Broadcast cycle length in slots.
+    pub cycle_len: usize,
+    /// Expected per-request cost ([`hybrid_cost`]).
+    pub cost: f64,
+}
+
+/// Sweeps broadcast capacity over `candidates`, building the hot-set
+/// program with `schedule_waits` (capacity → per-hot-item waits + cycle
+/// length) and returns every point plus the index of the optimum.
+///
+/// The classic result reproduces: small capacity wastes the channel (heavy
+/// items still on the slow up-link), full capacity bloats the cycle
+/// (every request waits on a long broadcast); the optimum is interior when
+/// `on_demand_latency` is between those extremes.
+pub fn optimal_capacity(
+    weights: &[Weight],
+    candidates: &[usize],
+    on_demand_latency: f64,
+    mut schedule_waits: impl FnMut(&[usize]) -> (Vec<f64>, usize),
+) -> (Vec<CapacityPoint>, usize) {
+    assert!(!candidates.is_empty(), "need at least one capacity");
+    // Heaviest-first item ranking: the hot set at capacity c is the top c.
+    let mut ranked: Vec<usize> = (0..weights.len()).collect();
+    ranked.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+
+    let mut points = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        assert!(c >= 1 && c <= weights.len(), "capacity out of range");
+        let hot_items: Vec<usize> = ranked[..c].to_vec();
+        let (waits, cycle_len) = schedule_waits(&hot_items);
+        assert_eq!(waits.len(), c, "one wait per hot item");
+        let mut hot = vec![false; weights.len()];
+        let mut wait_of = vec![0.0; weights.len()];
+        for (&item, &w) in hot_items.iter().zip(&waits) {
+            hot[item] = true;
+            wait_of[item] = w;
+        }
+        points.push(CapacityPoint {
+            capacity: c,
+            cycle_len,
+            cost: hybrid_cost(weights, &hot, &wait_of, on_demand_latency),
+        });
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+        .map(|(i, _)| i)
+        .expect("non-empty candidates");
+    (points, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_without_hysteresis() {
+        let mut m = HotSetManager::new(4, HotSetConfig { capacity: 2, hysteresis: 0.0 });
+        let d = m.update(&[1.0, 5.0, 9.0, 7.0]);
+        assert_eq!(m.hot_items(), vec![2, 3]);
+        assert_eq!(d.promoted.len(), 2);
+        assert_eq!(d.demoted, vec![0, 1]);
+    }
+
+    #[test]
+    fn hysteresis_prevents_thrashing() {
+        let cfg = HotSetConfig { capacity: 1, hysteresis: 0.3 };
+        let mut stable = HotSetManager::new(2, cfg);
+        let mut plain =
+            HotSetManager::new(2, HotSetConfig { hysteresis: 0.0, ..cfg });
+        // Estimates oscillate ±10% around equality.
+        let mut stable_swaps = 0;
+        let mut plain_swaps = 0;
+        for t in 0..20 {
+            let (a, b) = if t % 2 == 0 { (1.0, 1.1) } else { (1.1, 1.0) };
+            stable_swaps += stable.update(&[a, b]).promoted.len();
+            plain_swaps += plain.update(&[a, b]).promoted.len();
+        }
+        assert_eq!(stable_swaps, 0, "10% noise under a 30% margin must not swap");
+        assert!(plain_swaps > 10, "plain top-k thrashes: {plain_swaps}");
+        // A decisive shift still gets through the hysteresis.
+        let d = stable.update(&[1.0, 2.0]);
+        assert_eq!(d.promoted, vec![1]);
+        assert!(stable.is_hot(1));
+    }
+
+    #[test]
+    fn hybrid_cost_weighs_both_sides() {
+        let w: Vec<Weight> = [8u32, 2].iter().map(|&x| Weight::from(x)).collect();
+        // Hot item waits 3 slots; cold item pays 20 on-demand.
+        let cost = hybrid_cost(&w, &[true, false], &[3.0, 0.0], 20.0);
+        assert!((cost - (8.0 * 3.0 + 2.0 * 20.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_sweep_finds_interior_optimum() {
+        // Zipf-ish weights; the broadcast wait of the c-item program is
+        // modeled as c/2 (items evenly spread over a c-slot cycle).
+        let weights: Vec<Weight> = (0..50u32)
+            .map(|r| Weight::new(100.0 / f64::from(r + 1)).expect("positive"))
+            .collect();
+        let candidates: Vec<usize> = (1..=50).collect();
+        let (points, best) = optimal_capacity(&weights, &candidates, 20.0, |hot| {
+            let c = hot.len();
+            ((1..=c).map(|i| i as f64).collect(), c)
+        });
+        let best_cap = points[best].capacity;
+        assert!(
+            (1..50).contains(&best_cap),
+            "expected an interior optimum, got {best_cap}"
+        );
+        // Extremes are both worse than the optimum.
+        assert!(points[0].cost > points[best].cost);
+        assert!(points.last().expect("non-empty").cost > points[best].cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be in")]
+    fn zero_capacity_rejected() {
+        let _ = HotSetManager::new(3, HotSetConfig { capacity: 0, hysteresis: 0.1 });
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Online adaptation of broadcast programs — the paper's §5 first
+//! future-work item: "If the change [of access patterns] is frequent, an
+//! efficient on-line algorithm to immediately reflect the current
+//! broadcasting state is needed."
+//!
+//! The crate closes the loop the paper leaves open:
+//!
+//! * [`estimator`] — frequency estimation from the observed request stream
+//!   (exponential moving average, the standard re-estimation technique the
+//!   paper's §1 cites from \[DCK97, SRB97\]);
+//! * [`stream`] — synthetic request streams with controlled popularity
+//!   drift (rank rotation and hotspot jumps), substituting for the
+//!   production traces we do not have;
+//! * [`hotset`] — *which* items to broadcast (the paper's §1 first
+//!   research category): top-k-with-hysteresis membership plus the hybrid
+//!   push–pull capacity trade-off;
+//! * [`controller`] — an [`AdaptiveBroadcaster`]
+//!   that periodically rebuilds the index tree and reallocates the
+//!   broadcast from the current estimates, and the evaluation harness
+//!   comparing it against a *static* (never rebuild) and an *oracle*
+//!   (rebuild from true instantaneous popularity) policy.
+
+pub mod controller;
+pub mod estimator;
+pub mod hotset;
+pub mod stream;
+
+pub use controller::{AdaptiveBroadcaster, PolicyReport, RebuildPolicy};
+pub use estimator::EmaEstimator;
+pub use hotset::{HotSetConfig, HotSetManager};
+pub use stream::{DriftKind, DriftingWorkload};

@@ -1,0 +1,199 @@
+//! Synthetic request streams with controlled popularity drift.
+//!
+//! Production request traces are not available (and the paper used none),
+//! so drift is modeled synthetically — the substitution is documented in
+//! DESIGN.md. Two canonical drift shapes from the broadcast/caching
+//! literature:
+//!
+//! * [`DriftKind::Rotate`] — the Zipf rank permutation rotates by a step
+//!   every `period` epochs: yesterday's #1 story slowly loses rank.
+//! * [`DriftKind::HotspotJump`] — the identity of the hottest item block
+//!   jumps to a random place every `period` epochs: breaking news.
+
+use bcast_types::Weight;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How popularity moves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Rank permutation rotates by `step` positions every period.
+    Rotate {
+        /// Positions rotated per drift event.
+        step: usize,
+    },
+    /// The rank permutation is re-shuffled every period.
+    HotspotJump,
+}
+
+/// A Zipf workload whose item↔rank mapping drifts over epochs.
+#[derive(Debug, Clone)]
+pub struct DriftingWorkload {
+    /// `rank_of[item]` — current popularity rank (0 = hottest).
+    rank_of: Vec<usize>,
+    /// Zipf pmf by rank (descending), normalized.
+    pmf: Vec<f64>,
+    /// Cumulative pmf for inverse-CDF sampling.
+    cdf: Vec<f64>,
+    kind: DriftKind,
+    period: u64,
+    epoch: u64,
+    rng: StdRng,
+}
+
+impl DriftingWorkload {
+    /// Creates a workload over `items` ids with Zipf skew `theta`, drifting
+    /// per `kind` every `period` epochs.
+    ///
+    /// # Panics
+    /// Panics if `items == 0` or `period == 0`.
+    pub fn new(items: usize, theta: f64, kind: DriftKind, period: u64, seed: u64) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert!(period > 0, "period must be positive");
+        let mut pmf: Vec<f64> = (0..items)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
+            .collect();
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(items);
+        let mut acc = 0.0;
+        for &p in &pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        DriftingWorkload {
+            rank_of: (0..items).collect(),
+            pmf,
+            cdf,
+            kind,
+            period,
+            epoch: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// True if there are no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// Draws one request (an item id) from the current distribution.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        // Inverse CDF over ranks, then translate rank → item.
+        let rank = match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        };
+        self.item_with_rank(rank)
+    }
+
+    fn item_with_rank(&self, rank: usize) -> usize {
+        // rank_of is a permutation; invert lazily (len is small enough, and
+        // sampling hot ranks early keeps the scan short on average).
+        self.rank_of
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank_of is a permutation")
+    }
+
+    /// Advances one epoch, applying drift when the period elapses.
+    pub fn roll_epoch(&mut self) {
+        self.epoch += 1;
+        if !self.epoch.is_multiple_of(self.period) {
+            return;
+        }
+        match self.kind {
+            DriftKind::Rotate { step } => {
+                let n = self.rank_of.len();
+                for r in &mut self.rank_of {
+                    *r = (*r + step) % n;
+                }
+            }
+            DriftKind::HotspotJump => {
+                self.rank_of.shuffle(&mut self.rng);
+            }
+        }
+    }
+
+    /// The *true* instantaneous weights (for oracle policies): the Zipf pmf
+    /// scaled to `scale`, mapped through the current rank permutation.
+    pub fn true_weights(&self, scale: f64) -> Vec<Weight> {
+        self.rank_of
+            .iter()
+            .map(|&r| Weight::new(self.pmf[r] * scale).expect("finite, positive"))
+            .collect()
+    }
+
+    /// Current rank of an item (0 = hottest).
+    pub fn rank(&self, item: usize) -> usize {
+        self.rank_of[item]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let mut w = DriftingWorkload::new(50, 1.0, DriftKind::Rotate { step: 1 }, 1000, 3);
+        let mut counts = [0u32; 50];
+        for _ in 0..20_000 {
+            counts[w.sample()] += 1;
+        }
+        // Item with rank 0 is item 0 before any drift; it must dominate.
+        let max_item = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(max_item, 0);
+        // Roughly Zipf: hottest ≈ 2× the second (theta = 1).
+        assert!(counts[0] > counts[1]);
+    }
+
+    #[test]
+    fn rotation_moves_the_hot_item() {
+        let mut w = DriftingWorkload::new(10, 1.0, DriftKind::Rotate { step: 3 }, 2, 1);
+        assert_eq!(w.rank(0), 0);
+        w.roll_epoch(); // epoch 1: no drift yet
+        assert_eq!(w.rank(0), 0);
+        w.roll_epoch(); // epoch 2: rotate by 3
+        assert_eq!(w.rank(0), 3);
+        // Some other item is now rank 0.
+        let hot = (0..10).find(|&i| w.rank(i) == 0).expect("one item has rank 0");
+        assert_ne!(hot, 0);
+    }
+
+    #[test]
+    fn hotspot_jump_reshuffles() {
+        let mut w = DriftingWorkload::new(20, 1.0, DriftKind::HotspotJump, 1, 7);
+        let before: Vec<usize> = (0..20).map(|i| w.rank(i)).collect();
+        w.roll_epoch();
+        let after: Vec<usize> = (0..20).map(|i| w.rank(i)).collect();
+        assert_ne!(before, after);
+        // Still a permutation.
+        let mut sorted = after.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn true_weights_match_ranks() {
+        let w = DriftingWorkload::new(5, 1.0, DriftKind::HotspotJump, 10, 0);
+        let weights = w.true_weights(100.0);
+        // Rank 0 (item 0) holds the largest weight.
+        assert!(weights[0] > weights[1]);
+        let total: f64 = weights.iter().map(|x| x.get()).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+}

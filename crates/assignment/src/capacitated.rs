@@ -1,0 +1,259 @@
+//! The multi-channel PAP mapping of §2.2 / Fig. 4(b).
+//!
+//! "Consider multiple broadcast channels ... each channel slot is also
+//! mapped to a person. More than one job with no ordering relationship can
+//! be assigned to a person." This module solves that *capacitated* variant
+//! exactly: persons are slots, each taking up to `capacity` jobs, with
+//! precedence `a → b` requiring `slot(a) < slot(b)` strictly.
+//!
+//! Restriction: per-job costs must be non-decreasing in the person index
+//! (`C(j, p) ≤ C(j, p+1)`), which holds for every wait-style objective —
+//! under it, filling each slot maximally is loss-free, which keeps the
+//! branch-and-bound's frontier enumeration sound. Violations are rejected
+//! up front.
+
+use crate::problem::{PapError, PapInstance, PapSolution};
+
+/// Exact capacitated solver (see module docs).
+///
+/// `person_of[job]` in the result is the job's slot index; several jobs may
+/// share a slot.
+///
+/// # Errors
+/// Propagates instance validation failures; rejects instances whose costs
+/// decrease with the person index (reported as [`PapError::NanCost`]-style
+/// misuse via a dedicated variant would be overkill — the offending job is
+/// named in the panic-free `Err`).
+pub fn solve_capacitated(
+    instance: &PapInstance,
+    capacity: usize,
+) -> Result<PapSolution, CapacitatedError> {
+    assert!(capacity >= 1, "capacity must be at least 1");
+    instance.validate().map_err(CapacitatedError::Invalid)?;
+    let n = instance.len();
+    if n == 0 {
+        return Ok(PapSolution {
+            person_of: Vec::new(),
+            cost: 0.0,
+        });
+    }
+    // Monotone-cost precondition.
+    for job in 0..n {
+        for p in 0..n - 1 {
+            if instance.cost(job, p) > instance.cost(job, p + 1) + 1e-12 {
+                return Err(CapacitatedError::NonMonotoneCost { job, person: p });
+            }
+        }
+    }
+
+    struct Search<'a> {
+        instance: &'a PapInstance,
+        capacity: usize,
+        indeg: Vec<usize>,
+        assigned: Vec<bool>,
+        person_of: Vec<usize>,
+        best_person_of: Vec<usize>,
+        best: f64,
+        acc: f64,
+        remaining: usize,
+    }
+
+    impl Search<'_> {
+        /// Admissible bound: every unassigned job at the next slot (costs
+        /// are monotone, so no later slot is cheaper).
+        fn bound(&self, next_slot: usize) -> f64 {
+            let n = self.instance.len();
+            let p = next_slot.min(n - 1);
+            (0..n)
+                .filter(|&j| !self.assigned[j])
+                .map(|j| self.instance.cost(j, p))
+                .sum()
+        }
+
+        fn dfs(&mut self, slot: usize) {
+            if self.remaining == 0 {
+                if self.acc < self.best {
+                    self.best = self.acc;
+                    self.best_person_of.clone_from(&self.person_of);
+                }
+                return;
+            }
+            if self.acc + self.bound(slot) >= self.best {
+                return;
+            }
+            let avail: Vec<usize> = (0..self.instance.len())
+                .filter(|&j| !self.assigned[j] && self.indeg[j] == 0)
+                .collect();
+            let take = self.capacity.min(avail.len());
+            let mut pick = Vec::with_capacity(take);
+            self.subsets(&avail, take, 0, &mut pick, slot);
+        }
+
+        fn subsets(
+            &mut self,
+            avail: &[usize],
+            take: usize,
+            from: usize,
+            pick: &mut Vec<usize>,
+            slot: usize,
+        ) {
+            if pick.len() == take {
+                let mut delta = 0.0;
+                for &j in pick.iter() {
+                    self.assigned[j] = true;
+                    self.person_of[j] = slot;
+                    delta += self.instance.cost(j, slot);
+                    for si in 0..self.instance.successors(j).len() {
+                        let s = self.instance.successors(j)[si];
+                        self.indeg[s] -= 1;
+                    }
+                }
+                self.acc += delta;
+                self.remaining -= take;
+                self.dfs(slot + 1);
+                self.remaining += take;
+                self.acc -= delta;
+                for &j in pick.iter() {
+                    self.assigned[j] = false;
+                    for si in 0..self.instance.successors(j).len() {
+                        let s = self.instance.successors(j)[si];
+                        self.indeg[s] += 1;
+                    }
+                }
+                return;
+            }
+            let need = take - pick.len();
+            if avail.len() - from < need {
+                return;
+            }
+            for i in from..=avail.len() - need {
+                pick.push(avail[i]);
+                self.subsets(avail, take, i + 1, pick, slot);
+                pick.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        capacity,
+        indeg: (0..n).map(|j| instance.pred_count(j)).collect(),
+        assigned: vec![false; n],
+        person_of: vec![0; n],
+        best_person_of: vec![0; n],
+        best: f64::INFINITY,
+        acc: 0.0,
+        remaining: n,
+    };
+    search.dfs(0);
+    Ok(PapSolution {
+        person_of: search.best_person_of,
+        cost: search.best,
+    })
+}
+
+/// Failures of the capacitated solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapacitatedError {
+    /// The underlying instance is invalid.
+    Invalid(PapError),
+    /// `C(job, person)` decreases with the person index, violating the
+    /// solver's precondition.
+    NonMonotoneCost {
+        /// Offending job.
+        job: usize,
+        /// First person index where the cost decreases.
+        person: usize,
+    },
+}
+
+impl std::fmt::Display for CapacitatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacitatedError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            CapacitatedError::NonMonotoneCost { job, person } => write!(
+                f,
+                "cost of job {job} decreases at person {person}; the capacitated \
+                 solver requires non-decreasing per-job costs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacitatedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Wait-style costs: `C(j, p) = w_j · (p + 1)`.
+    fn wait_instance(weights: &[f64], edges: &[(usize, usize)]) -> PapInstance {
+        let n = weights.len();
+        let mut p = PapInstance::new(n);
+        for (j, &w) in weights.iter().enumerate() {
+            for person in 0..n {
+                p.set_cost(j, person, w * (person + 1) as f64);
+            }
+        }
+        for &(a, b) in edges {
+            p.add_precedence(a, b).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn capacity_one_matches_plain_bnb() {
+        let p = wait_instance(&[4.0, 7.0, 2.0, 9.0], &[(0, 2), (1, 2)]);
+        let plain = crate::solve_branch_and_bound(&p).unwrap();
+        let cap = solve_capacitated(&p, 1).unwrap();
+        assert!((plain.cost - cap.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_tree_two_channels_gives_264() {
+        // Fig. 1(a) encoded as jobs: index nodes weight 0, data weighted.
+        // ids: 1,2,3,4 = 0..3; A,B,E,C,D = 4..8.
+        let weights = [0.0, 0.0, 0.0, 0.0, 20.0, 10.0, 18.0, 15.0, 7.0];
+        let edges = [
+            (0, 1), (0, 2),         // 1 → 2, 3
+            (1, 4), (1, 5),         // 2 → A, B
+            (2, 6), (2, 3),         // 3 → E, 4
+            (3, 7), (3, 8),         // 4 → C, D
+        ];
+        let p = wait_instance(&weights, &edges);
+        let sol = solve_capacitated(&p, 2).unwrap();
+        // Same optimum as the allocation search: Σ W·T = 264.
+        assert!((sol.cost - 264.0).abs() < 1e-9, "got {}", sol.cost);
+        // Slots strictly increase along every edge.
+        for &(a, b) in &edges {
+            assert!(sol.person_of[a] < sol.person_of[b]);
+        }
+    }
+
+    #[test]
+    fn wide_capacity_collapses_to_levels() {
+        let p = wait_instance(&[0.0, 5.0, 6.0], &[(0, 1), (0, 2)]);
+        let sol = solve_capacitated(&p, 8).unwrap();
+        assert_eq!(sol.person_of[0], 0);
+        assert_eq!(sol.person_of[1], 1);
+        assert_eq!(sol.person_of[2], 1);
+        assert!((sol.cost - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotone_costs_rejected() {
+        let mut p = PapInstance::new(2);
+        p.set_cost(0, 0, 5.0);
+        p.set_cost(0, 1, 3.0); // cheaper later: violates the precondition
+        assert_eq!(
+            solve_capacitated(&p, 2).unwrap_err(),
+            CapacitatedError::NonMonotoneCost { job: 0, person: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = PapInstance::new(0);
+        assert_eq!(solve_capacitated(&p, 3).unwrap().cost, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! PAP instance and solution types.
+
+use std::fmt;
+
+/// A Personnel Assignment Problem instance.
+///
+/// Jobs and persons are both `0..n`. Precedence `a → b` means job `a` must
+/// be assigned to an earlier person than job `b` (`f(a) < f(b)`); the
+/// relation must be acyclic, verified by [`PapInstance::validate`] and by
+/// the solvers before searching.
+#[derive(Debug, Clone)]
+pub struct PapInstance {
+    n: usize,
+    /// Row-major `cost[job * n + person]`.
+    cost: Vec<f64>,
+    /// Immediate successors per job.
+    succ: Vec<Vec<usize>>,
+    /// Predecessor counts per job (for Kahn-style enumeration).
+    pred_count: Vec<usize>,
+}
+
+/// Problems detected in an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PapError {
+    /// A precedence endpoint is out of `0..n`.
+    JobOutOfRange(usize),
+    /// The precedence relation has a cycle, so no feasible assignment
+    /// exists.
+    CyclicPrecedence,
+    /// A cost entry is NaN (costs must be totally ordered).
+    NanCost {
+        /// Offending job.
+        job: usize,
+        /// Offending person.
+        person: usize,
+    },
+}
+
+impl fmt::Display for PapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PapError::JobOutOfRange(j) => write!(f, "job {j} out of range"),
+            PapError::CyclicPrecedence => write!(f, "precedence relation is cyclic"),
+            PapError::NanCost { job, person } => {
+                write!(f, "cost of job {job} for person {person} is NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PapError {}
+
+/// A feasible assignment and its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PapSolution {
+    /// `person_of[job]` — the person each job is assigned to.
+    pub person_of: Vec<usize>,
+    /// Total cost `Σ C(i, f(i))`.
+    pub cost: f64,
+}
+
+impl PapInstance {
+    /// Creates an instance with all-zero costs and no precedences.
+    pub fn new(n: usize) -> Self {
+        PapInstance {
+            n,
+            cost: vec![0.0; n * n],
+            succ: vec![Vec::new(); n],
+            pred_count: vec![0; n],
+        }
+    }
+
+    /// Number of jobs (= persons).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the trivial 0-job instance.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets `C(job, person)`.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn set_cost(&mut self, job: usize, person: usize, cost: f64) {
+        assert!(job < self.n && person < self.n, "id out of range");
+        self.cost[job * self.n + person] = cost;
+    }
+
+    /// Reads `C(job, person)`.
+    #[inline]
+    pub fn cost(&self, job: usize, person: usize) -> f64 {
+        self.cost[job * self.n + person]
+    }
+
+    /// Declares the precedence `before → after` (`f(before) < f(after)`).
+    pub fn add_precedence(&mut self, before: usize, after: usize) -> Result<(), PapError> {
+        if before >= self.n {
+            return Err(PapError::JobOutOfRange(before));
+        }
+        if after >= self.n {
+            return Err(PapError::JobOutOfRange(after));
+        }
+        self.succ[before].push(after);
+        self.pred_count[after] += 1;
+        Ok(())
+    }
+
+    /// Immediate successors of `job`.
+    #[inline]
+    pub fn successors(&self, job: usize) -> &[usize] {
+        &self.succ[job]
+    }
+
+    /// Number of immediate predecessors of `job`.
+    #[inline]
+    pub fn pred_count(&self, job: usize) -> usize {
+        self.pred_count[job]
+    }
+
+    /// Checks acyclicity and cost sanity.
+    pub fn validate(&self) -> Result<(), PapError> {
+        for job in 0..self.n {
+            for person in 0..self.n {
+                if self.cost(job, person).is_nan() {
+                    return Err(PapError::NanCost { job, person });
+                }
+            }
+        }
+        // Kahn's algorithm detects cycles.
+        let mut counts = self.pred_count.clone();
+        let mut queue: Vec<usize> = (0..self.n).filter(|&j| counts[j] == 0).collect();
+        let mut visited = 0;
+        while let Some(j) = queue.pop() {
+            visited += 1;
+            for &s in &self.succ[j] {
+                counts[s] -= 1;
+                if counts[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if visited != self.n {
+            return Err(PapError::CyclicPrecedence);
+        }
+        Ok(())
+    }
+
+    /// Evaluates the cost of an explicit assignment (no feasibility check).
+    pub fn evaluate(&self, person_of: &[usize]) -> f64 {
+        person_of
+            .iter()
+            .enumerate()
+            .map(|(job, &p)| self.cost(job, p))
+            .sum()
+    }
+
+    /// Checks that `person_of` is a feasible bijection.
+    pub fn is_feasible(&self, person_of: &[usize]) -> bool {
+        if person_of.len() != self.n {
+            return false;
+        }
+        let mut used = vec![false; self.n];
+        for &p in person_of {
+            if p >= self.n || used[p] {
+                return false;
+            }
+            used[p] = true;
+        }
+        (0..self.n)
+            .all(|j| self.succ[j].iter().all(|&s| person_of[j] < person_of[s]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut p = PapInstance::new(3);
+        p.set_cost(0, 0, 1.0);
+        p.set_cost(1, 1, 2.0);
+        p.set_cost(2, 2, 4.0);
+        p.add_precedence(0, 2).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.evaluate(&[0, 1, 2]), 7.0);
+        assert!(p.is_feasible(&[0, 1, 2]));
+        assert!(!p.is_feasible(&[2, 1, 0])); // violates 0 → 2
+        assert!(!p.is_feasible(&[0, 0, 1])); // not a bijection
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut p = PapInstance::new(2);
+        p.add_precedence(0, 1).unwrap();
+        p.add_precedence(1, 0).unwrap();
+        assert_eq!(p.validate().unwrap_err(), PapError::CyclicPrecedence);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_nan() {
+        let mut p = PapInstance::new(2);
+        assert_eq!(
+            p.add_precedence(0, 5).unwrap_err(),
+            PapError::JobOutOfRange(5)
+        );
+        p.set_cost(1, 0, f64::NAN);
+        assert_eq!(
+            p.validate().unwrap_err(),
+            PapError::NanCost { job: 1, person: 0 }
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Extension bench: DAG allocation throughput (future work 3). Measures
+//! the density-greedy and weight-greedy rules on layered DAGs up to 10³
+//! objects, plus the bitset reachability pass they depend on.
+
+use bcast_dag::{greedy_density, greedy_weight, random_layered_dag};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_scale");
+    for (layers, width) in [(5usize, 20usize), (10, 100)] {
+        let n = layers * width;
+        let dag = random_layered_dag(layers, width, 4, 77);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("reachable_aggregates", n), &dag, |b, d| {
+            b.iter(|| black_box(d.reachable_aggregates().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_density_k4", n), &dag, |b, d| {
+            b.iter(|| black_box(greedy_density(d, 4).unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_weight_k4", n), &dag, |b, d| {
+            b.iter(|| black_box(greedy_weight(d, 4).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

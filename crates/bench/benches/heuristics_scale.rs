@@ -1,0 +1,43 @@
+//! Ablation A3: heuristic throughput on large trees — the regime §4.2
+//! exists for. Measures the sorting heuristic (near-linear per the paper's
+//! O(N log m) claim), the `1_To_k` distribution, and the node-combination
+//! shrink heuristic, on Zipf-weighted random trees of 10³–10⁴ data nodes.
+
+use bcast_core::heuristics::{one_to_k, shrink, sorting};
+use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristics_scale");
+    for n in [1_000usize, 10_000] {
+        let tree = random_tree(
+            &RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 6,
+                weights: FrequencyDist::Zipf { theta: 0.9, scale: 1000.0 },
+            },
+            42,
+        );
+        g.throughput(Throughput::Elements(tree.len() as u64));
+        g.bench_with_input(BenchmarkId::new("sorting_k1", n), &tree, |b, t| {
+            b.iter(|| black_box(sorting::sorting_schedule(t, 1).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("sorting_k4", n), &tree, |b, t| {
+            b.iter(|| black_box(sorting::sorting_schedule(t, 4).len()))
+        });
+        let order = sorting::sorted_preorder(&tree);
+        g.bench_with_input(
+            BenchmarkId::new("one_to_k_distribute", n),
+            &(&tree, &order),
+            |b, (t, o)| b.iter(|| black_box(one_to_k::distribute(t, o, 4).len())),
+        );
+        g.bench_with_input(BenchmarkId::new("shrink_combine_k4", n), &tree, |b, t| {
+            b.iter(|| black_box(shrink::combine_solve(t, 4, 12).data_wait))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation A1: wall-clock cost of each exact search strategy.
+//!
+//! Compares, on trees where all strategies terminate quickly:
+//! * full enumeration of the topological tree (Algorithm 1),
+//! * best-first over the unpruned tree (paper's baseline search),
+//! * best-first over the Appendix-pruned tree,
+//! * the §3.3 data-tree branch and bound (k = 1 only).
+//!
+//! Expected shape: pruned ≪ unpruned ≪ exhaustive, with the data tree the
+//! fastest single-channel solver — the quantitative backing for §3.2/§3.3.
+
+use bcast_core::best_first::{self, BestFirstOptions};
+use bcast_core::{data_tree, topo_tree};
+use bcast_index_tree::{builders, IndexTree};
+use bcast_workloads::FrequencyDist;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn trees() -> Vec<(String, IndexTree)> {
+    let mut out = vec![("paper".to_string(), builders::paper_example())];
+    for m in [2usize, 3] {
+        let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(m * m, 99);
+        out.push((
+            format!("balanced-m{m}"),
+            builders::full_balanced(m, 3, &weights).expect("valid shape"),
+        ));
+    }
+    out
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_strategies");
+    for (name, tree) in trees() {
+        for k in [1usize, 2] {
+            let tag = format!("{name}/k{k}");
+            g.bench_with_input(BenchmarkId::new("exhaustive", &tag), &tree, |b, t| {
+                b.iter(|| black_box(topo_tree::solve_exhaustive(t, k).data_wait))
+            });
+            g.bench_with_input(
+                BenchmarkId::new("best_first_unpruned", &tag),
+                &tree,
+                |b, t| {
+                    let opts = BestFirstOptions {
+                        pruned: false,
+                        ..BestFirstOptions::default()
+                    };
+                    b.iter(|| black_box(best_first::search(t, k, &opts).unwrap().data_wait))
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new("best_first_pruned", &tag),
+                &tree,
+                |b, t| {
+                    let opts = BestFirstOptions::default();
+                    b.iter(|| black_box(best_first::search(t, k, &opts).unwrap().data_wait))
+                },
+            );
+            if k == 1 {
+                g.bench_with_input(BenchmarkId::new("data_tree", &tag), &tree, |b, t| {
+                    b.iter(|| black_box(data_tree::search_optimal(t).data_wait))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation A4: broadcast-substrate throughput — program materialization
+//! (pointer computation) and client-access simulation, over trees of
+//! increasing size. Keeps the substrate honest: the simulator must stay
+//! cheap enough to cross-validate every experiment's analytic numbers.
+
+use bcast_channel::{simulator, BroadcastProgram};
+use bcast_core::heuristics::sorting;
+use bcast_index_tree::{knary, IndexTree};
+use bcast_types::Slot;
+use bcast_workloads::FrequencyDist;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (IndexTree, bcast_channel::Allocation) {
+    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 }.sample(n, 8);
+    let tree = knary::build_weight_balanced(&weights, 8).expect("non-empty");
+    let alloc = sorting::sorting_schedule(&tree, 4)
+        .into_allocation(&tree, 4)
+        .expect("feasible");
+    (tree, alloc)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for n in [256usize, 4096] {
+        let (tree, alloc) = setup(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::new("program_build", n),
+            &(&tree, &alloc),
+            |b, (t, a)| b.iter(|| black_box(BroadcastProgram::build(a, t).unwrap().cycle_len())),
+        );
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid");
+        g.bench_with_input(
+            BenchmarkId::new("single_access", n),
+            &(&program, &tree),
+            |b, (p, t)| {
+                let target = *t.data_nodes().last().expect("non-empty");
+                b.iter(|| black_box(simulator::access(p, t, target, Slot::FIRST).unwrap()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("aggregate_metrics", n),
+            &(&program, &tree),
+            |b, (p, t)| {
+                b.iter(|| black_box(simulator::aggregate_metrics(p, t).unwrap().avg_data_wait))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

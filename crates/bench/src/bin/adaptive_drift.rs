@@ -1,0 +1,84 @@
+//! Extension experiment (paper §5, future work 1): online adaptation to
+//! changing access patterns. Replays an identical drifting request stream
+//! against three policies — static (paper's offline result, never
+//! rebuilt), adaptive (EMA estimates + periodic rebuild), and an oracle
+//! rebuilt from true instantaneous popularity — and reports mean request
+//! waits per drift regime.
+//!
+//! ```text
+//! cargo run --release -p bcast-bench --bin adaptive_drift [seed]
+//! ```
+
+use bcast_adaptive::{controller, DriftKind, DriftingWorkload, RebuildPolicy};
+use bcast_bench::render_table;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(17);
+    const ITEMS: usize = 80;
+    const EPOCHS: u64 = 150;
+    const REQS: usize = 800;
+    println!(
+        "Adaptive broadcasting under drift — {ITEMS} items, {EPOCHS} epochs × {REQS} \
+         requests, Zipf(1.1), 2 channels, seed {seed}\n"
+    );
+
+    let regimes: [(&str, DriftKind, u64); 4] = [
+        ("stationary", DriftKind::Rotate { step: 0 }, 1),
+        ("slow rotate", DriftKind::Rotate { step: 5 }, 10),
+        ("fast rotate", DriftKind::Rotate { step: 11 }, 3),
+        ("hotspot jumps", DriftKind::HotspotJump, 12),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, kind, period) in regimes {
+        let mut w = DriftingWorkload::new(ITEMS, 1.1, kind, period, seed);
+        let reports = controller::run_comparison(
+            &mut w,
+            EPOCHS,
+            REQS,
+            RebuildPolicy {
+                rebuild_every: Some(1),
+                alpha: 0.6,
+                channels: 2,
+                ..RebuildPolicy::default()
+            },
+        );
+        let (s, a, o) = (
+            reports[0].mean_wait,
+            reports[1].mean_wait,
+            reports[2].mean_wait,
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{s:.2}"),
+            format!("{a:.2}"),
+            format!("{o:.2}"),
+            format!("{:.1}%", 100.0 * (s - a) / s),
+            format!("{:.1}%", 100.0 * (a - o) / o.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "drift regime",
+                "static",
+                "adaptive",
+                "oracle",
+                "adaptive gain",
+                "gap to oracle",
+            ],
+            &rows
+        )
+    );
+    println!("\nShape check: under slow drift or hotspot jumps the adaptive policy");
+    println!("recovers most of the gap between the frozen offline allocation and the");
+    println!("clairvoyant oracle, at (almost) no cost on stationary load. Fast drift");
+    println!("whose period approaches the rebuild period exposes adaptation lag —");
+    println!("estimates chase a distribution that has already moved — which is why");
+    println!("the paper calls for an *efficient on-line* algorithm when \"the change");
+    println!("is frequent\" (§5).");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 14** of the paper: data wait of the *Index Tree
+//! Sorting* heuristic vs the *Optimal* allocation, on a full balanced
+//! 4-ary tree of depth 3 (16 data nodes), one broadcast channel, access
+//! frequencies drawn from `N(µ = 100, σ)` for `σ ∈ {10, 20, 30, 40}`.
+//!
+//! The paper plots a single random draw per σ; we average over many seeds
+//! and report the mean ± sd of both series plus the heuristic's optimality
+//! gap, which is the robust version of the figure's message: *Sorting
+//! performs near Optimal when frequencies are nearly uniform (small σ) and
+//! drifts away as skew grows*.
+//!
+//! ```text
+//! cargo run --release -p bcast-bench --bin fig14 [seed] [reps]
+//! ```
+
+use bcast_bench::{mean_std, render_table};
+use bcast_core::heuristics::sorting;
+use bcast_core::{find_optimal, OptimalOptions};
+use bcast_index_tree::builders;
+use bcast_workloads::{rng::sub_seed, FrequencyDist};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(14);
+    let reps: u64 = args
+        .next()
+        .map(|s| s.parse().expect("reps must be a u64"))
+        .unwrap_or(30);
+    const M: usize = 4;
+    println!("Fig. 14 — Index Tree Sorting vs Optimal");
+    println!("full balanced {M}-ary tree, depth 3, one channel, N(100, sigma)");
+    println!("{reps} repetitions per sigma, base seed {seed}\n");
+
+    let mut rows = Vec::new();
+    for (i, sigma) in [10.0, 20.0, 30.0, 40.0].into_iter().enumerate() {
+        let mut opt = Vec::new();
+        let mut sort = Vec::new();
+        for r in 0..reps {
+            let s = sub_seed(seed, (i as u64) << 32 | r);
+            let weights = FrequencyDist::paper_fig14(sigma).sample(M * M, s);
+            let tree = builders::full_balanced(M, 3, &weights).expect("valid shape");
+            let optimal = find_optimal(&tree, 1, &OptimalOptions::default())
+                .expect("no node limit set");
+            let heuristic = sorting::sorting_schedule(&tree, 1);
+            opt.push(optimal.data_wait);
+            sort.push(heuristic.average_data_wait(&tree));
+        }
+        let (om, os) = mean_std(&opt);
+        let (sm, ss) = mean_std(&sort);
+        rows.push(vec![
+            format!("{sigma:.0}"),
+            format!("{om:.3} ± {os:.3}"),
+            format!("{sm:.3} ± {ss:.3}"),
+            format!("{:+.2}%", 100.0 * (sm - om) / om),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["sigma", "Optimal (buckets)", "Sorting (buckets)", "gap"],
+            &rows
+        )
+    );
+    println!("Paper's Fig. 14 (single draw, m = 4, µ = 100): both series fall in");
+    println!("the 9.5–12 bucket band, Sorting tracking Optimal closely at small");
+    println!("sigma and separating slightly as sigma grows.");
+}

@@ -1,0 +1,70 @@
+//! Extension experiment (paper §5, future work 2): the index-replication
+//! trade-off curve. Replicating the root bucket `r` times per cycle cuts
+//! the probe wait ~`1/r` while stretching the cycle (and the data wait);
+//! the expected access time is U-shaped in `r` with an interior optimum —
+//! the quantitative version of "index nodes should be properly replicated".
+//!
+//! ```text
+//! cargo run --release -p bcast-bench --bin replication_curve [seed] [items]
+//! ```
+
+use bcast_bench::render_table;
+use bcast_core::heuristics::sorting;
+use bcast_core::replication;
+use bcast_index_tree::knary;
+use bcast_workloads::FrequencyDist;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(31);
+    let items: usize = args
+        .next()
+        .map(|s| s.parse().expect("items must be a usize"))
+        .unwrap_or(150);
+    let weights = FrequencyDist::Zipf { theta: 0.9, scale: 100.0 }.sample(items, seed);
+    let tree = knary::build_weight_balanced(&weights, 4).expect("non-empty");
+    let schedule = sorting::sorting_schedule(&tree, 1);
+    println!(
+        "Root-replication sweep — {items} items, 1 channel, base cycle {} slots, seed {seed}\n",
+        schedule.len()
+    );
+
+    let sweep = replication::sweep(&schedule, &tree, 24);
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.expected_access_time.total_cmp(&b.expected_access_time))
+        .expect("non-empty sweep");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .filter(|a| a.replicas <= 12 || a.replicas % 4 == 0)
+        .map(|a| {
+            vec![
+                a.replicas.to_string(),
+                a.cycle_len.to_string(),
+                format!("{:.2}", a.expected_probe_wait),
+                format!("{:.2}", a.expected_data_wait),
+                format!("{:.2}", a.expected_access_time),
+                if a.replicas == best.replicas { "<- best".into() } else { String::new() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["replicas", "cycle", "probe wait", "data wait", "access time", ""],
+            &rows
+        )
+    );
+    println!(
+        "\nOptimal replication factor {}: access {:.2} slots vs {:.2} unreplicated \
+         ({:.1}% better).",
+        best.replicas,
+        best.expected_access_time,
+        sweep[0].expected_access_time,
+        100.0 * (sweep[0].expected_access_time - best.expected_access_time)
+            / sweep[0].expected_access_time
+    );
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Broadcast-channel substrate.
+//!
+//! Models the physical layer of the paper: `k` channels transmitting one
+//! bucket per slot, a broadcast cycle repeated periodically, buckets holding
+//! either an index node (with `(channel, offset)` pointers to its children)
+//! or a data node.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`Allocation`] — the paper's mapping `f : I ∪ D → C × S`, with
+//!   feasibility validation (injective, child strictly after parent) and the
+//!   §3.1 channel-assignment rules for turning a *slot schedule* (the
+//!   compound-node path found by the search algorithms) into concrete
+//!   channel positions;
+//! * [`cost`] — formula (1): the average data wait, plus probe-wait and
+//!   access-time expectations;
+//! * [`BroadcastProgram`] — the fully materialized bucket grid with forward
+//!   pointers, validated so every pointer is followable;
+//! * [`simulator`] — a client that tunes in at an arbitrary slot, follows
+//!   pointers, and reports access time / tuning time / channel switches,
+//!   used to cross-validate the analytic cost model and to measure the
+//!   tuning-time effects the paper's introduction discusses.
+
+mod allocation;
+pub mod cost;
+mod program;
+pub mod simulator;
+pub mod wire;
+
+pub use allocation::{Allocation, FeasibilityError};
+pub use program::{BroadcastProgram, Bucket, Pointer, ProgramError};

@@ -1,0 +1,236 @@
+//! The materialized broadcast program: a bucket grid with forward pointers.
+//!
+//! "The pointer data in each index node are represented by the pair,
+//! indicating the channel number and the offset in number of buckets for
+//! retrieving the next relevant bucket." A [`BroadcastProgram`] realizes a
+//! validated [`Allocation`] as exactly that: each index bucket carries one
+//! [`Pointer`] per child of its index node; every bucket on channel `C1`
+//! additionally knows the offset to the first bucket of the next cycle, so a
+//! client can tune in anywhere and find the root.
+
+use crate::allocation::{Allocation, FeasibilityError};
+use bcast_index_tree::IndexTree;
+use bcast_types::{BucketAddr, ChannelId, NodeId, Slot};
+use std::fmt;
+
+/// A forward pointer to a child's bucket, as broadcast inside an index
+/// bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pointer {
+    /// The child node the pointer leads to.
+    pub child: NodeId,
+    /// Channel to switch to.
+    pub channel: ChannelId,
+    /// Offset in slots, relative to the bucket holding the pointer
+    /// (strictly positive: children are always broadcast later).
+    pub offset: u32,
+}
+
+/// Contents of one bucket of the grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bucket {
+    /// Nothing scheduled (possible on later channels of sparse slots).
+    Empty,
+    /// An index node with pointers to each of its children, in child order.
+    Index {
+        /// The index node occupying the bucket.
+        node: NodeId,
+        /// One pointer per child of `node`.
+        pointers: Vec<Pointer>,
+    },
+    /// A data node's payload.
+    Data {
+        /// The data node occupying the bucket.
+        node: NodeId,
+    },
+}
+
+/// Errors raised while materializing or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The underlying allocation is infeasible.
+    Infeasible(FeasibilityError),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Infeasible(e) => write!(f, "infeasible allocation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<FeasibilityError> for ProgramError {
+    fn from(e: FeasibilityError) -> Self {
+        ProgramError::Infeasible(e)
+    }
+}
+
+/// A complete, validated broadcast cycle.
+#[derive(Debug, Clone)]
+pub struct BroadcastProgram {
+    /// `grid[channel][slot_offset]`.
+    grid: Vec<Vec<Bucket>>,
+    cycle_len: usize,
+}
+
+impl BroadcastProgram {
+    /// Materializes `alloc` (validated against `tree`) into a bucket grid
+    /// with child pointers.
+    pub fn build(alloc: &Allocation, tree: &IndexTree) -> Result<Self, ProgramError> {
+        alloc.validate(tree)?;
+        let cycle_len = alloc.cycle_len();
+        let mut grid = vec![vec![Bucket::Empty; cycle_len]; alloc.num_channels()];
+        for (node, addr) in alloc.iter() {
+            let bucket = if tree.is_data(node) {
+                Bucket::Data { node }
+            } else {
+                let pointers = tree
+                    .children(node)
+                    .iter()
+                    .map(|&child| {
+                        let target = alloc.addr(child).expect("validated: all placed");
+                        Pointer {
+                            child,
+                            channel: target.channel,
+                            // Validated: child slot strictly greater.
+                            offset: target.slot.0 - addr.slot.0,
+                        }
+                    })
+                    .collect();
+                Bucket::Index { node, pointers }
+            };
+            grid[addr.channel.index()][addr.slot.offset()] = bucket;
+        }
+        Ok(BroadcastProgram { grid, cycle_len })
+    }
+
+    /// Cycle length in slots.
+    #[inline]
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// The bucket at `addr`.
+    #[inline]
+    pub fn bucket(&self, addr: BucketAddr) -> &Bucket {
+        &self.grid[addr.channel.index()][addr.slot.offset()]
+    }
+
+    /// Slots until the start of the next cycle, as seen by a client reading
+    /// the bucket at `slot` — the "pointer to the first bucket of the next
+    /// broadcast cycle" carried by every `C1` bucket.
+    ///
+    /// `slot` must lie within the cycle; out-of-range slots saturate to the
+    /// minimum offset of 1 instead of underflowing (callers that model
+    /// cyclic tune-in normalize first, as the simulator does).
+    #[inline]
+    pub fn next_cycle_offset(&self, slot: Slot) -> u32 {
+        debug_assert!(
+            (1..=self.cycle_len as u32).contains(&slot.0),
+            "slot {slot} outside cycle of {} slots",
+            self.cycle_len
+        );
+        (self.cycle_len as u32).saturating_sub(slot.0) + 1
+    }
+
+    /// Number of non-empty buckets (= tree nodes).
+    pub fn occupancy(&self) -> usize {
+        self.grid
+            .iter()
+            .flatten()
+            .filter(|b| !matches!(b, Bucket::Empty))
+            .count()
+    }
+
+    /// Fraction of the `channels × cycle_len` grid actually used; the §1.1
+    /// "waste of channel space" metric.
+    pub fn utilization(&self) -> f64 {
+        self.occupancy() as f64 / (self.num_channels() * self.cycle_len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_index_tree::builders;
+
+    fn ids(tree: &IndexTree, labels: &[&str]) -> Vec<NodeId> {
+        labels
+            .iter()
+            .map(|l| tree.find_by_label(l).expect("label exists"))
+            .collect()
+    }
+
+    fn fig2b_program() -> (IndexTree, BroadcastProgram, Allocation) {
+        let t = builders::paper_example();
+        let slots = vec![
+            ids(&t, &["1"]),
+            ids(&t, &["2", "3"]),
+            ids(&t, &["A", "B"]),
+            ids(&t, &["4", "E"]),
+            ids(&t, &["C", "D"]),
+        ];
+        let a = Allocation::from_slot_schedule(&slots, &t, 2).unwrap();
+        let p = BroadcastProgram::build(&a, &t).unwrap();
+        (t, p, a)
+    }
+
+    #[test]
+    fn pointers_are_forward_and_correct() {
+        let (t, p, a) = fig2b_program();
+        let root_addr = a.addr(t.root()).unwrap();
+        let Bucket::Index { node, pointers } = p.bucket(root_addr) else {
+            panic!("root bucket must be an index bucket");
+        };
+        assert_eq!(*node, t.root());
+        assert_eq!(pointers.len(), 2);
+        for ptr in pointers {
+            assert!(ptr.offset > 0);
+            let target = BucketAddr {
+                channel: ptr.channel,
+                slot: Slot(root_addr.slot.0 + ptr.offset),
+            };
+            match p.bucket(target) {
+                Bucket::Index { node, .. } => assert_eq!(*node, ptr.child),
+                Bucket::Data { node } => assert_eq!(*node, ptr.child),
+                Bucket::Empty => panic!("pointer to empty bucket"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_has_no_empty_buckets() {
+        let (_, p, _) = fig2b_program();
+        // 9 nodes in 2 channels × 5 slots: one empty bucket.
+        assert_eq!(p.occupancy(), 9);
+        assert!((p.utilization() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_cycle_offset_wraps() {
+        let (_, p, _) = fig2b_program();
+        assert_eq!(p.cycle_len(), 5);
+        assert_eq!(p.next_cycle_offset(Slot(5)), 1);
+        assert_eq!(p.next_cycle_offset(Slot(1)), 5);
+    }
+
+    #[test]
+    fn one_channel_program() {
+        let t = builders::paper_example();
+        let seq = ids(&t, &["1", "3", "E", "4", "C", "D", "2", "A", "B"]);
+        let a = Allocation::from_sequence(&seq, &t).unwrap();
+        let p = BroadcastProgram::build(&a, &t).unwrap();
+        assert_eq!(p.num_channels(), 1);
+        assert_eq!(p.occupancy(), 9);
+        assert_eq!(p.utilization(), 1.0);
+    }
+}

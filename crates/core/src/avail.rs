@@ -1,0 +1,202 @@
+//! Search-path state shared by the topological-tree algorithms.
+//!
+//! A node of the topological tree is identified by the multiset of tree
+//! nodes placed so far (`PATH_T(X)`), the elements of the last compound node
+//! `X`, the slot count, and the accumulated weighted wait `V(X)`. The
+//! *candidate set* `S` of Algorithm 1 —
+//! `S = ∪_{y ∈ PATH_T(X)} Children(y) − PATH_T(X)` — is maintained
+//! incrementally: placing a compound node removes its members from `S` and
+//! adds their children.
+
+use bcast_index_tree::IndexTree;
+use bcast_types::{BitSet, NodeId};
+
+/// Sorts node ids heaviest-first with the workspace-standard deterministic
+/// tie-break (ascending id). Every module that ranks data nodes by access
+/// frequency — pruning, bounds, Property-1 completions, the data tree —
+/// must use this one comparator so their orders agree.
+pub fn sort_weight_desc(tree: &IndexTree, nodes: &mut [NodeId]) {
+    nodes.sort_by(|&a, &b| tree.weight(b).cmp(&tree.weight(a)).then(a.cmp(&b)));
+}
+
+/// Mutable state of one path through the topological tree.
+#[derive(Clone, Debug)]
+pub struct PathState {
+    /// `PATH_T(X)`: all placed nodes.
+    pub placed: BitSet,
+    /// The candidate set `S` for the next compound node.
+    pub available: BitSet,
+    /// Elements of the most recent compound node `X` (empty at the root
+    /// pseudo-state before slot 1).
+    pub last: Vec<NodeId>,
+    /// Slots used so far.
+    pub slots_used: u32,
+    /// `V(X)`: accumulated `Σ W(d)·T(d)` over placed data nodes
+    /// (unnormalized).
+    pub weighted_wait: f64,
+    /// Number of placed *index* nodes (for the Property-1 fast path).
+    placed_index: u32,
+}
+
+impl PathState {
+    /// The initial state: nothing placed, only the tree root available.
+    pub fn initial(tree: &IndexTree) -> Self {
+        let mut available = BitSet::with_capacity(tree.len());
+        available.insert(tree.root());
+        PathState {
+            placed: BitSet::with_capacity(tree.len()),
+            available,
+            last: Vec::new(),
+            slots_used: 0,
+            weighted_wait: 0.0,
+            placed_index: 0,
+        }
+    }
+
+    /// True once every tree node has been placed.
+    pub fn is_complete(&self, tree: &IndexTree) -> bool {
+        self.placed.len() == tree.len()
+    }
+
+    /// Returns the state after transmitting `members` in the next slot.
+    ///
+    /// # Panics
+    /// Debug-asserts that every member is currently available.
+    pub fn place(&self, tree: &IndexTree, members: &[NodeId]) -> PathState {
+        let mut next = self.clone();
+        next.slots_used += 1;
+        next.last.clear();
+        for &n in members {
+            debug_assert!(
+                next.available.contains(n),
+                "placing unavailable node {n}"
+            );
+            next.available.remove(n);
+            next.placed.insert(n);
+            next.last.push(n);
+            for &c in tree.children(n) {
+                next.available.insert(c);
+            }
+            if tree.is_data(n) {
+                next.weighted_wait += tree.weight(n) * u64::from(next.slots_used);
+            } else {
+                next.placed_index += 1;
+            }
+        }
+        next
+    }
+
+    /// True if every unplaced node is a data node (Property 1 / the
+    /// deterministic-completion fast path applies).
+    pub fn all_index_placed(&self, tree: &IndexTree) -> bool {
+        self.placed_index as usize == tree.num_index_nodes()
+    }
+
+    /// Property 1: completes the schedule by emitting the remaining
+    /// (all-data) nodes in descending weight order, `k` per slot, and
+    /// returns the resulting total weighted wait.
+    ///
+    /// # Panics
+    /// Debug-asserts that all index nodes are placed.
+    pub fn complete_with_property1(
+        &self,
+        tree: &IndexTree,
+        k: usize,
+        out_slots: Option<&mut Vec<Vec<NodeId>>>,
+    ) -> f64 {
+        debug_assert!(self.all_index_placed(tree));
+        let mut rest: Vec<NodeId> = tree
+            .data_nodes()
+            .iter()
+            .copied()
+            .filter(|&d| !self.placed.contains(d))
+            .collect();
+        sort_weight_desc(tree, &mut rest);
+        let mut wait = self.weighted_wait;
+        let mut slots: Vec<Vec<NodeId>> = Vec::new();
+        for (i, &d) in rest.iter().enumerate() {
+            let slot = u64::from(self.slots_used) + 1 + (i / k) as u64;
+            wait += tree.weight(d) * slot;
+            if i % k == 0 {
+                slots.push(Vec::with_capacity(k));
+            }
+            slots.last_mut().expect("pushed above").push(d);
+        }
+        if let Some(out) = out_slots {
+            out.extend(slots);
+        }
+        wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_index_tree::builders;
+
+    fn id(tree: &IndexTree, label: &str) -> NodeId {
+        tree.find_by_label(label).expect("label exists")
+    }
+
+    #[test]
+    fn initial_state_offers_root() {
+        let t = builders::paper_example();
+        let s = PathState::initial(&t);
+        assert_eq!(s.available.len(), 1);
+        assert!(s.available.contains(t.root()));
+        assert!(!s.is_complete(&t));
+        assert_eq!(s.slots_used, 0);
+    }
+
+    #[test]
+    fn placing_updates_candidates_like_example1() {
+        // Paper Example 1: PATH_T(X) = {1,2,3} ⇒ S = {4, A, B, E}.
+        let t = builders::paper_example();
+        let s0 = PathState::initial(&t);
+        let s1 = s0.place(&t, &[id(&t, "1")]);
+        let s2 = s1.place(&t, &[id(&t, "2"), id(&t, "3")]);
+        let avail: Vec<String> = s2.available.iter().map(|n| t.label(n)).collect();
+        let mut avail_sorted = avail.clone();
+        avail_sorted.sort();
+        assert_eq!(avail_sorted, vec!["4", "A", "B", "E"]);
+        assert_eq!(s2.slots_used, 2);
+        assert_eq!(s2.weighted_wait, 0.0); // only index nodes so far
+    }
+
+    #[test]
+    fn weighted_wait_accumulates() {
+        let t = builders::paper_example();
+        let s = PathState::initial(&t)
+            .place(&t, &[id(&t, "1")])
+            .place(&t, &[id(&t, "2"), id(&t, "3")])
+            .place(&t, &[id(&t, "A"), id(&t, "E")]);
+        // A and E both land in slot 3: (20 + 18) · 3 = 114.
+        assert_eq!(s.weighted_wait, 114.0);
+    }
+
+    #[test]
+    fn property1_completion_orders_by_weight() {
+        let t = builders::paper_example();
+        // Place all four index nodes in two slots (1 | 2 3 | 4).
+        let s = PathState::initial(&t)
+            .place(&t, &[id(&t, "1")])
+            .place(&t, &[id(&t, "2"), id(&t, "3")])
+            .place(&t, &[id(&t, "4")]);
+        assert!(s.all_index_placed(&t));
+        let mut slots = Vec::new();
+        let wait = s.complete_with_property1(&t, 2, Some(&mut slots));
+        // Remaining data desc: A(20), E(18), C(15), B(10), D(7) at slots
+        // 4,4,5,5,6 ⇒ 20·4 + 18·4 + 15·5 + 10·5 + 7·6 = 319.
+        assert_eq!(wait, 319.0);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0], vec![id(&t, "A"), id(&t, "E")]);
+        assert_eq!(slots[2], vec![id(&t, "D")]);
+    }
+
+    #[test]
+    fn all_index_placed_detects_missing() {
+        let t = builders::paper_example();
+        let s = PathState::initial(&t).place(&t, &[id(&t, "1")]);
+        assert!(!s.all_index_placed(&t));
+    }
+}

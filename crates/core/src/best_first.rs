@@ -1,0 +1,364 @@
+//! §3.1: best-first (A*-style) search for the optimal allocation.
+//!
+//! "In general, an optimal path in a k-channel topological tree can be found
+//! by using the best-first search strategy" with the evaluation function
+//! `E(X) = V(X) + U(X)`. Because every [`BoundKind`] is admissible (never
+//! overestimates the completion cost), the first *complete* state popped
+//! from the frontier is optimal — the standard A* argument.
+//!
+//! Candidate generation is pluggable: the unpruned Algorithm-1 expansion
+//! ([`crate::topo_tree::compound_children`]) or the Appendix's reduced
+//! expansion ([`crate::prune::pruned_children`]). Property 1 is applied as a
+//! terminal fast path: once every index node is placed, the unique optimal
+//! completion (remaining data heaviest-first, `k` per slot) is computed in
+//! closed form instead of being searched.
+
+use crate::avail::PathState;
+use crate::bound::{BoundKind, Bounder};
+use crate::prune;
+use crate::schedule::Schedule;
+use crate::topo_tree;
+use bcast_index_tree::IndexTree;
+use bcast_types::{BitSet, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Options for [`search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BestFirstOptions {
+    /// Use the Appendix's pruned candidate generation (§3.2). Turning this
+    /// off yields the plain Algorithm-1 expansion — exact but much slower
+    /// (the A1 ablation bench measures the gap).
+    pub pruned: bool,
+    /// The `U(X)` estimate.
+    pub bound: BoundKind,
+    /// Apply the Property-1 closed-form completion once all index nodes are
+    /// placed.
+    pub property1: bool,
+    /// Abort after expanding this many states (`None` = unlimited).
+    pub node_limit: Option<u64>,
+}
+
+impl Default for BestFirstOptions {
+    fn default() -> Self {
+        BestFirstOptions {
+            pruned: true,
+            bound: BoundKind::Packed,
+            property1: true,
+            node_limit: None,
+        }
+    }
+}
+
+/// Result of a successful search.
+#[derive(Debug, Clone)]
+pub struct BestFirstResult {
+    /// An optimal schedule.
+    pub schedule: Schedule,
+    /// Its average data wait (formula 1).
+    pub data_wait: f64,
+    /// States expanded (popped and grown) during the search.
+    pub nodes_expanded: u64,
+    /// States pushed onto the frontier.
+    pub nodes_generated: u64,
+}
+
+/// The search exceeded its node limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// The limit that was hit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "best-first search exceeded node limit {}", self.limit)
+    }
+}
+
+impl std::error::Error for NodeLimitExceeded {}
+
+/// f-ordered priority key with deterministic tie-breaking.
+#[derive(PartialEq)]
+struct Priority(f64, u64);
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+struct Entry {
+    parent: Option<usize>,
+    /// Members of the slot that produced this entry (empty for the root).
+    members: Vec<NodeId>,
+    state: PathState,
+    /// Property-1 tail, present when this entry is a completed terminal.
+    tail: Option<Vec<Vec<NodeId>>>,
+    /// Exact total weighted wait for terminals.
+    total: f64,
+}
+
+/// Finds an optimal k-channel schedule for `tree`.
+pub fn search(
+    tree: &IndexTree,
+    k: usize,
+    opts: &BestFirstOptions,
+) -> Result<BestFirstResult, NodeLimitExceeded> {
+    assert!(k >= 1, "need at least one channel");
+    let bounder = Bounder::new(tree, k, opts.bound);
+    let mut arena: Vec<Entry> = Vec::new();
+    let mut open: BinaryHeap<Reverse<(Priority, usize)>> = BinaryHeap::new();
+    // Dominance table: best g (weighted wait) per placed set and slot
+    // count. Nested so the frequent lookup borrows the state's bitset
+    // instead of cloning it per heap pop.
+    let mut best_g: HashMap<BitSet, HashMap<u32, f64>> = HashMap::new();
+    let mut generated = 0u64;
+    let mut expanded = 0u64;
+
+    let root_state = PathState::initial(tree);
+    let root_f = bounder.estimate(&root_state);
+    arena.push(Entry {
+        parent: None,
+        members: Vec::new(),
+        state: root_state,
+        tail: None,
+        total: f64::INFINITY,
+    });
+    open.push(Reverse((Priority(root_f, 0), 0)));
+
+    while let Some(Reverse((Priority(_f, _), idx))) = open.pop() {
+        // Terminal (complete or Property-1 completed): first pop is optimal
+        // because f equals the exact total for terminals and every other
+        // frontier entry has admissible f ≤ its true cost.
+        let is_terminal =
+            arena[idx].tail.is_some() || arena[idx].state.is_complete(tree);
+        if is_terminal {
+            return Ok(finish(tree, &arena, idx, expanded, generated));
+        }
+        // Stale check: a better path to the same (placed, slots) was found
+        // after this entry was pushed.
+        {
+            let st = &arena[idx].state;
+            let stale = best_g
+                .get(&st.placed)
+                .and_then(|per_slot| per_slot.get(&st.slots_used))
+                .is_some_and(|&g| g < st.weighted_wait);
+            if stale {
+                continue;
+            }
+        }
+        expanded += 1;
+        if let Some(limit) = opts.node_limit {
+            if expanded > limit {
+                return Err(NodeLimitExceeded { limit });
+            }
+        }
+
+        // Property-1 fast path: deterministic optimal completion. The entry
+        // is marked terminal in place (setting tail/total) and re-pushed at
+        // its now-exact priority — no state clone needed.
+        if opts.property1 && arena[idx].state.all_index_placed(tree) {
+            let mut tail = Vec::new();
+            let total =
+                arena[idx]
+                    .state
+                    .complete_with_property1(tree, k, Some(&mut tail));
+            arena[idx].tail = Some(tail);
+            arena[idx].total = total;
+            generated += 1;
+            open.push(Reverse((Priority(total, generated), idx)));
+            continue;
+        }
+
+        let children = if opts.pruned {
+            prune::pruned_children(tree, &arena[idx].state, k)
+        } else {
+            topo_tree::compound_children(tree, &arena[idx].state, k)
+        };
+        for members in children {
+            let next = arena[idx].state.place(tree, &members);
+            let g = next.weighted_wait;
+            let per_slot = best_g.entry(next.placed.clone()).or_default();
+            match per_slot.get_mut(&next.slots_used) {
+                Some(best) if *best <= g => continue,
+                Some(best) => *best = g,
+                None => {
+                    per_slot.insert(next.slots_used, g);
+                }
+            }
+            let f = g + bounder.estimate(&next);
+            generated += 1;
+            arena.push(Entry {
+                parent: Some(idx),
+                members,
+                state: next,
+                tail: None,
+                total: f64::INFINITY,
+            });
+            open.push(Reverse((Priority(f, generated), arena.len() - 1)));
+        }
+    }
+    unreachable!("a valid index tree always admits a feasible schedule")
+}
+
+fn finish(
+    tree: &IndexTree,
+    arena: &[Entry],
+    idx: usize,
+    expanded: u64,
+    generated: u64,
+) -> BestFirstResult {
+    // Walk parents to the root, collecting slots.
+    let mut slots_rev: Vec<Vec<NodeId>> = Vec::new();
+    let mut cur = Some(idx);
+    while let Some(i) = cur {
+        if !arena[i].members.is_empty() {
+            slots_rev.push(arena[i].members.clone());
+        }
+        cur = arena[i].parent;
+    }
+    slots_rev.reverse();
+    let mut slots = slots_rev;
+    let total = if let Some(tail) = &arena[idx].tail {
+        slots.extend(tail.iter().cloned());
+        arena[idx].total
+    } else {
+        arena[idx].state.weighted_wait
+    };
+    let schedule = Schedule::from_slots(slots);
+    let tw = tree.total_weight().get();
+    BestFirstResult {
+        schedule,
+        data_wait: if tw == 0.0 { 0.0 } else { total / tw },
+        nodes_expanded: expanded,
+        nodes_generated: generated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_tree::solve_exhaustive;
+    use bcast_index_tree::builders;
+    use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_exhaustive_on_paper_example_all_k() {
+        let t = builders::paper_example();
+        for k in 1..=4 {
+            let exact = solve_exhaustive(&t, k);
+            for pruned in [false, true] {
+                for bound in [BoundKind::Paper, BoundKind::Packed] {
+                    let opts = BestFirstOptions {
+                        pruned,
+                        bound,
+                        ..BestFirstOptions::default()
+                    };
+                    let got = search(&t, k, &opts).unwrap();
+                    assert!(
+                        (got.data_wait - exact.data_wait).abs() < 1e-9,
+                        "k={k} pruned={pruned} bound={bound:?}: {} vs {}",
+                        got.data_wait,
+                        exact.data_wait
+                    );
+                    // The schedule really evaluates to the reported cost and
+                    // is feasible.
+                    assert!(
+                        (got.schedule.average_data_wait(&t) - got.data_wait).abs() < 1e-9
+                    );
+                    got.schedule.into_allocation(&t, k).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_channel_paper_optimum_value() {
+        let t = builders::paper_example();
+        let r = search(&t, 2, &BestFirstOptions::default()).unwrap();
+        assert!((r.data_wait - 264.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let t = builders::paper_example();
+        let unpruned = search(
+            &t,
+            2,
+            &BestFirstOptions {
+                pruned: false,
+                property1: false,
+                ..BestFirstOptions::default()
+            },
+        )
+        .unwrap();
+        let pruned = search(&t, 2, &BestFirstOptions::default()).unwrap();
+        assert!(pruned.nodes_generated <= unpruned.nodes_generated);
+    }
+
+    #[test]
+    fn node_limit_is_honored() {
+        let t = builders::paper_example();
+        let err = search(
+            &t,
+            1,
+            &BestFirstOptions {
+                node_limit: Some(1),
+                ..BestFirstOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.limit, 1);
+    }
+
+    #[test]
+    fn single_data_node_tree() {
+        use bcast_index_tree::TreeBuilder;
+        use bcast_types::Weight;
+        let mut b = TreeBuilder::new();
+        let root = b.root("r");
+        b.add_data(root, Weight::from(5u32), "d").unwrap();
+        let t = b.build().unwrap();
+        let r = search(&t, 3, &BestFirstOptions::default()).unwrap();
+        assert_eq!(r.data_wait, 2.0); // root slot 1, data slot 2
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn optimal_on_random_trees(
+            n in 2usize..6,
+            k in 1usize..4,
+            seed in 0u64..500,
+            pruned: bool,
+        ) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 3,
+                weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            let exact = solve_exhaustive(&t, k);
+            let opts = BestFirstOptions { pruned, ..BestFirstOptions::default() };
+            let got = search(&t, k, &opts).unwrap();
+            prop_assert!(
+                (got.data_wait - exact.data_wait).abs() < 1e-9,
+                "n={n} k={k} seed={seed} pruned={pruned}: best-first {} vs exhaustive {}",
+                got.data_wait, exact.data_wait
+            );
+            got.schedule.into_allocation(&t, k).unwrap();
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Corollary 1: the wide-channel closed form.
+//!
+//! "If the number of broadcast channels is larger than the maximal number of
+//! nodes at the same level of an index tree, the optimal allocation is to
+//! assign the nodes at the same level into the same slots of different
+//! channels." Every node then sits at slot = its level, the earliest slot
+//! any feasible allocation can give it (each ancestor needs a strictly
+//! earlier slot), so the allocation is optimal slot-wise for every node
+//! simultaneously.
+
+use crate::schedule::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// True when the corollary applies: `k ≥` the widest tree level.
+pub fn applies(tree: &IndexTree, k: usize) -> bool {
+    k >= tree.max_level_width()
+}
+
+/// The level-by-level schedule (slot `ℓ` transmits all level-`ℓ` nodes).
+///
+/// Optimal whenever [`applies`]; callable regardless, but the schedule is
+/// only *feasible* when every level fits in `k` channels — enforced when
+/// converting to an allocation.
+pub fn level_schedule(tree: &IndexTree) -> Schedule {
+    let depth = tree.depth() as usize;
+    let mut slots: Vec<Vec<NodeId>> = vec![Vec::new(); depth];
+    for &n in tree.preorder() {
+        slots[tree.level(n) as usize - 1].push(n);
+    }
+    Schedule::from_slots(slots)
+}
+
+/// Average data wait of the level schedule: `Σ W(d)·level(d) / Σ W(d)` —
+/// the tree's weighted path length normalized, computable without building
+/// the schedule.
+pub fn level_schedule_wait(tree: &IndexTree) -> f64 {
+    let tw = tree.total_weight().get();
+    if tw == 0.0 {
+        0.0
+    } else {
+        tree.weighted_path_length() / tw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_tree;
+    use bcast_index_tree::builders;
+    use bcast_types::Weight;
+
+    #[test]
+    fn applies_threshold() {
+        let t = builders::paper_example();
+        assert!(!applies(&t, 3)); // widest level has 4 nodes (A,B,E,4)
+        assert!(applies(&t, 4));
+    }
+
+    #[test]
+    fn level_schedule_matches_exhaustive_when_wide() {
+        let t = builders::paper_example();
+        let s = level_schedule(&t);
+        let exact = topo_tree::solve_exhaustive(&t, 4);
+        assert!((s.average_data_wait(&t) - exact.data_wait).abs() < 1e-12);
+        assert!((level_schedule_wait(&t) - exact.data_wait).abs() < 1e-12);
+        s.into_allocation(&t, 4).unwrap();
+    }
+
+    #[test]
+    fn level_schedule_wait_equals_wpl() {
+        let weights: Vec<Weight> = (1..=9u32).map(Weight::from).collect();
+        let t = builders::full_balanced(3, 3, &weights).unwrap();
+        // All data at level 3: wait = 3.
+        assert!((level_schedule_wait(&t) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_when_too_narrow() {
+        let t = builders::paper_example();
+        assert!(level_schedule(&t).into_allocation(&t, 2).is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! §3.3: the data tree — 1-channel search over data-node orders only.
+//!
+//! For a single channel, index nodes contribute nothing to formula (1) and —
+//! by Property 2's proof — can always be placed immediately before their
+//! first-needed descendant. So a broadcast is fully determined by the *order
+//! of the data nodes*: before data node `Di` the broadcast emits
+//! `Nancestor(Di) = Ancestor(Di) − Cancestor(Di-1)`, the ancestors not yet
+//! on air, shallowest first. The search space becomes the tree of data-node
+//! sequences — the paper's **data tree** (Fig. 11) — pruned by:
+//!
+//! * **Lemma 3 / Property 2** (`P2`): data nodes sharing a parent appear in
+//!   descending weight order;
+//! * **Property 1** (`P12`): once every index node is on air, the remaining
+//!   data nodes have a unique optimal order (descending weight);
+//! * **Property 4 / Lemma 6** (`P124`): consecutive data nodes `Di, Di+1`
+//!   survive only if
+//!   `(|Nancestor(Di+1)| + 1)·W(Di) ≥ (|Nancestor(Di) − Ancestor(Di+1)| + 1)·W(Di+1)`.
+//!
+//! [`count_paths`] reproduces the paper's Table 1 (per pruning level);
+//! [`search_optimal`] runs a depth-first branch-and-bound over the fully
+//! pruned data tree and returns an optimal 1-channel broadcast.
+
+use crate::avail::sort_weight_desc;
+use crate::schedule::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::{BitSet, NodeId};
+
+/// Cumulative pruning levels, matching Table 1's three columns (plus the
+/// Corollary-2 extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneLevel {
+    /// Property 2 only (sibling data in descending weight order).
+    P2,
+    /// Properties 1 and 2.
+    P12,
+    /// Properties 1, 2 and 4.
+    P124,
+    /// Properties 1, 2, 4 plus the Corollary-2 block exchange: the
+    /// one-and-one swap of Property 4 extended to a two-and-one swap of the
+    /// previous *two* data subsequences against the candidate. Strictly
+    /// more pruning than [`PruneLevel::P124`], still optimum-preserving
+    /// (only strictly-improving swaps prune, verified against exhaustive
+    /// enumeration by property tests).
+    P124X,
+}
+
+impl PruneLevel {
+    fn property1(self) -> bool {
+        !matches!(self, PruneLevel::P2)
+    }
+    fn property4(self) -> bool {
+        matches!(self, PruneLevel::P124 | PruneLevel::P124X)
+    }
+    fn corollary2(self) -> bool {
+        matches!(self, PruneLevel::P124X)
+    }
+}
+
+/// Precomputed context for data-tree traversal.
+struct Ctx<'t> {
+    tree: &'t IndexTree,
+    /// Per data node: its ancestor set (index nodes only — all proper
+    /// ancestors are index nodes by the tree invariants).
+    ancestors: Vec<BitSet>,
+    /// Per data node: the previous sibling in the canonical (weight-desc)
+    /// order of its group, if any. A data node may start only after that
+    /// sibling (Lemma 3).
+    prev_sibling: Vec<Option<NodeId>>,
+    /// All data nodes sorted heaviest-first (bound + Property-1 order).
+    sorted_data: Vec<NodeId>,
+    num_index: usize,
+}
+
+impl<'t> Ctx<'t> {
+    fn new(tree: &'t IndexTree) -> Self {
+        let mut ancestors = vec![BitSet::default(); tree.len()];
+        let mut prev_sibling = vec![None; tree.len()];
+        for &d in tree.data_nodes() {
+            ancestors[d.index()] = tree.ancestor_set(d);
+        }
+        for &idx in tree.preorder() {
+            if tree.is_data(idx) {
+                continue;
+            }
+            let mut group: Vec<NodeId> = tree
+                .children(idx)
+                .iter()
+                .copied()
+                .filter(|&c| tree.is_data(c))
+                .collect();
+            sort_weight_desc(tree, &mut group);
+            for pair in group.windows(2) {
+                prev_sibling[pair[1].index()] = Some(pair[0]);
+            }
+        }
+        let mut sorted_data: Vec<NodeId> = tree.data_nodes().to_vec();
+        sort_weight_desc(tree, &mut sorted_data);
+        Ctx {
+            tree,
+            ancestors,
+            prev_sibling,
+            sorted_data,
+            num_index: tree.num_index_nodes(),
+        }
+    }
+}
+
+/// Mutable traversal state.
+struct Walk {
+    placed_data: BitSet,
+    /// `Cancestor` of the last emitted data node: every index node on air.
+    cancestor: BitSet,
+    prev: Option<NodeId>,
+    prev_nancestor: BitSet,
+    /// The data node before `prev` (for the Corollary-2 block exchange).
+    prev2: Option<NodeId>,
+    prev2_nancestor: BitSet,
+    emitted: u32,
+    weighted_wait: f64,
+    order: Vec<NodeId>,
+}
+
+impl Walk {
+    fn new(tree: &IndexTree) -> Self {
+        Walk {
+            placed_data: BitSet::with_capacity(tree.len()),
+            cancestor: BitSet::with_capacity(tree.len()),
+            prev: None,
+            prev_nancestor: BitSet::with_capacity(tree.len()),
+            prev2: None,
+            prev2_nancestor: BitSet::with_capacity(tree.len()),
+            emitted: 0,
+            weighted_wait: 0.0,
+            order: Vec::new(),
+        }
+    }
+}
+
+/// True if data node `d` may be emitted next under `level` pruning.
+fn admissible(ctx: &Ctx<'_>, walk: &Walk, d: NodeId, level: PruneLevel) -> bool {
+    // Lemma 3 (P2): the canonical previous sibling must already be placed.
+    if let Some(p) = ctx.prev_sibling[d.index()] {
+        if !walk.placed_data.contains(p) {
+            return false;
+        }
+    }
+    // Property 4 (Lemma 6) against the previous data node.
+    if level.property4() {
+        if let Some(prev) = walk.prev {
+            let n_b = ctx.ancestors[d.index()].difference_len(&walk.cancestor) as f64 + 1.0;
+            let n_a =
+                walk.prev_nancestor.difference_len(&ctx.ancestors[d.index()]) as f64 + 1.0;
+            let w_prev = ctx.tree.weight(prev).get();
+            let w_d = ctx.tree.weight(d).get();
+            // Keep `prev` before `d` only if N_B·W(prev) ≥ N_A·W(d).
+            if n_b * w_prev < n_a * w_d {
+                return false;
+            }
+        }
+    }
+    // Corollary 2: a two-and-one block exchange of the previous *two* data
+    // subsequences against the candidate's. Swapping blocks [A = prev2's +
+    // prev's subsequences] and [B = d's subsequence] is feasible when the
+    // common-ancestor exclusion stays a prefix of A, i.e. no ancestor of
+    // `d` sits in the middle of the block (inside Nancestor(prev)); it is
+    // strictly profitable per Lemma 6 when N_B·W_A < N_A·W_B, in which
+    // case this path cannot be minimum-cost and is pruned.
+    if level.corollary2() {
+        if let (Some(prev), Some(prev2)) = (walk.prev, walk.prev2) {
+            let anc_d = &ctx.ancestors[d.index()];
+            if walk.prev_nancestor.is_disjoint(anc_d) {
+                let n_b = anc_d.difference_len(&walk.cancestor) as f64 + 1.0;
+                let n_a = walk.prev2_nancestor.difference_len(anc_d) as f64
+                    + 1.0
+                    + walk.prev_nancestor.len() as f64
+                    + 1.0;
+                let w_a = ctx.tree.weight(prev2).get() + ctx.tree.weight(prev).get();
+                let w_b = ctx.tree.weight(d).get();
+                if n_b * w_a < n_a * w_b {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Emits `d` (and its `Nancestor`) onto the walk.
+fn emit(ctx: &Ctx<'_>, walk: &mut Walk, d: NodeId) {
+    let mut nanc: Vec<NodeId> = ctx.ancestors[d.index()]
+        .iter()
+        .filter(|&a| !walk.cancestor.contains(a))
+        .collect();
+    // Shallowest (closest to the root) first.
+    nanc.sort_by_key(|&a| ctx.tree.level(a));
+    walk.prev2 = walk.prev;
+    std::mem::swap(&mut walk.prev2_nancestor, &mut walk.prev_nancestor);
+    walk.prev_nancestor.clear();
+    for &a in &nanc {
+        walk.cancestor.insert(a);
+        walk.prev_nancestor.insert(a);
+        walk.emitted += 1;
+        walk.order.push(a);
+    }
+    walk.emitted += 1;
+    walk.order.push(d);
+    walk.placed_data.insert(d);
+    walk.weighted_wait += ctx.tree.weight(d) * u64::from(walk.emitted);
+    walk.prev = Some(d);
+}
+
+/// Counts root-to-leaf paths of the pruned data tree — the quantity
+/// tabulated in the paper's Table 1.
+pub fn count_paths(tree: &IndexTree, level: PruneLevel) -> u128 {
+    count_paths_capped(tree, level, u128::MAX).expect("uncapped count cannot overflow the cap")
+}
+
+/// Like [`count_paths`], but abandons the walk and returns `None` once the
+/// count exceeds `cap` — the experiment harness uses this to report "too
+/// many to enumerate" (the paper's N/A entries) instead of spinning.
+pub fn count_paths_capped(tree: &IndexTree, level: PruneLevel, cap: u128) -> Option<u128> {
+    let ctx = Ctx::new(tree);
+    let mut walk = Walk::new(tree);
+    let mut count = 0u128;
+    if count_rec(&ctx, &mut walk, level, cap, &mut count) {
+        Some(count)
+    } else {
+        None
+    }
+}
+
+/// Returns `false` once the running count exceeds `cap`.
+fn count_rec(
+    ctx: &Ctx<'_>,
+    walk: &mut Walk,
+    level: PruneLevel,
+    cap: u128,
+    count: &mut u128,
+) -> bool {
+    // Leaf: all data placed, or Property 1 forces a unique completion.
+    if walk.placed_data.len() == ctx.sorted_data.len()
+        || (level.property1() && walk.cancestor.len() == ctx.num_index)
+    {
+        *count += 1;
+        return *count <= cap;
+    }
+    for &d in &ctx.sorted_data {
+        if walk.placed_data.contains(d) || !admissible(ctx, walk, d, level) {
+            continue;
+        }
+        let saved = snapshot(walk);
+        emit(ctx, walk, d);
+        let ok = count_rec(ctx, walk, level, cap, count);
+        restore(walk, saved);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Cheap undo record for the DFS (bitsets restored by re-removal).
+struct Snapshot {
+    prev: Option<NodeId>,
+    prev_nancestor: BitSet,
+    prev2: Option<NodeId>,
+    prev2_nancestor: BitSet,
+    emitted: u32,
+    weighted_wait: f64,
+    order_len: usize,
+    cancestor_added_from: usize,
+}
+
+fn snapshot(walk: &Walk) -> Snapshot {
+    Snapshot {
+        prev: walk.prev,
+        prev_nancestor: walk.prev_nancestor.clone(),
+        prev2: walk.prev2,
+        prev2_nancestor: walk.prev2_nancestor.clone(),
+        emitted: walk.emitted,
+        weighted_wait: walk.weighted_wait,
+        order_len: walk.order.len(),
+        cancestor_added_from: walk.order.len(),
+    }
+}
+
+fn restore(walk: &mut Walk, s: Snapshot) {
+    // Everything appended to `order` past the snapshot was either a fresh
+    // Cancestor index node or the data node itself.
+    for i in s.cancestor_added_from..walk.order.len() {
+        let n = walk.order[i];
+        walk.cancestor.remove(n);
+        walk.placed_data.remove(n);
+    }
+    walk.order.truncate(s.order_len);
+    walk.prev = s.prev;
+    walk.prev_nancestor = s.prev_nancestor;
+    walk.prev2 = s.prev2;
+    walk.prev2_nancestor = s.prev2_nancestor;
+    walk.emitted = s.emitted;
+    walk.weighted_wait = s.weighted_wait;
+}
+
+/// Result of the optimal data-tree search.
+#[derive(Debug, Clone)]
+pub struct DataTreeResult {
+    /// An optimal 1-channel schedule (index and data nodes interleaved).
+    pub schedule: Schedule,
+    /// Average data wait (formula 1).
+    pub data_wait: f64,
+    /// Data-tree nodes visited.
+    pub nodes_expanded: u64,
+}
+
+/// Optimal 1-channel allocation via depth-first branch-and-bound on the
+/// fully pruned (`P124X`, including the Corollary-2 block exchange) data
+/// tree.
+///
+/// The bound packs the unplaced data nodes (heaviest first) into the slots
+/// immediately following the current prefix, ignoring index nodes — an
+/// admissible underestimate. The incumbent is seeded with the Property-1
+/// completion of the current best prefix as soon as one exists.
+pub fn search_optimal(tree: &IndexTree) -> DataTreeResult {
+    search_optimal_limited(tree, None).expect("no limit set")
+}
+
+/// Like [`search_optimal`], aborting with `Err(limit)` once more than
+/// `node_limit` data-tree nodes have been expanded.
+pub fn search_optimal_limited(
+    tree: &IndexTree,
+    node_limit: Option<u64>,
+) -> Result<DataTreeResult, u64> {
+    let ctx = Ctx::new(tree);
+    let mut walk = Walk::new(tree);
+    let mut best_cost = f64::INFINITY;
+    let mut best_order: Vec<NodeId> = Vec::new();
+    let mut expanded = 0u64;
+    let budget = node_limit.unwrap_or(u64::MAX);
+    if !dfs_opt(
+        &ctx,
+        &mut walk,
+        &mut best_cost,
+        &mut best_order,
+        &mut expanded,
+        budget,
+    ) {
+        return Err(node_limit.expect("only a finite budget can be exceeded"));
+    }
+    let schedule = Schedule::from_sequence(best_order);
+    let tw = tree.total_weight().get();
+    Ok(DataTreeResult {
+        schedule,
+        data_wait: if tw == 0.0 { 0.0 } else { best_cost / tw },
+        nodes_expanded: expanded,
+    })
+}
+
+/// Returns `false` once the node budget is exhausted.
+fn dfs_opt(
+    ctx: &Ctx<'_>,
+    walk: &mut Walk,
+    best_cost: &mut f64,
+    best_order: &mut Vec<NodeId>,
+    expanded: &mut u64,
+    budget: u64,
+) -> bool {
+    *expanded += 1;
+    if *expanded > budget {
+        return false;
+    }
+    // Property-1 completion: all index on air (or trivially, all data done).
+    if walk.cancestor.len() == ctx.num_index || walk.placed_data.len() == ctx.sorted_data.len()
+    {
+        let mut cost = walk.weighted_wait;
+        let mut slot = walk.emitted;
+        let mut tail: Vec<NodeId> = Vec::new();
+        for &d in &ctx.sorted_data {
+            if walk.placed_data.contains(d) {
+                continue;
+            }
+            slot += 1;
+            cost += ctx.tree.weight(d) * u64::from(slot);
+            tail.push(d);
+        }
+        if cost < *best_cost {
+            *best_cost = cost;
+            best_order.clone_from(&walk.order);
+            best_order.extend(tail);
+        }
+        return true;
+    }
+    // Admissible bound: unplaced data packed right after the prefix.
+    let mut bound = walk.weighted_wait;
+    let mut slot = walk.emitted;
+    for &d in &ctx.sorted_data {
+        if walk.placed_data.contains(d) {
+            continue;
+        }
+        slot += 1;
+        bound += ctx.tree.weight(d) * u64::from(slot);
+    }
+    if bound >= *best_cost {
+        return true;
+    }
+    for &d in &ctx.sorted_data {
+        if walk.placed_data.contains(d) || !admissible(ctx, walk, d, PruneLevel::P124X) {
+            continue;
+        }
+        let saved = snapshot(walk);
+        emit(ctx, walk, d);
+        let ok = dfs_opt(ctx, walk, best_cost, best_order, expanded, budget);
+        restore(walk, saved);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Expands a data-node sequence into the full canonical broadcast
+/// (each data node preceded by its not-yet-aired ancestors, shallowest
+/// first). Exposed for tests and the paper-walkthrough example.
+pub fn broadcast_from_data_sequence(tree: &IndexTree, data_seq: &[NodeId]) -> Vec<NodeId> {
+    let ctx = Ctx::new(tree);
+    let mut walk = Walk::new(tree);
+    for &d in data_seq {
+        emit(&ctx, &mut walk, d);
+    }
+    walk.order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_tree;
+    use bcast_index_tree::builders;
+    use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+    use proptest::prelude::*;
+
+    fn ids(tree: &IndexTree, labels: &[&str]) -> Vec<NodeId> {
+        labels
+            .iter()
+            .map(|l| tree.find_by_label(l).expect("label exists"))
+            .collect()
+    }
+
+    #[test]
+    fn canonical_broadcast_of_fig12_leftmost_path() {
+        // Paper: the leftmost path A,B,C,E,D generates 1 2 A B 3 4 C E D.
+        let t = builders::paper_example();
+        let seq = ids(&t, &["A", "B", "C", "E", "D"]);
+        let bc = broadcast_from_data_sequence(&t, &seq);
+        let labels: Vec<String> = bc.iter().map(|&n| t.label(n)).collect();
+        assert_eq!(labels, vec!["1", "2", "A", "B", "3", "4", "C", "E", "D"]);
+    }
+
+    #[test]
+    fn property4_prunes_c_then_e() {
+        // Paper §3.3: after ...A,B,C the successor E violates Property 4
+        // (1·15 < 2·18), so C→E is pruned from the data tree.
+        let t = builders::paper_example();
+        let ctx = Ctx::new(&t);
+        let mut walk = Walk::new(&t);
+        for &d in &ids(&t, &["A", "B", "C"]) {
+            emit(&ctx, &mut walk, d);
+        }
+        let e = t.find_by_label("E").unwrap();
+        assert!(!admissible(&ctx, &walk, e, PruneLevel::P124));
+        // Without Property 4 it is admissible (E has no unplaced sibling).
+        assert!(admissible(&ctx, &walk, e, PruneLevel::P12));
+    }
+
+    #[test]
+    fn sibling_rule_blocks_b_before_a() {
+        let t = builders::paper_example();
+        let ctx = Ctx::new(&t);
+        let walk = Walk::new(&t);
+        let b = t.find_by_label("B").unwrap();
+        let a = t.find_by_label("A").unwrap();
+        assert!(!admissible(&ctx, &walk, b, PruneLevel::P2));
+        assert!(admissible(&ctx, &walk, a, PruneLevel::P2));
+    }
+
+    #[test]
+    fn paper_example_final_data_tree_is_tiny() {
+        // §3.3 reports "only three paths remain in the final data tree".
+        // Our count is 4: the difference is the interaction of Properties 1
+        // and 4 — once all index nodes are on air we accept the unique
+        // Property-1 completion without re-checking Property 4 at the
+        // junction (re-checking would prune to 1 path here; the paper's
+        // figure lands in between). Our variant keeps strictly more paths,
+        // so it can never prune away the optimum; the retained set contains
+        // the true optimal broadcast 1 2 A B 3 E 4 C D.
+        let t = builders::paper_example();
+        assert_eq!(count_paths(&t, PruneLevel::P124), 4);
+        // And the unpruned space is 5!-ish large by comparison.
+        assert!(count_paths(&t, PruneLevel::P2) > 10);
+    }
+
+    #[test]
+    fn count_p2_matches_group_permutation_formula() {
+        // Full balanced m-ary, depth 3: (m²)! / (m!)^m paths under P2.
+        use bcast_types::Weight;
+        for m in 2..=3usize {
+            let n = m * m;
+            let weights: Vec<Weight> =
+                (0..n).map(|i| Weight::from((i * 13 % 97 + 1) as u32)).collect();
+            let t = builders::full_balanced(m, 3, &weights).unwrap();
+            let expected = {
+                let fact = |x: usize| -> u128 { (1..=x as u128).product() };
+                fact(n) / fact(m).pow(m as u32)
+            };
+            assert_eq!(count_paths(&t, PruneLevel::P2), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn pruning_levels_are_nested() {
+        let t = builders::paper_example();
+        let p2 = count_paths(&t, PruneLevel::P2);
+        let p12 = count_paths(&t, PruneLevel::P12);
+        let p124 = count_paths(&t, PruneLevel::P124);
+        assert!(p2 >= p12);
+        assert!(p12 >= p124);
+        assert!(p124 >= 1);
+    }
+
+    #[test]
+    fn optimal_matches_exhaustive_on_paper_example() {
+        let t = builders::paper_example();
+        let exact = topo_tree::solve_exhaustive(&t, 1);
+        let got = search_optimal(&t);
+        assert!((got.data_wait - exact.data_wait).abs() < 1e-9);
+        got.schedule.into_allocation(&t, 1).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn optimal_on_random_trees(n in 2usize..7, seed in 0u64..500) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 3,
+                weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            let exact = topo_tree::solve_exhaustive(&t, 1);
+            let got = search_optimal(&t);
+            prop_assert!(
+                (got.data_wait - exact.data_wait).abs() < 1e-9,
+                "n={n} seed={seed}: data-tree {} vs exhaustive {}",
+                got.data_wait, exact.data_wait
+            );
+            got.schedule.into_allocation(&t, 1).unwrap();
+        }
+
+        #[test]
+        fn canonical_broadcast_is_always_feasible(n in 1usize..12, seed in 0u64..300) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 4,
+                weights: FrequencyDist::Uniform { lo: 0.0, hi: 20.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            // Any permutation of data nodes yields a feasible broadcast.
+            let mut order: Vec<NodeId> = t.data_nodes().to_vec();
+            order.reverse();
+            let bc = broadcast_from_data_sequence(&t, &order);
+            Schedule::from_sequence(bc).into_allocation(&t, 1).unwrap();
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! §4.2: heuristics for large problem instances.
+//!
+//! The optimal searches are exponential (the problem is NP-hard via the
+//! Personnel Assignment Problem), so the paper gives two scalable
+//! heuristics:
+//!
+//! 1. **Index Tree Shrinking** ([`shrink`]) — reduce the tree (combining
+//!    all-data-children index nodes into weighted super-data-nodes, and/or
+//!    partitioning into subtrees), solve the reduced instance exactly, then
+//!    expand back;
+//! 2. **Index Tree Sorting** ([`sorting`]) — sort every node's children by
+//!    a weight/size density rule, emit the sorted preorder, and (for `k > 1`
+//!    channels) distribute it with the `1_To_k_BroadcastChannel` procedure
+//!    ([`one_to_k`]).
+
+pub mod one_to_k;
+pub mod shrink;
+pub mod sorting;

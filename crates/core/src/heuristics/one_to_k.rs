@@ -1,0 +1,218 @@
+//! The `1_To_k_BroadcastChannel` procedure (§4.2).
+//!
+//! Distributes a 1-channel broadcast (a sorted preorder sequence) over `k`
+//! channels: the sequence is bucketed into per-level lists (nodes of the
+//! same tree level, ascending sequence number); each level then fills one
+//! slot with up to `k` nodes, and nodes that do not fit are *merged* into
+//! the next level's list (by sequence number). The final list is dumped
+//! `k` per slot.
+//!
+//! Two repairs over the paper's pseudocode, documented in DESIGN.md:
+//!
+//! * the inner loop's `i ≤ NumOfChannels` bound would write channel `k+1`;
+//!   we fill exactly `k` channels per slot;
+//! * after a merge, a deferred node and its own child can meet in one list;
+//!   the paper's code would put them in the same slot (infeasible). We skip
+//!   any node whose parent is not yet in a strictly earlier slot — it
+//!   simply stays for the next slot, preserving the procedure's O(n)
+//!   spirit (each node is deferred at most `depth` times).
+
+use crate::schedule::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// Runs the procedure on `order` (a topological, preorder-style sequence of
+/// all tree nodes) producing a feasible k-channel schedule.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the tree's nodes or `k < 2`
+/// (`k = 1` is the identity — callers use the sequence directly).
+pub fn distribute(tree: &IndexTree, order: &[NodeId], k: usize) -> Schedule {
+    assert!(k >= 2, "k = 1 needs no distribution");
+    assert_eq!(order.len(), tree.len(), "order must cover all nodes");
+
+    // Per-level lists in sequence order. seq[n] = position in `order`.
+    let depth = tree.depth() as usize;
+    let mut seq = vec![u32::MAX; tree.len()];
+    for (i, &n) in order.iter().enumerate() {
+        assert_eq!(
+            seq[n.index()],
+            u32::MAX,
+            "order is not a permutation: node {n} appears twice"
+        );
+        seq[n.index()] = i as u32;
+    }
+    let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); depth + 1];
+    for &n in order {
+        lists[tree.level(n) as usize].push(n);
+    }
+    // `order` is a single traversal, so each level list is already in
+    // ascending sequence order.
+
+    let mut slot_of = vec![u32::MAX; tree.len()];
+    let mut schedule = Schedule::new();
+    let mut slot = 0u32;
+    let mut carry: Vec<NodeId> = Vec::new();
+
+    #[allow(clippy::needless_range_loop)] // `level` is also compared to `depth`
+    for level in 1..=depth {
+        // Merge the carry into this level's list by sequence number.
+        let list = merge_by_seq(std::mem::take(&mut lists[level]), std::mem::take(&mut carry), &seq);
+        let last_level = level == depth;
+        let mut pending = list;
+        loop {
+            let mut members: Vec<NodeId> = Vec::with_capacity(k);
+            let mut rest: Vec<NodeId> = Vec::with_capacity(pending.len());
+            for &n in &pending {
+                let parent_ok = tree
+                    .parent(n)
+                    .is_none_or(|p| slot_of[p.index()] != u32::MAX && slot_of[p.index()] < slot);
+                if members.len() < k && parent_ok {
+                    members.push(n);
+                } else {
+                    rest.push(n);
+                }
+            }
+            if members.is_empty() {
+                // Nothing placeable (empty level, or an inner level fully
+                // deferred); push the remainder onward without consuming a
+                // slot.
+                carry = rest;
+                break;
+            }
+            for &n in &members {
+                slot_of[n.index()] = slot;
+            }
+            schedule.push_slot(members);
+            slot += 1;
+            if last_level {
+                if rest.is_empty() {
+                    carry = rest;
+                    break;
+                }
+                pending = rest; // keep dumping
+            } else {
+                carry = rest; // one slot per inner level
+                break;
+            }
+        }
+    }
+    // A final trickle: nodes can survive past the last level when the last
+    // dump deferred children of just-placed parents.
+    let mut pending = carry;
+    while !pending.is_empty() {
+        let mut members: Vec<NodeId> = Vec::with_capacity(k);
+        let mut rest: Vec<NodeId> = Vec::with_capacity(pending.len());
+        for &n in &pending {
+            let parent_ok = tree
+                .parent(n)
+                .is_none_or(|p| slot_of[p.index()] != u32::MAX && slot_of[p.index()] < slot);
+            if members.len() < k && parent_ok {
+                members.push(n);
+            } else {
+                rest.push(n);
+            }
+        }
+        assert!(
+            !members.is_empty(),
+            "topological order guarantees progress"
+        );
+        for &n in &members {
+            slot_of[n.index()] = slot;
+        }
+        schedule.push_slot(members);
+        slot += 1;
+        pending = rest;
+    }
+    schedule
+}
+
+fn merge_by_seq(a: Vec<NodeId>, b: Vec<NodeId>, seq: &[u32]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if seq[a[i].index()] <= seq[b[j].index()] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::sorting::sorted_preorder;
+    use bcast_index_tree::builders;
+    use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_walkthrough_fig13_two_channels() {
+        // Sorted order 1 2 A B 3 E 4 C D with k = 2:
+        // slot1 {1}, slot2 {2,3}, slot3 {A,B} (E,4 deferred to level 4),
+        // slot4 {E,4}, slot5 {C,D}.
+        let t = builders::paper_example();
+        let order = sorted_preorder(&t);
+        let s = distribute(&t, &order, 2);
+        let as_labels: Vec<Vec<String>> = s
+            .slots()
+            .iter()
+            .map(|m| m.iter().map(|&n| t.label(n)).collect())
+            .collect();
+        assert_eq!(
+            as_labels,
+            vec![
+                vec!["1"],
+                vec!["2", "3"],
+                vec!["A", "B"],
+                vec!["E", "4"],
+                vec!["C", "D"],
+            ]
+        );
+        s.into_allocation(&t, 2).unwrap();
+    }
+
+    #[test]
+    fn three_channels_shorten_the_cycle() {
+        let t = builders::paper_example();
+        let order = sorted_preorder(&t);
+        let s2 = distribute(&t, &order, 2);
+        let s3 = distribute(&t, &order, 3);
+        assert!(s3.len() <= s2.len());
+        s3.into_allocation(&t, 3).unwrap();
+    }
+
+    #[test]
+    fn deferred_parent_never_shares_slot_with_child() {
+        // A chain stresses the merge repair: every index node's child
+        // follows immediately.
+        use bcast_types::Weight;
+        let w: Vec<Weight> = (1..=6u32).map(Weight::from).collect();
+        let t = builders::chain(&w).unwrap();
+        let order: Vec<NodeId> = t.preorder().to_vec();
+        let s = distribute(&t, &order, 3);
+        s.into_allocation(&t, 3).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn always_feasible(n in 1usize..40, k in 2usize..6, seed in 0u64..500) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 4,
+                weights: FrequencyDist::Uniform { lo: 0.0, hi: 30.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            let s = distribute(&t, &sorted_preorder(&t), k);
+            prop_assert_eq!(s.node_count(), t.len());
+            s.into_allocation(&t, k).unwrap();
+        }
+    }
+}

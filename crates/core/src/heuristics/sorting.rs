@@ -1,0 +1,164 @@
+//! Heuristic 2: Index Tree Sorting.
+//!
+//! "For each node in the index tree, we sort its children from left to
+//! right in descending order `>`", where for subtrees rooted at `A` and `B`
+//! (with `N_A`, `N_B` nodes and data-weight sums `W_A`, `W_B`):
+//!
+//! ```text
+//! A > B  ⇔  N_B · W_A ≥ N_A · W_B
+//! ```
+//!
+//! i.e. descending *weight density* `W/N` — the same exchange criterion as
+//! Lemma 6, applied to whole subtrees. The broadcast is then the preorder
+//! traversal of the sorted tree (for one channel) or its
+//! [`crate::heuristics::one_to_k`] distribution (for `k` channels).
+//! Sorting costs `O(N log m)` per the paper; the whole heuristic is
+//! near-linear and handles trees far beyond the exact searches.
+
+use crate::heuristics::one_to_k;
+use crate::schedule::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// The paper's subtree comparator: returns `true` when `a` should precede
+/// `b` (`a > b` in the paper's notation).
+pub fn precedes(tree: &IndexTree, a: NodeId, b: NodeId) -> bool {
+    let (na, wa) = (tree.subtree_size(a) as f64, tree.subtree_weight(a).get());
+    let (nb, wb) = (tree.subtree_size(b) as f64, tree.subtree_weight(b).get());
+    nb * wa >= na * wb
+}
+
+/// Preorder traversal of the tree with every node's children visited in
+/// sorted (descending-density) order. For a single channel, this sequence
+/// *is* the broadcast.
+pub fn sorted_preorder(tree: &IndexTree) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(tree.len());
+    let mut stack = vec![tree.root()];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        let mut children: Vec<NodeId> = tree.children(n).to_vec();
+        // Descending density; deterministic tie-break on id. Sorting by the
+        // scalar density is equivalent to the pairwise rule (both compare
+        // W·N' against W'·N) and gives a total order.
+        children.sort_by(|&a, &b| {
+            let da = tree.subtree_weight(a).get() * tree.subtree_size(b) as f64;
+            let db = tree.subtree_weight(b).get() * tree.subtree_size(a) as f64;
+            db.total_cmp(&da).then(a.cmp(&b))
+        });
+        for &c in children.iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// The full sorting heuristic: sorted preorder, distributed over `k`
+/// channels (`k = 1` returns the sequence itself; `k > 1` applies the
+/// `1_To_k_BroadcastChannel` procedure).
+///
+/// ```
+/// use bcast_core::heuristics::sorting;
+/// use bcast_index_tree::builders;
+///
+/// let tree = builders::paper_example();
+/// let schedule = sorting::sorting_schedule(&tree, 2);
+/// // Feasible for 2 channels, near the optimum of 264/70:
+/// schedule.into_allocation(&tree, 2).unwrap();
+/// assert!((schedule.average_data_wait(&tree) - 272.0 / 70.0).abs() < 1e-9);
+/// ```
+pub fn sorting_schedule(tree: &IndexTree, k: usize) -> Schedule {
+    assert!(k >= 1, "need at least one channel");
+    let order = sorted_preorder(tree);
+    if k == 1 {
+        Schedule::from_sequence(order)
+    } else {
+        one_to_k::distribute(tree, &order, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_tree;
+    use bcast_index_tree::builders;
+    use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig13_sorted_preorder() {
+        // The paper sorts Fig. 1(a) into the broadcast 1 2 A B 3 E 4 C D.
+        let t = builders::paper_example();
+        let labels: Vec<String> = sorted_preorder(&t)
+            .iter()
+            .map(|&n| t.label(n))
+            .collect();
+        assert_eq!(labels, vec!["1", "2", "A", "B", "3", "E", "4", "C", "D"]);
+    }
+
+    #[test]
+    fn fig13_comparator_pairs() {
+        // Paper: "we sort the pairs of the nodes 23, AB, 4E and CD".
+        let t = builders::paper_example();
+        let id = |l: &str| t.find_by_label(l).unwrap();
+        assert!(precedes(&t, id("2"), id("3"))); // 5·30 ≥ 3·40
+        assert!(precedes(&t, id("A"), id("B")));
+        assert!(precedes(&t, id("E"), id("4"))); // 3·18 ≥ 1·22
+        assert!(precedes(&t, id("C"), id("D")));
+    }
+
+    #[test]
+    fn one_channel_cost_close_to_optimal_on_paper_example() {
+        let t = builders::paper_example();
+        let s = sorting_schedule(&t, 1);
+        let exact = topo_tree::solve_exhaustive(&t, 1);
+        let wait = s.average_data_wait(&t);
+        assert!(wait >= exact.data_wait - 1e-12);
+        // On this small example the heuristic is within 10% of optimal.
+        assert!(wait <= exact.data_wait * 1.10, "wait {wait} vs {}", exact.data_wait);
+        s.into_allocation(&t, 1).unwrap();
+    }
+
+    #[test]
+    fn two_channel_schedule_matches_fig2b_shape() {
+        let t = builders::paper_example();
+        let s = sorting_schedule(&t, 2);
+        // 1 | 2 3 | A B | E 4 | C D per the procedure walk-through.
+        assert_eq!(s.len(), 5);
+        assert!((s.average_data_wait(&t) - 272.0 / 70.0).abs() < 1e-12);
+        s.into_allocation(&t, 2).unwrap();
+    }
+
+    #[test]
+    fn scales_to_large_trees() {
+        let cfg = RandomTreeConfig {
+            data_nodes: 20_000,
+            max_fanout: 6,
+            weights: FrequencyDist::Zipf { theta: 0.9, scale: 1000.0 },
+        };
+        let t = random_tree(&cfg, 7);
+        let s = sorting_schedule(&t, 4);
+        assert_eq!(s.node_count(), t.len());
+        s.into_allocation(&t, 4).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn always_feasible_and_never_beats_optimal(
+            n in 2usize..7,
+            k in 1usize..4,
+            seed in 0u64..500,
+        ) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: 3,
+                weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            let s = sorting_schedule(&t, k);
+            s.into_allocation(&t, k).unwrap();
+            let exact = topo_tree::solve_exhaustive(&t, k);
+            prop_assert!(s.average_data_wait(&t) >= exact.data_wait - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Index-root replication — the paper's §5 second future-work item,
+//! implemented as an analysis extension.
+//!
+//! "The access of broadcast data has to be initiated from the bucket
+//! containing the root of an index tree. To reduce the initial time after
+//! tuning to the broadcast channel, index nodes should be properly
+//! replicated." This module replicates the *root* bucket `r` times per
+//! cycle on channel `C1` — the (1, m)-indexing idea of \[IVB94a\] — and
+//! computes the exact expected access time of the resulting cycle:
+//!
+//! * the **probe wait** shrinks (the next root copy is at most `~L/r`
+//!   slots away instead of the next cycle start),
+//! * the **data wait** grows (every extra root copy pushes later slots
+//!   out by one, and a target already passed costs a full cycle).
+//!
+//! [`sweep`] traces the resulting U-shaped trade-off curve and
+//! [`optimal_replication`] picks its minimum, reproducing the classic
+//! result that a moderate replication factor beats both extremes.
+
+use crate::schedule::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// Exact expectations for one replication factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationAnalysis {
+    /// Root transmissions per cycle (`1` = the paper's baseline layout).
+    pub replicas: u32,
+    /// Cycle length after inserting the extra root copies, in slots.
+    pub cycle_len: usize,
+    /// Expected slots from tune-in to reading a root copy.
+    pub expected_probe_wait: f64,
+    /// Expected slots from the root copy to the target data bucket
+    /// (weighted by access frequency; includes full-cycle penalties for
+    /// targets already passed).
+    pub expected_data_wait: f64,
+    /// `expected_probe_wait + expected_data_wait`.
+    pub expected_access_time: f64,
+}
+
+/// Analyzes root replication factor `replicas` applied to a base
+/// 1..k-channel `schedule` of `tree`.
+///
+/// The `replicas - 1` extra root copies are spread evenly through the
+/// cycle on channel `C1`; slot positions of all original buckets shift
+/// accordingly. Expectations are exact (computed per tune-in segment), not
+/// simulated.
+///
+/// # Panics
+/// Panics if `replicas == 0` or the schedule's first slot does not hold
+/// the tree root.
+pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> ReplicationAnalysis {
+    assert!(replicas >= 1, "need at least the original root");
+    assert!(
+        schedule
+            .slots()
+            .first()
+            .is_some_and(|s| s.contains(&tree.root())),
+        "schedule must start with the index root"
+    );
+    let base_len = schedule.len();
+    let extra = (replicas - 1) as usize;
+    let new_len = base_len + extra;
+
+    // Positions (1-based slots) of root copies in the stretched cycle:
+    // the original root at slot 1 plus `extra` copies evenly spaced.
+    // Original slot i (1-based) maps to i + (number of copies inserted
+    // before it).
+    let mut copy_positions: Vec<usize> = vec![1];
+    // Insert copy j (1-based among extras) after original slot
+    // floor(j * base_len / replicas).
+    let mut inserted_before = vec![0usize; base_len + 2];
+    {
+        let mut cuts: Vec<usize> = (1..=extra)
+            .map(|j| (j * base_len) / replicas as usize)
+            .collect();
+        cuts.sort_unstable();
+        // inserted_before[i] = how many extra copies sit before original
+        // slot i.
+        let mut count = 0usize;
+        let mut ci = 0usize;
+        for (i, slot) in inserted_before.iter_mut().enumerate().take(base_len + 1).skip(1) {
+            while ci < cuts.len() && cuts[ci] < i {
+                count += 1;
+                ci += 1;
+            }
+            *slot = count;
+        }
+        for (j, &cut) in cuts.iter().enumerate() {
+            // The copy lands right after original slot `cut`; `j` earlier
+            // copies already shifted the grid, and the copy itself takes
+            // the next position.
+            copy_positions.push(cut + j + 1);
+        }
+    }
+    copy_positions.sort_unstable();
+    copy_positions.dedup();
+    let r = copy_positions.len();
+
+    // New position of every data node.
+    let mut pos_of: Vec<usize> = Vec::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for (i0, members) in schedule.slots().iter().enumerate() {
+        let orig = i0 + 1;
+        let new_pos = orig + inserted_before[orig];
+        for &n in members {
+            if tree.is_data(n) {
+                nodes.push(n);
+                pos_of.push(new_pos);
+            }
+        }
+    }
+
+    // Tune-in segments: slots whose *next* root copy is copy_positions[j].
+    // Segment j covers (prev_copy, copy_j] cyclically; expected in-segment
+    // probe = mean over those offsets.
+    let total_w = tree.total_weight().get();
+    let mut probe_acc = 0.0;
+    let mut wait_acc = 0.0;
+    for j in 0..r {
+        let p = copy_positions[j];
+        let prev = copy_positions[(j + r - 1) % r];
+        // Segment length: cyclic distance from prev (exclusive) to p
+        // (inclusive).
+        let seg = if p > prev { p - prev } else { p + new_len - prev };
+        // A client tuning in at distance d before p (d = 1..=seg, reading
+        // the bucket at p - d + ... ) reads the root copy after exactly d
+        // slots... averaging d over 1..=seg:
+        let avg_probe = (seg as f64 + 1.0) / 2.0;
+        let frac = seg as f64 / new_len as f64;
+        probe_acc += frac * avg_probe;
+        // Data wait from copy at p: next occurrence of the target.
+        if total_w > 0.0 {
+            let mut dw = 0.0;
+            for (idx, &n) in nodes.iter().enumerate() {
+                let dpos = pos_of[idx];
+                let dist = if dpos > p {
+                    dpos - p
+                } else {
+                    dpos + new_len - p
+                };
+                dw += tree.weight(n).get() * dist as f64;
+            }
+            wait_acc += frac * (dw / total_w);
+        }
+    }
+    ReplicationAnalysis {
+        replicas: r as u32,
+        cycle_len: new_len,
+        expected_probe_wait: probe_acc,
+        expected_data_wait: wait_acc,
+        expected_access_time: probe_acc + wait_acc,
+    }
+}
+
+/// Analyzes every replication factor `1..=max_replicas`.
+pub fn sweep(
+    schedule: &Schedule,
+    tree: &IndexTree,
+    max_replicas: u32,
+) -> Vec<ReplicationAnalysis> {
+    (1..=max_replicas)
+        .map(|r| analyze(schedule, tree, r))
+        .collect()
+}
+
+/// The replication factor minimizing expected access time over
+/// `1..=max_replicas`.
+pub fn optimal_replication(
+    schedule: &Schedule,
+    tree: &IndexTree,
+    max_replicas: u32,
+) -> ReplicationAnalysis {
+    sweep(schedule, tree, max_replicas)
+        .into_iter()
+        .min_by(|a, b| a.expected_access_time.total_cmp(&b.expected_access_time))
+        .expect("max_replicas >= 1 yields at least one analysis")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::sorting;
+    use crate::{find_optimal, OptimalOptions};
+    use bcast_index_tree::builders;
+    use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+
+    fn base(tree: &IndexTree) -> Schedule {
+        find_optimal(tree, 1, &OptimalOptions::default())
+            .unwrap()
+            .schedule
+    }
+
+    #[test]
+    fn r1_matches_the_unreplicated_model() {
+        let t = builders::paper_example();
+        let s = base(&t);
+        let a = analyze(&s, &t, 1);
+        assert_eq!(a.cycle_len, s.len());
+        // Probe: (L + 1)/2; data wait: average position of data = the
+        // formula-1 value measured from the root copy at slot 1, i.e.
+        // T(d) - 1.
+        assert!((a.expected_probe_wait - (s.len() as f64 + 1.0) / 2.0).abs() < 1e-9);
+        assert!(
+            (a.expected_data_wait - (s.average_data_wait(&t) - 1.0)).abs() < 1e-9,
+            "got {}",
+            a.expected_data_wait
+        );
+    }
+
+    #[test]
+    fn r2_copy_position_is_exact() {
+        // Base cycle of 9 slots, one extra copy after original slot 4:
+        // new grid 1..4, [copy at 5], old-5 at 6, ... cycle 10. Copies at
+        // positions 1 and 5 give segments of length 6 (6..10 wrapping to 1)
+        // and 4 (2..5): expected probe = (6/10)*3.5 + (4/10)*2.5 = 3.1.
+        let t = builders::paper_example();
+        let s = base(&t); // 9-slot optimal cycle
+        let a = analyze(&s, &t, 2);
+        assert_eq!(a.cycle_len, 10);
+        assert!((a.expected_probe_wait - 3.1).abs() < 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn probe_wait_shrinks_with_replicas() {
+        let t = builders::paper_example();
+        let s = base(&t);
+        let sweep = sweep(&s, &t, 5);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].expected_probe_wait <= pair[0].expected_probe_wait + 1e-9,
+                "probe must not grow: {pair:?}"
+            );
+        }
+        // And the cycle stretches by one slot per extra copy.
+        assert_eq!(sweep[4].cycle_len, s.len() + 4);
+    }
+
+    #[test]
+    fn moderate_replication_beats_extremes_on_long_cycles() {
+        // With a long cycle the probe term dominates at r = 1; a handful of
+        // copies must lower the total expected access time.
+        let cfg = RandomTreeConfig {
+            data_nodes: 120,
+            max_fanout: 4,
+            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+        };
+        let t = random_tree(&cfg, 21);
+        let s = sorting::sorting_schedule(&t, 1);
+        let best = optimal_replication(&s, &t, 16);
+        let baseline = analyze(&s, &t, 1);
+        assert!(
+            best.expected_access_time < baseline.expected_access_time,
+            "replication should pay off: best {best:?} vs baseline {baseline:?}"
+        );
+        assert!(best.replicas > 1);
+    }
+
+    #[test]
+    fn weighted_zero_tree_is_fine() {
+        use bcast_index_tree::TreeBuilder;
+        use bcast_types::Weight;
+        let mut b = TreeBuilder::new();
+        let root = b.root("r");
+        b.add_data(root, Weight::ZERO, "d").unwrap();
+        let t = b.build().unwrap();
+        let s = base(&t);
+        let a = analyze(&s, &t, 2);
+        assert_eq!(a.expected_data_wait, 0.0);
+        assert!(a.expected_probe_wait > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the original root")]
+    fn zero_replicas_rejected() {
+        let t = builders::paper_example();
+        let s = base(&t);
+        let _ = analyze(&s, &t, 0);
+    }
+}

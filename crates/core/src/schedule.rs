@@ -1,0 +1,257 @@
+//! Slot schedules — the search algorithms' native output.
+//!
+//! The topological-tree search produces a *path of compound nodes*: for each
+//! slot, the set of tree nodes transmitted in that slot (across channels).
+//! [`Schedule`] is that path. Channel assignment within a slot does not
+//! affect the data wait (formula 1 only reads slots), so the search works on
+//! schedules and the §3.1 channel rules are applied once at the end via
+//! [`Schedule::into_allocation`].
+
+use bcast_channel::{Allocation, FeasibilityError};
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// A sequence of slots, each holding the nodes transmitted at that slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    slots: Vec<Vec<NodeId>>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Wraps explicit slot sets.
+    pub fn from_slots(slots: Vec<Vec<NodeId>>) -> Self {
+        Schedule { slots }
+    }
+
+    /// Builds a 1-channel schedule from a node sequence.
+    pub fn from_sequence(sequence: impl IntoIterator<Item = NodeId>) -> Self {
+        Schedule {
+            slots: sequence.into_iter().map(|n| vec![n]).collect(),
+        }
+    }
+
+    /// Appends a slot.
+    pub fn push_slot(&mut self, members: Vec<NodeId>) {
+        self.slots.push(members);
+    }
+
+    /// The slot sets.
+    pub fn slots(&self) -> &[Vec<NodeId>] {
+        &self.slots
+    }
+
+    /// Cycle length in slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total nodes scheduled.
+    pub fn node_count(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Average data wait (formula 1) of this schedule against `tree`.
+    ///
+    /// Works directly on slots, without materializing channels; the result
+    /// is identical to [`bcast_channel::cost::average_data_wait`] on the
+    /// corresponding allocation (asserted by tests).
+    pub fn average_data_wait(&self, tree: &IndexTree) -> f64 {
+        let total = tree.total_weight();
+        if total.is_zero() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (offset, members) in self.slots.iter().enumerate() {
+            for &n in members {
+                if tree.is_data(n) {
+                    sum += tree.weight(n) * (offset as u64 + 1);
+                }
+            }
+        }
+        sum / total.get()
+    }
+
+    /// Applies the §3.1 channel-assignment rules, producing a validated
+    /// [`Allocation`] over `num_channels` channels.
+    pub fn into_allocation(
+        &self,
+        tree: &IndexTree,
+        num_channels: usize,
+    ) -> Result<Allocation, FeasibilityError> {
+        Allocation::from_slot_schedule(&self.slots, tree, num_channels)
+    }
+
+    /// Widest slot (minimum channel count needed to realize the schedule).
+    pub fn max_width(&self) -> usize {
+        self.slots.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Greedily packs a feasible *linear order* of all tree nodes into a
+/// k-channel schedule: slots are filled left to right, each slot taking up
+/// to `k` still-unplaced nodes — earliest in `order` first — whose parents
+/// sit in strictly earlier slots.
+///
+/// Used by the heuristics to turn 1-channel orders (sorted preorder,
+/// expanded shrunken paths) into multi-channel schedules while guaranteeing
+/// feasibility. A node appearing before its parent in `order` is simply
+/// deferred until the parent has aired, so any permutation of the tree's
+/// nodes yields a feasible schedule.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the tree's nodes — wrong
+/// length or any duplicate (a programming error in the caller).
+pub fn greedy_schedule_from_order(order: &[NodeId], tree: &IndexTree, k: usize) -> Schedule {
+    assert!(k >= 1, "need at least one channel");
+    assert_eq!(order.len(), tree.len(), "order must cover all nodes");
+    // Enforce the permutation contract up front: silent duplicates would
+    // otherwise yield a schedule that never airs some node while reporting
+    // a full node_count.
+    {
+        let mut seen = vec![false; tree.len()];
+        for &n in order {
+            assert!(
+                !seen[n.index()],
+                "order is not a permutation of the tree: node {n} appears twice"
+            );
+            seen[n.index()] = true;
+        }
+    }
+    let mut slot_of = vec![u32::MAX; tree.len()];
+    let mut placed = vec![false; tree.len()];
+    let mut remaining = order.to_vec();
+    let mut schedule = Schedule::new();
+    let mut slot = 0u32;
+    while !remaining.is_empty() {
+        let mut members = Vec::with_capacity(k);
+        remaining.retain(|&n| {
+            if members.len() == k {
+                return true;
+            }
+            let parent_ok = match tree.parent(n) {
+                None => true,
+                Some(p) => placed[p.index()] && slot_of[p.index()] < slot,
+            };
+            if parent_ok {
+                members.push(n);
+                false
+            } else {
+                true
+            }
+        });
+        assert!(
+            !members.is_empty(),
+            "order is not a permutation of the tree: nothing placeable at slot {slot}"
+        );
+        for &n in &members {
+            placed[n.index()] = true;
+            slot_of[n.index()] = slot;
+        }
+        schedule.push_slot(members);
+        slot += 1;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_channel::cost;
+    use bcast_index_tree::builders;
+
+    fn ids(tree: &IndexTree, labels: &[&str]) -> Vec<NodeId> {
+        labels
+            .iter()
+            .map(|l| tree.find_by_label(l).expect("label exists"))
+            .collect()
+    }
+
+    #[test]
+    fn schedule_cost_matches_allocation_cost() {
+        let t = builders::paper_example();
+        let s = Schedule::from_slots(vec![
+            ids(&t, &["1"]),
+            ids(&t, &["2", "3"]),
+            ids(&t, &["A", "B"]),
+            ids(&t, &["4", "E"]),
+            ids(&t, &["C", "D"]),
+        ]);
+        let alloc = s.into_allocation(&t, 2).unwrap();
+        assert!(
+            (s.average_data_wait(&t) - cost::average_data_wait(&alloc, &t)).abs() < 1e-12
+        );
+        assert!((s.average_data_wait(&t) - 272.0 / 70.0).abs() < 1e-12);
+        assert_eq!(s.max_width(), 2);
+        assert_eq!(s.node_count(), 9);
+    }
+
+    #[test]
+    fn one_channel_sequence() {
+        let t = builders::paper_example();
+        let s = Schedule::from_sequence(ids(&t, &["1", "3", "E", "4", "C", "D", "2", "A", "B"]));
+        assert!((s.average_data_wait(&t) - 421.0 / 70.0).abs() < 1e-12);
+        s.into_allocation(&t, 1).unwrap();
+    }
+
+    #[test]
+    fn greedy_packing_respects_parents() {
+        let t = builders::paper_example();
+        // Preorder: 1 2 A B 3 E 4 C D, packed into 2 channels.
+        let order = ids(&t, &["1", "2", "A", "B", "3", "E", "4", "C", "D"]);
+        let s = greedy_schedule_from_order(&order, &t, 2);
+        // Slot 1: {1} (2 is a child of 1, must wait). Slot 2: {2, 3}.
+        assert_eq!(s.slots()[0], ids(&t, &["1"]));
+        assert_eq!(s.slots()[1], ids(&t, &["2", "3"]));
+        // Everything feasible as an allocation.
+        s.into_allocation(&t, 2).unwrap();
+        assert_eq!(s.node_count(), 9);
+    }
+
+    #[test]
+    fn greedy_packing_one_channel_is_the_order() {
+        let t = builders::paper_example();
+        let order = ids(&t, &["1", "2", "A", "B", "3", "E", "4", "C", "D"]);
+        let s = greedy_schedule_from_order(&order, &t, 1);
+        let flat: Vec<NodeId> = s.slots().iter().map(|m| m[0]).collect();
+        assert_eq!(flat, order);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn greedy_packing_rejects_duplicates() {
+        let t = builders::paper_example();
+        let mut order = ids(&t, &["1", "2", "A", "B", "3", "E", "4", "C", "D"]);
+        order[8] = order[2]; // A twice, D missing — right length, not a permutation
+        let _ = greedy_schedule_from_order(&order, &t, 2);
+    }
+
+    #[test]
+    fn greedy_packing_repairs_non_topological_order() {
+        // A precedes its parent 2 in the order; the packer simply defers it
+        // until the parent has aired, producing a feasible schedule.
+        let t = builders::paper_example();
+        let order = ids(&t, &["A", "1", "2", "B", "3", "E", "4", "C", "D"]);
+        let s = greedy_schedule_from_order(&order, &t, 1);
+        s.into_allocation(&t, 1).unwrap();
+        assert_eq!(s.node_count(), 9);
+    }
+
+    #[test]
+    fn wide_channels_compress_cycle() {
+        let t = builders::paper_example();
+        let order = ids(&t, &["1", "2", "3", "A", "B", "E", "4", "C", "D"]);
+        let s = greedy_schedule_from_order(&order, &t, 4);
+        // 1 | 2 3 | A B E 4 | C D → 4 slots.
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Exact DAG allocation.
+//!
+//! * One channel: the §2.2 reduction verbatim — jobs = objects, persons =
+//!   positions, `C(v, p) = w(v)·(p + 1)`, precedence = the DAG — solved by
+//!   the workspace's branch-and-bound PAP solver.
+//! * `k` channels: direct depth-first enumeration of maximal slot
+//!   schedules (the Algorithm-1 idea on DAG frontiers) with an admissible
+//!   packed bound. Exponential; for ground truth on small instances.
+
+use crate::graph::{DagError, DagSchedule, DependencyDag};
+use bcast_assignment::{solve_branch_and_bound, PapInstance};
+use bcast_types::Weight;
+
+/// An exact result.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// An optimal schedule.
+    pub schedule: DagSchedule,
+    /// Its average weighted wait.
+    pub average_wait: f64,
+}
+
+/// Optimal 1-channel allocation via the PAP reduction.
+pub fn exact_one_channel(dag: &DependencyDag) -> Result<ExactResult, DagError> {
+    dag.validate()?;
+    let n = dag.len();
+    let mut pap = PapInstance::new(n);
+    for v in 0..n {
+        for p in 0..n {
+            pap.set_cost(v, p, dag.weight(v).get() * (p + 1) as f64);
+        }
+        for &s in dag.successors(v) {
+            pap.add_precedence(v, s).expect("ids in range");
+        }
+    }
+    let sol = solve_branch_and_bound(&pap).expect("validated instance");
+    let mut seq = vec![0usize; n];
+    for (job, &person) in sol.person_of.iter().enumerate() {
+        seq[person] = job;
+    }
+    let schedule = DagSchedule::from_sequence(seq);
+    let total = dag.total_weight().get();
+    Ok(ExactResult {
+        schedule,
+        average_wait: if total == 0.0 { 0.0 } else { sol.cost / total },
+    })
+}
+
+/// Optimal k-channel allocation by exhaustive frontier enumeration with
+/// branch-and-bound. Small instances only (ground truth for the
+/// heuristics' tests).
+pub fn exact_multi_channel(dag: &DependencyDag, k: usize) -> Result<ExactResult, DagError> {
+    assert!(k >= 1, "need at least one channel");
+    dag.validate()?;
+    let n = dag.len();
+    // Nodes sorted heaviest-first for the packed bound.
+    let mut sorted: Vec<(Weight, usize)> = (0..n).map(|v| (dag.weight(v), v)).collect();
+    sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    struct Search<'a> {
+        dag: &'a DependencyDag,
+        k: usize,
+        indeg: Vec<usize>,
+        placed: Vec<bool>,
+        slots: Vec<Vec<usize>>,
+        acc: f64,
+        best: f64,
+        best_slots: Vec<Vec<usize>>,
+        sorted: Vec<(Weight, usize)>,
+        remaining: usize,
+    }
+
+    impl Search<'_> {
+        fn bound(&self) -> f64 {
+            // The actual unplaced objects packed heaviest-first, k per
+            // slot, starting at the next slot — admissible because no
+            // feasible completion can place any of them earlier.
+            let next = self.slots.len() as u64 + 1;
+            let mut i = 0u64;
+            let mut acc = self.acc;
+            for &(w, v) in &self.sorted {
+                if self.placed[v] {
+                    continue;
+                }
+                acc += w * (next + i / self.k as u64);
+                i += 1;
+            }
+            acc
+        }
+
+        fn dfs(&mut self) {
+            if self.remaining == 0 {
+                if self.acc < self.best {
+                    self.best = self.acc;
+                    self.best_slots.clone_from(&self.slots);
+                }
+                return;
+            }
+            if self.bound() >= self.best {
+                return;
+            }
+            let avail: Vec<usize> = (0..self.dag.len())
+                .filter(|&v| !self.placed[v] && self.indeg[v] == 0)
+                .collect();
+            let take = self.k.min(avail.len());
+            // Enumerate all `take`-subsets of the frontier.
+            let mut pick = Vec::with_capacity(take);
+            self.subsets(&avail, take, 0, &mut pick);
+        }
+
+        fn subsets(&mut self, avail: &[usize], take: usize, from: usize, pick: &mut Vec<usize>) {
+            if pick.len() == take {
+                let slot = self.slots.len() as u64 + 1;
+                let mut delta = 0.0;
+                for &v in pick.iter() {
+                    self.placed[v] = true;
+                    delta += self.dag.weight(v) * slot;
+                    for si in 0..self.dag.successors(v).len() {
+                        let s = self.dag.successors(v)[si];
+                        self.indeg[s] -= 1;
+                    }
+                }
+                self.remaining -= take;
+                self.acc += delta;
+                self.slots.push(pick.clone());
+                self.dfs();
+                self.slots.pop();
+                self.acc -= delta;
+                self.remaining += take;
+                for &v in pick.iter() {
+                    self.placed[v] = false;
+                    for si in 0..self.dag.successors(v).len() {
+                        let s = self.dag.successors(v)[si];
+                        self.indeg[s] += 1;
+                    }
+                }
+                return;
+            }
+            let need = take - pick.len();
+            if avail.len() - from < need {
+                return;
+            }
+            for i in from..=avail.len() - need {
+                pick.push(avail[i]);
+                self.subsets(avail, take, i + 1, pick);
+                pick.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        dag,
+        k,
+        indeg: (0..n).map(|v| dag.predecessors(v).len()).collect(),
+        placed: vec![false; n],
+        slots: Vec::new(),
+        acc: 0.0,
+        best: f64::INFINITY,
+        best_slots: Vec::new(),
+        sorted,
+        remaining: n,
+    };
+    search.dfs();
+    let schedule = DagSchedule::from_slots(search.best_slots);
+    let total = dag.total_weight().get();
+    Ok(ExactResult {
+        average_wait: if total == 0.0 { 0.0 } else { search.best / total },
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: &[u32]) -> Vec<Weight> {
+        v.iter().map(|&x| Weight::from(x)).collect()
+    }
+
+    #[test]
+    fn chain_is_forced() {
+        let mut d = DependencyDag::new(w(&[1, 9, 5]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(1, 2).unwrap();
+        let r = exact_one_channel(&d).unwrap();
+        r.schedule.validate(&d, 1).unwrap();
+        assert!((r.average_wait - (1.0 + 18.0 + 15.0) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antichain_sorts_by_weight() {
+        let d = DependencyDag::new(w(&[3, 9, 1]));
+        let r = exact_one_channel(&d).unwrap();
+        // Optimal order: 9, 3, 1 → (9·1 + 3·2 + 1·3)/13.
+        assert!((r.average_wait - 18.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_channel_matches_one_channel_at_k1() {
+        let mut d = DependencyDag::new(w(&[4, 7, 2, 9]));
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 2).unwrap();
+        let a = exact_one_channel(&d).unwrap();
+        let b = exact_multi_channel(&d, 1).unwrap();
+        assert!((a.average_wait - b.average_wait).abs() < 1e-9);
+        b.schedule.validate(&d, 1).unwrap();
+    }
+
+    #[test]
+    fn diamond_two_channels() {
+        // 0 → {1,2} → 3, weights 0,6,4,10.
+        let mut d = DependencyDag::new(w(&[0, 6, 4, 10]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        let r = exact_multi_channel(&d, 2).unwrap();
+        r.schedule.validate(&d, 2).unwrap();
+        // Best: slot1 {0}, slot2 {1,2}, slot3 {3} → (6+4)·2 + 10·3 = 50.
+        assert!((r.average_wait - 50.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_cyclic_input() {
+        let mut d = DependencyDag::new(w(&[1, 1]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(1, 0).unwrap();
+        assert!(exact_one_channel(&d).is_err());
+        assert!(exact_multi_channel(&d, 2).is_err());
+    }
+}

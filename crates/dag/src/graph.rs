@@ -1,0 +1,398 @@
+//! Weighted dependency DAGs and their schedules.
+
+use bcast_types::Weight;
+use std::fmt;
+
+/// A directed acyclic dependency graph over broadcast objects.
+///
+/// Every object carries an access weight; edge `a → b` forces `a` into a
+/// strictly earlier slot than `b`. Unlike the index-tree model there is no
+/// index/data distinction: every object is requestable (\[CHK99\]'s object
+/// model). The index-tree problem embeds as the special case where edges
+/// form a tree and index nodes have zero weight.
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    weights: Vec<Weight>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+/// Errors for DAG construction, validation and schedule checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Node id out of range.
+    NodeOutOfRange(usize),
+    /// The edges contain a cycle.
+    Cyclic,
+    /// A self-loop was added.
+    SelfLoop(usize),
+    /// A schedule slot carries more objects than there are channels.
+    SlotTooWide {
+        /// Offending 0-based slot.
+        slot: usize,
+        /// Objects in it.
+        members: usize,
+        /// Channel budget.
+        channels: usize,
+    },
+    /// A schedule mentions an object twice (or not at all).
+    NotAPermutation(usize),
+    /// A schedule places an object no later than one of its predecessors.
+    PredecessorNotEarlier {
+        /// The predecessor.
+        before: usize,
+        /// The dependent object.
+        after: usize,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange(n) => write!(f, "node {n} out of range"),
+            DagError::Cyclic => write!(f, "dependency graph has a cycle"),
+            DagError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            DagError::SlotTooWide { slot, members, channels } => write!(
+                f,
+                "slot {slot} holds {members} objects but only {channels} channels exist"
+            ),
+            DagError::NotAPermutation(n) => {
+                write!(f, "schedule is not a permutation of the objects (node {n})")
+            }
+            DagError::PredecessorNotEarlier { before, after } => {
+                write!(f, "object {after} not strictly after its predecessor {before}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl DependencyDag {
+    /// Creates a DAG over the given object weights, with no edges yet.
+    pub fn new(weights: Vec<Weight>) -> Self {
+        let n = weights.len();
+        DependencyDag {
+            weights,
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if the graph has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Adds the precedence edge `before → after`.
+    pub fn add_edge(&mut self, before: usize, after: usize) -> Result<(), DagError> {
+        let n = self.len();
+        if before >= n {
+            return Err(DagError::NodeOutOfRange(before));
+        }
+        if after >= n {
+            return Err(DagError::NodeOutOfRange(after));
+        }
+        if before == after {
+            return Err(DagError::SelfLoop(before));
+        }
+        self.succ[before].push(after);
+        self.pred[after].push(before);
+        Ok(())
+    }
+
+    /// Object weight.
+    pub fn weight(&self, node: usize) -> Weight {
+        self.weights[node]
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> Weight {
+        self.weights.iter().copied().sum()
+    }
+
+    /// Immediate successors.
+    pub fn successors(&self, node: usize) -> &[usize] {
+        &self.succ[node]
+    }
+
+    /// Immediate predecessors.
+    pub fn predecessors(&self, node: usize) -> &[usize] {
+        &self.pred[node]
+    }
+
+    /// Verifies acyclicity (Kahn's algorithm).
+    pub fn validate(&self) -> Result<(), DagError> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &s in &self.succ[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            Err(DagError::Cyclic)
+        }
+    }
+
+    /// For each node, the total weight and count of its reachable set
+    /// (itself included) — the DAG generalization of the index tree's
+    /// subtree aggregates, used by the density heuristic.
+    ///
+    /// O(n²/64 + E·n/64) via bitset reachability; fine for the instance
+    /// sizes the heuristics target (≤ ~10⁴).
+    pub fn reachable_aggregates(&self) -> Vec<(Weight, u32)> {
+        let n = self.len();
+        let words = n.div_ceil(64);
+        let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        for (v, r) in reach.iter_mut().enumerate() {
+            r[v / 64] |= 1 << (v % 64);
+        }
+        // Reverse topological order: fold successors into predecessors.
+        let order = self.topological_order().expect("validated DAG");
+        for &v in order.iter().rev() {
+            // Split borrows: collect successor ids first.
+            for si in 0..self.succ[v].len() {
+                let s = self.succ[v][si];
+                let (a, b) = if v < s {
+                    let (lo, hi) = reach.split_at_mut(s);
+                    (&mut lo[v], &hi[0])
+                } else {
+                    let (lo, hi) = reach.split_at_mut(v);
+                    (&mut hi[0], &lo[s])
+                };
+                for (aw, bw) in a.iter_mut().zip(b.iter()) {
+                    *aw |= bw;
+                }
+            }
+        }
+        reach
+            .into_iter()
+            .map(|r| {
+                let mut w = Weight::ZERO;
+                let mut c = 0u32;
+                for (wi, word) in r.into_iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        w += self.weights[wi * 64 + b];
+                        c += 1;
+                    }
+                }
+                (w, c)
+            })
+            .collect()
+    }
+
+    /// One topological order (Kahn, smallest id first for determinism), or
+    /// an error if cyclic.
+    pub fn topological_order(&self) -> Result<Vec<usize>, DagError> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&v| indeg[v] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(v)) = heap.pop() {
+            out.push(v);
+            for &s in &self.succ[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        if out.len() == n {
+            Ok(out)
+        } else {
+            Err(DagError::Cyclic)
+        }
+    }
+}
+
+/// A slot schedule over a DAG (the analogue of
+/// `bcast_core::Schedule`, kept separate because nodes here are plain
+/// `usize` object ids).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DagSchedule {
+    slots: Vec<Vec<usize>>,
+}
+
+impl DagSchedule {
+    /// Wraps explicit slot sets.
+    pub fn from_slots(slots: Vec<Vec<usize>>) -> Self {
+        DagSchedule { slots }
+    }
+
+    /// One object per slot.
+    pub fn from_sequence(seq: impl IntoIterator<Item = usize>) -> Self {
+        DagSchedule {
+            slots: seq.into_iter().map(|v| vec![v]).collect(),
+        }
+    }
+
+    /// The slot sets.
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.slots
+    }
+
+    /// Cycle length in slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for the empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Average weighted wait `Σ w(v)·T(v) / Σ w(v)` (formula 1 on DAGs).
+    pub fn average_wait(&self, dag: &DependencyDag) -> f64 {
+        let total = dag.total_weight().get();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (offset, members) in self.slots.iter().enumerate() {
+            for &v in members {
+                acc += dag.weight(v) * (offset as u64 + 1);
+            }
+        }
+        acc / total
+    }
+
+    /// Validates: every object exactly once, at most `k` per slot, all
+    /// predecessors in strictly earlier slots.
+    pub fn validate(&self, dag: &DependencyDag, k: usize) -> Result<(), DagError> {
+        let n = dag.len();
+        let mut slot_of = vec![usize::MAX; n];
+        for (offset, members) in self.slots.iter().enumerate() {
+            if members.len() > k {
+                return Err(DagError::SlotTooWide {
+                    slot: offset,
+                    members: members.len(),
+                    channels: k,
+                });
+            }
+            for &v in members {
+                if v >= n {
+                    return Err(DagError::NodeOutOfRange(v));
+                }
+                if slot_of[v] != usize::MAX {
+                    return Err(DagError::NotAPermutation(v));
+                }
+                slot_of[v] = offset;
+            }
+        }
+        if let Some(missing) = slot_of.iter().position(|&s| s == usize::MAX) {
+            return Err(DagError::NotAPermutation(missing));
+        }
+        for v in 0..n {
+            for &p in dag.predecessors(v) {
+                if slot_of[p] >= slot_of[v] {
+                    return Err(DagError::PredecessorNotEarlier { before: p, after: v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: &[u32]) -> Vec<Weight> {
+        v.iter().map(|&x| Weight::from(x)).collect()
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut d = DependencyDag::new(w(&[5, 3, 8]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.validate().unwrap();
+        assert_eq!(d.successors(0), &[1, 2]);
+        assert_eq!(d.predecessors(2), &[0]);
+        assert_eq!(d.total_weight().get(), 16.0);
+    }
+
+    #[test]
+    fn rejects_cycles_and_self_loops() {
+        let mut d = DependencyDag::new(w(&[1, 1]));
+        assert_eq!(d.add_edge(0, 0).unwrap_err(), DagError::SelfLoop(0));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(1, 0).unwrap();
+        assert_eq!(d.validate().unwrap_err(), DagError::Cyclic);
+        assert_eq!(d.topological_order().unwrap_err(), DagError::Cyclic);
+    }
+
+    #[test]
+    fn topological_order_is_deterministic_and_valid() {
+        let mut d = DependencyDag::new(w(&[1, 1, 1, 1]));
+        d.add_edge(2, 0).unwrap();
+        d.add_edge(2, 3).unwrap();
+        let order = d.topological_order().unwrap();
+        assert_eq!(order, vec![1, 2, 0, 3]); // smallest-id-first Kahn
+    }
+
+    #[test]
+    fn reachable_aggregates_on_a_diamond() {
+        // 0 → {1, 2} → 3.
+        let mut d = DependencyDag::new(w(&[1, 2, 4, 8]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        let agg = d.reachable_aggregates();
+        assert_eq!(agg[0], (Weight::from(15u32), 4));
+        assert_eq!(agg[1], (Weight::from(10u32), 2));
+        assert_eq!(agg[2], (Weight::from(12u32), 2));
+        assert_eq!(agg[3], (Weight::from(8u32), 1));
+    }
+
+    #[test]
+    fn schedule_cost_and_validation() {
+        let mut d = DependencyDag::new(w(&[5, 3, 8]));
+        d.add_edge(0, 1).unwrap();
+        let s = DagSchedule::from_slots(vec![vec![0, 2], vec![1]]);
+        s.validate(&d, 2).unwrap();
+        // (5·1 + 8·1 + 3·2)/16.
+        assert!((s.average_wait(&d) - 19.0 / 16.0).abs() < 1e-12);
+        // Predecessor in the same slot is invalid.
+        let bad = DagSchedule::from_slots(vec![vec![0, 1], vec![2]]);
+        assert_eq!(
+            bad.validate(&d, 2).unwrap_err(),
+            DagError::PredecessorNotEarlier { before: 0, after: 1 }
+        );
+        // Too-wide slot is invalid.
+        let wide = DagSchedule::from_slots(vec![vec![0, 2], vec![1]]);
+        assert_eq!(
+            wide.validate(&d, 1).unwrap_err(),
+            DagError::SlotTooWide { slot: 0, members: 2, channels: 1 }
+        );
+        // Duplicates and omissions are named.
+        let dup = DagSchedule::from_slots(vec![vec![0], vec![0], vec![1, 2]]);
+        assert_eq!(dup.validate(&d, 2).unwrap_err(), DagError::NotAPermutation(0));
+        let missing = DagSchedule::from_slots(vec![vec![0], vec![1]]);
+        assert_eq!(
+            missing.validate(&d, 2).unwrap_err(),
+            DagError::NotAPermutation(2)
+        );
+    }
+}

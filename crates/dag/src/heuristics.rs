@@ -1,0 +1,208 @@
+//! \[CHK99\]-style allocation rules, generalized from this workspace's
+//! techniques to arbitrary DAGs.
+
+use crate::graph::{DagError, DagSchedule, DependencyDag};
+use bcast_types::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Max-heap key with a deterministic tie-break.
+#[derive(PartialEq)]
+struct P(f64, Reverse<usize>);
+
+impl Eq for P {}
+
+impl PartialOrd for P {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for P {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+fn frontier_schedule(
+    dag: &DependencyDag,
+    k: usize,
+    priority: impl Fn(usize) -> f64,
+) -> Result<DagSchedule, DagError> {
+    assert!(k >= 1, "need at least one channel");
+    dag.validate()?;
+    let n = dag.len();
+    let mut indeg: Vec<usize> = (0..n).map(|v| dag.predecessors(v).len()).collect();
+    let mut heap: BinaryHeap<(P, usize)> = (0..n)
+        .filter(|&v| indeg[v] == 0)
+        .map(|v| (P(priority(v), Reverse(v)), v))
+        .collect();
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    while !heap.is_empty() {
+        let take = k.min(heap.len());
+        let mut members = Vec::with_capacity(take);
+        for _ in 0..take {
+            let (_, v) = heap.pop().expect("len checked");
+            members.push(v);
+        }
+        for &v in &members {
+            for &s in dag.successors(v) {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    heap.push((P(priority(s), Reverse(s)), s));
+                }
+            }
+        }
+        slots.push(members);
+    }
+    Ok(DagSchedule::from_slots(slots))
+}
+
+/// Frontier-greedy by *reachable-weight density*: each available object is
+/// scored by the total weight of everything it (transitively) unlocks,
+/// divided by the object count of that set — the DAG generalization of the
+/// sorting heuristic's `W/N` subtree rule.
+pub fn greedy_density(dag: &DependencyDag, k: usize) -> Result<DagSchedule, DagError> {
+    // Validate before touching reachability (which requires acyclicity).
+    dag.validate()?;
+    let agg = dag.reachable_aggregates();
+    frontier_schedule(dag, k, |v| {
+        let (w, c) = agg[v];
+        w.get() / f64::from(c.max(1))
+    })
+}
+
+/// Frontier-greedy by own weight only — the naive \[CHK99\]-style rule
+/// ("most requested available object first"); blind to what an object
+/// unlocks, so it starves behind low-weight cut vertices.
+pub fn greedy_weight(dag: &DependencyDag, k: usize) -> Result<DagSchedule, DagError> {
+    frontier_schedule(dag, k, |v| dag.weight(v).get())
+}
+
+/// Random layered DAG generator for tests and benches: `layers` layers of
+/// `width` objects; each object depends on 1..=`max_deps` random objects
+/// of earlier layers (when any exist). Weights uniform in `[1, 100)`.
+pub fn random_layered_dag(layers: usize, width: usize, max_deps: usize, seed: u64) -> DependencyDag {
+    assert!(layers >= 1 && width >= 1, "need a non-empty DAG");
+    let n = layers * width;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<Weight> = (0..n)
+        .map(|_| Weight::new(rng.gen_range(1.0..100.0)).expect("in range"))
+        .collect();
+    let mut dag = DependencyDag::new(weights);
+    for layer in 1..layers {
+        for i in 0..width {
+            let v = layer * width + i;
+            let deps = rng.gen_range(1..=max_deps.max(1));
+            for _ in 0..deps {
+                let p = rng.gen_range(0..layer * width);
+                dag.add_edge(p, v).expect("p < v by construction");
+            }
+        }
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_multi_channel, exact_one_channel};
+    use proptest::prelude::*;
+
+    fn w(v: &[u32]) -> Vec<Weight> {
+        v.iter().map(|&x| Weight::from(x)).collect()
+    }
+
+    #[test]
+    fn density_sees_through_light_gates() {
+        // A zero-weight gate guarding a heavy object: weight-greedy airs
+        // the medium item first; density-greedy opens the gate.
+        // 0 (w=0) → 2 (w=100); 1 (w=10) independent.
+        let mut d = DependencyDag::new(w(&[0, 10, 100]));
+        d.add_edge(0, 2).unwrap();
+        let dens = greedy_density(&d, 1).unwrap();
+        let wgt = greedy_weight(&d, 1).unwrap();
+        assert!(dens.average_wait(&d) < wgt.average_wait(&d));
+        // Density matches the exact optimum here.
+        let exact = exact_one_channel(&d).unwrap();
+        assert!((dens.average_wait(&d) - exact.average_wait).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_input_is_an_error_not_a_panic() {
+        let mut d = DependencyDag::new(w(&[1, 1]));
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(1, 0).unwrap();
+        assert_eq!(greedy_density(&d, 2).unwrap_err(), crate::DagError::Cyclic);
+        assert_eq!(greedy_weight(&d, 2).unwrap_err(), crate::DagError::Cyclic);
+    }
+
+    #[test]
+    fn both_heuristics_feasible_on_layered_dags() {
+        for seed in 0..10u64 {
+            let d = random_layered_dag(4, 6, 3, seed);
+            for k in [1usize, 3] {
+                greedy_density(&d, k).unwrap().validate(&d, k).unwrap();
+                greedy_weight(&d, k).unwrap().validate(&d, k).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_exact() {
+        for seed in 0..15u64 {
+            let d = random_layered_dag(3, 3, 2, seed);
+            for k in [1usize, 2] {
+                let exact = exact_multi_channel(&d, k).unwrap();
+                for s in [greedy_density(&d, k).unwrap(), greedy_weight(&d, k).unwrap()] {
+                    assert!(
+                        s.average_wait(&d) >= exact.average_wait - 1e-9,
+                        "seed {seed} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_special_case_matches_index_tree_machinery() {
+        // The paper-example tree encoded as a DAG (index nodes weight 0)
+        // must yield the same 2-channel optimum: 264/70.
+        use bcast_index_tree::builders;
+        let t = builders::paper_example();
+        let mut d = DependencyDag::new(
+            (0..t.len())
+                .map(|i| t.weight(bcast_types::NodeId::from_index(i)))
+                .collect(),
+        );
+        for i in 0..t.len() {
+            let id = bcast_types::NodeId::from_index(i);
+            if let Some(p) = t.parent(id) {
+                d.add_edge(p.index(), i).unwrap();
+            }
+        }
+        let r = exact_multi_channel(&d, 2).unwrap();
+        assert!((r.average_wait - 264.0 / 70.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn density_feasible_and_bounded(
+            layers in 1usize..4,
+            width in 1usize..4,
+            k in 1usize..3,
+            seed in 0u64..200,
+        ) {
+            let d = random_layered_dag(layers, width, 2, seed);
+            let s = greedy_density(&d, k).unwrap();
+            s.validate(&d, k).unwrap();
+            let exact = exact_multi_channel(&d, k).unwrap();
+            prop_assert!(s.average_wait(&d) >= exact.average_wait - 1e-9);
+            // And within 2× of optimal on these tiny instances.
+            prop_assert!(s.average_wait(&d) <= exact.average_wait * 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Broadcast allocation under **DAG** dependencies — the paper's §5 third
+//! future-work item: "consider the allocation problem with an arbitrary
+//! graph representing the dependencies among broadcast data. For an index
+//! tree, there is a hierarchical dependency. In \[CHK99\], the case for an
+//! acyclic directed graph is considered ... We plan to develop an
+//! efficient algorithm for an arbitrary graph based on our proposed
+//! techniques."
+//!
+//! This crate carries the workspace's techniques over:
+//!
+//! * [`DependencyDag`] — weighted objects under arbitrary acyclic
+//!   precedence (object `a → b` means `a` must be broadcast strictly
+//!   before `b`: `b`'s content presumes the client already holds `a`);
+//! * [`exact`] — provably optimal single/multi-channel allocation by
+//!   reduction to the Personnel Assignment Problem (the same reduction as
+//!   §2.2 of the paper, but now the partial order is the DAG itself) and
+//!   by direct slot-schedule enumeration for `k > 1`;
+//! * [`heuristics`] — \[CHK99\]-style allocation rules generalized from
+//!   this workspace: frontier-greedy by *reachable-weight density*, and
+//!   plain weight-greedy, both O(n log n + E·reach).
+
+pub mod exact;
+pub mod graph;
+pub mod heuristics;
+
+pub use exact::{exact_multi_channel, exact_one_channel, ExactResult};
+pub use graph::{DagError, DagSchedule, DependencyDag};
+pub use heuristics::{greedy_density, greedy_weight, random_layered_dag};

@@ -1,0 +1,223 @@
+//! Validating builder for [`IndexTree`].
+
+use crate::tree::{IndexTree, Node, NodeKind};
+use crate::validate;
+use bcast_types::{NodeId, Weight};
+use std::fmt;
+
+/// Errors reported while building an index tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeBuildError {
+    /// A referenced parent id was never created.
+    UnknownParent(NodeId),
+    /// A child was attached to a data node.
+    ChildOfDataNode(NodeId),
+    /// `build` was called before any node was added.
+    EmptyTree,
+    /// The finished tree violates a structural invariant.
+    Invariant(validate::TreeInvariantError),
+}
+
+impl fmt::Display for TreeBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeBuildError::UnknownParent(id) => write!(f, "unknown parent node {id}"),
+            TreeBuildError::ChildOfDataNode(id) => {
+                write!(f, "cannot attach a child to data node {id}")
+            }
+            TreeBuildError::EmptyTree => write!(f, "tree has no nodes"),
+            TreeBuildError::Invariant(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeBuildError {}
+
+impl From<validate::TreeInvariantError> for TreeBuildError {
+    fn from(e: validate::TreeInvariantError) -> Self {
+        TreeBuildError::Invariant(e)
+    }
+}
+
+/// Incrementally constructs an [`IndexTree`].
+///
+/// The first node added must be the root index node (created by
+/// [`TreeBuilder::root`]); children are attached top-down. Acyclicity is
+/// guaranteed by construction because a child can only reference an
+/// already-created parent.
+///
+/// ```
+/// use bcast_index_tree::TreeBuilder;
+/// use bcast_types::Weight;
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.root("1");
+/// b.add_data(root, Weight::from(20u32), "A").unwrap();
+/// b.add_data(root, Weight::from(10u32), "B").unwrap();
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.num_data_nodes(), 2);
+/// ```
+#[derive(Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// Creates the root index node. Must be called exactly once, first.
+    ///
+    /// # Panics
+    /// Panics if a root already exists (programming error, not data error).
+    pub fn root(&mut self, label: impl Into<String>) -> NodeId {
+        assert!(self.nodes.is_empty(), "root() called twice");
+        self.nodes.push(Node {
+            kind: NodeKind::Index,
+            parent: None,
+            children: Vec::new(),
+            weight: Weight::ZERO,
+            label: Some(label.into()),
+        });
+        NodeId::ROOT
+    }
+
+    /// Adds an index node under `parent`.
+    pub fn add_index(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+    ) -> Result<NodeId, TreeBuildError> {
+        self.add_node(parent, NodeKind::Index, Weight::ZERO, Some(label.into()))
+    }
+
+    /// Adds a data node with access frequency `weight` under `parent`.
+    pub fn add_data(
+        &mut self,
+        parent: NodeId,
+        weight: Weight,
+        label: impl Into<String>,
+    ) -> Result<NodeId, TreeBuildError> {
+        self.add_node(parent, NodeKind::Data, weight, Some(label.into()))
+    }
+
+    /// Adds an unlabeled data node.
+    pub fn add_data_unlabeled(
+        &mut self,
+        parent: NodeId,
+        weight: Weight,
+    ) -> Result<NodeId, TreeBuildError> {
+        self.add_node(parent, NodeKind::Data, weight, None)
+    }
+
+    /// Adds an unlabeled index node.
+    pub fn add_index_unlabeled(&mut self, parent: NodeId) -> Result<NodeId, TreeBuildError> {
+        self.add_node(parent, NodeKind::Index, Weight::ZERO, None)
+    }
+
+    fn add_node(
+        &mut self,
+        parent: NodeId,
+        kind: NodeKind,
+        weight: Weight,
+        label: Option<String>,
+    ) -> Result<NodeId, TreeBuildError> {
+        let Some(parent_node) = self.nodes.get(parent.index()) else {
+            return Err(TreeBuildError::UnknownParent(parent));
+        };
+        if parent_node.kind == NodeKind::Data {
+            return Err(TreeBuildError::ChildOfDataNode(parent));
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            weight,
+            label,
+        });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True before the root is created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finishes the tree, validating all structural invariants.
+    pub fn build(self) -> Result<IndexTree, TreeBuildError> {
+        if self.nodes.is_empty() {
+            return Err(TreeBuildError::EmptyTree);
+        }
+        let tree = IndexTree::from_arena(self.nodes);
+        tree.check_invariants()?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_child_of_data_node() {
+        let mut b = TreeBuilder::new();
+        let root = b.root("r");
+        let d = b.add_data(root, Weight::from(1u32), "d").unwrap();
+        let err = b.add_data(d, Weight::from(1u32), "x").unwrap_err();
+        assert_eq!(err, TreeBuildError::ChildOfDataNode(d));
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let mut b = TreeBuilder::new();
+        b.root("r");
+        let err = b.add_index(NodeId(42), "x").unwrap_err();
+        assert_eq!(err, TreeBuildError::UnknownParent(NodeId(42)));
+    }
+
+    #[test]
+    fn rejects_empty_tree() {
+        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeBuildError::EmptyTree);
+    }
+
+    #[test]
+    fn rejects_leaf_index_node() {
+        // An index node with no children violates "data items on the leaf
+        // nodes" and would be undetectable by the allocation algorithms.
+        let mut b = TreeBuilder::new();
+        let root = b.root("r");
+        b.add_index(root, "i").unwrap();
+        b.add_data(root, Weight::from(1u32), "d").unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TreeBuildError::Invariant(validate::TreeInvariantError::LeafIndexNode(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "root() called twice")]
+    fn double_root_panics() {
+        let mut b = TreeBuilder::new();
+        b.root("a");
+        b.root("b");
+    }
+
+    #[test]
+    fn single_data_node_under_root_is_valid() {
+        let mut b = TreeBuilder::new();
+        let root = b.root("r");
+        b.add_data(root, Weight::from(5u32), "d").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.depth(), 2);
+    }
+}

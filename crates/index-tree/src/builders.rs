@@ -1,0 +1,213 @@
+//! Ready-made tree shapes used throughout the paper and its experiments.
+
+use crate::builder::{TreeBuildError, TreeBuilder};
+use crate::tree::IndexTree;
+use bcast_types::Weight;
+
+/// The running example of the paper, Fig. 1(a):
+///
+/// ```text
+///            1
+///          /   \
+///         2     3
+///        / \   / \
+///       A   B E   4
+///      20  10 18 / \
+///               C   D
+///              15   7
+/// ```
+///
+/// Index nodes are labeled `1..4`, data nodes `A..E` with the weights shown.
+pub fn paper_example() -> IndexTree {
+    let mut b = TreeBuilder::new();
+    let n1 = b.root("1");
+    let n2 = b.add_index(n1, "2").expect("valid parent");
+    let n3 = b.add_index(n1, "3").expect("valid parent");
+    b.add_data(n2, Weight::from(20u32), "A").expect("valid parent");
+    b.add_data(n2, Weight::from(10u32), "B").expect("valid parent");
+    b.add_data(n3, Weight::from(18u32), "E").expect("valid parent");
+    let n4 = b.add_index(n3, "4").expect("valid parent");
+    b.add_data(n4, Weight::from(15u32), "C").expect("valid parent");
+    b.add_data(n4, Weight::from(7u32), "D").expect("valid parent");
+    b.build().expect("paper example is structurally valid")
+}
+
+/// A full balanced `fanout`-ary tree of the given `depth` (levels, root = 1;
+/// the bottom level holds the data nodes), exactly the shape used by the
+/// paper's Table 1 and Fig. 14 experiments ("a full balanced m-nary tree
+/// with depth 3" has `m²` data nodes).
+///
+/// `weights` must contain exactly `fanout^(depth-1)` entries, assigned to
+/// the data nodes left to right.
+///
+/// # Errors
+/// Returns an error if `fanout < 1`, `depth < 2`, or the weight count is
+/// wrong.
+pub fn full_balanced(
+    fanout: usize,
+    depth: u32,
+    weights: &[Weight],
+) -> Result<IndexTree, FullBalancedError> {
+    if fanout < 1 {
+        return Err(FullBalancedError::FanoutTooSmall);
+    }
+    if depth < 2 {
+        return Err(FullBalancedError::DepthTooSmall);
+    }
+    let expected = fanout.pow(depth - 1);
+    if weights.len() != expected {
+        return Err(FullBalancedError::WrongWeightCount {
+            expected,
+            got: weights.len(),
+        });
+    }
+
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root("1")];
+    let mut next_label = 2usize;
+    // Grow index levels 2..depth-1.
+    for _ in 2..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &p in &frontier {
+            for _ in 0..fanout {
+                let id = b
+                    .add_index(p, next_label.to_string())
+                    .expect("parent exists");
+                next_label += 1;
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    // Bottom level: data nodes.
+    let mut w = weights.iter();
+    for (i, &p) in frontier.iter().enumerate() {
+        for j in 0..fanout {
+            let weight = *w.next().expect("count checked above");
+            b.add_data(p, weight, format!("D{}", i * fanout + j))
+                .expect("parent exists");
+        }
+    }
+    Ok(b.build().expect("full balanced construction is valid"))
+}
+
+/// Errors from [`full_balanced`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FullBalancedError {
+    /// `fanout` must be at least 1.
+    FanoutTooSmall,
+    /// `depth` must be at least 2 (one index level plus the data level).
+    DepthTooSmall,
+    /// `weights.len()` must equal `fanout^(depth-1)`.
+    WrongWeightCount {
+        /// Required number of data weights.
+        expected: usize,
+        /// Number supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FullBalancedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FullBalancedError::FanoutTooSmall => write!(f, "fanout must be >= 1"),
+            FullBalancedError::DepthTooSmall => write!(f, "depth must be >= 2"),
+            FullBalancedError::WrongWeightCount { expected, got } => {
+                write!(f, "expected {expected} data weights, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FullBalancedError {}
+
+/// A chain ("comb") tree: the extreme case of §1.1's channel-waste argument.
+///
+/// For weights `[w1, .., wn]` builds
+///
+/// ```text
+/// I1 ── D1(w1)
+///  └─ I2 ── D2(w2)
+///      └─ I3 ── D3(w3) ...    (the last index node holds only Dn)
+/// ```
+///
+/// so the index nodes form a chain of length `n`, no two of which can ever
+/// share a broadcast slot.
+pub fn chain(weights: &[Weight]) -> Result<IndexTree, TreeBuildError> {
+    if weights.is_empty() {
+        return Err(TreeBuildError::EmptyTree);
+    }
+    let mut b = TreeBuilder::new();
+    let mut spine = b.root("I1");
+    for (i, &w) in weights.iter().enumerate() {
+        b.add_data(spine, w, format!("D{}", i + 1))?;
+        if i + 1 < weights.len() {
+            spine = b.add_index(spine, format!("I{}", i + 2))?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_balanced_counts() {
+        let w: Vec<Weight> = (1..=16u32).map(Weight::from).collect();
+        let t = full_balanced(4, 3, &w).unwrap();
+        assert_eq!(t.num_data_nodes(), 16);
+        assert_eq!(t.num_index_nodes(), 5); // root + 4
+        assert_eq!(t.depth(), 3);
+        // Every index node at level 2 has exactly 4 data children.
+        for &c in t.children(t.root()) {
+            assert_eq!(t.children(c).len(), 4);
+            assert!(t.children(c).iter().all(|&d| t.is_data(d)));
+        }
+    }
+
+    #[test]
+    fn full_balanced_argument_validation() {
+        let w: Vec<Weight> = (1..=4u32).map(Weight::from).collect();
+        assert_eq!(
+            full_balanced(0, 3, &w).unwrap_err(),
+            FullBalancedError::FanoutTooSmall
+        );
+        assert_eq!(
+            full_balanced(2, 1, &w).unwrap_err(),
+            FullBalancedError::DepthTooSmall
+        );
+        assert_eq!(
+            full_balanced(3, 3, &w).unwrap_err(),
+            FullBalancedError::WrongWeightCount {
+                expected: 9,
+                got: 4
+            }
+        );
+    }
+
+    #[test]
+    fn deep_balanced_tree() {
+        let w: Vec<Weight> = (1..=27u32).map(Weight::from).collect();
+        let t = full_balanced(3, 4, &w).unwrap();
+        assert_eq!(t.num_index_nodes(), 1 + 3 + 9);
+        assert_eq!(t.depth(), 4);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let w: Vec<Weight> = [5u32, 3, 1].iter().map(|&x| Weight::from(x)).collect();
+        let t = chain(&w).unwrap();
+        assert_eq!(t.num_index_nodes(), 3);
+        assert_eq!(t.num_data_nodes(), 3);
+        assert_eq!(t.depth(), 4); // I1, I2, I3, D3
+        // No level holds two index nodes.
+        let i2 = t.find_by_label("I2").unwrap();
+        assert_eq!(t.level(i2), 2);
+    }
+
+    #[test]
+    fn chain_rejects_empty() {
+        assert!(chain(&[]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! ASCII rendering of index trees for examples and experiment logs.
+
+use crate::tree::IndexTree;
+use bcast_types::NodeId;
+use std::fmt::Write as _;
+
+impl IndexTree {
+    /// Renders the tree as an indented ASCII outline:
+    ///
+    /// ```text
+    /// 1
+    /// ├── 2
+    /// │   ├── A (w=20)
+    /// │   └── B (w=10)
+    /// └── 3
+    ///     ├── E (w=18)
+    ///     └── 4 ...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.label(self.root()));
+        self.render_children(self.root(), "", &mut out);
+        out
+    }
+
+    fn render_children(&self, id: NodeId, prefix: &str, out: &mut String) {
+        let children = self.children(id);
+        for (i, &c) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let branch = if last { "└── " } else { "├── " };
+            if self.is_data(c) {
+                let _ = writeln!(out, "{prefix}{branch}{} (w={})", self.label(c), self.weight(c));
+            } else {
+                let _ = writeln!(out, "{prefix}{branch}{}", self.label(c));
+            }
+            let next_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+            self.render_children(c, &next_prefix, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builders;
+
+    #[test]
+    fn renders_paper_example() {
+        let text = builders::paper_example().render();
+        assert!(text.starts_with("1\n"));
+        assert!(text.contains("A (w=20)"));
+        assert!(text.contains("└── 4"));
+        // One line per node.
+        assert_eq!(text.lines().count(), 9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Skewed k-ary Huffman index trees \[CYW97, SV96\].
+//!
+//! The paper's introduction contrasts two families of skewed index trees:
+//! the plain Huffman construction (popular items near the root, minimizing
+//! average tuning time, but **not** searchable by key) and the alphabetic
+//! Hu–Tucker tree it ultimately adopts. This module implements the former so
+//! the simulator benches can reproduce that comparison.
+//!
+//! Construction is the classical k-ary Huffman merge: pad with zero-weight
+//! dummies until `(n - 1) mod (k - 1) == 0` (so every merge is full),
+//! repeatedly merge the `k` lightest roots, then drop the dummies. Ties are
+//! broken by insertion order, making the construction deterministic.
+
+use crate::builder::TreeBuilder;
+use crate::tree::IndexTree;
+use bcast_types::Weight;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Error for Huffman-tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// At least one data weight is required.
+    Empty,
+    /// Fanout must be at least 2.
+    FanoutTooSmall,
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::Empty => write!(f, "need at least one weight"),
+            HuffmanError::FanoutTooSmall => write!(f, "fanout must be >= 2"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Builds a k-ary Huffman tree over the data weights.
+///
+/// Data node `i` (labeled `D{i}`) carries `weights[i]`. The result minimizes
+/// `Σ wᵢ·depth(i)` over *all* k-ary leaf trees (ignoring key order, unlike
+/// [`crate::hu_tucker`]).
+pub fn build_huffman_knary(weights: &[Weight], fanout: usize) -> Result<IndexTree, HuffmanError> {
+    if weights.is_empty() {
+        return Err(HuffmanError::Empty);
+    }
+    if fanout < 2 {
+        return Err(HuffmanError::FanoutTooSmall);
+    }
+
+    // Shape nodes: leaves reference a weight index, internals own children.
+    enum Shape {
+        Leaf(usize),
+        Dummy,
+        Node(Vec<Shape>),
+    }
+
+    // Min-heap keyed by (weight, tie-break id). Weight is total-ordered.
+    let mut heap: BinaryHeap<Reverse<(Weight, u64)>> = BinaryHeap::new();
+    let mut shapes: Vec<Option<Shape>> = Vec::new();
+    let push = |heap: &mut BinaryHeap<Reverse<(Weight, u64)>>,
+                    shapes: &mut Vec<Option<Shape>>,
+                    w: Weight,
+                    s: Shape| {
+        let id = shapes.len() as u64;
+        shapes.push(Some(s));
+        heap.push(Reverse((w, id)));
+    };
+
+    for (i, &w) in weights.iter().enumerate() {
+        push(&mut heap, &mut shapes, w, Shape::Leaf(i));
+    }
+    // Pad so every merge takes exactly `fanout` roots.
+    let n = weights.len();
+    let rem = (n.max(2) - 1) % (fanout - 1);
+    let dummies = if rem == 0 { 0 } else { fanout - 1 - rem };
+    for _ in 0..dummies {
+        push(&mut heap, &mut shapes, Weight::ZERO, Shape::Dummy);
+    }
+
+    while heap.len() > 1 {
+        let take = fanout.min(heap.len());
+        let mut children = Vec::with_capacity(take);
+        let mut total = Weight::ZERO;
+        for _ in 0..take {
+            let Reverse((w, id)) = heap.pop().expect("len checked");
+            total += w;
+            let shape = shapes[id as usize].take().expect("each id popped once");
+            // Skip dummies entirely: they exist only to keep merges full.
+            if !matches!(shape, Shape::Dummy) {
+                children.push(shape);
+            }
+        }
+        debug_assert!(!children.is_empty(), "a merge cannot be all dummies");
+        push(&mut heap, &mut shapes, total, Shape::Node(children));
+    }
+
+    let Reverse((_, root_id)) = heap.pop().expect("non-empty input");
+    let root_shape = shapes[root_id as usize].take().expect("root present");
+
+    // Emit. The merge-tree root *is* the index root: its children attach
+    // directly to the builder root. A bare leaf (single item) hangs under
+    // the root index node.
+    let mut b = TreeBuilder::new();
+    let root = b.root("1");
+    let mut counter = 1usize;
+    let mut stack = match root_shape {
+        Shape::Node(children) => {
+            let mut s: Vec<_> = children.into_iter().map(|c| (root, c)).collect();
+            s.reverse();
+            s
+        }
+        leaf => vec![(root, leaf)],
+    };
+    while let Some((p, s)) = stack.pop() {
+        match s {
+            Shape::Leaf(i) => {
+                b.add_data(p, weights[i], format!("D{i}")).expect("valid");
+            }
+            Shape::Dummy => unreachable!("dummies are filtered during merging"),
+            Shape::Node(children) => {
+                counter += 1;
+                let id = b.add_index(p, counter.to_string()).expect("valid");
+                for c in children.into_iter().rev() {
+                    stack.push((id, c));
+                }
+            }
+        }
+    }
+    Ok(b.build().expect("huffman construction is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w(v: &[u32]) -> Vec<Weight> {
+        v.iter().map(|&x| Weight::from(x)).collect()
+    }
+
+    #[test]
+    fn classic_binary_huffman_depths() {
+        // Weights 1,1,2,4: optimal Huffman depths 3,3,2,1.
+        let t = build_huffman_knary(&w(&[1, 1, 2, 4]), 2).unwrap();
+        let depth_of = |label: &str| t.level(t.find_by_label(label).unwrap()) - 1;
+        assert_eq!(depth_of("D3"), 1);
+        assert_eq!(depth_of("D2"), 2);
+        assert_eq!(depth_of("D0"), 3);
+        assert_eq!(depth_of("D1"), 3);
+        // Weighted path length below the root matches the Huffman cost 14.
+        let wpl: f64 = [1u32, 1, 2, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &wt)| f64::from(wt) * f64::from(depth_of(&format!("D{i}"))))
+            .sum();
+        assert_eq!(wpl, 14.0);
+    }
+
+    #[test]
+    fn ternary_merge_uses_dummies() {
+        // n=4, k=3: (4-1) % 2 = 1 → one dummy; first merge has 2 real kids.
+        let t = build_huffman_knary(&w(&[5, 5, 5, 5]), 3).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.num_data_nodes(), 4);
+    }
+
+    #[test]
+    fn single_item() {
+        let t = build_huffman_knary(&w(&[9]), 4).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert_eq!(build_huffman_knary(&[], 2).unwrap_err(), HuffmanError::Empty);
+        assert_eq!(
+            build_huffman_knary(&w(&[1]), 1).unwrap_err(),
+            HuffmanError::FanoutTooSmall
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn valid_for_any_input(
+            ws in prop::collection::vec(0u32..100, 1..50),
+            k in 2usize..6,
+        ) {
+            let t = build_huffman_knary(&w(&ws), k).unwrap();
+            t.check_invariants().unwrap();
+            prop_assert_eq!(t.num_data_nodes(), ws.len());
+            // Fanout bound holds everywhere.
+            for id in t.preorder() {
+                prop_assert!(t.children(*id).len() <= k);
+            }
+        }
+
+        #[test]
+        fn huffman_beats_or_ties_alphabetic_on_wpl(
+            ws in prop::collection::vec(1u32..100, 2..20),
+        ) {
+            // Huffman ignores key order, so it can only do better (≤) than
+            // the alphabetic tree on weighted path length.
+            let weights = w(&ws);
+            let h = build_huffman_knary(&weights, 2).unwrap();
+            let a = crate::hu_tucker::build_alphabetic(&weights).unwrap();
+            prop_assert!(h.weighted_path_length() <= a.weighted_path_length() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Summary statistics over an [`IndexTree`].
+
+use crate::tree::IndexTree;
+use bcast_types::Weight;
+
+/// A snapshot of structural statistics, convenient for experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Number of data (leaf) nodes.
+    pub data_nodes: usize,
+    /// Number of index (internal) nodes.
+    pub index_nodes: usize,
+    /// Tree depth in levels (root = 1).
+    pub depth: u32,
+    /// Maximum fanout of any index node.
+    pub max_fanout: usize,
+    /// Widest level (Corollary-1 threshold for the channel count).
+    pub max_level_width: usize,
+    /// Total data weight `Σ W(Di)`.
+    pub total_weight: Weight,
+    /// Weighted path length `Σ W(Di)·level(Di)`.
+    pub weighted_path_length: f64,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree`.
+    pub fn of(tree: &IndexTree) -> TreeStats {
+        let max_fanout = tree
+            .preorder()
+            .iter()
+            .map(|&id| tree.children(id).len())
+            .max()
+            .unwrap_or(0);
+        TreeStats {
+            nodes: tree.len(),
+            data_nodes: tree.num_data_nodes(),
+            index_nodes: tree.num_index_nodes(),
+            depth: tree.depth(),
+            max_fanout,
+            max_level_width: tree.max_level_width(),
+            total_weight: tree.total_weight(),
+            weighted_path_length: tree.weighted_path_length(),
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} data, {} index), depth {}, fanout <= {}, widest level {}, total weight {}",
+            self.nodes,
+            self.data_nodes,
+            self.index_nodes,
+            self.depth,
+            self.max_fanout,
+            self.max_level_width,
+            self.total_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn paper_example_stats() {
+        let s = TreeStats::of(&builders::paper_example());
+        assert_eq!(s.nodes, 9);
+        assert_eq!(s.data_nodes, 5);
+        assert_eq!(s.index_nodes, 4);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(s.max_level_width, 4); // level 3: A, B, E, 4
+        assert_eq!(s.total_weight.get(), 70.0);
+        let text = s.to_string();
+        assert!(text.contains("9 nodes"));
+    }
+}

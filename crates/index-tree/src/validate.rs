@@ -1,0 +1,119 @@
+//! Structural invariant checking for [`IndexTree`].
+
+use crate::tree::{IndexTree, NodeKind};
+use bcast_types::NodeId;
+use std::fmt;
+
+/// A violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeInvariantError {
+    /// Node 0 has a parent or a non-root node has none.
+    BadRoot,
+    /// `parent`/`children` links disagree at this node.
+    LinkMismatch(NodeId),
+    /// A data node has children.
+    DataNodeWithChildren(NodeId),
+    /// An index node has no children (leaves must be data nodes).
+    LeafIndexNode(NodeId),
+    /// A node is unreachable from the root (cycle or orphan).
+    Unreachable(NodeId),
+    /// The tree contains no data node.
+    NoDataNodes,
+}
+
+impl fmt::Display for TreeInvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeInvariantError::BadRoot => write!(f, "node 0 must be the unique root"),
+            TreeInvariantError::LinkMismatch(id) => {
+                write!(f, "parent/child links disagree at {id}")
+            }
+            TreeInvariantError::DataNodeWithChildren(id) => {
+                write!(f, "data node {id} has children")
+            }
+            TreeInvariantError::LeafIndexNode(id) => {
+                write!(f, "index node {id} has no children")
+            }
+            TreeInvariantError::Unreachable(id) => write!(f, "node {id} unreachable from root"),
+            TreeInvariantError::NoDataNodes => write!(f, "tree has no data nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeInvariantError {}
+
+impl IndexTree {
+    /// Verifies every structural invariant of the tree.
+    ///
+    /// Builders call this automatically; it is public so that integration
+    /// tests and fuzzers can re-validate trees after transformation passes
+    /// (e.g. the node-combination heuristic).
+    pub fn check_invariants(&self) -> Result<(), TreeInvariantError> {
+        if self.is_empty() {
+            return Err(TreeInvariantError::NoDataNodes);
+        }
+        if self.node(NodeId::ROOT).parent.is_some() {
+            return Err(TreeInvariantError::BadRoot);
+        }
+
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![NodeId::ROOT];
+        let mut reached = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                return Err(TreeInvariantError::LinkMismatch(id));
+            }
+            seen[id.index()] = true;
+            reached += 1;
+            let node = self.node(id);
+            match node.kind {
+                NodeKind::Data if !node.children.is_empty() => {
+                    return Err(TreeInvariantError::DataNodeWithChildren(id));
+                }
+                NodeKind::Index if node.children.is_empty() => {
+                    return Err(TreeInvariantError::LeafIndexNode(id));
+                }
+                _ => {}
+            }
+            for &c in &node.children {
+                if self.node(c).parent != Some(id) {
+                    return Err(TreeInvariantError::LinkMismatch(c));
+                }
+                stack.push(c);
+            }
+        }
+        if reached != self.len() {
+            let orphan = seen
+                .iter()
+                .position(|&s| !s)
+                .map(NodeId::from_index)
+                .expect("reached < len implies an unseen node");
+            return Err(TreeInvariantError::Unreachable(orphan));
+        }
+        if self.num_data_nodes() == 0 {
+            return Err(TreeInvariantError::NoDataNodes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builders;
+
+    #[test]
+    fn paper_example_is_valid() {
+        builders::paper_example().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_builders_produce_valid_trees() {
+        use bcast_types::Weight;
+        let w: Vec<Weight> = (1..=8u32).map(Weight::from).collect();
+        builders::full_balanced(2, 4, &w)
+            .unwrap()
+            .check_invariants()
+            .unwrap();
+        builders::chain(&w).unwrap().check_invariants().unwrap();
+    }
+}

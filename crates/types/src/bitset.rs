@@ -1,0 +1,266 @@
+//! A small, growable bitset keyed by [`NodeId`].
+//!
+//! The search algorithms of the paper manipulate many node sets — `PATH_T(X)`
+//! (nodes placed so far), `Ancestor`, `Cancestor`, `Nancestor` — whose
+//! elements are dense arena indices. A word-packed bitset gives O(1)
+//! membership and O(n/64) set algebra without hashing, which dominates the
+//! inner loop of the topological-tree expansion.
+
+use crate::NodeId;
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity bitset over dense node ids.
+///
+/// Equality and hashing ignore trailing zero words, so two sets holding the
+/// same ids compare equal regardless of how much capacity each was created
+/// with — required because the search algorithms use `BitSet` as a hash-map
+/// key.
+#[derive(Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|&w| w == 0)
+            && other.words[common..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash up to the last non-zero word only.
+        let end = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        self.words[..end].hash(state);
+    }
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(BITS)],
+            len: 0,
+        }
+    }
+
+    /// Number of ids currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `id`, growing the backing storage if needed.
+    /// Returns `true` if the id was newly inserted.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / BITS, id.index() % BITS);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `id`. Returns `true` if the id was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / BITS, id.index() % BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / BITS, id.index() % BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Removes every id, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.recount();
+    }
+
+    /// In-place difference: removes every id in `other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        self.recount();
+    }
+
+    /// Number of ids in `self ∖ other` without allocating.
+    pub fn difference_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let o = other.words.get(i).copied().unwrap_or(0);
+                (w & !o).count_ones() as usize
+            })
+            .sum()
+    }
+
+    /// True if every id of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// True if the sets share no id.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::from_index(wi * BITS + b))
+            })
+        })
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl FromIterator<NodeId> for BitSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut set = BitSet::default();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> BitSet {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::with_capacity(4);
+        assert!(s.insert(NodeId(3)));
+        assert!(!s.insert(NodeId(3)));
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut s = BitSet::with_capacity(1);
+        s.insert(NodeId(500));
+        assert!(s.contains(NodeId(500)));
+        assert!(!s.contains(NodeId(499)));
+        assert!(!s.remove(NodeId(10_000)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = ids(&[1, 2, 3, 64, 65]);
+        let b = ids(&[2, 64, 200]);
+        assert_eq!(a.difference_len(&b), 3);
+        assert!(!a.is_subset(&b));
+        assert!(ids(&[2, 64]).is_subset(&b));
+        assert!(ids(&[5]).is_disjoint(&b));
+        a.difference_with(&b);
+        assert_eq!(a, ids(&[1, 3, 65]));
+        a.union_with(&b);
+        assert_eq!(a, ids(&[1, 2, 3, 64, 65, 200]));
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = ids(&[70, 1, 64, 0]);
+        let got: Vec<u32> = s.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 1, 64, 70]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        use std::hash::{BuildHasher, RandomState};
+        let mut a = BitSet::with_capacity(1);
+        let mut b = BitSet::with_capacity(1000);
+        a.insert(NodeId(3));
+        b.insert(NodeId(3));
+        assert_eq!(a, b);
+        let h = RandomState::new();
+        assert_eq!(h.hash_one(&a), h.hash_one(&b));
+        b.insert(NodeId(900));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = ids(&[1, 100]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(100)));
+    }
+}

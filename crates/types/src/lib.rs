@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Vocabulary types shared across the broadcast-allocation workspace.
+//!
+//! The workspace reproduces *Optimal Index and Data Allocation in Multiple
+//! Broadcast Channels* (Lo & Chen, ICDE 2000). Every crate speaks in terms of
+//! the identifiers defined here:
+//!
+//! * [`NodeId`] — an index or data node of the index tree,
+//! * [`ChannelId`] — one of the `k` broadcast channels,
+//! * [`Slot`] — a 1-based broadcast slot (one bucket per channel per slot),
+//! * [`Weight`] — a non-negative access frequency,
+//! * [`BitSet`] — a growable bitset used for ancestor/placement sets in the
+//!   search algorithms.
+//!
+//! All types are plain data: `Copy` where possible, no interior mutability,
+//! no allocation beyond the bitset's backing vector.
+
+mod bitset;
+mod ids;
+mod weight;
+
+pub use bitset::BitSet;
+pub use ids::{BucketAddr, ChannelId, NodeId, Slot};
+pub use weight::{Weight, WeightError};

@@ -1,0 +1,215 @@
+//! Access-frequency distributions.
+//!
+//! * [`FrequencyDist::Uniform`] — "the access frequency of each data node is
+//!   given randomly" (the paper's Table 1 setup),
+//! * [`FrequencyDist::Normal`] — `N(µ, σ)` truncated at zero (the paper's
+//!   Fig. 14 setup, `µ = 100`, `σ ∈ {10..40}`),
+//! * [`FrequencyDist::Zipf`] — rank-based Zipf weights, the standard skew of
+//!   the broadcast-disk literature (used by the extension benches),
+//! * [`FrequencyDist::SelfSimilar`] — the 80/20-style self-similar skew.
+//!
+//! Normal sampling is a hand-rolled Box–Muller transform (the offline `rand`
+//! crate ships without `rand_distr`); Zipf and self-similar weights are
+//! deterministic by rank with an optional seeded shuffle to decorrelate
+//! popularity from key order.
+
+use crate::rng::det_rng;
+use bcast_types::Weight;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A distribution over data-node access frequencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencyDist {
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound (must be ≥ 0).
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Normal `N(mu, sigma)` truncated below at zero.
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Zipf: the item of popularity rank `r` (0-based) gets weight
+    /// `1 / (r+1)^theta`, scaled so the heaviest weight is `scale`.
+    Zipf {
+        /// Skew parameter; `0` degenerates to uniform, `~0.8–1.2` typical.
+        theta: f64,
+        /// Weight of the most popular item.
+        scale: f64,
+    },
+    /// Self-similar: the top `fraction` of items receive `1 - fraction` of
+    /// the probability mass, recursively (80/20 rule at `fraction = 0.2`).
+    SelfSimilar {
+        /// Fraction in `(0, 0.5]`.
+        fraction: f64,
+        /// Total mass distributed over all items.
+        total: f64,
+    },
+}
+
+impl FrequencyDist {
+    /// The paper's Fig. 14 distribution: `N(100, sigma)`.
+    pub fn paper_fig14(sigma: f64) -> Self {
+        FrequencyDist::Normal { mu: 100.0, sigma }
+    }
+
+    /// Samples `n` weights deterministically from `seed`.
+    ///
+    /// For [`Zipf`](FrequencyDist::Zipf) and
+    /// [`SelfSimilar`](FrequencyDist::SelfSimilar) the rank-to-key mapping is
+    /// shuffled with the seed, so key order and popularity are independent —
+    /// pass the result through [`sorted_desc`] if rank order is wanted.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<Weight> {
+        let mut rng = det_rng(seed);
+        match *self {
+            FrequencyDist::Uniform { lo, hi } => {
+                assert!(lo >= 0.0 && hi > lo, "need 0 <= lo < hi");
+                (0..n)
+                    .map(|_| Weight::new(rng.gen_range(lo..hi)).expect("range is non-negative"))
+                    .collect()
+            }
+            FrequencyDist::Normal { mu, sigma } => {
+                assert!(sigma >= 0.0, "sigma must be non-negative");
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let (a, b) = box_muller(&mut rng);
+                    out.push(truncate(mu + sigma * a));
+                    if out.len() < n {
+                        out.push(truncate(mu + sigma * b));
+                    }
+                }
+                out
+            }
+            FrequencyDist::Zipf { theta, scale } => {
+                assert!(theta >= 0.0 && scale > 0.0, "need theta >= 0, scale > 0");
+                let mut weights: Vec<Weight> = (0..n)
+                    .map(|r| {
+                        let w = scale / ((r + 1) as f64).powf(theta);
+                        Weight::new(w).expect("zipf weight is positive and finite")
+                    })
+                    .collect();
+                weights.shuffle(&mut rng);
+                weights
+            }
+            FrequencyDist::SelfSimilar { fraction, total } => {
+                assert!(
+                    fraction > 0.0 && fraction <= 0.5 && total > 0.0,
+                    "need 0 < fraction <= 0.5, total > 0"
+                );
+                let mut weights = vec![Weight::ZERO; n];
+                self_similar_fill(&mut weights, 0, n, total, fraction);
+                weights.shuffle(&mut rng);
+                weights
+            }
+        }
+    }
+}
+
+/// One Box–Muller draw: two independent standard normal variates.
+fn box_muller(rng: &mut impl Rng) -> (f64, f64) {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let phi = std::f64::consts::TAU * u2;
+    (r * phi.cos(), r * phi.sin())
+}
+
+fn truncate(x: f64) -> Weight {
+    Weight::new(x.max(0.0)).expect("max(0) is a valid weight")
+}
+
+/// Recursively splits `total` mass over `weights[lo..hi)` with the
+/// self-similar rule: the first `fraction` of items get `1 - fraction` of
+/// the mass.
+fn self_similar_fill(weights: &mut [Weight], lo: usize, hi: usize, total: f64, fraction: f64) {
+    let n = hi - lo;
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        weights[lo] = Weight::new(total).expect("positive share");
+        return;
+    }
+    let head = ((n as f64) * fraction).round().max(1.0) as usize;
+    let head = head.min(n - 1);
+    self_similar_fill(weights, lo, lo + head, total * (1.0 - fraction), fraction);
+    self_similar_fill(weights, lo + head, hi, total * fraction, fraction);
+}
+
+/// Returns a copy of `weights` sorted heaviest-first.
+pub fn sorted_desc(weights: &[Weight]) -> Vec<Weight> {
+    let mut v = weights.to_vec();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let w = FrequencyDist::Uniform { lo: 5.0, hi: 10.0 }.sample(1000, 1);
+        assert_eq!(w.len(), 1000);
+        assert!(w.iter().all(|x| x.get() >= 5.0 && x.get() < 10.0));
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let w = FrequencyDist::paper_fig14(20.0).sample(20_000, 2);
+        let mean: f64 = w.iter().map(|x| x.get()).sum::<f64>() / w.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        let var: f64 =
+            w.iter().map(|x| (x.get() - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        assert!((var.sqrt() - 20.0).abs() < 1.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let w = FrequencyDist::Normal { mu: 0.0, sigma: 50.0 }.sample(1000, 3);
+        assert!(w.iter().all(|x| x.get() >= 0.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_shuffled() {
+        let w = FrequencyDist::Zipf { theta: 1.0, scale: 100.0 }.sample(100, 4);
+        let sorted = sorted_desc(&w);
+        assert_eq!(sorted[0].get(), 100.0);
+        assert!((sorted[1].get() - 50.0).abs() < 1e-9);
+        // Shuffle decorrelates rank from position (first item almost surely
+        // not the heaviest for this seed).
+        assert_ne!(w, sorted);
+    }
+
+    #[test]
+    fn self_similar_mass_is_conserved() {
+        let w = FrequencyDist::SelfSimilar { fraction: 0.2, total: 1000.0 }.sample(64, 5);
+        let total: f64 = w.iter().map(|x| x.get()).sum();
+        assert!((total - 1000.0).abs() < 1e-6);
+        // Top 20% of items should hold roughly 80% of the mass.
+        let sorted = sorted_desc(&w);
+        let top: f64 = sorted[..13].iter().map(|x| x.get()).sum();
+        assert!(top > 700.0, "top mass {top}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = FrequencyDist::Uniform { lo: 0.0, hi: 1.0 };
+        assert_eq!(d.sample(10, 99), d.sample(10, 99));
+        assert_ne!(d.sample(10, 99), d.sample(10, 100));
+    }
+
+    #[test]
+    fn odd_count_normal() {
+        // Exercises the half-pair tail of Box–Muller.
+        let w = FrequencyDist::paper_fig14(10.0).sample(7, 6);
+        assert_eq!(w.len(), 7);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the broadcast-allocation experiments.
+//!
+//! The paper's evaluation draws access frequencies from two sources — "given
+//! randomly" (Table 1) and a normal distribution `N(µ, σ)` (Fig. 14) — and
+//! builds full balanced m-ary index trees over them. Broadcast-dissemination
+//! studies more broadly use Zipf-like skews, so those are provided too for
+//! the extension benches.
+//!
+//! Everything is deterministic given an explicit `u64` seed.
+
+pub mod freq;
+pub mod rng;
+pub mod shapes;
+
+pub use freq::FrequencyDist;
+pub use shapes::{random_tree, RandomTreeConfig};

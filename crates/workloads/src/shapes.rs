@@ -1,0 +1,158 @@
+//! Random index-tree shapes.
+//!
+//! The paper's experiments use full balanced m-ary trees (see
+//! [`bcast_index_tree::builders::full_balanced`]); the property tests and
+//! extension benches additionally need irregular trees, produced here by a
+//! seeded recursive partition of the data nodes.
+
+use crate::freq::FrequencyDist;
+use crate::rng::det_rng;
+use bcast_index_tree::{IndexTree, TreeBuilder};
+use bcast_types::Weight;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters for [`random_tree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomTreeConfig {
+    /// Number of data (leaf) nodes; must be ≥ 1.
+    pub data_nodes: usize,
+    /// Maximum index-node fanout; must be ≥ 2.
+    pub max_fanout: usize,
+    /// Distribution the data weights are drawn from.
+    pub weights: FrequencyDist,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            data_nodes: 8,
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 100.0 },
+        }
+    }
+}
+
+/// Generates a random index tree: data nodes are recursively partitioned
+/// into between 2 and `max_fanout` contiguous groups (single-element groups
+/// become leaves), giving arbitrary — possibly very unbalanced — shapes.
+///
+/// # Panics
+/// Panics if `data_nodes == 0` or `max_fanout < 2`.
+pub fn random_tree(config: &RandomTreeConfig, seed: u64) -> IndexTree {
+    assert!(config.data_nodes >= 1, "need at least one data node");
+    assert!(config.max_fanout >= 2, "max_fanout must be >= 2");
+    let weights = config.weights.sample(config.data_nodes, seed);
+    let mut rng = det_rng(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut b = TreeBuilder::new();
+    let root = b.root("1");
+    let mut counter = 1usize;
+    grow(&mut b, &mut rng, root, &weights, 0, config.max_fanout, &mut counter);
+    b.build().expect("random construction is structurally valid")
+}
+
+fn grow(
+    b: &mut TreeBuilder,
+    rng: &mut StdRng,
+    parent: bcast_types::NodeId,
+    weights: &[Weight],
+    base: usize,
+    max_fanout: usize,
+    counter: &mut usize,
+) {
+    let n = weights.len();
+    if n == 1 {
+        b.add_data(parent, weights[0], format!("D{base}"))
+            .expect("parent exists");
+        return;
+    }
+    // Choose 2..=min(max_fanout, n) groups, then cut points.
+    let groups = rng.gen_range(2..=max_fanout.min(n));
+    let mut cuts: Vec<usize> = Vec::with_capacity(groups + 1);
+    cuts.push(0);
+    // `groups - 1` distinct interior cut points in 1..n.
+    let mut interior: Vec<usize> = (1..n).collect();
+    for _ in 0..groups - 1 {
+        let pick = rng.gen_range(0..interior.len());
+        cuts.push(interior.swap_remove(pick));
+    }
+    cuts.push(n);
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo == 1 {
+            b.add_data(parent, weights[lo], format!("D{}", base + lo))
+                .expect("parent exists");
+        } else {
+            *counter += 1;
+            let id = b
+                .add_index(parent, counter.to_string())
+                .expect("parent exists");
+            grow(b, rng, id, &weights[lo..hi], base + lo, max_fanout, counter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn respects_config() {
+        let cfg = RandomTreeConfig {
+            data_nodes: 25,
+            max_fanout: 4,
+            ..RandomTreeConfig::default()
+        };
+        let t = random_tree(&cfg, 11);
+        t.check_invariants().unwrap();
+        assert_eq!(t.num_data_nodes(), 25);
+        for id in t.preorder() {
+            assert!(t.children(*id).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomTreeConfig::default();
+        let a = random_tree(&cfg, 5);
+        let b = random_tree(&cfg, 5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.preorder()
+                .iter()
+                .map(|&i| a.label(i))
+                .collect::<Vec<_>>(),
+            b.preorder()
+                .iter()
+                .map(|&i| b.label(i))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_data_node() {
+        let cfg = RandomTreeConfig {
+            data_nodes: 1,
+            ..RandomTreeConfig::default()
+        };
+        let t = random_tree(&cfg, 0);
+        assert_eq!(t.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn always_valid(n in 1usize..60, fanout in 2usize..6, seed: u64) {
+            let cfg = RandomTreeConfig {
+                data_nodes: n,
+                max_fanout: fanout,
+                weights: FrequencyDist::Uniform { lo: 0.0, hi: 10.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            t.check_invariants().unwrap();
+            prop_assert_eq!(t.num_data_nodes(), n);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! A stock-quote broadcast at scale: 5,000 tickers, heavy-tailed
+//! popularity, 6 channels. Exact search is hopeless here (the problem is
+//! NP-hard), so this example exercises the paper's §4.2 heuristics and
+//! reports their quality against the analytic lower bound — plus wall
+//! times, to show the large-tree regime really is interactive.
+//!
+//! ```text
+//! cargo run --release --example stock_ticker
+//! ```
+
+use broadcast_alloc::alloc::heuristics::{shrink, sorting};
+use broadcast_alloc::alloc::{baselines, Schedule};
+use broadcast_alloc::channel::cost;
+use broadcast_alloc::tree::{knary, TreeStats};
+use broadcast_alloc::workloads::FrequencyDist;
+use std::time::Instant;
+
+fn main() {
+    const TICKERS: usize = 5_000;
+    const CHANNELS: usize = 6;
+    const SEED: u64 = 77;
+
+    // 80/20 self-similar access pattern over ticker symbols.
+    let popularity =
+        FrequencyDist::SelfSimilar { fraction: 0.2, total: 1_000_000.0 }.sample(TICKERS, SEED);
+    let tree = knary::build_weight_balanced(&popularity, 16).unwrap();
+    println!("ticker index: {}\n", TreeStats::of(&tree));
+
+    let lower = cost::data_wait_lower_bound(&tree, CHANNELS);
+    println!("analytic lower bound: {lower:.2} buckets\n");
+
+    let run = |name: &str, f: &dyn Fn() -> Schedule| {
+        let t0 = Instant::now();
+        let schedule = f();
+        let elapsed = t0.elapsed();
+        let wait = schedule.average_data_wait(&tree);
+        schedule
+            .into_allocation(&tree, CHANNELS)
+            .expect("heuristic schedules are feasible");
+        println!(
+            "{name:<22} {wait:>10.2} buckets   {:>6.1}% over bound   {:>9.2?}",
+            100.0 * (wait - lower) / lower,
+            elapsed
+        );
+        wait
+    };
+
+    let sorting_wait = run("sorting heuristic", &|| {
+        sorting::sorting_schedule(&tree, CHANNELS)
+    });
+    run("shrink (combine)", &|| {
+        shrink::combine_solve(&tree, CHANNELS, 14).schedule
+    });
+    run("shrink (partition)", &|| {
+        shrink::partition_solve(&tree, CHANNELS, 14).schedule
+    });
+    let frontier_wait = run("frontier greedy (ext)", &|| {
+        baselines::greedy_frontier(&tree, CHANNELS)
+    });
+    let preorder_wait = run("naive preorder", &|| {
+        baselines::preorder_schedule(&tree, CHANNELS)
+    });
+    run("random feasible", &|| {
+        baselines::random_feasible(&tree, CHANNELS, SEED)
+    });
+
+    println!(
+        "\nsorting beats the naive layout by {:.1}% on average data wait;",
+        100.0 * (preorder_wait - sorting_wait) / preorder_wait
+    );
+    println!(
+        "the frontier-greedy extension beats sorting by another {:.1}% at this \
+         scale (see EXPERIMENTS.md, finding F3)",
+        100.0 * (sorting_wait - frontier_wait) / sorting_wait
+    );
+    assert!(sorting_wait <= preorder_wait);
+    assert!(frontier_wait <= sorting_wait);
+}

@@ -1,0 +1,322 @@
+//! `bcast` — command-line front end for the broadcast-allocation library.
+//!
+//! ```text
+//! bcast optimal   [--input FILE | --demo] --channels K [--strategy S] [--limit N]
+//! bcast heuristic [--input FILE | --demo] --channels K [--method M] [--replicas R]
+//! bcast simulate  [--input FILE | --demo] --channels K --item LABEL [--tune-in SLOT]
+//! bcast render    [--input FILE | --demo]
+//! bcast gen       --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
+//! ```
+//!
+//! Trees are read in the text format of [`broadcast_alloc::textfmt`]
+//! (`--demo` loads the paper's Fig. 1(a) example). `gen` prints a fresh
+//! tree in the same format, so pipelines compose:
+//!
+//! ```text
+//! bcast gen --items 40 --dist zipf | bcast heuristic --channels 3
+//! ```
+
+use broadcast_alloc::alloc::heuristics::{shrink, sorting};
+use broadcast_alloc::alloc::{
+    baselines, find_optimal, replication, OptimalOptions, Schedule, Strategy,
+};
+use broadcast_alloc::channel::{simulator, BroadcastProgram};
+use broadcast_alloc::textfmt;
+use broadcast_alloc::tree::{knary, IndexTree, TreeStats};
+use broadcast_alloc::types::Slot;
+use broadcast_alloc::workloads::FrequencyDist;
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bcast: {msg}");
+            eprintln!("run `bcast help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(&args[1..])?;
+    const INPUT: &[&str] = &["input", "demo"];
+    match cmd.as_str() {
+        "optimal" => {
+            opts.allow(INPUT, &["channels", "strategy", "limit"])?;
+            cmd_optimal(&opts)
+        }
+        "heuristic" => {
+            opts.allow(INPUT, &["channels", "method", "replicas"])?;
+            cmd_heuristic(&opts)
+        }
+        "simulate" => {
+            opts.allow(INPUT, &["channels", "item", "tune-in"])?;
+            cmd_simulate(&opts)
+        }
+        "render" => {
+            opts.allow(INPUT, &[])?;
+            cmd_render(&opts)
+        }
+        "gen" => {
+            opts.allow(&[], &["items", "dist", "fanout", "seed"])?;
+            cmd_gen(&opts)
+        }
+        "compare" => {
+            opts.allow(INPUT, &["channels", "limit"])?;
+            cmd_compare(&opts)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+const HELP: &str = "\
+bcast — optimal index and data allocation in multiple broadcast channels
+
+commands:
+  optimal    provably optimal allocation      --channels K [--strategy auto|datatree|bestfirst|exhaustive] [--limit N]
+  heuristic  scalable allocation              --channels K [--method sorting|shrink|partition|frontier] [--replicas R]
+  simulate   client access trace              --channels K --item LABEL [--tune-in SLOT]
+  render     pretty-print the tree
+  gen        emit a random tree               --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
+  compare    run every method on one tree     --channels K [--limit N]
+
+input: --input FILE (text format), --demo (paper example), or stdin.";
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")))
+            .transpose()
+    }
+    fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.parse(key)?
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+    /// Rejects flags outside the command's vocabulary (typo protection).
+    fn allow(&self, common: &[&str], specific: &[&str]) -> Result<(), String> {
+        for key in self.0.keys() {
+            if !common.contains(&key.as_str()) && !specific.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key} for this command"));
+            }
+        }
+        Ok(())
+    }
+    /// `--channels`, validated to be at least 1.
+    fn channels(&self) -> Result<usize, String> {
+        let k: usize = self.require("channels")?;
+        if k == 0 {
+            return Err("--channels must be at least 1".into());
+        }
+        Ok(k)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{a}'"));
+        };
+        // Boolean flags take no value.
+        if key == "demo" {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(Flags(map))
+}
+
+fn load_tree(opts: &Flags) -> Result<IndexTree, String> {
+    let text = if opts.get("demo").is_some() {
+        textfmt::DEMO.to_string()
+    } else if let Some(path) = opts.get("input") {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        if buf.trim().is_empty() {
+            return Err("no input: pass --input FILE, --demo, or pipe a tree".into());
+        }
+        buf
+    };
+    textfmt::parse_tree(&text).map_err(|e| e.to_string())
+}
+
+fn print_schedule(tree: &IndexTree, schedule: &Schedule, k: usize) -> Result<(), String> {
+    let alloc = schedule
+        .into_allocation(tree, k)
+        .map_err(|e| format!("schedule infeasible: {e}"))?;
+    print!("{}", alloc.render(tree));
+    println!(
+        "cycle {} slots | average data wait {:.4} buckets",
+        alloc.cycle_len(),
+        schedule.average_data_wait(tree)
+    );
+    Ok(())
+}
+
+fn cmd_optimal(opts: &Flags) -> Result<(), String> {
+    let tree = load_tree(opts)?;
+    let k = opts.channels()?;
+    let strategy = match opts.get("strategy").unwrap_or("auto") {
+        "auto" => Strategy::Auto,
+        "datatree" => Strategy::DataTree,
+        "bestfirst" => Strategy::BestFirst,
+        "exhaustive" => Strategy::Exhaustive,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let result = find_optimal(
+        &tree,
+        k,
+        &OptimalOptions {
+            strategy,
+            node_limit: opts.parse("limit")?,
+            ..OptimalOptions::default()
+        },
+    )
+    .map_err(|e| format!("{e} (try `bcast heuristic`)"))?;
+    println!(
+        "optimal via {:?} ({} states expanded)",
+        result.strategy_used, result.nodes_expanded
+    );
+    print_schedule(&tree, &result.schedule, k)
+}
+
+fn cmd_heuristic(opts: &Flags) -> Result<(), String> {
+    let tree = load_tree(opts)?;
+    let k = opts.channels()?;
+    let method = opts.get("method").unwrap_or("sorting");
+    let schedule = match method {
+        "sorting" => sorting::sorting_schedule(&tree, k),
+        "shrink" => shrink::combine_solve(&tree, k, 12).schedule,
+        "partition" => shrink::partition_solve(&tree, k, 12).schedule,
+        "frontier" => baselines::greedy_frontier(&tree, k),
+        other => return Err(format!("unknown method '{other}'")),
+    };
+    println!("heuristic: {method}");
+    print_schedule(&tree, &schedule, k)?;
+    if let Some(max_r) = opts.parse::<u32>("replicas")? {
+        let best = replication::optimal_replication(&schedule, &tree, max_r.max(1));
+        println!(
+            "best root replication <= {max_r}: r = {} (expected access {:.2} slots)",
+            best.replicas, best.expected_access_time
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+    let tree = load_tree(opts)?;
+    let k = opts.channels()?;
+    let item: String = opts.require("item")?;
+    let target = tree
+        .find_by_label(&item)
+        .ok_or_else(|| format!("no node labeled '{item}'"))?;
+    let result = find_optimal(&tree, k, &OptimalOptions::default())
+        .map_err(|e| format!("{e} (tree too large for exact search)"))?;
+    let alloc = result
+        .schedule
+        .into_allocation(&tree, k)
+        .map_err(|e| e.to_string())?;
+    let program = BroadcastProgram::build(&alloc, &tree).map_err(|e| e.to_string())?;
+    let tune_in = Slot(opts.parse::<u32>("tune-in")?.unwrap_or(1).max(1));
+    let trace =
+        simulator::access(&program, &tree, target, tune_in).map_err(|e| e.to_string())?;
+    print!("{}", alloc.render(&tree));
+    println!(
+        "fetch '{item}' tuning in at slot {}: probe {} + data {} = {} slots, \
+         {} buckets read, {} channel switch(es)",
+        tune_in.0,
+        trace.probe_wait,
+        trace.data_wait,
+        trace.access_time(),
+        trace.tuning_time,
+        trace.channel_switches
+    );
+    let agg = simulator::aggregate_metrics(&program, &tree).map_err(|e| e.to_string())?;
+    println!(
+        "fleet expectation: access {:.2} slots, tuning {:.2} buckets",
+        agg.avg_access_time, agg.avg_tuning_time
+    );
+    Ok(())
+}
+
+fn cmd_render(opts: &Flags) -> Result<(), String> {
+    let tree = load_tree(opts)?;
+    print!("{}", tree.render());
+    println!("{}", TreeStats::of(&tree));
+    Ok(())
+}
+
+fn cmd_compare(opts: &Flags) -> Result<(), String> {
+    let tree = load_tree(opts)?;
+    let k = opts.channels()?;
+    let lower = broadcast_alloc::channel::cost::data_wait_lower_bound(&tree, k);
+    println!("{} nodes, {k} channels, analytic floor {lower:.3} buckets\n", tree.len());
+    println!("{:<22} {:>12} {:>10}", "method", "data wait", "vs floor");
+    let show = |name: &str, wait: f64| {
+        println!("{name:<22} {wait:>12.4} {:>9.1}%", 100.0 * (wait - lower) / lower.max(1e-9));
+    };
+    let limit = opts.parse::<u64>("limit")?.or(Some(2_000_000));
+    match find_optimal(
+        &tree,
+        k,
+        &OptimalOptions { node_limit: limit, ..OptimalOptions::default() },
+    ) {
+        Ok(r) => show(&format!("optimal ({:?})", r.strategy_used), r.data_wait),
+        Err(e) => println!("{:<22} {:>12}", "optimal", format!("({e})")),
+    }
+    show("sorting", sorting::sorting_schedule(&tree, k).average_data_wait(&tree));
+    show("shrink (combine)", shrink::combine_solve(&tree, k, 12).data_wait);
+    show("shrink (partition)", shrink::partition_solve(&tree, k, 12).data_wait);
+    show("frontier greedy", baselines::greedy_frontier(&tree, k).average_data_wait(&tree));
+    show("preorder", baselines::preorder_schedule(&tree, k).average_data_wait(&tree));
+    show("random", baselines::random_feasible(&tree, k, 1).average_data_wait(&tree));
+    Ok(())
+}
+
+fn cmd_gen(opts: &Flags) -> Result<(), String> {
+    let items: usize = opts.require("items")?;
+    if items == 0 {
+        return Err("--items must be positive".into());
+    }
+    let seed: u64 = opts.parse("seed")?.unwrap_or(42);
+    let fanout: usize = opts.parse("fanout")?.unwrap_or(4);
+    if fanout < 2 {
+        return Err("--fanout must be at least 2".into());
+    }
+    let dist = match opts.get("dist").unwrap_or("zipf") {
+        "zipf" => FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 },
+        "uniform" => FrequencyDist::Uniform { lo: 1.0, hi: 100.0 },
+        "normal" => FrequencyDist::paper_fig14(20.0),
+        other => return Err(format!("unknown dist '{other}'")),
+    };
+    let weights = dist.sample(items, seed);
+    let tree = knary::build_weight_balanced(&weights, fanout)
+        .map_err(|e| e.to_string())?;
+    print!("{}", textfmt::format_tree(&tree));
+    Ok(())
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # broadcast-alloc
+//!
+//! Facade crate for the reproduction of *Optimal Index and Data Allocation
+//! in Multiple Broadcast Channels* (Lo & Chen, ICDE 2000).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`types`] — vocabulary types (`NodeId`, `ChannelId`, `Slot`, `Weight`),
+//! * [`tree`] — the index-tree substrate and its builders,
+//! * [`workloads`] — frequency distributions and tree-shape generators,
+//! * [`channel`] — the broadcast-channel substrate (programs, cost model,
+//!   client simulator),
+//! * [`assignment`] — the Personnel Assignment Problem the paper reduces to,
+//! * [`alloc`] — the paper's allocation algorithms (optimal search, pruning,
+//!   data tree, heuristics, baselines),
+//! * [`adaptive`] — online re-optimization under drifting access patterns
+//!   (the paper's future work 1),
+//! * [`dag`] — allocation under arbitrary DAG dependencies (future work 3).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod textfmt;
+
+pub use bcast_adaptive as adaptive;
+pub use bcast_assignment as assignment;
+pub use bcast_dag as dag;
+pub use bcast_channel as channel;
+pub use bcast_core as alloc;
+pub use bcast_index_tree as tree;
+pub use bcast_types as types;
+pub use bcast_workloads as workloads;

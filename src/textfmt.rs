@@ -1,0 +1,251 @@
+//! A plain-text index-tree interchange format for the `bcast` CLI.
+//!
+//! One node per line, parents before children:
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! index 1 -          # the root (parent "-")
+//! index 2 1
+//! data  A 2 20       # data <label> <parent> <weight>
+//! data  B 2 10
+//! ```
+//!
+//! Labels are free-form tokens (no whitespace); weights are non-negative
+//! decimals. [`parse_tree`] builds a validated
+//! `IndexTree` — [`format_tree`] writes one
+//! back out (round-trip stable, asserted by tests).
+
+use bcast_index_tree::{IndexTree, TreeBuilder};
+use bcast_types::{NodeId, Weight};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line where parsing failed (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// Parse failure kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// Line does not start with `index` or `data`.
+    UnknownDirective(String),
+    /// Wrong number of fields for the directive.
+    WrongArity,
+    /// The named parent has not been declared (or is a data node).
+    BadParent(String),
+    /// Duplicate node label.
+    DuplicateLabel(String),
+    /// Weight failed to parse or was negative/NaN.
+    BadWeight(String),
+    /// A non-root node used parent `-`, or a second root was declared.
+    MisplacedRoot,
+    /// The finished tree is structurally invalid (e.g. childless index
+    /// node).
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive '{d}'"),
+            ParseErrorKind::WrongArity => write!(f, "wrong number of fields"),
+            ParseErrorKind::BadParent(p) => write!(f, "unknown or non-index parent '{p}'"),
+            ParseErrorKind::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+            ParseErrorKind::BadWeight(w) => write!(f, "bad weight '{w}'"),
+            ParseErrorKind::MisplacedRoot => write!(f, "exactly one root ('-' parent) required"),
+            ParseErrorKind::Invalid(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the text format into a validated tree.
+pub fn parse_tree(input: &str) -> Result<IndexTree, ParseError> {
+    let mut builder = TreeBuilder::new();
+    let mut by_label: HashMap<String, NodeId> = HashMap::new();
+    let err = |line: usize, kind: ParseErrorKind| ParseError { line, kind };
+
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "index" => {
+                if fields.len() != 3 {
+                    return Err(err(line_no, ParseErrorKind::WrongArity));
+                }
+                let (label, parent) = (fields[1], fields[2]);
+                if by_label.contains_key(label) {
+                    return Err(err(line_no, ParseErrorKind::DuplicateLabel(label.into())));
+                }
+                let id = if parent == "-" {
+                    if !builder.is_empty() {
+                        return Err(err(line_no, ParseErrorKind::MisplacedRoot));
+                    }
+                    builder.root(label)
+                } else {
+                    let &pid = by_label
+                        .get(parent)
+                        .ok_or_else(|| err(line_no, ParseErrorKind::BadParent(parent.into())))?;
+                    builder
+                        .add_index(pid, label)
+                        .map_err(|_| err(line_no, ParseErrorKind::BadParent(parent.into())))?
+                };
+                by_label.insert(label.to_string(), id);
+            }
+            "data" => {
+                if fields.len() != 4 {
+                    return Err(err(line_no, ParseErrorKind::WrongArity));
+                }
+                let (label, parent, weight_s) = (fields[1], fields[2], fields[3]);
+                if by_label.contains_key(label) {
+                    return Err(err(line_no, ParseErrorKind::DuplicateLabel(label.into())));
+                }
+                if parent == "-" {
+                    return Err(err(line_no, ParseErrorKind::MisplacedRoot));
+                }
+                let weight = weight_s
+                    .parse::<f64>()
+                    .ok()
+                    .and_then(|w| Weight::new(w).ok())
+                    .ok_or_else(|| err(line_no, ParseErrorKind::BadWeight(weight_s.into())))?;
+                let &pid = by_label
+                    .get(parent)
+                    .ok_or_else(|| err(line_no, ParseErrorKind::BadParent(parent.into())))?;
+                let id = builder
+                    .add_data(pid, weight, label)
+                    .map_err(|_| err(line_no, ParseErrorKind::BadParent(parent.into())))?;
+                by_label.insert(label.to_string(), id);
+            }
+            other => {
+                return Err(err(line_no, ParseErrorKind::UnknownDirective(other.into())));
+            }
+        }
+    }
+    builder
+        .build()
+        .map_err(|e| err(0, ParseErrorKind::Invalid(e.to_string())))
+}
+
+/// Serializes a tree back to the text format (preorder, parents first).
+pub fn format_tree(tree: &IndexTree) -> String {
+    let mut out = String::new();
+    for &id in tree.preorder() {
+        let label = tree.label(id);
+        let parent = tree
+            .parent(id)
+            .map_or_else(|| "-".to_string(), |p| tree.label(p));
+        if tree.is_data(id) {
+            out.push_str(&format!("data {label} {parent} {}\n", tree.weight(id)));
+        } else {
+            out.push_str(&format!("index {label} {parent}\n"));
+        }
+    }
+    out
+}
+
+/// The Fig. 1(a) paper example in text form (the CLI's `--demo` input).
+pub const DEMO: &str = "\
+# Fig. 1(a) of Lo & Chen, ICDE 2000
+index 1 -
+index 2 1
+data  A 2 20
+data  B 2 10
+index 3 1
+data  E 3 18
+index 4 3
+data  C 4 15
+data  D 4 7
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_parses_to_the_paper_tree() {
+        let t = parse_tree(DEMO).unwrap();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.total_weight().get(), 70.0);
+        let e = t.find_by_label("E").unwrap();
+        assert_eq!(t.weight(e).get(), 18.0);
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let t = parse_tree(DEMO).unwrap();
+        let text = format_tree(&t);
+        let t2 = parse_tree(&text).unwrap();
+        assert_eq!(format_tree(&t2), text);
+        assert_eq!(t2.len(), t.len());
+    }
+
+    #[test]
+    fn error_positions_and_kinds() {
+        let bad = "index 1 -\nfoo A 1 3\n";
+        let e = parse_tree(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ParseErrorKind::UnknownDirective(_)));
+
+        let e = parse_tree("index 1 -\ndata A 1 -5\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadWeight(_)));
+
+        let e = parse_tree("index 1 -\ndata A nosuch 5\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadParent(_)));
+
+        let e = parse_tree("index 1 -\ndata A 1 5\ndata A 1 5\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::DuplicateLabel(_)));
+
+        let e = parse_tree("index 1 -\nindex 2 -\ndata A 1 5\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MisplacedRoot));
+
+        // Childless index node caught at build time.
+        let e = parse_tree("index 1 -\nindex 2 1\ndata A 1 5\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Invalid(_)));
+    }
+
+    #[test]
+    fn data_parent_rejected() {
+        let e = parse_tree("index 1 -\ndata A 1 5\ndata B A 3\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadParent(_)));
+    }
+
+    #[test]
+    fn roundtrip_on_random_trees() {
+        use bcast_workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+        for seed in 0..15u64 {
+            let cfg = RandomTreeConfig {
+                data_nodes: 1 + (seed as usize % 20),
+                max_fanout: 5,
+                weights: FrequencyDist::Uniform { lo: 0.0, hi: 99.0 },
+            };
+            let t = random_tree(&cfg, seed);
+            let t2 = parse_tree(&format_tree(&t)).unwrap();
+            assert_eq!(t2.len(), t.len(), "seed {seed}");
+            assert_eq!(t2.num_data_nodes(), t.num_data_nodes());
+            assert!((t2.total_weight().get() - t.total_weight().get()).abs() < 1e-9);
+            // Structure preserved: same preorder labels and levels.
+            for (&a, &b) in t.preorder().iter().zip(t2.preorder()) {
+                assert_eq!(t.label(a), t2.label(b));
+                assert_eq!(t.level(a), t2.level(b));
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_tree("\n# hi\nindex r -   # root\ndata x r 1.5\n\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_weight().get(), 1.5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Black-box tests of the `bcast` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bcast() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bcast"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bcast().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "bcast {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn optimal_demo_two_channels() {
+    let out = run_ok(&["optimal", "--demo", "--channels", "2"]);
+    assert!(out.contains("3.7714"), "expected the paper optimum: {out}");
+    assert!(out.contains("C1 |"));
+}
+
+#[test]
+fn render_demo() {
+    let out = run_ok(&["render", "--demo"]);
+    assert!(out.contains("A (w=20)"));
+    assert!(out.contains("9 nodes"));
+}
+
+#[test]
+fn simulate_demo_traces_an_access() {
+    let out = run_ok(&[
+        "simulate", "--demo", "--channels", "2", "--item", "C", "--tune-in", "3",
+    ]);
+    assert!(out.contains("fetch 'C'"));
+    assert!(out.contains("fleet expectation"));
+}
+
+#[test]
+fn heuristic_with_replication_advice() {
+    let out = run_ok(&[
+        "heuristic", "--demo", "--channels", "1", "--method", "sorting", "--replicas", "8",
+    ]);
+    assert!(out.contains("heuristic: sorting"));
+    assert!(out.contains("best root replication"));
+}
+
+#[test]
+fn gen_pipes_into_optimal() {
+    let tree_text = run_ok(&["gen", "--items", "6", "--dist", "uniform", "--seed", "9"]);
+    assert!(tree_text.starts_with("index"));
+    let mut child = bcast()
+        .args(["optimal", "--channels", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(tree_text.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("average data wait"));
+}
+
+#[test]
+fn helpful_errors() {
+    let out = bcast()
+        .args(["optimal", "--demo"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--channels"));
+
+    let out = bcast()
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bcast()
+        .args(["simulate", "--demo", "--channels", "2", "--item", "ZZZ"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no node labeled"));
+}
+
+#[test]
+fn zero_channels_is_a_clean_error() {
+    let out = bcast()
+        .args(["optimal", "--demo", "--channels", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("at least 1"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = bcast()
+        .args(["optimal", "--demo", "--channels", "2", "--chanels", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --chanels"));
+}
+
+#[test]
+fn tune_in_past_cycle_wraps_cyclically() {
+    let a = run_ok(&[
+        "simulate", "--demo", "--channels", "2", "--item", "C", "--tune-in", "99",
+    ]);
+    assert!(!a.contains("4294"), "no u32 underflow in probe wait: {a}");
+}
+
+#[test]
+fn compare_lists_every_method() {
+    let out = run_ok(&["compare", "--demo", "--channels", "2"]);
+    for m in ["optimal", "sorting", "frontier greedy", "random"] {
+        assert!(out.contains(m), "missing {m}: {out}");
+    }
+    assert!(out.contains("3.7714"), "paper optimum shown: {out}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("optimal"));
+    assert!(out.contains("heuristic"));
+}

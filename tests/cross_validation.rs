@@ -1,0 +1,107 @@
+//! §2.2 cross-validation: the index-and-data allocation problem really is
+//! the Personnel Assignment Problem the paper reduces it to.
+//!
+//! A 1-channel instance encodes as a PAP with jobs = tree nodes, persons =
+//! broadcast positions `0..n`, cost `C(d, p) = W(d)·(p + 1)` for data nodes
+//! (zero for index nodes), and precedences = tree edges. The PAP optimum's
+//! cost must equal the allocation optimum's unnormalized weighted wait —
+//! two completely independent solver stacks agreeing on every instance.
+
+use broadcast_alloc::alloc::{find_optimal, OptimalOptions};
+use broadcast_alloc::assignment::{solve_branch_and_bound, PapInstance};
+use broadcast_alloc::tree::{builders, IndexTree};
+use broadcast_alloc::types::NodeId;
+use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+
+/// Encodes a 1-channel allocation instance as a PAP.
+fn encode(tree: &IndexTree) -> PapInstance {
+    let n = tree.len();
+    let mut pap = PapInstance::new(n);
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        if tree.is_data(node) {
+            for p in 0..n {
+                pap.set_cost(i, p, tree.weight(node).get() * (p + 1) as f64);
+            }
+        }
+        if let Some(parent) = tree.parent(node) {
+            pap.add_precedence(parent.index(), i).expect("in range");
+        }
+    }
+    pap
+}
+
+#[test]
+fn pap_and_allocator_agree_on_paper_example() {
+    let tree = builders::paper_example();
+    let pap = encode(&tree);
+    let pap_sol = solve_branch_and_bound(&pap).unwrap();
+    let alloc = find_optimal(&tree, 1, &OptimalOptions::default()).unwrap();
+    let weighted = alloc.data_wait * tree.total_weight().get();
+    assert!(
+        (pap_sol.cost - weighted).abs() < 1e-9,
+        "PAP {} vs allocator {weighted}",
+        pap_sol.cost
+    );
+    // The PAP solution is a feasible broadcast order.
+    assert!(pap.is_feasible(&pap_sol.person_of));
+}
+
+#[test]
+fn pap_and_allocator_agree_on_random_trees() {
+    for seed in 0..25u64 {
+        let cfg = RandomTreeConfig {
+            data_nodes: 2 + (seed as usize % 5),
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let pap = encode(&tree);
+        let pap_sol = solve_branch_and_bound(&pap).unwrap();
+        let alloc = find_optimal(&tree, 1, &OptimalOptions::default()).unwrap();
+        let weighted = alloc.data_wait * tree.total_weight().get();
+        assert!(
+            (pap_sol.cost - weighted).abs() < 1e-9,
+            "seed {seed}: PAP {} vs allocator {weighted}",
+            pap_sol.cost
+        );
+    }
+}
+
+#[test]
+fn capacitated_pap_matches_multi_channel_allocator() {
+    // §2.2 / Fig. 4(b): the multi-channel mapping gives each person (slot)
+    // up to k jobs. The capacitated PAP solver must agree with the
+    // allocation search on every instance.
+    use broadcast_alloc::assignment::solve_capacitated;
+    for seed in 0..15u64 {
+        let cfg = RandomTreeConfig {
+            data_nodes: 2 + (seed as usize % 4),
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        for k in 1..=3usize {
+            let pap = encode(&tree);
+            let sol = solve_capacitated(&pap, k).unwrap();
+            let alloc = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
+            let weighted = alloc.data_wait * tree.total_weight().get();
+            assert!(
+                (sol.cost - weighted).abs() < 1e-9,
+                "seed {seed} k {k}: capacitated PAP {} vs allocator {weighted}",
+                sol.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_partial_order_has_five_extensions() {
+    // The paper's Fig. 3 PAP example: J1≤J3, J2≤J4, J2≤J3.
+    use broadcast_alloc::assignment::count_linear_extensions;
+    let mut pap = PapInstance::new(4);
+    pap.add_precedence(0, 2).unwrap();
+    pap.add_precedence(1, 3).unwrap();
+    pap.add_precedence(1, 2).unwrap();
+    assert_eq!(count_linear_extensions(&pap).unwrap(), 5);
+}

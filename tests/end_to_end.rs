@@ -1,0 +1,92 @@
+//! One realistic pipeline exercised end to end through the public facade:
+//! workload → index-tree construction → optimal allocation → channel
+//! assignment → pointer materialization → client simulation, with the
+//! invariants each stage promises the next.
+
+use broadcast_alloc::alloc::{find_optimal, OptimalOptions, Strategy};
+use broadcast_alloc::channel::{simulator, BroadcastProgram};
+use broadcast_alloc::tree::{knary, TreeStats};
+use broadcast_alloc::types::Slot;
+use broadcast_alloc::workloads::FrequencyDist;
+
+#[test]
+fn full_pipeline_zipf_catalog() {
+    const ITEMS: usize = 24;
+    const CHANNELS: usize = 3;
+    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 500.0 }.sample(ITEMS, 123);
+
+    // Stage 1: searchable skewed index.
+    let tree = knary::build_alphabetic_knary(&weights, 4).unwrap();
+    tree.check_invariants().unwrap();
+    let stats = TreeStats::of(&tree);
+    assert_eq!(stats.data_nodes, ITEMS);
+    assert!(stats.max_fanout <= 4);
+
+    // Stage 2: exact allocation.
+    let result = find_optimal(&tree, CHANNELS, &OptimalOptions::default()).unwrap();
+    assert!(result.schedule.max_width() <= CHANNELS);
+
+    // Stage 3: channel assignment (§3.1 rules) and validation.
+    let alloc = result.schedule.into_allocation(&tree, CHANNELS).unwrap();
+    alloc.validate(&tree).unwrap();
+    assert_eq!(alloc.placed(), tree.len());
+
+    // Stage 4: pointers.
+    let program = BroadcastProgram::build(&alloc, &tree).unwrap();
+    assert_eq!(program.occupancy(), tree.len());
+    assert!(program.utilization() > 0.0 && program.utilization() <= 1.0);
+
+    // Stage 5: every item reachable from every tune-in slot, and the
+    // measured wait equals the optimizer's objective.
+    for &d in tree.data_nodes() {
+        for t in [1u32, (program.cycle_len() / 2) as u32 + 1, program.cycle_len() as u32] {
+            simulator::access(&program, &tree, d, Slot(t)).unwrap();
+        }
+    }
+    let metrics = simulator::aggregate_metrics(&program, &tree).unwrap();
+    assert!((metrics.avg_data_wait - result.data_wait).abs() < 1e-9);
+}
+
+#[test]
+fn corollary_fast_path_activates_on_wide_budgets() {
+    let weights = FrequencyDist::Uniform { lo: 1.0, hi: 10.0 }.sample(6, 9);
+    let tree = knary::build_alphabetic_knary(&weights, 3).unwrap();
+    let wide = tree.max_level_width();
+    let r = find_optimal(&tree, wide, &OptimalOptions::default()).unwrap();
+    assert_eq!(r.strategy_used, Strategy::Corollary1);
+    assert_eq!(r.nodes_expanded, 0);
+    // And it matches the exhaustive optimum.
+    let exact = find_optimal(
+        &tree,
+        wide,
+        &OptimalOptions {
+            strategy: Strategy::Exhaustive,
+            ..OptimalOptions::default()
+        },
+    )
+    .unwrap();
+    assert!((r.data_wait - exact.data_wait).abs() < 1e-9);
+}
+
+#[test]
+fn node_limited_search_falls_back_to_heuristic_cleanly() {
+    use broadcast_alloc::alloc::heuristics::sorting;
+    use broadcast_alloc::alloc::SearchError;
+    let weights = FrequencyDist::Zipf { theta: 0.8, scale: 100.0 }.sample(40, 3);
+    let tree = knary::build_weight_balanced(&weights, 4).unwrap();
+    // A tiny budget forces the error the caller is supposed to handle by
+    // switching to a heuristic — the documented large-instance workflow.
+    let err = find_optimal(
+        &tree,
+        2,
+        &OptimalOptions {
+            strategy: Strategy::BestFirst,
+            node_limit: Some(5),
+            ..OptimalOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, SearchError::NodeLimitExceeded { .. }));
+    let fallback = sorting::sorting_schedule(&tree, 2);
+    fallback.into_allocation(&tree, 2).unwrap();
+}

@@ -1,0 +1,85 @@
+//! Property-based workspace tests: every heuristic and baseline produces a
+//! feasible schedule bracketed by the analytic lower bound and never beats
+//! the exact optimum where the optimum is computable.
+
+use broadcast_alloc::alloc::heuristics::{shrink, sorting};
+use broadcast_alloc::alloc::{baselines, find_optimal, OptimalOptions};
+use broadcast_alloc::channel::cost;
+use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn heuristics_bracketed_by_bound_and_optimum(
+        n in 2usize..7,
+        k in 1usize..4,
+        seed in 0u64..400,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 60.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let lower = cost::data_wait_lower_bound(&tree, k);
+        let optimal = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
+        prop_assert!(optimal.data_wait >= lower - 1e-9);
+
+        for (name, wait) in [
+            ("sorting", sorting::sorting_schedule(&tree, k).average_data_wait(&tree)),
+            ("shrink", shrink::combine_solve(&tree, k, 6).data_wait),
+            ("partition", shrink::partition_solve(&tree, k, 6).data_wait),
+            ("frontier", baselines::greedy_frontier(&tree, k).average_data_wait(&tree)),
+        ] {
+            prop_assert!(
+                wait >= optimal.data_wait - 1e-9,
+                "{name} ({wait}) beat the optimum ({}) — impossible",
+                optimal.data_wait
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_feasible_on_large_irregular_trees(
+        n in 50usize..400,
+        k in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: 7,
+            weights: FrequencyDist::SelfSimilar { fraction: 0.25, total: 10_000.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        for schedule in [
+            sorting::sorting_schedule(&tree, k),
+            shrink::combine_solve(&tree, k, 10).schedule,
+            shrink::partition_solve(&tree, k, 10).schedule,
+            baselines::greedy_frontier(&tree, k),
+        ] {
+            prop_assert_eq!(schedule.node_count(), tree.len());
+            schedule.into_allocation(&tree, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn more_channels_never_hurt_the_optimum(
+        n in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 40.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let mut prev = f64::INFINITY;
+        for k in 1..=4usize {
+            let r = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
+            prop_assert!(r.data_wait <= prev + 1e-9, "k={k}: {} > {prev}", r.data_wait);
+            prev = r.data_wait;
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end reproduction of every number the paper states for its
+//! running example (Fig. 1(a) tree), exercised through the facade crate.
+
+use broadcast_alloc::alloc::data_tree::{count_paths, PruneLevel};
+use broadcast_alloc::alloc::{find_optimal, topo_tree, OptimalOptions, Strategy};
+use broadcast_alloc::channel::{cost, Allocation};
+use broadcast_alloc::tree::builders;
+use broadcast_alloc::types::NodeId;
+
+fn ids(tree: &broadcast_alloc::tree::IndexTree, labels: &[&str]) -> Vec<NodeId> {
+    labels
+        .iter()
+        .map(|l| tree.find_by_label(l).expect("label exists"))
+        .collect()
+}
+
+#[test]
+fn fig2a_one_channel_costs_6_01() {
+    let t = builders::paper_example();
+    let seq = ids(&t, &["1", "3", "E", "4", "C", "D", "2", "A", "B"]);
+    let a = Allocation::from_sequence(&seq, &t).unwrap();
+    // Paper: (18·3 + 15·5 + 7·6 + 20·8 + 10·9)/70 = 6.01.
+    assert!((cost::average_data_wait(&a, &t) - 421.0 / 70.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig2b_two_channel_costs_3_88() {
+    let t = builders::paper_example();
+    let slots = vec![
+        ids(&t, &["1"]),
+        ids(&t, &["2", "3"]),
+        ids(&t, &["A", "B"]),
+        ids(&t, &["4", "E"]),
+        ids(&t, &["C", "D"]),
+    ];
+    let a = Allocation::from_slot_schedule(&slots, &t, 2).unwrap();
+    // Paper: (20·3 + 10·3 + 18·4 + 15·5 + 7·5)/70 = 3.88.
+    assert!((cost::average_data_wait(&a, &t) - 272.0 / 70.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig2b_is_not_optimal_the_optimum_is_3_77() {
+    // The paper presents Fig. 2(b) as "a possible allocation"; the true
+    // 2-channel optimum for the example is 264/70 ≈ 3.771
+    // (1 | 2 3 | A E | B 4 | C D).
+    let t = builders::paper_example();
+    let r = find_optimal(&t, 2, &OptimalOptions::default()).unwrap();
+    assert!((r.data_wait - 264.0 / 70.0).abs() < 1e-12);
+    assert!(r.data_wait < 272.0 / 70.0);
+}
+
+#[test]
+fn example1_neighbor_counts() {
+    // Paper Example 1: Neighbor_1 of {1,2,A} has 2 elements ({3},{B});
+    // Neighbor_2 of {1,2,3} (two-channel) has 6 elements.
+    let t = builders::paper_example();
+    // Unpruned expansions checked via Algorithm 1's subset rule:
+    // |S| = 2, k = 1 → 2 children; |S| = 4, k = 2 → C(4,2) = 6.
+    // (Direct assertions live in bcast-core; here we pin the space sizes.)
+    assert_eq!(topo_tree::count_paths(&t, 1), 896);
+}
+
+#[test]
+fn data_tree_prunes_to_a_handful_of_paths() {
+    let t = builders::paper_example();
+    let p2 = count_paths(&t, PruneLevel::P2);
+    let p12 = count_paths(&t, PruneLevel::P12);
+    let p124 = count_paths(&t, PruneLevel::P124);
+    assert!(p2 > p12 && p12 > p124);
+    // Paper Fig. 12 reports 3 surviving paths; our Property-1/Property-4
+    // interleaving keeps 4 (a superset — see EXPERIMENTS.md).
+    assert_eq!(p124, 4);
+}
+
+#[test]
+fn optimal_strategies_cross_agree_on_paper_tree() {
+    let t = builders::paper_example();
+    for k in 1..=4usize {
+        let exhaustive = find_optimal(
+            &t,
+            k,
+            &OptimalOptions {
+                strategy: Strategy::Exhaustive,
+                ..OptimalOptions::default()
+            },
+        )
+        .unwrap();
+        let auto = find_optimal(&t, k, &OptimalOptions::default()).unwrap();
+        assert!(
+            (auto.data_wait - exhaustive.data_wait).abs() < 1e-9,
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn one_channel_optimum_is_the_sorted_fig13_broadcast() {
+    // For this example the Index Tree Sorting heuristic is exactly optimal
+    // on one channel: 1 2 A B 3 E 4 C D at 391/70 ≈ 5.586 buckets.
+    let t = builders::paper_example();
+    let r = find_optimal(&t, 1, &OptimalOptions::default()).unwrap();
+    assert!((r.data_wait - 391.0 / 70.0).abs() < 1e-12);
+    let s = broadcast_alloc::alloc::heuristics::sorting::sorting_schedule(&t, 1);
+    assert!((s.average_data_wait(&t) - 391.0 / 70.0).abs() < 1e-12);
+}

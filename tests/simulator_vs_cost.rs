@@ -1,0 +1,94 @@
+//! The client simulator and the analytic cost model must tell the same
+//! story on every allocation any component of the library can produce.
+
+use broadcast_alloc::alloc::heuristics::{shrink, sorting};
+use broadcast_alloc::alloc::{baselines, find_optimal, OptimalOptions, Schedule};
+use broadcast_alloc::channel::{cost, simulator, BroadcastProgram};
+use broadcast_alloc::tree::IndexTree;
+use broadcast_alloc::types::Slot;
+use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+
+fn check(tree: &IndexTree, schedule: &Schedule, k: usize, what: &str) {
+    let alloc = schedule
+        .into_allocation(tree, k)
+        .unwrap_or_else(|e| panic!("{what}: infeasible: {e}"));
+    let program = BroadcastProgram::build(&alloc, tree).expect("valid program");
+    let sim = simulator::aggregate_metrics(&program, tree).expect("all reachable");
+    let analytic = cost::average_data_wait(&alloc, tree);
+    assert!(
+        (sim.avg_data_wait - analytic).abs() < 1e-9,
+        "{what}: simulator {} vs analytic {analytic}",
+        sim.avg_data_wait
+    );
+    assert!(
+        (sim.avg_access_time
+            - (cost::expected_probe_wait(alloc.cycle_len()) + analytic - 1.0))
+            .abs()
+            < 1e-9,
+        "{what}: access-time decomposition"
+    );
+    // Tuning time is at least 2 buckets (probe + data) and at most
+    // depth + 1.
+    assert!(sim.avg_tuning_time >= 2.0 - 1e-9, "{what}");
+    assert!(
+        sim.avg_tuning_time <= tree.depth() as f64 + 1.0 + 1e-9,
+        "{what}: tuning {} vs depth {}",
+        sim.avg_tuning_time,
+        tree.depth()
+    );
+}
+
+#[test]
+fn every_producer_agrees_with_the_simulator() {
+    for seed in 0..12u64 {
+        let cfg = RandomTreeConfig {
+            data_nodes: 3 + (seed as usize % 8),
+            max_fanout: 4,
+            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        for k in 1..=3usize {
+            let opt = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
+            check(&tree, &opt.schedule, k, "optimal");
+            check(&tree, &sorting::sorting_schedule(&tree, k), k, "sorting");
+            check(
+                &tree,
+                &shrink::combine_solve(&tree, k, 8).schedule,
+                k,
+                "shrink",
+            );
+            check(&tree, &baselines::greedy_frontier(&tree, k), k, "frontier");
+            check(
+                &tree,
+                &baselines::preorder_schedule(&tree, k),
+                k,
+                "preorder",
+            );
+            check(
+                &tree,
+                &baselines::random_feasible(&tree, k, seed),
+                k,
+                "random",
+            );
+        }
+    }
+}
+
+#[test]
+fn probe_wait_covers_every_tune_in_slot() {
+    // Simulated probe wait from slot t must be cycle_len - t + 1; averaged
+    // over all slots that is (L + 1)/2, the analytic expectation.
+    let tree = broadcast_alloc::tree::builders::paper_example();
+    let opt = find_optimal(&tree, 2, &OptimalOptions::default()).unwrap();
+    let alloc = opt.schedule.into_allocation(&tree, 2).unwrap();
+    let program = BroadcastProgram::build(&alloc, &tree).unwrap();
+    let target = tree.find_by_label("C").unwrap();
+    let cycle = program.cycle_len() as u32;
+    let mut total = 0.0;
+    for t in 1..=cycle {
+        let trace = simulator::access(&program, &tree, target, Slot(t)).unwrap();
+        assert_eq!(trace.probe_wait, cycle - t + 1);
+        total += f64::from(trace.probe_wait);
+    }
+    assert!((total / f64::from(cycle) - cost::expected_probe_wait(cycle as usize)).abs() < 1e-9);
+}

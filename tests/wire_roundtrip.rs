@@ -1,0 +1,74 @@
+//! End-to-end wire-format test: a client that only sees *decoded bytes*
+//! (never the in-memory program) must still navigate to every data item.
+
+use broadcast_alloc::alloc::{find_optimal, OptimalOptions};
+use broadcast_alloc::channel::{wire, BroadcastProgram, Bucket};
+use broadcast_alloc::tree::knary;
+use broadcast_alloc::types::{ChannelId, NodeId};
+use broadcast_alloc::workloads::FrequencyDist;
+use bytes::Bytes;
+
+#[test]
+fn client_navigates_from_decoded_bytes_only() {
+    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 100.0 }.sample(12, 5);
+    let tree = knary::build_alphabetic_knary(&weights, 3).unwrap();
+    let k = 2usize;
+    let result = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
+    let alloc = result.schedule.into_allocation(&tree, k).unwrap();
+    let program = BroadcastProgram::build(&alloc, &tree).unwrap();
+
+    // Transmit: every channel serialized independently.
+    let payload = |n: NodeId| Bytes::from(format!("payload-of-{}", tree.label(n)));
+    let air: Vec<Vec<wire::WireBucket>> = (0..k)
+        .map(|c| {
+            let encoded = wire::encode_channel(&program, ChannelId::from_index(c), payload);
+            wire::decode_channel(encoded).expect("self-produced stream decodes")
+        })
+        .collect();
+
+    // Receive: for every data node, walk pointers using only the decoded
+    // buckets, starting from the root at (C1, slot 1).
+    for &target in tree.data_nodes() {
+        let mut on_path: Vec<NodeId> = tree.ancestors(target).collect();
+        on_path.push(target);
+        let (mut ch, mut slot) = (0usize, 0usize); // root position
+        let payload_bytes = loop {
+            let bucket = &air[ch][slot];
+            match &bucket.bucket {
+                Bucket::Data { node } => {
+                    assert_eq!(*node, target, "landed on the wrong data bucket");
+                    break bucket.payload.clone();
+                }
+                Bucket::Index { pointers, .. } => {
+                    let ptr = pointers
+                        .iter()
+                        .find(|p| on_path.contains(&p.child))
+                        .expect("index bucket routes toward every descendant");
+                    ch = ptr.channel.index();
+                    slot += ptr.offset as usize;
+                }
+                Bucket::Empty => panic!("pointer led to an empty bucket"),
+            }
+        };
+        assert_eq!(
+            payload_bytes,
+            Bytes::from(format!("payload-of-{}", tree.label(target)))
+        );
+    }
+}
+
+#[test]
+fn corrupted_stream_fails_closed() {
+    let weights = FrequencyDist::Uniform { lo: 1.0, hi: 9.0 }.sample(4, 1);
+    let tree = knary::build_alphabetic_knary(&weights, 2).unwrap();
+    let result = find_optimal(&tree, 1, &OptimalOptions::default()).unwrap();
+    let alloc = result.schedule.into_allocation(&tree, 1).unwrap();
+    let program = BroadcastProgram::build(&alloc, &tree).unwrap();
+    let encoded =
+        wire::encode_channel(&program, ChannelId::FIRST, |_| Bytes::from_static(b"x"));
+    // Flip the kind byte of the first bucket to garbage.
+    let mut raw = encoded.to_vec();
+    raw[0] = 0xFF;
+    let err = wire::decode_channel(Bytes::from(raw)).unwrap_err();
+    assert_eq!(err, wire::WireError::BadKind(0xFF));
+}
