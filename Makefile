@@ -1,0 +1,31 @@
+# Convenience targets; the source of truth for CI gating is `make check`.
+#
+# The workspace builds fully offline (all third-party code is vendored as
+# path dependencies under third_party/), so every target passes --offline.
+
+CARGO ?= cargo
+OFFLINE ?= --offline
+
+.PHONY: check build test stress bench clippy fmt
+
+# The tier-1 gate: release build, the full default suite, then the
+# #[ignore]-gated parallel-search stress tests in release mode.
+check: build test stress
+
+build:
+	$(CARGO) build --release $(OFFLINE)
+
+test:
+	$(CARGO) test -q $(OFFLINE)
+
+stress:
+	$(CARGO) test --release $(OFFLINE) -- --ignored stress
+
+bench:
+	$(CARGO) bench $(OFFLINE) -p bcast-bench --bench search_strategies
+
+clippy:
+	$(CARGO) clippy $(OFFLINE) --workspace --all-targets
+
+fmt:
+	$(CARGO) fmt --all

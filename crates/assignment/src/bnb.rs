@@ -1,4 +1,4 @@
-//! Branch-and-bound PAP solver.
+//! Branch-and-bound PAP solver, sequential and parallel.
 //!
 //! Walks the topological tree depth-first (person `i` receives the `i`-th
 //! job chosen), pruning a branch when
@@ -10,14 +10,47 @@
 //! already meets the incumbent. The bound is admissible: every unassigned
 //! job will get *some* remaining person, each at at least its own minimum,
 //! so the sum never overestimates.
+//!
+//! The incumbent is a [`SharedIncumbent`] — the same fixed-point atomic the
+//! parallel best-first engine uses — so [`solve_branch_and_bound_parallel`]
+//! can split the root-level branches (jobs assignable to person 0) across
+//! threads that prune against each other's discoveries. PAP costs may be
+//! negative (the incumbent's fixed-point domain is non-negative), so all
+//! published values are shifted by `n · max(0, −min cost)`; the shift is a
+//! constant over complete assignments and over every node's lower bound at
+//! the same uniform offset, so comparisons are unchanged. Exact `f64` costs
+//! are kept under a mutex, making the reported optimum quantization-free.
 
 use crate::problem::{PapError, PapInstance, PapSolution};
+use bcast_types::incumbent::to_fixed_ceil;
+use bcast_types::SharedIncumbent;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
-/// Solves the instance exactly by branch and bound.
+/// Solves the instance exactly by branch and bound, single-threaded.
 ///
 /// Returns the same optimum as [`crate::solve_exhaustive`] (asserted by
 /// property tests) while exploring far fewer orders on structured costs.
 pub fn solve_branch_and_bound(instance: &PapInstance) -> Result<PapSolution, PapError> {
+    solve(instance, 1)
+}
+
+/// Solves the instance exactly with `threads` workers sharing one
+/// incumbent.
+///
+/// The root-level branches — the jobs whose precedence constraints allow
+/// them to go to person 0 — are distributed round-robin; each worker runs
+/// the sequential depth-first search under its branches, pruning against
+/// the shared incumbent. Same optimum as the sequential solver for any
+/// thread count.
+pub fn solve_branch_and_bound_parallel(
+    instance: &PapInstance,
+    threads: NonZeroUsize,
+) -> Result<PapSolution, PapError> {
+    solve(instance, threads.get())
+}
+
+fn solve(instance: &PapInstance, threads: usize) -> Result<PapSolution, PapError> {
     instance.validate()?;
     let n = instance.len();
     if n == 0 {
@@ -43,76 +76,130 @@ pub fn solve_branch_and_bound(instance: &PapInstance) -> Result<PapSolution, Pap
         }
     }
 
-    struct Search<'a> {
-        instance: &'a PapInstance,
-        suffix_min: Vec<f64>,
-        counts: Vec<usize>,
-        person_of: Vec<usize>,
-        best_person_of: Vec<usize>,
-        best_cost: f64,
-        nodes_expanded: u64,
-    }
+    // Shift making every published value non-negative (see module docs).
+    let min_cost = (0..n)
+        .flat_map(|j| (0..n).map(move |p| (j, p)))
+        .map(|(j, p)| instance.cost(j, p))
+        .filter(|c| c.is_finite())
+        .fold(0.0f64, f64::min);
+    let shift_total = n as f64 * (-min_cost).max(0.0);
 
-    impl Search<'_> {
-        fn bound(&self, next_person: usize) -> f64 {
-            let n = self.instance.len();
-            (0..n)
-                .filter(|&j| self.counts[j] != usize::MAX)
-                .map(|j| self.suffix_min[j * (n + 1) + next_person])
-                .sum()
-        }
+    let incumbent = SharedIncumbent::new();
+    let best: Mutex<Option<(f64, Vec<usize>)>> = Mutex::new(None);
 
-        fn dfs(&mut self, next_person: usize, partial: f64) {
-            let n = self.instance.len();
-            if next_person == n {
-                if partial < self.best_cost {
-                    self.best_cost = partial;
-                    self.best_person_of.clone_from(&self.person_of);
-                }
-                return;
-            }
-            if partial + self.bound(next_person) >= self.best_cost {
-                return;
-            }
-            for j in 0..n {
-                if self.counts[j] != 0 {
-                    continue;
-                }
-                self.nodes_expanded += 1;
-                self.counts[j] = usize::MAX;
-                // Work around split borrows: collect successors via the
-                // instance reference held in `self`.
-                for s in 0..self.instance.successors(j).len() {
-                    let succ = self.instance.successors(j)[s];
-                    self.counts[succ] -= 1;
-                }
-                self.person_of[j] = next_person;
-                let cost = self.instance.cost(j, next_person);
-                self.dfs(next_person + 1, partial + cost);
-                for s in 0..self.instance.successors(j).len() {
-                    let succ = self.instance.successors(j)[s];
-                    self.counts[succ] += 1;
-                }
-                self.counts[j] = 0;
-            }
-        }
-    }
-
-    let mut search = Search {
+    let roots: Vec<usize> = (0..n).filter(|&j| instance.pred_count(j) == 0).collect();
+    let make_search = || Search {
         instance,
-        suffix_min,
+        suffix_min: &suffix_min,
+        shift_total,
+        incumbent: &incumbent,
+        best: &best,
         counts: (0..n).map(|j| instance.pred_count(j)).collect(),
         person_of: vec![0; n],
-        best_person_of: vec![0; n],
-        best_cost: f64::INFINITY,
-        nodes_expanded: 0,
     };
-    search.dfs(0, 0.0);
-    debug_assert!(instance.is_feasible(&search.best_person_of));
-    Ok(PapSolution {
-        person_of: search.best_person_of,
-        cost: search.best_cost,
-    })
+    if threads <= 1 || roots.len() <= 1 {
+        let mut search = make_search();
+        for &j in &roots {
+            search.branch(j, 0, 0.0);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..threads.min(roots.len()) {
+                let my_roots: Vec<usize> = roots
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(_, &j)| j)
+                    .collect();
+                let mut search = make_search();
+                scope.spawn(move || {
+                    for j in my_roots {
+                        search.branch(j, 0, 0.0);
+                    }
+                });
+            }
+        });
+    }
+
+    let (cost, person_of) = best
+        .into_inner()
+        .expect("best mutex")
+        .expect("an acyclic instance always admits a topological assignment");
+    debug_assert!(instance.is_feasible(&person_of));
+    Ok(PapSolution { person_of, cost })
+}
+
+struct Search<'a> {
+    instance: &'a PapInstance,
+    suffix_min: &'a [f64],
+    shift_total: f64,
+    incumbent: &'a SharedIncumbent,
+    best: &'a Mutex<Option<(f64, Vec<usize>)>>,
+    counts: Vec<usize>,
+    person_of: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn bound(&self, next_person: usize) -> f64 {
+        let n = self.instance.len();
+        (0..n)
+            .filter(|&j| self.counts[j] != usize::MAX)
+            .map(|j| self.suffix_min[j * (n + 1) + next_person])
+            .sum()
+    }
+
+    /// Assigns job `j` to `person`, recurses, and undoes the assignment.
+    fn branch(&mut self, j: usize, person: usize, partial: f64) {
+        self.counts[j] = usize::MAX;
+        // Work around split borrows: collect successors via the instance
+        // reference held in `self`.
+        for s in 0..self.instance.successors(j).len() {
+            let succ = self.instance.successors(j)[s];
+            self.counts[succ] -= 1;
+        }
+        self.person_of[j] = person;
+        let cost = self.instance.cost(j, person);
+        self.dfs(person + 1, partial + cost);
+        for s in 0..self.instance.successors(j).len() {
+            let succ = self.instance.successors(j)[s];
+            self.counts[succ] += 1;
+        }
+        self.counts[j] = 0;
+    }
+
+    fn dfs(&mut self, next_person: usize, partial: f64) {
+        let n = self.instance.len();
+        if next_person == n {
+            self.offer(partial);
+            return;
+        }
+        if self
+            .incumbent
+            .prunes(partial + self.bound(next_person) + self.shift_total)
+        {
+            return;
+        }
+        for j in 0..n {
+            if self.counts[j] != 0 {
+                continue;
+            }
+            self.branch(j, next_person, partial);
+        }
+    }
+
+    /// Publishes a complete assignment; exact `f64` ties within one
+    /// fixed-point quantum are resolved under the mutex.
+    fn offer(&self, total: f64) {
+        let shifted = total + self.shift_total;
+        let improved = self.incumbent.offer(shifted);
+        if improved || to_fixed_ceil(shifted) <= self.incumbent.load_fixed() {
+            let mut best = self.best.lock().expect("best mutex");
+            match best.as_ref() {
+                Some((c, _)) if *c <= total => {}
+                _ => *best = Some((total, self.person_of.clone())),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,38 +243,87 @@ mod tests {
         assert_eq!(sol.person_of, vec![0]);
     }
 
+    #[test]
+    fn negative_costs_are_shifted_not_mangled() {
+        // The fixed-point incumbent only stores non-negative values; the
+        // solver's uniform shift must leave the optimum untouched.
+        let mut p = PapInstance::new(3);
+        p.add_precedence(0, 1).unwrap();
+        let costs = [[-5.0, 2.0, 3.0], [1.0, -4.0, 2.0], [0.5, 1.5, -2.5]];
+        for (j, row) in costs.iter().enumerate() {
+            for (pe, &c) in row.iter().enumerate() {
+                p.set_cost(j, pe, c);
+            }
+        }
+        let a = solve_exhaustive(&p).unwrap();
+        for threads in 1..=3usize {
+            let b = solve_branch_and_bound_parallel(
+                &p,
+                NonZeroUsize::new(threads).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(a.cost, b.cost, "threads={threads}");
+            assert!(p.is_feasible(&b.person_of));
+        }
+    }
+
+    fn random_instance(n: usize, seed: u64, signed: bool) -> PapInstance {
+        // Random DAG (edges i→j for i<j with prob ~1/2) + random costs,
+        // both derived from a tiny deterministic LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = PapInstance::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                if next() % 2 == 0 {
+                    p.add_precedence(i, j).unwrap();
+                }
+            }
+        }
+        for job in 0..n {
+            for pe in 0..n {
+                let c = (next() % 100) as f64;
+                p.set_cost(job, pe, if signed { c - 50.0 } else { c });
+            }
+        }
+        p
+    }
+
     proptest! {
         #[test]
         fn bnb_equals_exhaustive(
             n in 1usize..7,
             seed in 0u64..1000,
         ) {
-            // Random DAG (edges i→j for i<j with prob ~1/2) + random costs,
-            // both derived from a tiny deterministic LCG.
-            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let mut p = PapInstance::new(n);
-            for i in 0..n {
-                for j in i + 1..n {
-                    if next() % 2 == 0 {
-                        p.add_precedence(i, j).unwrap();
-                    }
-                }
-            }
-            for job in 0..n {
-                for pe in 0..n {
-                    p.set_cost(job, pe, (next() % 100) as f64);
-                }
-            }
+            let p = random_instance(n, seed, false);
             let a = solve_exhaustive(&p).unwrap();
             let b = solve_branch_and_bound(&p).unwrap();
             prop_assert!((a.cost - b.cost).abs() < 1e-9,
                 "exhaustive {} != bnb {}", a.cost, b.cost);
+            prop_assert!(p.is_feasible(&b.person_of));
+        }
+
+        #[test]
+        fn parallel_bnb_equals_exhaustive(
+            n in 1usize..7,
+            seed in 0u64..1000,
+            threads in 1usize..5,
+            signed: bool,
+        ) {
+            let p = random_instance(n, seed, signed);
+            let a = solve_exhaustive(&p).unwrap();
+            let b = solve_branch_and_bound_parallel(
+                &p,
+                NonZeroUsize::new(threads).unwrap(),
+            ).unwrap();
+            prop_assert!((a.cost - b.cost).abs() < 1e-9,
+                "n={n} seed={seed} threads={threads}: exhaustive {} != bnb {}",
+                a.cost, b.cost);
             prop_assert!(p.is_feasible(&b.person_of));
         }
     }

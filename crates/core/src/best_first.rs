@@ -2,9 +2,31 @@
 //!
 //! "In general, an optimal path in a k-channel topological tree can be found
 //! by using the best-first search strategy" with the evaluation function
-//! `E(X) = V(X) + U(X)`. Because every [`BoundKind`] is admissible (never
-//! overestimates the completion cost), the first *complete* state popped
-//! from the frontier is optimal — the standard A* argument.
+//! `E(X) = V(X) + U(X)`.
+//!
+//! # Why the result is optimal
+//!
+//! Two different arguments cover the two execution modes:
+//!
+//! * **Sequential** (`threads` unset or 1): every [`BoundKind`] is
+//!   admissible — `U(X)` never overestimates the cost of completing `X` —
+//!   so when the first *complete* state is popped from the frontier, every
+//!   remaining frontier entry has `E ≥` its own true completion cost
+//!   `≥ E` of the popped state, which for a complete state *is* its exact
+//!   cost. Nothing still queued can beat it: the standard A* argument.
+//! * **Parallel** (`threads ≥ 2`, dispatched to [`crate::parallel`]): the
+//!   first-pop argument fails outright under concurrency — at the instant
+//!   one worker pops a complete state, another worker may hold a cheaper
+//!   partial state mid-expansion, invisible to any queue. The parallel
+//!   engine therefore never treats a pop as the answer. Complete states
+//!   only update a shared incumbent, and termination uses the distributed
+//!   branch-and-bound condition: the search ends when the minimum `E` over
+//!   *all* outstanding work (every local queue, every in-flight state, the
+//!   global injector) has reached the incumbent. Admissibility then gives
+//!   the same guarantee — no remaining state can complete below the
+//!   incumbent — without assuming any single popper saw a global minimum.
+//!   Both modes provably return the same optimal cost; the equivalence
+//!   property suite exercises exactly this claim.
 //!
 //! Candidate generation is pluggable: the unpruned Algorithm-1 expansion
 //! ([`crate::topo_tree::compound_children`]) or the Appendix's reduced
@@ -22,6 +44,7 @@ use bcast_index_tree::IndexTree;
 use bcast_types::{BitSet, NodeId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::num::NonZeroUsize;
 
 /// Options for [`search`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +60,11 @@ pub struct BestFirstOptions {
     pub property1: bool,
     /// Abort after expanding this many states (`None` = unlimited).
     pub node_limit: Option<u64>,
+    /// Worker threads for the parallel engine. `None` (the default) or 1
+    /// runs the deterministic sequential search; `≥ 2` dispatches to the
+    /// work-stealing engine in [`crate::parallel`], which returns the same
+    /// optimal cost (possibly via a different tied schedule).
+    pub threads: Option<NonZeroUsize>,
 }
 
 impl Default for BestFirstOptions {
@@ -46,6 +74,7 @@ impl Default for BestFirstOptions {
             bound: BoundKind::Packed,
             property1: true,
             node_limit: None,
+            threads: None,
         }
     }
 }
@@ -116,6 +145,11 @@ pub fn search(
     opts: &BestFirstOptions,
 ) -> Result<BestFirstResult, NodeLimitExceeded> {
     assert!(k >= 1, "need at least one channel");
+    if let Some(threads) = opts.threads {
+        if threads.get() > 1 {
+            return crate::parallel::search(tree, k, opts, threads);
+        }
+    }
     let bounder = Bounder::new(tree, k, opts.bound);
     let mut arena: Vec<Entry> = Vec::new();
     let mut open: BinaryHeap<Reverse<(Priority, usize)>> = BinaryHeap::new();

@@ -1,0 +1,196 @@
+//! Fixed-point costs and the lock-free shared incumbent.
+//!
+//! The parallel branch-and-bound engines (the best-first search in
+//! `bcast-core::parallel`, the PAP solver in `bcast-assignment::bnb`) prune
+//! against the best complete solution found by *any* worker. Sharing an
+//! `f64` atomically is awkward (no `AtomicF64`, NaN ordering), so costs are
+//! mirrored into a **fixed-point `u64`** with [`FRAC_BITS`] fractional bits.
+//! Non-negative costs map monotonically, which makes `fetch_min` on an
+//! `AtomicU64` a correct concurrent "publish if better".
+//!
+//! Rounding discipline keeps the search exact despite quantization:
+//!
+//! * incumbents are stored **rounded up** ([`to_fixed_ceil`]), so the
+//!   stored value never under-represents the true incumbent cost;
+//! * candidate bounds are compared **rounded down** ([`to_fixed_floor`]),
+//!   so a bound is never over-represented.
+//!
+//! Then `floor(f) >= ceil(c)` implies `f >= c` for the underlying reals:
+//! pruning and the distributed termination check can only fire when the
+//! exact comparison would also hold. The exact `f64` of the winning
+//! solution travels separately (under a mutex), so reported optima carry
+//! no quantization error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fractional bits of the fixed-point cost representation.
+///
+/// 20 bits keep sub-microbucket resolution while leaving 43 integer bits
+/// (costs up to ~8.8e12 weighted-wait units) before saturation.
+pub const FRAC_BITS: u32 = 20;
+
+const SCALE: f64 = (1u64 << FRAC_BITS) as f64;
+/// Largest representable fixed-point cost; also the "no incumbent yet"
+/// sentinel (every real cost compares below it).
+pub const FIXED_INFINITY: u64 = u64::MAX;
+
+/// Converts a non-negative cost to fixed point, rounding up.
+///
+/// Infinite or saturating inputs map to [`FIXED_INFINITY`].
+#[inline]
+pub fn to_fixed_ceil(cost: f64) -> u64 {
+    debug_assert!(cost >= 0.0, "costs are non-negative, got {cost}");
+    let scaled = (cost * SCALE).ceil();
+    if scaled >= FIXED_INFINITY as f64 {
+        FIXED_INFINITY
+    } else {
+        scaled as u64
+    }
+}
+
+/// Converts a non-negative cost to fixed point, rounding down.
+#[inline]
+pub fn to_fixed_floor(cost: f64) -> u64 {
+    debug_assert!(cost >= 0.0, "costs are non-negative, got {cost}");
+    let scaled = (cost * SCALE).floor();
+    if scaled >= FIXED_INFINITY as f64 {
+        FIXED_INFINITY
+    } else {
+        scaled as u64
+    }
+}
+
+/// Converts a fixed-point cost back to `f64` (approximately; use the
+/// exactly-tracked `f64` for reporting).
+#[inline]
+pub fn from_fixed(fixed: u64) -> f64 {
+    if fixed == FIXED_INFINITY {
+        f64::INFINITY
+    } else {
+        fixed as f64 / SCALE
+    }
+}
+
+/// The best complete-solution cost found by any worker, shared lock-free.
+///
+/// Workers prune a partial solution when its admissible lower bound
+/// ([`to_fixed_floor`]ed) is at or above the incumbent; because the
+/// incumbent is stored [`to_fixed_ceil`]ed, such pruning is always exact
+/// (see the module docs). A fresh incumbent holds [`FIXED_INFINITY`].
+#[derive(Debug, Default)]
+pub struct SharedIncumbent(AtomicU64);
+
+impl SharedIncumbent {
+    /// A new incumbent with no solution yet.
+    pub fn new() -> Self {
+        SharedIncumbent(AtomicU64::new(FIXED_INFINITY))
+    }
+
+    /// The current incumbent in fixed point ([`FIXED_INFINITY`] if none).
+    #[inline]
+    pub fn load_fixed(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// The current incumbent as an (upper-bounding) `f64`.
+    pub fn load(&self) -> f64 {
+        from_fixed(self.load_fixed())
+    }
+
+    /// Publishes a complete solution of exact cost `cost`. Returns `true`
+    /// when this strictly lowered the stored incumbent — i.e. the caller
+    /// may hold the new best solution and should record it.
+    #[inline]
+    pub fn offer(&self, cost: f64) -> bool {
+        let fixed = to_fixed_ceil(cost);
+        self.0.fetch_min(fixed, Ordering::AcqRel) > fixed
+    }
+
+    /// True when a partial solution with admissible lower bound `bound`
+    /// cannot beat the incumbent and may be pruned.
+    ///
+    /// Never prunes while no incumbent exists — even a saturating bound
+    /// (`to_fixed_floor` clamps at [`FIXED_INFINITY`]) must stay explorable
+    /// until some complete solution has been found.
+    #[inline]
+    pub fn prunes(&self, bound: f64) -> bool {
+        let incumbent = self.load_fixed();
+        incumbent != FIXED_INFINITY && to_fixed_floor(bound) >= incumbent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fixed_point_roundtrips_monotonically() {
+        let xs = [0.0, 1e-7, 0.5, 1.0, 264.0 / 70.0, 1e6, 8.7e12];
+        for &x in &xs {
+            assert!(from_fixed(to_fixed_floor(x)) <= x + 1e-9);
+            assert!(from_fixed(to_fixed_ceil(x)) >= x - 1e-9);
+            assert!(to_fixed_floor(x) <= to_fixed_ceil(x));
+        }
+        for w in xs.windows(2) {
+            assert!(to_fixed_ceil(w[0]) <= to_fixed_ceil(w[1]));
+            assert!(to_fixed_floor(w[0]) <= to_fixed_floor(w[1]));
+        }
+    }
+
+    #[test]
+    fn infinity_saturates() {
+        assert_eq!(to_fixed_ceil(f64::INFINITY), FIXED_INFINITY);
+        assert_eq!(to_fixed_floor(1e300), FIXED_INFINITY);
+        assert_eq!(from_fixed(FIXED_INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn offer_keeps_the_minimum() {
+        let inc = SharedIncumbent::new();
+        assert_eq!(inc.load_fixed(), FIXED_INFINITY);
+        assert!(inc.offer(10.0));
+        assert!(!inc.offer(11.0), "worse offers do not win");
+        assert!(inc.offer(9.5));
+        assert!((inc.load() - 9.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pruning_is_conservative_under_rounding() {
+        let inc = SharedIncumbent::new();
+        inc.offer(100.0);
+        // A bound a hair under the incumbent must never be pruned: the
+        // ceil/floor discipline absorbs the quantization error.
+        assert!(!inc.prunes(100.0 - 1e-4));
+        assert!(inc.prunes(100.0 + 1e-4));
+        assert!(inc.prunes(101.0));
+    }
+
+    #[test]
+    fn no_incumbent_never_prunes() {
+        let inc = SharedIncumbent::new();
+        assert!(!inc.prunes(0.0));
+        // A saturating bound is indistinguishable from the sentinel in
+        // fixed point; it must still survive until a solution exists.
+        assert!(!inc.prunes(1e300));
+        inc.offer(5.0);
+        assert!(inc.prunes(1e300));
+    }
+
+    #[test]
+    fn concurrent_offers_settle_on_the_minimum() {
+        let inc = Arc::new(SharedIncumbent::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let inc = Arc::clone(&inc);
+                scope.spawn(move || {
+                    for i in (0..1000u32).rev() {
+                        inc.offer(f64::from(i * 8 + t) + 0.25);
+                    }
+                });
+            }
+        });
+        // Global minimum over all offers: i = 0, t = 0 -> 0.25.
+        assert!((inc.load() - 0.25).abs() < 1e-5);
+    }
+}

@@ -11,15 +11,21 @@
 //! * [`Slot`] — a 1-based broadcast slot (one bucket per channel per slot),
 //! * [`Weight`] — a non-negative access frequency,
 //! * [`BitSet`] — a growable bitset used for ancestor/placement sets in the
-//!   search algorithms.
+//!   search algorithms,
+//! * [`SharedIncumbent`] — the fixed-point atomic incumbent cost shared by
+//!   the parallel branch-and-bound engines (see [`incumbent`]).
 //!
-//! All types are plain data: `Copy` where possible, no interior mutability,
-//! no allocation beyond the bitset's backing vector.
+//! All types except the incumbent are plain data: `Copy` where possible, no
+//! interior mutability, no allocation beyond the bitset's backing vector.
+//! The incumbent is the one deliberate exception — a single `AtomicU64`
+//! whose ordering discipline is documented in its module.
 
 mod bitset;
 mod ids;
+pub mod incumbent;
 mod weight;
 
 pub use bitset::BitSet;
 pub use ids::{BucketAddr, ChannelId, NodeId, Slot};
+pub use incumbent::SharedIncumbent;
 pub use weight::{Weight, WeightError};

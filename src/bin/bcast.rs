@@ -1,7 +1,7 @@
 //! `bcast` — command-line front end for the broadcast-allocation library.
 //!
 //! ```text
-//! bcast optimal   [--input FILE | --demo] --channels K [--strategy S] [--limit N]
+//! bcast optimal   [--input FILE | --demo] --channels K [--strategy S] [--limit N] [--threads T]
 //! bcast heuristic [--input FILE | --demo] --channels K [--method M] [--replicas R]
 //! bcast simulate  [--input FILE | --demo] --channels K --item LABEL [--tune-in SLOT]
 //! bcast render    [--input FILE | --demo]
@@ -49,7 +49,7 @@ fn run(args: &[String]) -> Result<(), String> {
     const INPUT: &[&str] = &["input", "demo"];
     match cmd.as_str() {
         "optimal" => {
-            opts.allow(INPUT, &["channels", "strategy", "limit"])?;
+            opts.allow(INPUT, &["channels", "strategy", "limit", "threads"])?;
             cmd_optimal(&opts)
         }
         "heuristic" => {
@@ -69,7 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_gen(&opts)
         }
         "compare" => {
-            opts.allow(INPUT, &["channels", "limit"])?;
+            opts.allow(INPUT, &["channels", "limit", "threads"])?;
             cmd_compare(&opts)
         }
         "help" | "--help" | "-h" => {
@@ -84,12 +84,12 @@ const HELP: &str = "\
 bcast — optimal index and data allocation in multiple broadcast channels
 
 commands:
-  optimal    provably optimal allocation      --channels K [--strategy auto|datatree|bestfirst|exhaustive] [--limit N]
+  optimal    provably optimal allocation      --channels K [--strategy auto|datatree|bestfirst|exhaustive] [--limit N] [--threads T]
   heuristic  scalable allocation              --channels K [--method sorting|shrink|partition|frontier] [--replicas R]
   simulate   client access trace              --channels K --item LABEL [--tune-in SLOT]
   render     pretty-print the tree
   gen        emit a random tree               --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
-  compare    run every method on one tree     --channels K [--limit N]
+  compare    run every method on one tree     --channels K [--limit N] [--threads T]
 
 input: --input FILE (text format), --demo (paper example), or stdin.";
 
@@ -124,6 +124,14 @@ impl Flags {
             return Err("--channels must be at least 1".into());
         }
         Ok(k)
+    }
+    /// Optional `--threads` for the parallel best-first search.
+    fn threads(&self) -> Result<Option<std::num::NonZeroUsize>, String> {
+        match self.parse::<usize>("threads")? {
+            None => Ok(None),
+            Some(0) => Err("--threads must be at least 1".into()),
+            Some(t) => Ok(std::num::NonZeroUsize::new(t)),
+        }
     }
 }
 
@@ -194,6 +202,7 @@ fn cmd_optimal(opts: &Flags) -> Result<(), String> {
         &OptimalOptions {
             strategy,
             node_limit: opts.parse("limit")?,
+            threads: opts.threads()?,
             ..OptimalOptions::default()
         },
     )
@@ -284,7 +293,11 @@ fn cmd_compare(opts: &Flags) -> Result<(), String> {
     match find_optimal(
         &tree,
         k,
-        &OptimalOptions { node_limit: limit, ..OptimalOptions::default() },
+        &OptimalOptions {
+            node_limit: limit,
+            threads: opts.threads()?,
+            ..OptimalOptions::default()
+        },
     ) {
         Ok(r) => show(&format!("optimal ({:?})", r.strategy_used), r.data_wait),
         Err(e) => println!("{:<22} {:>12}", "optimal", format!("({e})")),

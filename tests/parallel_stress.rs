@@ -1,0 +1,77 @@
+//! Schedule-nondeterminism stress test for the parallel search engine.
+//!
+//! The work-stealing engine is nondeterministic in *which* optimal schedule
+//! it reports when several tie, and in the order states are expanded — but
+//! the optimal *cost* must be a pure function of the input. This test hammers
+//! that: the paper's Figure-14 workload (full 4-ary tree of depth 3, 16 data
+//! nodes, truncated-normal weights with σ = 20) is solved 32 times at
+//! 4 threads, and every repetition must report bit-identical cost, equal to
+//! the sequential engine's. A single flaky repetition means a race —
+//! a stale-incumbent prune, a lost solution, or premature termination.
+//!
+//! A second test repeats the exercise on a 40-node tree (3-ary, depth 4)
+//! whose k = 2 search expands ~67k states — enough work for stealing,
+//! donation, and termination scans to genuinely interleave. Both are gated
+//! behind `#[ignore]` to keep the default suite fast:
+//!
+//! ```text
+//! cargo test --release -- --ignored stress
+//! ```
+
+use broadcast_alloc::alloc::best_first::{self, BestFirstOptions};
+use broadcast_alloc::tree::builders;
+use broadcast_alloc::workloads::{rng::sub_seed, FrequencyDist};
+use std::num::NonZeroUsize;
+
+#[test]
+#[ignore = "heavy: 32 repetitions of the Fig-14 workload; run with --ignored"]
+fn stress_parallel_cost_is_deterministic_on_fig14_workload() {
+    const REPS: usize = 32;
+    let seed = 0xF16_14AB_u64;
+    for (si, sigma) in [10.0f64, 20.0].into_iter().enumerate() {
+        let weights = FrequencyDist::paper_fig14(sigma).sample(16, sub_seed(seed, si as u64));
+        let tree = builders::full_balanced(4, 3, &weights).expect("valid shape");
+        for k in [2usize, 3] {
+            let seq = best_first::search(&tree, k, &BestFirstOptions::default())
+                .expect("no node limit");
+            let opts = BestFirstOptions {
+                threads: NonZeroUsize::new(4),
+                ..BestFirstOptions::default()
+            };
+            for rep in 0..REPS {
+                let par = best_first::search(&tree, k, &opts).expect("no node limit");
+                assert_eq!(
+                    par.data_wait, seq.data_wait,
+                    "sigma={sigma} k={k} rep={rep}: parallel {} vs sequential {}",
+                    par.data_wait, seq.data_wait
+                );
+                par.schedule
+                    .into_allocation(&tree, k)
+                    .expect("parallel schedule feasible");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "heavy: ~67k-expansion searches under contention; run with --ignored"]
+fn stress_parallel_on_deep_tree_with_real_contention() {
+    let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(27, 99);
+    let tree = builders::full_balanced(3, 4, &weights).expect("valid shape");
+    let k = 2;
+    let seq =
+        best_first::search(&tree, k, &BestFirstOptions::default()).expect("no node limit");
+    for threads in [2usize, 4] {
+        let opts = BestFirstOptions {
+            threads: NonZeroUsize::new(threads),
+            ..BestFirstOptions::default()
+        };
+        for rep in 0..4 {
+            let par = best_first::search(&tree, k, &opts).expect("no node limit");
+            assert_eq!(
+                par.data_wait, seq.data_wait,
+                "threads={threads} rep={rep}"
+            );
+        }
+    }
+}

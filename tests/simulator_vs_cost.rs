@@ -1,12 +1,16 @@
 //! The client simulator and the analytic cost model must tell the same
-//! story on every allocation any component of the library can produce.
+//! story on every allocation any component of the library can produce —
+//! and every allocation must satisfy the structural invariants of §3.1:
+//! bucket injectivity and ancestor-before-descendant slot ordering.
 
 use broadcast_alloc::alloc::heuristics::{shrink, sorting};
 use broadcast_alloc::alloc::{baselines, find_optimal, OptimalOptions, Schedule};
-use broadcast_alloc::channel::{cost, simulator, BroadcastProgram};
+use broadcast_alloc::channel::{cost, simulator, Allocation, BroadcastProgram};
 use broadcast_alloc::tree::IndexTree;
 use broadcast_alloc::types::Slot;
 use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+use proptest::prelude::{prop_assert, proptest, ProptestConfig};
+use std::collections::HashSet;
 
 fn check(tree: &IndexTree, schedule: &Schedule, k: usize, what: &str) {
     let alloc = schedule
@@ -69,6 +73,109 @@ fn every_producer_agrees_with_the_simulator() {
                 &baselines::random_feasible(&tree, k, seed),
                 k,
                 "random",
+            );
+        }
+    }
+}
+
+/// The §3.1 structural invariants every feasible allocation must satisfy.
+fn check_invariants(alloc: &Allocation, tree: &IndexTree, what: &str) {
+    // Injectivity: a bucket (channel, slot) holds at most one node.
+    let mut buckets = HashSet::new();
+    let mut placed = 0usize;
+    for (node, addr) in alloc.iter() {
+        assert!(
+            buckets.insert((addr.channel, addr.slot)),
+            "{what}: bucket ({:?}, {:?}) assigned twice",
+            addr.channel,
+            addr.slot
+        );
+        assert!(addr.slot >= Slot::FIRST, "{what}: slots are 1-based");
+        assert!(
+            addr.slot.offset() < alloc.cycle_len(),
+            "{what}: node {node:?} past the cycle"
+        );
+        placed += 1;
+    }
+    assert_eq!(placed, tree.len(), "{what}: every node placed exactly once");
+
+    // Ancestor ordering: a child is broadcast strictly after its parent, so
+    // a client can always follow a pointer forward within the cycle.
+    for i in 0..tree.len() {
+        let node = broadcast_alloc::types::NodeId::from_index(i);
+        let Some(parent) = tree.parent(node) else { continue };
+        let child_slot = alloc.slot_of(node).expect("placed");
+        let parent_slot = alloc.slot_of(parent).expect("placed");
+        assert!(
+            child_slot > parent_slot,
+            "{what}: node {node:?} at {child_slot:?} not after parent {parent:?} at {parent_slot:?}"
+        );
+    }
+
+    alloc.validate(tree).unwrap_or_else(|e| panic!("{what}: {e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Property version of the fixed-seed sweep: on proptest-chosen trees
+    /// and channel counts, every schedule producer yields an allocation
+    /// that is injective, ancestor-ordered, and whose analytic cost the
+    /// simulator reproduces to 1e-9.
+    #[test]
+    fn generated_allocations_uphold_invariants(
+        n in 2usize..10,
+        fanout in 2usize..5,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        zipf: bool,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: fanout,
+            weights: if zipf {
+                FrequencyDist::Zipf { theta: 0.9, scale: 100.0 }
+            } else {
+                FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }
+            },
+        };
+        let tree = random_tree(&cfg, seed);
+        let producers: Vec<(&str, Schedule)> = vec![
+            (
+                "optimal",
+                find_optimal(&tree, k, &OptimalOptions::default())
+                    .expect("no limit")
+                    .schedule,
+            ),
+            ("sorting", sorting::sorting_schedule(&tree, k)),
+            ("frontier", baselines::greedy_frontier(&tree, k)),
+            ("preorder", baselines::preorder_schedule(&tree, k)),
+            ("random", baselines::random_feasible(&tree, k, seed)),
+        ];
+        for (what, schedule) in &producers {
+            let alloc = schedule
+                .into_allocation(&tree, k)
+                .unwrap_or_else(|e| panic!("{what}: infeasible: {e}"));
+            check_invariants(&alloc, &tree, what);
+            check(&tree, schedule, k, what);
+        }
+        // The analytic model must rank the optimal schedule no worse than
+        // any other producer's — a cheap cross-check that `find_optimal`
+        // and `average_data_wait` agree on what "better" means.
+        let costs: Vec<f64> = producers
+            .iter()
+            .map(|(_, s)| {
+                let a = s.into_allocation(&tree, k).expect("feasible");
+                cost::average_data_wait(&a, &tree)
+            })
+            .collect();
+        for (i, c) in costs.iter().enumerate().skip(1) {
+            prop_assert!(
+                costs[0] <= c + 1e-9,
+                "optimal {} beaten by {} at {}",
+                costs[0],
+                producers[i].0,
+                c
             );
         }
     }

@@ -1,0 +1,518 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal, API-compatible subset of proptest:
+//!
+//! * the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   parameters and an optional `#![proptest_config(..)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * range strategies over the integer and float primitives,
+//! * [`collection::vec`] and [`arbitrary::any`],
+//! * [`prelude`] re-exporting all of the above (including the `prop` module
+//!   path used as `prop::collection::vec`).
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test SplitMix64 stream (no persistence files, so the checked-in
+//! `proptest-regressions` directories are ignored), and failing cases are
+//! reported but **not shrunk**. Each failure prints the full input
+//! bindings, which for the small value domains used in this workspace is
+//! as actionable as a shrunken case.
+
+pub mod test_runner {
+    //! Configuration and the deterministic case runner plumbing.
+
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Subset of proptest's `Config`: only `cases` is consumed here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases, like `ProptestConfig::with_cases`.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic generator feeding the strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives the stream from a stable test identifier, so every run
+        /// of a given test sees the same cases.
+        pub fn for_name(name: &str) -> Self {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            TestRng {
+                state: h.finish() ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Prints the failing case's inputs when the test body panics.
+    pub struct CaseReporter {
+        case: u32,
+        inputs: String,
+        armed: bool,
+    }
+
+    impl CaseReporter {
+        /// Arms the reporter for one case.
+        pub fn new(case: u32, inputs: String) -> Self {
+            CaseReporter {
+                case,
+                inputs,
+                armed: true,
+            }
+        }
+
+        /// Disarms after the body completed without panicking.
+        pub fn disarm(&mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest: case #{} failed with inputs: {}",
+                    self.case, self.inputs
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for primitive ranges.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy simply draws a value from the deterministic stream.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy over empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy over empty range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "strategy over empty range");
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// A constant strategy, like proptest's `Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitives the workspace asks for.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only: tests feed these into `Weight`-style
+            // validated constructors.
+            rng.next_f64() * 2e6 - 1e6
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)`: vectors whose length lies in `len_range`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy over empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+/// The `prop::` path exposed by the prelude (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*` for the subset
+    //! this workspace uses.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts inside a `proptest!` body, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne!({}, {}) failed: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// The shim has no case-rejection budget; an assumed-away case simply
+/// continues to the next one by returning from the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Defines property tests. Supports the upstream surface used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, flag: bool) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: peels one `fn` item at a time off the `proptest!` body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params! {
+                @parse
+                acc = [];
+                cfg = ($cfg);
+                name = $name;
+                body = $body;
+                rest = [$($params)*];
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: normalizes the parameter list into `(name, strategy)` pairs
+/// (`name: Type` becomes `name in any::<Type>()`), then emits the runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // `name in strategy` with more parameters following.
+    (@parse acc = [$($acc:tt)*]; cfg = ($cfg:expr); name = $name:ident; body = $body:block;
+     rest = [$n:ident in $s:expr, $($rest:tt)+];) => {
+        $crate::__proptest_params! {
+            @parse acc = [$($acc)* ($n, $s)]; cfg = ($cfg); name = $name; body = $body;
+            rest = [$($rest)+];
+        }
+    };
+    // `name in strategy`, final parameter.
+    (@parse acc = [$($acc:tt)*]; cfg = ($cfg:expr); name = $name:ident; body = $body:block;
+     rest = [$n:ident in $s:expr $(,)?];) => {
+        $crate::__proptest_params! {
+            @run acc = [$($acc)* ($n, $s)]; cfg = ($cfg); name = $name; body = $body;
+        }
+    };
+    // `name: Type` with more parameters following.
+    (@parse acc = [$($acc:tt)*]; cfg = ($cfg:expr); name = $name:ident; body = $body:block;
+     rest = [$n:ident : $t:ty, $($rest:tt)+];) => {
+        $crate::__proptest_params! {
+            @parse acc = [$($acc)* ($n, $crate::arbitrary::any::<$t>())];
+            cfg = ($cfg); name = $name; body = $body;
+            rest = [$($rest)+];
+        }
+    };
+    // `name: Type`, final parameter.
+    (@parse acc = [$($acc:tt)*]; cfg = ($cfg:expr); name = $name:ident; body = $body:block;
+     rest = [$n:ident : $t:ty $(,)?];) => {
+        $crate::__proptest_params! {
+            @run acc = [$($acc)* ($n, $crate::arbitrary::any::<$t>())];
+            cfg = ($cfg); name = $name; body = $body;
+        }
+    };
+    // All parameters parsed: emit the case loop.
+    (@run acc = [$(($n:ident, $s:expr))*]; cfg = ($cfg:expr); name = $name:ident;
+     body = $body:block;) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::for_name(concat!(
+            module_path!(),
+            "::",
+            stringify!($name)
+        ));
+        for __case in 0..__config.cases {
+            $(let $n = $crate::strategy::Strategy::sample(&($s), &mut __rng);)*
+            let __inputs = {
+                let mut d = String::new();
+                $(
+                    if !d.is_empty() {
+                        d.push_str(", ");
+                    }
+                    d.push_str(&format!("{} = {:?}", stringify!($n), &$n));
+                )*
+                d
+            };
+            let mut __reporter =
+                $crate::test_runner::CaseReporter::new(__case, __inputs);
+            // Immediately-invoked closure so `prop_assume!` can skip a
+            // case with `return` without leaving the case loop.
+            (|| {
+                $(let $n = $n;)*
+                $body
+            })();
+            __reporter.disarm();
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_types(
+            a in 2usize..6,
+            b in 0u64..500,
+            f in 0.25f64..1.0,
+            flag: bool,
+        ) {
+            prop_assert!((2..6).contains(&a));
+            prop_assert!(b < 500, "b = {b}");
+            prop_assert!((0.25..1.0).contains(&f));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vectors(v in prop::collection::vec(1u32..50, 1..14)) {
+            prop_assert!(!v.is_empty() && v.len() < 14);
+            prop_assert!(v.iter().all(|&x| (1..50).contains(&x)));
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_name("stable");
+        let mut b = crate::test_runner::TestRng::for_name("stable");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(crate::test_runner::Config::default().cases, 256);
+    }
+}
