@@ -6,11 +6,12 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress bench clippy fmt
+.PHONY: check build test stress bench bench-json clippy fmt fmt-check
 
-# The tier-1 gate: release build, the full default suite, then the
-# #[ignore]-gated parallel-search stress tests in release mode.
-check: build test stress
+# The tier-1 gate: formatting, lints, release build, the full default
+# suite, then the #[ignore]-gated parallel-search stress tests in release
+# mode.
+check: fmt-check clippy build test stress
 
 build:
 	$(CARGO) build --release $(OFFLINE)
@@ -24,8 +25,17 @@ stress:
 bench:
 	$(CARGO) bench $(OFFLINE) -p bcast-bench --bench search_strategies
 
+# Maintains the machine-readable perf trajectory: the first run records the
+# "before" section, later runs only replace "after" (see bench_json's docs).
+bench-json:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench --bin bench_json -- \
+		--merge-into BENCH_PR2.json
+
 clippy:
-	$(CARGO) clippy $(OFFLINE) --workspace --all-targets
+	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings
 
 fmt:
 	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all -- --check

@@ -108,8 +108,7 @@ impl AdaptiveBroadcaster {
 
     fn rebuild(&mut self, weights: &[Weight]) {
         // Alphabetic shape keeps items key-searchable across rebuilds.
-        let tree = knary::build_weight_balanced(weights, self.policy.fanout)
-            .expect("items >= 1");
+        let tree = knary::build_weight_balanced(weights, self.policy.fanout).expect("items >= 1");
         let schedule = match self.policy.heuristic {
             AllocHeuristic::Sorting => sorting::sorting_schedule(&tree, self.policy.channels),
             AllocHeuristic::Frontier => baselines::greedy_frontier(&tree, self.policy.channels),

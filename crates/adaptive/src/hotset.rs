@@ -82,12 +82,17 @@ impl HotSetManager {
     /// beat a resident by the hysteresis margin to evict it; each update
     /// swaps as many pairs as justified.
     pub fn update(&mut self, estimates: &[f64]) -> HotSetDecision {
-        assert_eq!(estimates.len(), self.resident.len(), "one estimate per item");
+        assert_eq!(
+            estimates.len(),
+            self.resident.len(),
+            "one estimate per item"
+        );
         // Weakest residents ascending, strongest challengers descending.
         let mut residents: Vec<usize> =
             (0..estimates.len()).filter(|&i| self.resident[i]).collect();
-        let mut challengers: Vec<usize> =
-            (0..estimates.len()).filter(|&i| !self.resident[i]).collect();
+        let mut challengers: Vec<usize> = (0..estimates.len())
+            .filter(|&i| !self.resident[i])
+            .collect();
         residents.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
         challengers.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]));
 
@@ -126,7 +131,11 @@ pub fn hybrid_cost(
     }
     let mut acc = 0.0;
     for i in 0..weights.len() {
-        let cost = if hot[i] { wait_of[i] } else { on_demand_latency };
+        let cost = if hot[i] {
+            wait_of[i]
+        } else {
+            on_demand_latency
+        };
         acc += weights[i].get() * cost;
     }
     acc / total
@@ -195,7 +204,13 @@ mod tests {
 
     #[test]
     fn top_k_without_hysteresis() {
-        let mut m = HotSetManager::new(4, HotSetConfig { capacity: 2, hysteresis: 0.0 });
+        let mut m = HotSetManager::new(
+            4,
+            HotSetConfig {
+                capacity: 2,
+                hysteresis: 0.0,
+            },
+        );
         let d = m.update(&[1.0, 5.0, 9.0, 7.0]);
         assert_eq!(m.hot_items(), vec![2, 3]);
         assert_eq!(d.promoted.len(), 2);
@@ -204,10 +219,18 @@ mod tests {
 
     #[test]
     fn hysteresis_prevents_thrashing() {
-        let cfg = HotSetConfig { capacity: 1, hysteresis: 0.3 };
+        let cfg = HotSetConfig {
+            capacity: 1,
+            hysteresis: 0.3,
+        };
         let mut stable = HotSetManager::new(2, cfg);
-        let mut plain =
-            HotSetManager::new(2, HotSetConfig { hysteresis: 0.0, ..cfg });
+        let mut plain = HotSetManager::new(
+            2,
+            HotSetConfig {
+                hysteresis: 0.0,
+                ..cfg
+            },
+        );
         // Estimates oscillate ±10% around equality.
         let mut stable_swaps = 0;
         let mut plain_swaps = 0;
@@ -216,7 +239,10 @@ mod tests {
             stable_swaps += stable.update(&[a, b]).promoted.len();
             plain_swaps += plain.update(&[a, b]).promoted.len();
         }
-        assert_eq!(stable_swaps, 0, "10% noise under a 30% margin must not swap");
+        assert_eq!(
+            stable_swaps, 0,
+            "10% noise under a 30% margin must not swap"
+        );
         assert!(plain_swaps > 10, "plain top-k thrashes: {plain_swaps}");
         // A decisive shift still gets through the hysteresis.
         let d = stable.update(&[1.0, 2.0]);
@@ -257,6 +283,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be in")]
     fn zero_capacity_rejected() {
-        let _ = HotSetManager::new(3, HotSetConfig { capacity: 0, hysteresis: 0.1 });
+        let _ = HotSetManager::new(
+            3,
+            HotSetConfig {
+                capacity: 0,
+                hysteresis: 0.1,
+            },
+        );
     }
 }

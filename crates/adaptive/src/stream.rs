@@ -170,7 +170,9 @@ mod tests {
         w.roll_epoch(); // epoch 2: rotate by 3
         assert_eq!(w.rank(0), 3);
         // Some other item is now rank 0.
-        let hot = (0..10).find(|&i| w.rank(i) == 0).expect("one item has rank 0");
+        let hot = (0..10)
+            .find(|&i| w.rank(i) == 0)
+            .expect("one item has rank 0");
         assert_ne!(hot, 0);
     }
 

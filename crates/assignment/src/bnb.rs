@@ -20,10 +20,20 @@
 //! constant over complete assignments and over every node's lower bound at
 //! the same uniform offset, so comparisons are unchanged. Exact `f64` costs
 //! are kept under a mutex, making the reported optimum quantization-free.
+//!
+//! Each worker additionally memoizes over a [`DominanceTable`] keyed by the
+//! *set* of assigned jobs (for instances of ≤ 64 jobs, as a bit mask):
+//! person indices are consumed in order, so two assignment orders over the
+//! same job set lead to identical subproblems, and the one that arrived with
+//! the higher partial cost can be cut immediately. Pruning on a recorded
+//! partial `≤` the current one stays exact even though the shared incumbent
+//! improves concurrently — the recorded path explores (or incumbent-prunes)
+//! the identical subtree against an incumbent that is only ever lower later.
 
 use crate::problem::{PapError, PapInstance, PapSolution};
+use bcast_types::dominance::Probe;
 use bcast_types::incumbent::to_fixed_ceil;
-use bcast_types::SharedIncumbent;
+use bcast_types::{mix64, DominanceTable, SharedIncumbent};
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
@@ -96,6 +106,9 @@ fn solve(instance: &PapInstance, threads: usize) -> Result<PapSolution, PapError
         best: &best,
         counts: (0..n).map(|j| instance.pred_count(j)).collect(),
         person_of: vec![0; n],
+        assigned_mask: 0,
+        memo: DominanceTable::default(),
+        masks: Vec::new(),
     };
     if threads <= 1 || roots.len() <= 1 {
         let mut search = make_search();
@@ -137,6 +150,12 @@ struct Search<'a> {
     best: &'a Mutex<Option<(f64, Vec<usize>)>>,
     counts: Vec<usize>,
     person_of: Vec<usize>,
+    /// Bit mask of assigned jobs (meaningful only while `len() ≤ 64`).
+    assigned_mask: u64,
+    /// Best partial cost per assigned-job set (transposition table).
+    memo: DominanceTable,
+    /// Interned masks backing `memo`'s ids.
+    masks: Vec<u64>,
 }
 
 impl Search<'_> {
@@ -158,8 +177,14 @@ impl Search<'_> {
             self.counts[succ] -= 1;
         }
         self.person_of[j] = person;
+        if self.instance.len() <= 64 {
+            self.assigned_mask |= 1 << j;
+        }
         let cost = self.instance.cost(j, person);
         self.dfs(person + 1, partial + cost);
+        if self.instance.len() <= 64 {
+            self.assigned_mask &= !(1 << j);
+        }
         for s in 0..self.instance.successors(j).len() {
             let succ = self.instance.successors(j)[s];
             self.counts[succ] += 1;
@@ -167,10 +192,41 @@ impl Search<'_> {
         self.counts[j] = 0;
     }
 
+    /// Transposition check: true when this assigned-job set was already
+    /// reached at an equal-or-cheaper partial cost; otherwise records the
+    /// current partial as the set's best. No-op above 64 jobs.
+    fn memo_prunes(&mut self, next_person: usize, partial: f64) -> bool {
+        if self.instance.len() > 64 {
+            return false;
+        }
+        let mask = self.assigned_mask;
+        let hash = mix64(mask);
+        let masks = &mut self.masks;
+        match self
+            .memo
+            .probe(hash, next_person as u32, |id| masks[id as usize] == mask)
+        {
+            Probe::Occupied { value, .. } if value <= partial => true,
+            Probe::Occupied { slot, id, .. } => {
+                self.memo.update(slot, id, partial);
+                false
+            }
+            Probe::Vacant { slot } => {
+                let id = masks.len() as u32;
+                masks.push(mask);
+                self.memo.fill(slot, hash, next_person as u32, id, partial);
+                false
+            }
+        }
+    }
+
     fn dfs(&mut self, next_person: usize, partial: f64) {
         let n = self.instance.len();
         if next_person == n {
             self.offer(partial);
+            return;
+        }
+        if self.memo_prunes(next_person, partial) {
             return;
         }
         if self
@@ -257,11 +313,8 @@ mod tests {
         }
         let a = solve_exhaustive(&p).unwrap();
         for threads in 1..=3usize {
-            let b = solve_branch_and_bound_parallel(
-                &p,
-                NonZeroUsize::new(threads).unwrap(),
-            )
-            .unwrap();
+            let b =
+                solve_branch_and_bound_parallel(&p, NonZeroUsize::new(threads).unwrap()).unwrap();
             assert_eq!(a.cost, b.cost, "threads={threads}");
             assert!(p.is_feasible(&b.person_of));
         }

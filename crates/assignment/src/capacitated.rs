@@ -215,10 +215,14 @@ mod tests {
         // ids: 1,2,3,4 = 0..3; A,B,E,C,D = 4..8.
         let weights = [0.0, 0.0, 0.0, 0.0, 20.0, 10.0, 18.0, 15.0, 7.0];
         let edges = [
-            (0, 1), (0, 2),         // 1 → 2, 3
-            (1, 4), (1, 5),         // 2 → A, B
-            (2, 6), (2, 3),         // 3 → E, 4
-            (3, 7), (3, 8),         // 4 → C, D
+            (0, 1),
+            (0, 2), // 1 → 2, 3
+            (1, 4),
+            (1, 5), // 2 → A, B
+            (2, 6),
+            (2, 3), // 3 → E, 4
+            (3, 7),
+            (3, 8), // 4 → C, D
         ];
         let p = wait_instance(&weights, &edges);
         let sol = solve_capacitated(&p, 2).unwrap();

@@ -171,8 +171,7 @@ impl PapInstance {
             }
             used[p] = true;
         }
-        (0..self.n)
-            .all(|j| self.succ[j].iter().all(|&s| person_of[j] < person_of[s]))
+        (0..self.n).all(|j| self.succ[j].iter().all(|&s| person_of[j] < person_of[s]))
     }
 }
 

@@ -21,14 +21,16 @@ fn bench_bounds(c: &mut Criterion) {
         &RandomTreeConfig {
             data_nodes: 8,
             max_fanout: 3,
-            weights: FrequencyDist::Zipf { theta: 0.8, scale: 100.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.8,
+                scale: 100.0,
+            },
         },
         11,
     );
     for (name, tree) in [("balanced-m3", balanced), ("random-n8", random)] {
         for k in [2usize, 3] {
-            for (bname, bound) in [("paper", BoundKind::Paper), ("packed", BoundKind::Packed)]
-            {
+            for (bname, bound) in [("paper", BoundKind::Paper), ("packed", BoundKind::Packed)] {
                 let tag = format!("{name}/k{k}");
                 g.bench_with_input(BenchmarkId::new(bname, &tag), &tree, |b, t| {
                     let opts = BestFirstOptions {

@@ -15,7 +15,10 @@ fn bench_heuristics(c: &mut Criterion) {
             &RandomTreeConfig {
                 data_nodes: n,
                 max_fanout: 6,
-                weights: FrequencyDist::Zipf { theta: 0.9, scale: 1000.0 },
+                weights: FrequencyDist::Zipf {
+                    theta: 0.9,
+                    scale: 1000.0,
+                },
             },
             42,
         );

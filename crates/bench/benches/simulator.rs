@@ -12,7 +12,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 fn setup(n: usize) -> (IndexTree, bcast_channel::Allocation) {
-    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 }.sample(n, 8);
+    let weights = FrequencyDist::Zipf {
+        theta: 1.0,
+        scale: 1000.0,
+    }
+    .sample(n, 8);
     let tree = knary::build_weight_balanced(&weights, 8).expect("non-empty");
     let alloc = sorting::sorting_schedule(&tree, 4)
         .into_allocation(&tree, 4)

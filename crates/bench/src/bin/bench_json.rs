@@ -1,0 +1,154 @@
+//! `bench_json` — machine-readable perf trajectory for the exact engines.
+//!
+//! Runs the sequential pruned best-first search (Packed bound, Property 1)
+//! on the fixed instances of `benches/search_strategies.rs` and emits one
+//! JSON document with wall time and search counters per instance. The
+//! `make bench-json` target maintains `BENCH_PR2.json`: the first run on a
+//! machine records the `before` section, later runs only replace `after`,
+//! so the before/after pair survives regeneration.
+//!
+//! Wall times are the minimum over several runs after a warmup — the most
+//! reproducible point statistic for a CPU-bound search on a shared box.
+
+use bcast_core::best_first::{self, BestFirstOptions};
+use bcast_index_tree::{builders, IndexTree};
+use bcast_workloads::FrequencyDist;
+use std::time::Instant;
+
+/// (name, tree, k, timed runs): mirrors the bench suite's instances.
+fn instances() -> Vec<(String, IndexTree, usize, usize)> {
+    let mut out = vec![("paper".to_string(), builders::paper_example(), 2, 32)];
+    for m in [2usize, 3] {
+        let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(m * m, 99);
+        out.push((
+            format!("balanced-m{m}"),
+            builders::full_balanced(m, 3, &weights).expect("valid shape"),
+            2,
+            16,
+        ));
+    }
+    let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(27, 99);
+    out.push((
+        "balanced-d4".to_string(),
+        builders::full_balanced(3, 4, &weights).expect("valid shape"),
+        2,
+        5,
+    ));
+    out
+}
+
+fn measure(name: &str, tree: &IndexTree, k: usize, runs: usize) -> String {
+    let opts = BestFirstOptions::default();
+    let mut best_ms = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..=runs {
+        let t0 = Instant::now();
+        let r = best_first::search(tree, k, &opts).expect("no node limit set");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The 0th iteration is warmup; it still provides the result.
+        if result.is_some() {
+            best_ms = best_ms.min(ms);
+        }
+        result = Some(r);
+    }
+    let r = result.expect("at least one run");
+    let s = r.stats;
+    let bound_per_state = if r.nodes_generated == 0 {
+        0.0
+    } else {
+        s.bound_work as f64 / (s.bound_inc_updates + s.bound_full_evals).max(1) as f64
+    };
+    format!(
+        concat!(
+            "{{\"instance\": \"{}\", \"k\": {}, \"wall_ms\": {:.3}, ",
+            "\"expanded\": {}, \"generated\": {}, ",
+            "\"bound_full_evals\": {}, \"bound_inc_updates\": {}, ",
+            "\"bound_work\": {}, \"bound_work_per_state\": {:.3}, ",
+            "\"table_probes\": {}, \"table_hits\": {}, ",
+            "\"peak_arena_bytes\": {}}}"
+        ),
+        name,
+        k,
+        best_ms,
+        r.nodes_expanded,
+        r.nodes_generated,
+        s.bound_full_evals,
+        s.bound_inc_updates,
+        s.bound_work,
+        bound_per_state,
+        s.table_probes,
+        s.table_hits,
+        s.peak_arena_bytes
+    )
+}
+
+fn run_section() -> String {
+    let runs: Vec<String> = instances()
+        .iter()
+        .map(|(name, tree, k, n)| format!("    {}", measure(name, tree, *k, *n)))
+        .collect();
+    format!("{{\"runs\": [\n{}\n  ]}}", runs.join(",\n"))
+}
+
+/// Extracts the JSON object following `"before": ` by brace matching — the
+/// file is our own output, so a structural scan is sufficient.
+fn extract_before(text: &str) -> Option<String> {
+    let start = text.find("\"before\":")? + "\"before\":".len();
+    let rest = text[start..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let merge_into = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--merge-into" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: bench_json [--merge-into FILE]");
+            std::process::exit(2);
+        }
+    };
+    let current = run_section();
+    let before = merge_into
+        .as_ref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|text| extract_before(&text));
+    let (before, after) = match before {
+        Some(b) => (b, current),
+        None => (current, "null".to_string()),
+    };
+    let doc = format!(
+        concat!(
+            "{{\n  \"pr\": 2,\n",
+            "  \"description\": \"sequential pruned best-first (Packed bound, ",
+            "Property 1): wall time and search counters, before vs after the ",
+            "incremental-bound + interned dominance table change\",\n",
+            "  \"machine\": \"1-core Linux container\",\n",
+            "  \"before\": {},\n  \"after\": {}\n}}\n"
+        ),
+        before, after
+    );
+    match merge_into {
+        Some(path) => {
+            std::fs::write(&path, &doc).expect("write output file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

@@ -29,7 +29,10 @@ fn main() {
     .sample(9, seed);
     let tree = builders::full_balanced(3, 3, &weights).expect("valid shape");
     println!("Channel sweep — full balanced 3-ary depth-3 tree, Zipf(0.9) weights, seed {seed}");
-    println!("widest level = {} (Corollary-1 threshold)\n", tree.max_level_width());
+    println!(
+        "widest level = {} (Corollary-1 threshold)\n",
+        tree.max_level_width()
+    );
 
     let mut rows = Vec::new();
     for k in 1..=10usize {

@@ -34,11 +34,17 @@ fn main() {
         let mut dens_vs_wgt = Vec::new();
         for r in 0..REPS {
             let dag = random_layered_dag(layers, width, deps, seed ^ (r << 8));
-            let dens = greedy_density(&dag, k).expect("valid DAG").average_wait(&dag);
-            let wgt = greedy_weight(&dag, k).expect("valid DAG").average_wait(&dag);
+            let dens = greedy_density(&dag, k)
+                .expect("valid DAG")
+                .average_wait(&dag);
+            let wgt = greedy_weight(&dag, k)
+                .expect("valid DAG")
+                .average_wait(&dag);
             dens_vs_wgt.push(100.0 * (wgt - dens) / wgt);
             if run_exact {
-                let exact = exact_multi_channel(&dag, k).expect("valid DAG").average_wait;
+                let exact = exact_multi_channel(&dag, k)
+                    .expect("valid DAG")
+                    .average_wait;
                 gaps_density.push(100.0 * (dens - exact) / exact);
                 gaps_weight.push(100.0 * (wgt - exact) / exact);
             }

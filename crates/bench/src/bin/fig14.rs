@@ -42,8 +42,8 @@ fn main() {
             let s = sub_seed(seed, (i as u64) << 32 | r);
             let weights = FrequencyDist::paper_fig14(sigma).sample(M * M, s);
             let tree = builders::full_balanced(M, 3, &weights).expect("valid shape");
-            let optimal = find_optimal(&tree, 1, &OptimalOptions::default())
-                .expect("no node limit set");
+            let optimal =
+                find_optimal(&tree, 1, &OptimalOptions::default()).expect("no node limit set");
             let heuristic = sorting::sorting_schedule(&tree, 1);
             opt.push(optimal.data_wait);
             sort.push(heuristic.average_data_wait(&tree));

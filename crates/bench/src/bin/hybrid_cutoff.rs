@@ -32,39 +32,37 @@ fn main() {
         .map(|s| s.parse().expect("latency must be an f64"))
         .unwrap_or(120.0);
     const CHANNELS: usize = 2;
-    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 }.sample(items, seed);
+    let weights = FrequencyDist::Zipf {
+        theta: 1.0,
+        scale: 1000.0,
+    }
+    .sample(items, seed);
 
     println!(
         "Hybrid push–pull cutoff — {items} items, Zipf(1.0), {CHANNELS} channels, \
          on-demand latency {od_latency} slots, seed {seed}\n"
     );
 
-    let candidates: Vec<usize> = (1..=10)
-        .map(|i| (items * i / 10).max(1))
-        .collect();
-    let (points, best) =
-        hotset::optimal_capacity(&weights, &candidates, od_latency, |hot_items| {
-            // Build a real broadcast program over just the hot items.
-            let hot_weights: Vec<Weight> = hot_items
-                .iter()
-                .map(|&i| weights[i])
-                .collect();
-            let tree = knary::build_weight_balanced(&hot_weights, 8).expect("non-empty");
-            let schedule = baselines::greedy_frontier(&tree, CHANNELS);
-            // Wait per hot item: slot of its data node. The builder labels
-            // data nodes D<j> for the j-th hot weight.
-            let mut wait = vec![0.0f64; hot_items.len()];
-            for (offset, members) in schedule.slots().iter().enumerate() {
-                for &n in members {
-                    if tree.is_data(n) {
-                        let j: usize = tree.label(n)[1..].parse().expect("D<j> labels");
-                        wait[j] = (offset + 1) as f64;
-                    }
+    let candidates: Vec<usize> = (1..=10).map(|i| (items * i / 10).max(1)).collect();
+    let (points, best) = hotset::optimal_capacity(&weights, &candidates, od_latency, |hot_items| {
+        // Build a real broadcast program over just the hot items.
+        let hot_weights: Vec<Weight> = hot_items.iter().map(|&i| weights[i]).collect();
+        let tree = knary::build_weight_balanced(&hot_weights, 8).expect("non-empty");
+        let schedule = baselines::greedy_frontier(&tree, CHANNELS);
+        // Wait per hot item: slot of its data node. The builder labels
+        // data nodes D<j> for the j-th hot weight.
+        let mut wait = vec![0.0f64; hot_items.len()];
+        for (offset, members) in schedule.slots().iter().enumerate() {
+            for &n in members {
+                if tree.is_data(n) {
+                    let j: usize = tree.label(n)[1..].parse().expect("D<j> labels");
+                    wait[j] = (offset + 1) as f64;
                 }
             }
-            let cycle = schedule.len();
-            (wait, cycle)
-        });
+        }
+        let cycle = schedule.len();
+        (wait, cycle)
+    });
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -75,14 +73,24 @@ fn main() {
                 p.capacity.to_string(),
                 p.cycle_len.to_string(),
                 format!("{:.2}", p.cost),
-                if i == best { "<- best".into() } else { String::new() },
+                if i == best {
+                    "<- best".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["broadcast share", "items on air", "cycle", "expected cost", ""],
+            &[
+                "broadcast share",
+                "items on air",
+                "cycle",
+                "expected cost",
+                ""
+            ],
             &rows
         )
     );

@@ -29,7 +29,11 @@ fn main() {
         .unwrap_or(300);
     const CHANNELS: usize = 3;
     const REQUESTS: usize = 50_000;
-    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 }.sample(items, seed);
+    let weights = FrequencyDist::Zipf {
+        theta: 1.0,
+        scale: 1000.0,
+    }
+    .sample(items, seed);
     let tree = knary::build_weight_balanced(&weights, 8).expect("non-empty");
     println!(
         "Access-latency tails — {items} items, Zipf(1.0), {CHANNELS} channels, \
@@ -37,10 +41,22 @@ fn main() {
     );
 
     let layouts: Vec<(&str, Schedule)> = vec![
-        ("frontier greedy", baselines::greedy_frontier(&tree, CHANNELS)),
-        ("sorting heuristic", sorting::sorting_schedule(&tree, CHANNELS)),
-        ("naive preorder", baselines::preorder_schedule(&tree, CHANNELS)),
-        ("random feasible", baselines::random_feasible(&tree, CHANNELS, seed)),
+        (
+            "frontier greedy",
+            baselines::greedy_frontier(&tree, CHANNELS),
+        ),
+        (
+            "sorting heuristic",
+            sorting::sorting_schedule(&tree, CHANNELS),
+        ),
+        (
+            "naive preorder",
+            baselines::preorder_schedule(&tree, CHANNELS),
+        ),
+        (
+            "random feasible",
+            baselines::random_feasible(&tree, CHANNELS, seed),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -24,7 +24,11 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("items must be a usize"))
         .unwrap_or(150);
-    let weights = FrequencyDist::Zipf { theta: 0.9, scale: 100.0 }.sample(items, seed);
+    let weights = FrequencyDist::Zipf {
+        theta: 0.9,
+        scale: 100.0,
+    }
+    .sample(items, seed);
     let tree = knary::build_weight_balanced(&weights, 4).expect("non-empty");
     let schedule = sorting::sorting_schedule(&tree, 1);
     println!(
@@ -47,14 +51,25 @@ fn main() {
                 format!("{:.2}", a.expected_probe_wait),
                 format!("{:.2}", a.expected_data_wait),
                 format!("{:.2}", a.expected_access_time),
-                if a.replicas == best.replicas { "<- best".into() } else { String::new() },
+                if a.replicas == best.replicas {
+                    "<- best".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["replicas", "cycle", "probe wait", "data wait", "access time", ""],
+            &[
+                "replicas",
+                "cycle",
+                "probe wait",
+                "data wait",
+                "access time",
+                ""
+            ],
             &rows
         )
     );

@@ -71,7 +71,10 @@ impl fmt::Display for FeasibilityError {
                 write!(f, "index root must occupy slot 1 of channel C1")
             }
             FeasibilityError::SizeMismatch { allocation, tree } => {
-                write!(f, "allocation for {allocation} nodes used with {tree}-node tree")
+                write!(
+                    f,
+                    "allocation for {allocation} nodes used with {tree}-node tree"
+                )
             }
         }
     }
@@ -240,8 +243,7 @@ impl Allocation {
             });
         }
         // Everything placed, in range, no collisions.
-        let mut seen: Vec<Option<NodeId>> =
-            vec![None; self.num_channels * self.cycle_len as usize];
+        let mut seen: Vec<Option<NodeId>> = vec![None; self.num_channels * self.cycle_len as usize];
         for i in 0..self.addr.len() {
             let node = NodeId::from_index(i);
             let Some(addr) = self.addr[i] else {
@@ -294,8 +296,7 @@ impl Allocation {
     /// C2 | . 3 B E D
     /// ```
     pub fn render(&self, tree: &IndexTree) -> String {
-        let mut grid =
-            vec![vec![".".to_string(); self.cycle_len as usize]; self.num_channels];
+        let mut grid = vec![vec![".".to_string(); self.cycle_len as usize]; self.num_channels];
         for (node, addr) in self.iter() {
             grid[addr.channel.index()][addr.slot.offset()] = tree.label(node);
         }
@@ -356,7 +357,10 @@ mod tests {
             let ch = usize::from(n == t.root());
             a.place(n, BucketAddr::new(ch, i)).unwrap();
         }
-        assert_eq!(a.validate(&t).unwrap_err(), FeasibilityError::RootNotAtOrigin);
+        assert_eq!(
+            a.validate(&t).unwrap_err(),
+            FeasibilityError::RootNotAtOrigin
+        );
     }
 
     #[test]

@@ -160,7 +160,10 @@ mod tests {
         let lb2 = data_wait_lower_bound(&t, 2);
         assert!(lb2 <= 272.0 / 70.0);
         // With 2 channels: heaviest at slot 2: (20·2+18·2+15·3+10·3+7·4)/70.
-        assert!((lb2 - (20.0 * 2.0 + 18.0 * 2.0 + 15.0 * 3.0 + 10.0 * 3.0 + 7.0 * 4.0) / 70.0).abs() < 1e-12);
+        assert!(
+            (lb2 - (20.0 * 2.0 + 18.0 * 2.0 + 15.0 * 3.0 + 10.0 * 3.0 + 7.0 * 4.0) / 70.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -132,10 +132,7 @@ pub fn access(
             }
             Bucket::Index { node, pointers } if on_path[node.index()] => {
                 let Some(ptr) = pointers.iter().find(|p| on_path[p.child.index()]) else {
-                    return Err(SimError::NoRoute {
-                        at: *node,
-                        target,
-                    });
+                    return Err(SimError::NoRoute { at: *node, target });
                 };
                 if ptr.channel != at.channel {
                     channel_switches += 1;
@@ -258,7 +255,10 @@ pub fn latency_distribution(
 ) -> Result<LatencyDistribution, SimError> {
     assert!(requests > 0, "need at least one request");
     let total = tree.total_weight().get();
-    assert!(total > 0.0, "cannot draw targets from an all-zero-weight tree");
+    assert!(
+        total > 0.0,
+        "cannot draw targets from an all-zero-weight tree"
+    );
     // Cumulative weights for inverse-CDF target sampling.
     let data = tree.data_nodes();
     let mut cdf = Vec::with_capacity(data.len());

@@ -247,7 +247,10 @@ mod tests {
                 assert_eq!(&wb.bucket, p.bucket(addr));
                 assert_eq!(wb.next_cycle, p.next_cycle_offset(addr.slot));
                 if let Bucket::Data { node } = &wb.bucket {
-                    assert_eq!(wb.payload, Bytes::from(format!("payload:{}", t.label(*node))));
+                    assert_eq!(
+                        wb.payload,
+                        Bytes::from(format!("payload:{}", t.label(*node)))
+                    );
                 }
             }
         }
@@ -277,8 +280,8 @@ mod tests {
             loop {
                 match decode_bucket(&mut buf) {
                     Ok(_) if buf.has_remaining() => continue,
-                    Ok(_) => break,                      // clean prefix of buckets
-                    Err(WireError::Truncated) => break,  // detected
+                    Ok(_) => break,                     // clean prefix of buckets
+                    Err(WireError::Truncated) => break, // detected
                     Err(e) => panic!("cut {cut}: unexpected {e}"),
                 }
             }

@@ -8,6 +8,7 @@
 //! incrementally: placing a compound node removes its members from `S` and
 //! adds their children.
 
+use crate::bound::IncBound;
 use bcast_index_tree::IndexTree;
 use bcast_types::{BitSet, NodeId};
 
@@ -34,6 +35,11 @@ pub struct PathState {
     /// `V(X)`: accumulated `Σ W(d)·T(d)` over placed data nodes
     /// (unnormalized).
     pub weighted_wait: f64,
+    /// Incrementally maintained bound companion, if a
+    /// [`crate::bound::Bounder`] attached one. Valid only for the bounder
+    /// that wrote it; advancing through [`PathState::place`] directly (no
+    /// bounder) drops it rather than carry stale aggregates.
+    pub bound: Option<IncBound>,
     /// Number of placed *index* nodes (for the Property-1 fast path).
     placed_index: u32,
 }
@@ -49,8 +55,18 @@ impl PathState {
             last: Vec::new(),
             slots_used: 0,
             weighted_wait: 0.0,
+            bound: None,
             placed_index: 0,
         }
+    }
+
+    /// Bytes of heap behind this state (bitsets, member list, bound
+    /// companion). Used for the peak-arena accounting in the search stats.
+    pub fn heap_bytes(&self) -> usize {
+        self.placed.heap_bytes()
+            + self.available.heap_bytes()
+            + self.last.capacity() * std::mem::size_of::<NodeId>()
+            + self.bound.as_ref().map_or(0, IncBound::heap_bytes)
     }
 
     /// True once every tree node has been placed.
@@ -60,17 +76,25 @@ impl PathState {
 
     /// Returns the state after transmitting `members` in the next slot.
     ///
+    /// The carried [`IncBound`] (if any) is *not* copied into the successor:
+    /// only [`crate::bound::Bounder::place`] knows how to advance it, and
+    /// cloning it here would waste an allocation whenever the caller is
+    /// about to overwrite it anyway.
+    ///
     /// # Panics
     /// Debug-asserts that every member is currently available.
     pub fn place(&self, tree: &IndexTree, members: &[NodeId]) -> PathState {
-        let mut next = self.clone();
-        next.slots_used += 1;
-        next.last.clear();
+        let mut next = PathState {
+            placed: self.placed.clone(),
+            available: self.available.clone(),
+            last: Vec::with_capacity(members.len()),
+            slots_used: self.slots_used + 1,
+            weighted_wait: self.weighted_wait,
+            bound: None,
+            placed_index: self.placed_index,
+        };
         for &n in members {
-            debug_assert!(
-                next.available.contains(n),
-                "placing unavailable node {n}"
-            );
+            debug_assert!(next.available.contains(n), "placing unavailable node {n}");
             next.available.remove(n);
             next.placed.insert(n);
             next.last.push(n);

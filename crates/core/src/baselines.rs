@@ -93,7 +93,9 @@ pub fn greedy_frontier(tree: &IndexTree, k: usize) -> Schedule {
     }
     impl Ord for P {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+            self.0
+                .total_cmp(&other.0)
+                .then_with(|| self.1.cmp(&other.1))
         }
     }
 
@@ -208,7 +210,10 @@ mod tests {
         let cfg = RandomTreeConfig {
             data_nodes: 500,
             max_fanout: 8,
-            weights: FrequencyDist::SelfSimilar { fraction: 0.2, total: 10_000.0 },
+            weights: FrequencyDist::SelfSimilar {
+                fraction: 0.2,
+                total: 10_000.0,
+            },
         };
         let t = random_tree(&cfg, 9);
         for k in [1usize, 4] {
@@ -217,7 +222,10 @@ mod tests {
         }
         let g = greedy_frontier(&t, 4).average_data_wait(&t);
         let r = random_feasible(&t, 4, 1).average_data_wait(&t);
-        assert!(g < r, "frontier {g} should beat random {r} on skewed weights");
+        assert!(
+            g < r,
+            "frontier {g} should beat random {r} on skewed weights"
+        );
     }
 
     #[test]

@@ -36,14 +36,15 @@
 //! closed form instead of being searched.
 
 use crate::avail::PathState;
-use crate::bound::{BoundKind, Bounder};
+use crate::bound::{BoundCounters, BoundKind, Bounder};
 use crate::prune;
 use crate::schedule::Schedule;
 use crate::topo_tree;
 use bcast_index_tree::IndexTree;
-use bcast_types::{BitSet, NodeId};
+use bcast_types::dominance::Probe;
+use bcast_types::{DominanceTable, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
 
 /// Options for [`search`].
@@ -79,6 +80,44 @@ impl Default for BestFirstOptions {
     }
 }
 
+/// Effort counters for one search run, surfaced through
+/// [`BestFirstResult`] (and, for the parallel engine, summed over workers).
+///
+/// `bound_work / nodes_generated` is the measured per-state bound cost: the
+/// incremental engines hold it at O(placement delta) where the old
+/// scan-per-state design paid O(D). `table_hits / table_probes` is the
+/// dominance hit rate — how often a generated state re-reached an already
+/// recorded `(placed, slots)` class.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Full O(D) bound evaluations (root attach + any fallback rescans).
+    pub bound_full_evals: u64,
+    /// O(delta) incremental bound advances (one per generated child).
+    pub bound_inc_updates: u64,
+    /// Sorted-data entries touched by bound evaluation in total.
+    pub bound_work: u64,
+    /// Dominance-table probes (generation + stale checks).
+    pub table_probes: u64,
+    /// Probes that found an existing record.
+    pub table_hits: u64,
+    /// Heap bytes behind the state arena plus dominance table at the end of
+    /// the search — the peak, since neither ever shrinks.
+    pub peak_arena_bytes: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters (peak bytes add too: parallel
+    /// workers hold their arenas concurrently).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.bound_full_evals += other.bound_full_evals;
+        self.bound_inc_updates += other.bound_inc_updates;
+        self.bound_work += other.bound_work;
+        self.table_probes += other.table_probes;
+        self.table_hits += other.table_hits;
+        self.peak_arena_bytes += other.peak_arena_bytes;
+    }
+}
+
 /// Result of a successful search.
 #[derive(Debug, Clone)]
 pub struct BestFirstResult {
@@ -90,6 +129,8 @@ pub struct BestFirstResult {
     pub nodes_expanded: u64,
     /// States pushed onto the frontier.
     pub nodes_generated: u64,
+    /// Bound and dominance-layer effort counters.
+    pub stats: SearchStats,
 }
 
 /// The search exceeded its node limit.
@@ -132,10 +173,32 @@ struct Entry {
     /// Members of the slot that produced this entry (empty for the root).
     members: Vec<NodeId>,
     state: PathState,
+    /// Cached `state.placed.mix_hash()`, so stale checks re-probe the
+    /// dominance table without rehashing the bitset.
+    hash: u64,
     /// Property-1 tail, present when this entry is a completed terminal.
     tail: Option<Vec<Vec<NodeId>>>,
     /// Exact total weighted wait for terminals.
     total: f64,
+}
+
+/// Heap bytes behind the arena and dominance table (see
+/// [`SearchStats::peak_arena_bytes`]). The entry array is counted at its
+/// occupied length; the backing vector's slack is allocator detail.
+fn arena_bytes(arena: &[Entry], table: &DominanceTable) -> u64 {
+    let mut bytes = std::mem::size_of_val(arena) + table.heap_bytes();
+    for e in arena {
+        bytes += e.state.heap_bytes();
+        bytes += e.members.capacity() * std::mem::size_of::<NodeId>();
+        if let Some(tail) = &e.tail {
+            bytes += tail.capacity() * std::mem::size_of::<Vec<NodeId>>();
+            bytes += tail
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>();
+        }
+    }
+    bytes as u64
 }
 
 /// Finds an optimal k-channel schedule for `tree`.
@@ -151,21 +214,26 @@ pub fn search(
         }
     }
     let bounder = Bounder::new(tree, k, opts.bound);
+    let mut counters = BoundCounters::default();
     let mut arena: Vec<Entry> = Vec::new();
     let mut open: BinaryHeap<Reverse<(Priority, usize)>> = BinaryHeap::new();
-    // Dominance table: best g (weighted wait) per placed set and slot
-    // count. Nested so the frequent lookup borrows the state's bitset
-    // instead of cloning it per heap pop.
-    let mut best_g: HashMap<BitSet, HashMap<u32, f64>> = HashMap::new();
+    // Dominance layer: best g (weighted wait) per placed set and slot
+    // count, as a flat table over arena-interned ids. Probing hashes
+    // nothing and clones nothing — true equality runs only on a full
+    // `(hash, slots)` match, against the interned twin.
+    let mut table = DominanceTable::default();
     let mut generated = 0u64;
     let mut expanded = 0u64;
 
-    let root_state = PathState::initial(tree);
-    let root_f = bounder.estimate(&root_state);
+    let mut root_state = PathState::initial(tree);
+    bounder.attach(&mut root_state, &mut counters);
+    let root_f = bounder.estimate_fast(&root_state);
+    let root_hash = root_state.placed.mix_hash();
     arena.push(Entry {
         parent: None,
         members: Vec::new(),
         state: root_state,
+        hash: root_hash,
         tail: None,
         total: f64::INFINITY,
     });
@@ -175,19 +243,23 @@ pub fn search(
         // Terminal (complete or Property-1 completed): first pop is optimal
         // because f equals the exact total for terminals and every other
         // frontier entry has admissible f ≤ its true cost.
-        let is_terminal =
-            arena[idx].tail.is_some() || arena[idx].state.is_complete(tree);
+        let is_terminal = arena[idx].tail.is_some() || arena[idx].state.is_complete(tree);
         if is_terminal {
-            return Ok(finish(tree, &arena, idx, expanded, generated));
+            return Ok(finish(
+                tree, &arena, &table, idx, expanded, generated, counters,
+            ));
         }
         // Stale check: a better path to the same (placed, slots) was found
-        // after this entry was pushed.
+        // after this entry was pushed. The table records strict improvements
+        // only, so "recorded value below ours" means superseded.
         {
             let st = &arena[idx].state;
-            let stale = best_g
-                .get(&st.placed)
-                .and_then(|per_slot| per_slot.get(&st.slots_used))
-                .is_some_and(|&g| g < st.weighted_wait);
+            let stale = match table.probe(arena[idx].hash, st.slots_used, |id| {
+                arena[id as usize].state.placed == st.placed
+            }) {
+                Probe::Occupied { value, .. } => value < st.weighted_wait,
+                Probe::Vacant { .. } => false, // only the root is unrecorded
+            };
             if stale {
                 continue;
             }
@@ -204,10 +276,9 @@ pub fn search(
         // its now-exact priority — no state clone needed.
         if opts.property1 && arena[idx].state.all_index_placed(tree) {
             let mut tail = Vec::new();
-            let total =
-                arena[idx]
-                    .state
-                    .complete_with_property1(tree, k, Some(&mut tail));
+            let total = arena[idx]
+                .state
+                .complete_with_property1(tree, k, Some(&mut tail));
             arena[idx].tail = Some(tail);
             arena[idx].total = total;
             generated += 1;
@@ -221,37 +292,48 @@ pub fn search(
             topo_tree::compound_children(tree, &arena[idx].state, k)
         };
         for members in children {
-            let next = arena[idx].state.place(tree, &members);
+            let next = bounder.place(tree, &arena[idx].state, &members, &mut counters);
             let g = next.weighted_wait;
-            let per_slot = best_g.entry(next.placed.clone()).or_default();
-            match per_slot.get_mut(&next.slots_used) {
-                Some(best) if *best <= g => continue,
-                Some(best) => *best = g,
-                None => {
-                    per_slot.insert(next.slots_used, g);
+            let hash = next.placed.mix_hash();
+            let probe = table.probe(hash, next.slots_used, |id| {
+                arena[id as usize].state.placed == next.placed
+            });
+            if let Probe::Occupied { value, .. } = probe {
+                if value <= g {
+                    continue; // dominated: an equal-or-better twin exists
                 }
             }
-            let f = g + bounder.estimate(&next);
+            let slots_used = next.slots_used;
+            let f = g + bounder.estimate_fast(&next);
             generated += 1;
+            let id = arena.len() as u32;
             arena.push(Entry {
                 parent: Some(idx),
                 members,
                 state: next,
+                hash,
                 tail: None,
                 total: f64::INFINITY,
             });
+            match probe {
+                Probe::Occupied { slot, .. } => table.update(slot, id, g),
+                Probe::Vacant { slot } => table.fill(slot, hash, slots_used, id, g),
+            }
             open.push(Reverse((Priority(f, generated), arena.len() - 1)));
         }
     }
     unreachable!("a valid index tree always admits a feasible schedule")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     tree: &IndexTree,
     arena: &[Entry],
+    table: &DominanceTable,
     idx: usize,
     expanded: u64,
     generated: u64,
+    counters: BoundCounters,
 ) -> BestFirstResult {
     // Walk parents to the root, collecting slots.
     let mut slots_rev: Vec<Vec<NodeId>> = Vec::new();
@@ -277,6 +359,14 @@ fn finish(
         data_wait: if tw == 0.0 { 0.0 } else { total / tw },
         nodes_expanded: expanded,
         nodes_generated: generated,
+        stats: SearchStats {
+            bound_full_evals: counters.full_evals,
+            bound_inc_updates: counters.inc_updates,
+            bound_work: counters.work,
+            table_probes: table.probes(),
+            table_hits: table.hits(),
+            peak_arena_bytes: arena_bytes(arena, table),
+        },
     }
 }
 
@@ -309,9 +399,7 @@ mod tests {
                     );
                     // The schedule really evaluates to the reported cost and
                     // is feasible.
-                    assert!(
-                        (got.schedule.average_data_wait(&t) - got.data_wait).abs() < 1e-9
-                    );
+                    assert!((got.schedule.average_data_wait(&t) - got.data_wait).abs() < 1e-9);
                     got.schedule.into_allocation(&t, k).unwrap();
                 }
             }

@@ -148,8 +148,10 @@ fn admissible(ctx: &Ctx<'_>, walk: &Walk, d: NodeId, level: PruneLevel) -> bool 
     if level.property4() {
         if let Some(prev) = walk.prev {
             let n_b = ctx.ancestors[d.index()].difference_len(&walk.cancestor) as f64 + 1.0;
-            let n_a =
-                walk.prev_nancestor.difference_len(&ctx.ancestors[d.index()]) as f64 + 1.0;
+            let n_a = walk
+                .prev_nancestor
+                .difference_len(&ctx.ancestors[d.index()]) as f64
+                + 1.0;
             let w_prev = ctx.tree.weight(prev).get();
             let w_d = ctx.tree.weight(d).get();
             // Keep `prev` before `d` only if N_B·W(prev) ≥ N_A·W(d).
@@ -369,8 +371,7 @@ fn dfs_opt(
         return false;
     }
     // Property-1 completion: all index on air (or trivially, all data done).
-    if walk.cancestor.len() == ctx.num_index || walk.placed_data.len() == ctx.sorted_data.len()
-    {
+    if walk.cancestor.len() == ctx.num_index || walk.placed_data.len() == ctx.sorted_data.len() {
         let mut cost = walk.weighted_wait;
         let mut slot = walk.emitted;
         let mut tail: Vec<NodeId> = Vec::new();
@@ -503,8 +504,9 @@ mod tests {
         use bcast_types::Weight;
         for m in 2..=3usize {
             let n = m * m;
-            let weights: Vec<Weight> =
-                (0..n).map(|i| Weight::from((i * 13 % 97 + 1) as u32)).collect();
+            let weights: Vec<Weight> = (0..n)
+                .map(|i| Weight::from((i * 13 % 97 + 1) as u32))
+                .collect();
             let t = builders::full_balanced(m, 3, &weights).unwrap();
             let expected = {
                 let fact = |x: usize| -> u128 { (1..=x as u128).product() };

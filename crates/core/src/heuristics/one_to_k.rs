@@ -57,7 +57,11 @@ pub fn distribute(tree: &IndexTree, order: &[NodeId], k: usize) -> Schedule {
     #[allow(clippy::needless_range_loop)] // `level` is also compared to `depth`
     for level in 1..=depth {
         // Merge the carry into this level's list by sequence number.
-        let list = merge_by_seq(std::mem::take(&mut lists[level]), std::mem::take(&mut carry), &seq);
+        let list = merge_by_seq(
+            std::mem::take(&mut lists[level]),
+            std::mem::take(&mut carry),
+            &seq,
+        );
         let last_level = level == depth;
         let mut pending = list;
         loop {
@@ -113,10 +117,7 @@ pub fn distribute(tree: &IndexTree, order: &[NodeId], k: usize) -> Schedule {
                 rest.push(n);
             }
         }
-        assert!(
-            !members.is_empty(),
-            "topological order guarantees progress"
-        );
+        assert!(!members.is_empty(), "topological order guarantees progress");
         for &n in &members {
             slot_of[n.index()] = slot;
         }

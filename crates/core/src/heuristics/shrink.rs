@@ -85,9 +85,8 @@ pub fn combine(tree: &IndexTree, max_nodes: usize) -> CombineResult {
     // (level, preorder rank)); combining a node can only make its parent
     // newly combinable, so the heap is maintained incrementally instead of
     // rescanning all n nodes per combination.
-    let combinable = |id: NodeId, is_data: &[bool]| {
-        tree.children(id).iter().all(|&c| is_data[c.index()])
-    };
+    let combinable =
+        |id: NodeId, is_data: &[bool]| tree.children(id).iter().all(|&c| is_data[c.index()]);
     let mut heap: std::collections::BinaryHeap<(u32, u32, NodeId)> = (0..n)
         .map(NodeId::from_index)
         .filter(|&id| !is_data[id.index()] && id != tree.root() && combinable(id, &is_data))
@@ -102,9 +101,7 @@ pub fn combine(tree: &IndexTree, max_nodes: usize) -> CombineResult {
             match heap.pop() {
                 None => break None,
                 Some((_, _, id))
-                    if !is_data[id.index()]
-                        && id != tree.root()
-                        && combinable(id, &is_data) =>
+                    if !is_data[id.index()] && id != tree.root() && combinable(id, &is_data) =>
                 {
                     break Some(id)
                 }
@@ -149,7 +146,8 @@ pub fn combine(tree: &IndexTree, max_nodes: usize) -> CombineResult {
             b.add_data(parent_new, weight[orig.index()], tree.label(orig))
                 .expect("valid parent")
         } else {
-            b.add_index(parent_new, tree.label(orig)).expect("valid parent")
+            b.add_index(parent_new, tree.label(orig))
+                .expect("valid parent")
         };
         new_id_of[orig.index()] = Some(new);
         to_orig.push(orig);
@@ -249,12 +247,7 @@ pub fn partition_solve(tree: &IndexTree, k: usize, max_sub_nodes: usize) -> Shri
 /// Exact 1-channel sequence for a (small) tree via the data-tree search.
 fn solve_sequence(tree: &IndexTree) -> Vec<NodeId> {
     let result = data_tree::search_optimal(tree);
-    result
-        .schedule
-        .slots()
-        .iter()
-        .map(|m| m[0])
-        .collect()
+    result.schedule.slots().iter().map(|m| m[0]).collect()
 }
 
 /// Deep-copies the subtree rooted at `sub_root` (an index node) into a
@@ -278,7 +271,8 @@ fn copy_subtree(tree: &IndexTree, sub_root: NodeId) -> (IndexTree, Vec<NodeId>) 
             b.add_data(parent_new, tree.weight(orig), tree.label(orig))
                 .expect("valid parent")
         } else {
-            b.add_index(parent_new, tree.label(orig)).expect("valid parent")
+            b.add_index(parent_new, tree.label(orig))
+                .expect("valid parent")
         };
         debug_assert_eq!(new.index(), to_orig.len());
         to_orig.push(orig);
@@ -365,7 +359,10 @@ mod tests {
         let cfg = RandomTreeConfig {
             data_nodes: 2_000,
             max_fanout: 5,
-            weights: FrequencyDist::Zipf { theta: 1.0, scale: 500.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 1.0,
+                scale: 500.0,
+            },
         };
         let t = random_tree(&cfg, 3);
         let r = combine_solve(&t, 3, 12);

@@ -88,10 +88,7 @@ mod tests {
     fn fig13_sorted_preorder() {
         // The paper sorts Fig. 1(a) into the broadcast 1 2 A B 3 E 4 C D.
         let t = builders::paper_example();
-        let labels: Vec<String> = sorted_preorder(&t)
-            .iter()
-            .map(|&n| t.label(n))
-            .collect();
+        let labels: Vec<String> = sorted_preorder(&t).iter().map(|&n| t.label(n)).collect();
         assert_eq!(labels, vec!["1", "2", "A", "B", "3", "E", "4", "C", "D"]);
     }
 
@@ -114,7 +111,11 @@ mod tests {
         let wait = s.average_data_wait(&t);
         assert!(wait >= exact.data_wait - 1e-12);
         // On this small example the heuristic is within 10% of optimal.
-        assert!(wait <= exact.data_wait * 1.10, "wait {wait} vs {}", exact.data_wait);
+        assert!(
+            wait <= exact.data_wait * 1.10,
+            "wait {wait} vs {}",
+            exact.data_wait
+        );
         s.into_allocation(&t, 1).unwrap();
     }
 
@@ -133,7 +134,10 @@ mod tests {
         let cfg = RandomTreeConfig {
             data_nodes: 20_000,
             max_fanout: 6,
-            weights: FrequencyDist::Zipf { theta: 0.9, scale: 1000.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.9,
+                scale: 1000.0,
+            },
         };
         let t = random_tree(&cfg, 7);
         let s = sorting_schedule(&t, 4);

@@ -1,6 +1,6 @@
 //! One-call optimal allocation with automatic strategy dispatch.
 
-use crate::best_first::{self, BestFirstOptions};
+use crate::best_first::{self, BestFirstOptions, SearchStats};
 use crate::bound::BoundKind;
 use crate::corollary;
 use crate::data_tree;
@@ -52,6 +52,9 @@ pub struct OptimalResult {
     pub data_wait: f64,
     /// Search effort (states/paths, strategy-specific; 0 for Corollary 1).
     pub nodes_expanded: u64,
+    /// Bound and dominance-layer counters (all zero for strategies without
+    /// a bounded frontier: Corollary 1, data tree, exhaustive).
+    pub stats: SearchStats,
     /// The strategy that actually ran.
     pub strategy_used: Strategy,
 }
@@ -132,6 +135,7 @@ pub fn find_optimal(
                 schedule,
                 data_wait,
                 nodes_expanded: 0,
+                stats: SearchStats::default(),
                 strategy_used: strategy,
             })
         }
@@ -148,6 +152,7 @@ pub fn find_optimal(
                 schedule: r.schedule,
                 data_wait: r.data_wait,
                 nodes_expanded: r.nodes_expanded,
+                stats: SearchStats::default(),
                 strategy_used: strategy,
             })
         }
@@ -165,6 +170,7 @@ pub fn find_optimal(
                 schedule: r.schedule,
                 data_wait: r.data_wait,
                 nodes_expanded: r.nodes_expanded,
+                stats: r.stats,
                 strategy_used: strategy,
             })
         }
@@ -186,6 +192,7 @@ pub fn find_optimal(
                 schedule: r.schedule,
                 data_wait: r.data_wait,
                 nodes_expanded: r.paths as u64,
+                stats: SearchStats::default(),
                 strategy_used: strategy,
             })
         }
@@ -233,10 +240,18 @@ mod tests {
             )
             .unwrap();
             let strategies: Vec<Strategy> = match k {
-                1 => vec![Strategy::Auto, Strategy::DataTree, Strategy::BestFirst,
-                          Strategy::BestFirstUnpruned],
+                1 => vec![
+                    Strategy::Auto,
+                    Strategy::DataTree,
+                    Strategy::BestFirst,
+                    Strategy::BestFirstUnpruned,
+                ],
                 4 => vec![Strategy::Auto, Strategy::Corollary1, Strategy::BestFirst],
-                _ => vec![Strategy::Auto, Strategy::BestFirst, Strategy::BestFirstUnpruned],
+                _ => vec![
+                    Strategy::Auto,
+                    Strategy::BestFirst,
+                    Strategy::BestFirstUnpruned,
+                ],
             };
             for s in strategies {
                 let r = find_optimal(

@@ -12,10 +12,14 @@
 //!   complete-solution cost found by *any* worker, mirrored into fixed point
 //!   so an atomic `fetch_min` publishes improvements lock-free. Every worker
 //!   prunes against it at generation and again at expansion;
-//! * a **sharded seen-state table** — the dominance map of the sequential
+//! * a **sharded seen-state table** — the dominance layer of the sequential
 //!   search (`best g per (placed-set, slots-used)`), split across
-//!   [`SEEN_SHARDS`] mutexes keyed by hash so concurrent inserts rarely
-//!   collide.
+//!   [`SEEN_SHARDS`] mutexes keyed by the placed-set hash so concurrent
+//!   inserts rarely collide. Each shard is a flat
+//!   [`bcast_types::DominanceTable`] over shard-interned placed sets: a
+//!   probe hashes nothing (tasks carry their hash from birth) and an
+//!   improving update clones nothing — a set is cloned exactly once, on
+//!   first insert.
 //!
 //! # Why the sequential optimality argument is not enough
 //!
@@ -63,17 +67,17 @@
 //! result (asserted by the `parallel_equivalence` property suite).
 
 use crate::avail::PathState;
-use crate::best_first::{BestFirstOptions, BestFirstResult, NodeLimitExceeded};
-use crate::bound::Bounder;
+use crate::best_first::{BestFirstOptions, BestFirstResult, NodeLimitExceeded, SearchStats};
+use crate::bound::{BoundCounters, Bounder};
 use crate::prune;
 use crate::schedule::Schedule;
 use crate::topo_tree;
 use bcast_index_tree::IndexTree;
+use bcast_types::dominance::Probe;
 use bcast_types::incumbent::{to_fixed_ceil, to_fixed_floor, FIXED_INFINITY};
-use bcast_types::{BitSet, NodeId, SharedIncumbent};
+use bcast_types::{BitSet, DominanceTable, NodeId, SharedIncumbent};
 use std::cmp::{Ordering as CmpOrdering, Reverse};
-use std::collections::{BinaryHeap, HashMap};
-use std::hash::{Hash, Hasher};
+use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -99,6 +103,9 @@ struct Task {
     f_fixed: u64,
     /// Global generation number; deterministic-ish tie-break within a heap.
     seq: u64,
+    /// Cached `state.placed.mix_hash()` — selects the seen shard and keys
+    /// its dominance table, so a task is hashed exactly once, at birth.
+    hash: u64,
     state: PathState,
     path: Option<Arc<PathNode>>,
 }
@@ -128,6 +135,24 @@ struct Best {
     slots: Vec<Vec<NodeId>>,
 }
 
+/// One shard of the seen-state dominance layer: a flat table over ids
+/// interned into the shard-local `sets` list. A placed set is cloned once,
+/// on first insert; probes and improving updates touch no bitset at all.
+#[derive(Default)]
+struct Shard {
+    table: DominanceTable,
+    sets: Vec<BitSet>,
+}
+
+impl Shard {
+    /// Heap bytes behind this shard (table array + interned sets).
+    fn heap_bytes(&self) -> usize {
+        self.table.heap_bytes()
+            + self.sets.capacity() * std::mem::size_of::<BitSet>()
+            + self.sets.iter().map(BitSet::heap_bytes).sum::<usize>()
+    }
+}
+
 struct Engine<'t> {
     tree: &'t IndexTree,
     k: usize,
@@ -135,7 +160,7 @@ struct Engine<'t> {
     bounder: Bounder,
     incumbent: SharedIncumbent,
     best: Mutex<Option<Best>>,
-    seen: Vec<Mutex<HashMap<BitSet, HashMap<u32, f64>>>>,
+    seen: Vec<Mutex<Shard>>,
     injector: Mutex<BinaryHeap<Reverse<Task>>>,
     /// Lower bound on the `f` of every task in the injector
     /// (`u64::MAX` when empty); mutated only under the injector lock.
@@ -151,6 +176,10 @@ struct Engine<'t> {
     expanded: AtomicU64,
     generated: AtomicU64,
     seq: AtomicU64,
+    /// Workers flush their local [`BoundCounters`] here on exit.
+    bound_full_evals: AtomicU64,
+    bound_inc_updates: AtomicU64,
+    bound_work: AtomicU64,
 }
 
 impl<'t> Engine<'t> {
@@ -162,18 +191,34 @@ impl<'t> Engine<'t> {
             bounder: Bounder::new(tree, k, opts.bound),
             incumbent: SharedIncumbent::new(),
             best: Mutex::new(None),
-            seen: (0..SEEN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            seen: (0..SEEN_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
             injector: Mutex::new(BinaryHeap::new()),
             injector_min: AtomicU64::new(FIXED_INFINITY),
             epoch: AtomicU64::new(0),
-            worker_min: (0..threads).map(|_| AtomicU64::new(FIXED_INFINITY)).collect(),
+            worker_min: (0..threads)
+                .map(|_| AtomicU64::new(FIXED_INFINITY))
+                .collect(),
             outstanding: AtomicU64::new(0),
             done: AtomicBool::new(false),
             limit_hit: AtomicBool::new(false),
             expanded: AtomicU64::new(0),
             generated: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            bound_full_evals: AtomicU64::new(0),
+            bound_inc_updates: AtomicU64::new(0),
+            bound_work: AtomicU64::new(0),
         }
+    }
+
+    /// Flushes a worker's local bound tally into the shared totals.
+    fn flush_counters(&self, c: &BoundCounters) {
+        self.bound_full_evals
+            .fetch_add(c.full_evals, Ordering::Relaxed);
+        self.bound_inc_updates
+            .fetch_add(c.inc_updates, Ordering::Relaxed);
+        self.bound_work.fetch_add(c.work, Ordering::Relaxed);
     }
 
     /// True when a task at this fixed-point priority cannot beat the
@@ -183,10 +228,11 @@ impl<'t> Engine<'t> {
         incumbent != FIXED_INFINITY && f_fixed >= incumbent
     }
 
-    fn shard_of(&self, placed: &BitSet) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        placed.hash(&mut h);
-        (h.finish() as usize) % self.seen.len()
+    /// Shard index from a task's cached placed-set hash. The shard tables
+    /// re-mix before indexing, so the low bits doing double duty here do
+    /// not skew the probe sequences.
+    fn shard_of(&self, hash: u64) -> usize {
+        (hash as usize) % self.seen.len()
     }
 
     /// Registers a complete solution. The atomic `offer` publishes the
@@ -199,7 +245,12 @@ impl<'t> Engine<'t> {
             let mut best = self.best.lock().expect("best mutex");
             match best.as_ref() {
                 Some(b) if b.total <= total => {}
-                _ => *best = Some(Best { total, slots: slots() }),
+                _ => {
+                    *best = Some(Best {
+                        total,
+                        slots: slots(),
+                    })
+                }
             }
         }
     }
@@ -241,7 +292,10 @@ impl<'t> Engine<'t> {
                 None => break,
             }
         }
-        let top = inj.peek().map(|Reverse(t)| t.f_fixed).unwrap_or(FIXED_INFINITY);
+        let top = inj
+            .peek()
+            .map(|Reverse(t)| t.f_fixed)
+            .unwrap_or(FIXED_INFINITY);
         self.injector_min.store(top, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::AcqRel);
         Some(first)
@@ -268,7 +322,10 @@ impl<'t> Engine<'t> {
             }
         }
         local.extend(keep);
-        let top = inj.peek().map(|Reverse(t)| t.f_fixed).unwrap_or(FIXED_INFINITY);
+        let top = inj
+            .peek()
+            .map(|Reverse(t)| t.f_fixed)
+            .unwrap_or(FIXED_INFINITY);
         self.injector_min.store(top, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
@@ -277,18 +334,27 @@ impl<'t> Engine<'t> {
     /// children and Property-1 completions update the incumbent directly
     /// instead of re-entering a queue (branch-and-bound style; see the
     /// module docs for why first-pop optimality does not apply here).
-    fn process(&self, task: &Task, me: usize, local: &mut BinaryHeap<Reverse<Task>>) {
+    fn process(
+        &self,
+        task: &Task,
+        me: usize,
+        local: &mut BinaryHeap<Reverse<Task>>,
+        counters: &mut BoundCounters,
+    ) {
         if self.fixed_pruned(task.f_fixed) {
             return;
         }
         {
-            let shard = self.seen[self.shard_of(&task.state.placed)]
+            let mut shard = self.seen[self.shard_of(task.hash)]
                 .lock()
                 .expect("seen shard");
-            let stale = shard
-                .get(&task.state.placed)
-                .and_then(|per_slot| per_slot.get(&task.state.slots_used))
-                .is_some_and(|&g| g < task.state.weighted_wait);
+            let Shard { table, sets } = &mut *shard;
+            let stale = match table.probe(task.hash, task.state.slots_used, |id| {
+                sets[id as usize] == task.state.placed
+            }) {
+                Probe::Occupied { value, .. } => value < task.state.weighted_wait,
+                Probe::Vacant { .. } => false, // only the root is unrecorded
+            };
             if stale {
                 return;
             }
@@ -322,7 +388,9 @@ impl<'t> Engine<'t> {
             topo_tree::compound_children(self.tree, &task.state, self.k)
         };
         for members in children {
-            let next = task.state.place(self.tree, &members);
+            let next = self
+                .bounder
+                .place(self.tree, &task.state, &members, counters);
             if next.is_complete(self.tree) {
                 let total = next.weighted_wait;
                 self.generated.fetch_add(1, Ordering::Relaxed);
@@ -333,20 +401,22 @@ impl<'t> Engine<'t> {
                 });
                 continue;
             }
+            let g = next.weighted_wait;
+            let hash = next.placed.mix_hash();
             {
-                let mut shard = self.seen[self.shard_of(&next.placed)]
-                    .lock()
-                    .expect("seen shard");
-                let per_slot = shard.entry(next.placed.clone()).or_default();
-                match per_slot.get_mut(&next.slots_used) {
-                    Some(best) if *best <= next.weighted_wait => continue,
-                    Some(best) => *best = next.weighted_wait,
-                    None => {
-                        per_slot.insert(next.slots_used, next.weighted_wait);
+                let mut shard = self.seen[self.shard_of(hash)].lock().expect("seen shard");
+                let Shard { table, sets } = &mut *shard;
+                match table.probe(hash, next.slots_used, |id| sets[id as usize] == next.placed) {
+                    Probe::Occupied { value, .. } if value <= g => continue,
+                    Probe::Occupied { slot, id, .. } => table.update(slot, id, g),
+                    Probe::Vacant { slot } => {
+                        let id = sets.len() as u32;
+                        sets.push(next.placed.clone());
+                        table.fill(slot, hash, next.slots_used, id, g);
                     }
                 }
             }
-            let f = next.weighted_wait + self.bounder.estimate(&next);
+            let f = g + self.bounder.estimate_fast(&next);
             let f_fixed = to_fixed_floor(f);
             if self.fixed_pruned(f_fixed) {
                 continue;
@@ -362,6 +432,7 @@ impl<'t> Engine<'t> {
             local.push(Reverse(Task {
                 f_fixed,
                 seq,
+                hash,
                 state: next,
                 path,
             }));
@@ -381,6 +452,12 @@ fn collect_slots(path: &Option<Arc<PathNode>>) -> Vec<Vec<NodeId>> {
 }
 
 fn worker(eng: &Engine<'_>, me: usize) {
+    let mut counters = BoundCounters::default();
+    worker_loop(eng, me, &mut counters);
+    eng.flush_counters(&counters);
+}
+
+fn worker_loop(eng: &Engine<'_>, me: usize, counters: &mut BoundCounters) {
     let mut local: BinaryHeap<Reverse<Task>> = BinaryHeap::new();
     loop {
         if eng.done.load(Ordering::Acquire) {
@@ -401,14 +478,20 @@ fn worker(eng: &Engine<'_>, me: usize) {
         };
         // Safe point: hand = old queue minimum, so publishing it (or the
         // new top, whichever is lower) can only raise the bound.
-        let top = local.peek().map(|Reverse(t)| t.f_fixed).unwrap_or(FIXED_INFINITY);
+        let top = local
+            .peek()
+            .map(|Reverse(t)| t.f_fixed)
+            .unwrap_or(FIXED_INFINITY);
         eng.worker_min[me].store(task.f_fixed.min(top), Ordering::Release);
 
-        eng.process(&task, me, &mut local);
+        eng.process(&task, me, &mut local, counters);
 
         // Safe point: the hand is empty again; the exact queue minimum is
         // the published bound.
-        let top = local.peek().map(|Reverse(t)| t.f_fixed).unwrap_or(FIXED_INFINITY);
+        let top = local
+            .peek()
+            .map(|Reverse(t)| t.f_fixed)
+            .unwrap_or(FIXED_INFINITY);
         eng.worker_min[me].store(top, Ordering::Release);
         if eng.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             eng.done.store(true, Ordering::Release);
@@ -439,16 +522,24 @@ pub fn search(
     let threads = threads.get();
     let eng = Engine::new(tree, k, opts, threads);
 
-    let root_state = PathState::initial(tree);
-    let root_f = to_fixed_floor(eng.bounder.estimate(&root_state));
+    let mut root_counters = BoundCounters::default();
+    let mut root_state = PathState::initial(tree);
+    eng.bounder.attach(&mut root_state, &mut root_counters);
+    eng.flush_counters(&root_counters);
+    let root_f = to_fixed_floor(eng.bounder.estimate_fast(&root_state));
+    let root_hash = root_state.placed.mix_hash();
     eng.outstanding.store(1, Ordering::Release);
     eng.injector_min.store(root_f, Ordering::Release);
-    eng.injector.lock().expect("injector mutex").push(Reverse(Task {
-        f_fixed: root_f,
-        seq: eng.seq.fetch_add(1, Ordering::Relaxed),
-        state: root_state,
-        path: None,
-    }));
+    eng.injector
+        .lock()
+        .expect("injector mutex")
+        .push(Reverse(Task {
+            f_fixed: root_f,
+            seq: eng.seq.fetch_add(1, Ordering::Relaxed),
+            hash: root_hash,
+            state: root_state,
+            path: None,
+        }));
 
     std::thread::scope(|scope| {
         for me in 0..threads {
@@ -469,11 +560,24 @@ pub fn search(
         .take()
         .expect("a valid index tree always admits a feasible schedule");
     let tw = tree.total_weight().get();
+    let mut stats = SearchStats {
+        bound_full_evals: eng.bound_full_evals.load(Ordering::Acquire),
+        bound_inc_updates: eng.bound_inc_updates.load(Ordering::Acquire),
+        bound_work: eng.bound_work.load(Ordering::Acquire),
+        ..SearchStats::default()
+    };
+    for shard in &eng.seen {
+        let shard = shard.lock().expect("seen shard");
+        stats.table_probes += shard.table.probes();
+        stats.table_hits += shard.table.hits();
+        stats.peak_arena_bytes += shard.heap_bytes() as u64;
+    }
     Ok(BestFirstResult {
         schedule: Schedule::from_slots(best.slots),
         data_wait: if tw == 0.0 { 0.0 } else { best.total / tw },
         nodes_expanded: eng.expanded.load(Ordering::Acquire),
         nodes_generated: eng.generated.load(Ordering::Acquire),
+        stats,
     })
 }
 
@@ -495,12 +599,8 @@ mod tests {
         for k in 1..=4 {
             let seq = best_first::search(&t, k, &BestFirstOptions::default()).unwrap();
             for threads in [1usize, 2, 4] {
-                let par =
-                    search(&t, k, &BestFirstOptions::default(), nz(threads)).unwrap();
-                assert_eq!(
-                    par.data_wait, seq.data_wait,
-                    "k={k} threads={threads}"
-                );
+                let par = search(&t, k, &BestFirstOptions::default(), nz(threads)).unwrap();
+                assert_eq!(par.data_wait, seq.data_wait, "k={k} threads={threads}");
                 par.schedule.into_allocation(&t, k).unwrap();
             }
         }

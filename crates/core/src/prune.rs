@@ -46,8 +46,7 @@ pub fn pruned_children(tree: &IndexTree, state: &PathState, k: usize) -> Vec<Vec
 
     let p = &state.last;
     let p_all_index = p.iter().all(|&n| tree.is_index(n));
-    let is_child_of_p =
-        |n: NodeId| tree.parent(n).is_some_and(|par| p.contains(&par));
+    let is_child_of_p = |n: NodeId| tree.parent(n).is_some_and(|par| p.contains(&par));
 
     // ---- Step 1: candidate set S, split into data / index. ----
     let mut data: Vec<NodeId> = Vec::new();
@@ -140,9 +139,7 @@ fn step4_eliminates(
     // (i) A data node of the subset swappable with an index node of P:
     // moving the data node one slot earlier is never worse (its weight
     // dominates the index node's zero weight).
-    let swappable_data = subset
-        .iter()
-        .any(|&y| tree.is_data(y) && !is_child_of_p(y));
+    let swappable_data = subset.iter().any(|&y| tree.is_data(y) && !is_child_of_p(y));
     if swappable_data {
         let has_index_partner = if p_all_index {
             // Lemma 5: an all-index P can always free a slot.

@@ -79,7 +79,12 @@ pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> Replicat
         // slot i.
         let mut count = 0usize;
         let mut ci = 0usize;
-        for (i, slot) in inserted_before.iter_mut().enumerate().take(base_len + 1).skip(1) {
+        for (i, slot) in inserted_before
+            .iter_mut()
+            .enumerate()
+            .take(base_len + 1)
+            .skip(1)
+        {
             while ci < cuts.len() && cuts[ci] < i {
                 count += 1;
                 ci += 1;
@@ -122,7 +127,11 @@ pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> Replicat
         let prev = copy_positions[(j + r - 1) % r];
         // Segment length: cyclic distance from prev (exclusive) to p
         // (inclusive).
-        let seg = if p > prev { p - prev } else { p + new_len - prev };
+        let seg = if p > prev {
+            p - prev
+        } else {
+            p + new_len - prev
+        };
         // A client tuning in at distance d before p (d = 1..=seg, reading
         // the bucket at p - d + ... ) reads the root copy after exactly d
         // slots... averaging d over 1..=seg:
@@ -154,11 +163,7 @@ pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> Replicat
 }
 
 /// Analyzes every replication factor `1..=max_replicas`.
-pub fn sweep(
-    schedule: &Schedule,
-    tree: &IndexTree,
-    max_replicas: u32,
-) -> Vec<ReplicationAnalysis> {
+pub fn sweep(schedule: &Schedule, tree: &IndexTree, max_replicas: u32) -> Vec<ReplicationAnalysis> {
     (1..=max_replicas)
         .map(|r| analyze(schedule, tree, r))
         .collect()
@@ -243,7 +248,10 @@ mod tests {
         let cfg = RandomTreeConfig {
             data_nodes: 120,
             max_fanout: 4,
-            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.9,
+                scale: 100.0,
+            },
         };
         let t = random_tree(&cfg, 21);
         let s = sorting::sorting_schedule(&t, 1);

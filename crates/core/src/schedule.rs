@@ -187,9 +187,7 @@ mod tests {
             ids(&t, &["C", "D"]),
         ]);
         let alloc = s.into_allocation(&t, 2).unwrap();
-        assert!(
-            (s.average_data_wait(&t) - cost::average_data_wait(&alloc, &t)).abs() < 1e-12
-        );
+        assert!((s.average_data_wait(&t) - cost::average_data_wait(&alloc, &t)).abs() < 1e-12);
         assert!((s.average_data_wait(&t) - 272.0 / 70.0).abs() < 1e-12);
         assert_eq!(s.max_width(), 2);
         assert_eq!(s.node_count(), 9);

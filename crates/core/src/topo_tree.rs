@@ -27,7 +27,14 @@ pub fn for_each_schedule(
     assert!(k >= 1, "need at least one channel");
     let mut slots: Vec<Vec<NodeId>> = Vec::new();
     let mut stop = false;
-    dfs(tree, k, &PathState::initial(tree), &mut slots, &mut visit, &mut stop);
+    dfs(
+        tree,
+        k,
+        &PathState::initial(tree),
+        &mut slots,
+        &mut visit,
+        &mut stop,
+    );
 }
 
 fn dfs(
@@ -169,7 +176,11 @@ mod tests {
         // 264/70 ≈ 3.771 (schedule 1 | 2 3 | A E | B 4 | C D).
         let t = builders::paper_example();
         let r = solve_exhaustive(&t, 2);
-        assert!((r.data_wait - 264.0 / 70.0).abs() < 1e-12, "got {}", r.data_wait);
+        assert!(
+            (r.data_wait - 264.0 / 70.0).abs() < 1e-12,
+            "got {}",
+            r.data_wait
+        );
         r.schedule.into_allocation(&t, 2).unwrap();
     }
 

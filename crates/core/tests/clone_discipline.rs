@@ -1,0 +1,38 @@
+//! Pins the bitset-clone budget of the sequential best-first search.
+//!
+//! The dominance layer must not clone placed sets: probing the flat
+//! [`bcast_types::DominanceTable`] compares against arena-interned states,
+//! so the only `BitSet` clones on the hot path are the unavoidable ones in
+//! state generation itself — `PathState::place` copies `placed` and
+//! `available` for the successor, and `Bounder::place` copies the bound
+//! companion's rank set. That is exactly **3 clones per attempted child**
+//! (= per incremental bound update), and zero anywhere else: not per
+//! expansion, not per heap pop, not per dominance probe.
+//!
+//! This lives in its own integration binary because the clone counter is a
+//! process-wide global; unit tests sharing a process would race it.
+
+use bcast_core::best_first::{search, BestFirstOptions};
+use bcast_index_tree::builders;
+use bcast_types::total_clone_count;
+
+#[test]
+fn search_clones_three_bitsets_per_generated_child_and_none_elsewhere() {
+    let tree = builders::paper_example();
+    for k in [1usize, 2, 3] {
+        let before = total_clone_count();
+        let result = search(&tree, k, &BestFirstOptions::default()).unwrap();
+        let clones = total_clone_count() - before;
+        assert_eq!(
+            clones,
+            3 * result.stats.bound_inc_updates,
+            "k={k}: dominance layer or frontier cloned a bitset \
+             ({clones} clones for {} attempted children)",
+            result.stats.bound_inc_updates
+        );
+        // Sanity: the run did real work, so the budget above is not
+        // trivially satisfied by an empty search.
+        assert!(result.stats.bound_inc_updates > 0, "k={k}");
+        assert_eq!(result.stats.bound_full_evals, 1, "k={k}: root scan only");
+    }
+}

@@ -164,7 +164,11 @@ pub fn exact_multi_channel(dag: &DependencyDag, k: usize) -> Result<ExactResult,
     let schedule = DagSchedule::from_slots(search.best_slots);
     let total = dag.total_weight().get();
     Ok(ExactResult {
-        average_wait: if total == 0.0 { 0.0 } else { search.best / total },
+        average_wait: if total == 0.0 {
+            0.0
+        } else {
+            search.best / total
+        },
         schedule,
     })
 }

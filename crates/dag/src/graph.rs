@@ -52,7 +52,11 @@ impl fmt::Display for DagError {
             DagError::NodeOutOfRange(n) => write!(f, "node {n} out of range"),
             DagError::Cyclic => write!(f, "dependency graph has a cycle"),
             DagError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
-            DagError::SlotTooWide { slot, members, channels } => write!(
+            DagError::SlotTooWide {
+                slot,
+                members,
+                channels,
+            } => write!(
                 f,
                 "slot {slot} holds {members} objects but only {channels} channels exist"
             ),
@@ -60,7 +64,10 @@ impl fmt::Display for DagError {
                 write!(f, "schedule is not a permutation of the objects (node {n})")
             }
             DagError::PredecessorNotEarlier { before, after } => {
-                write!(f, "object {after} not strictly after its predecessor {before}")
+                write!(
+                    f,
+                    "object {after} not strictly after its predecessor {before}"
+                )
             }
         }
     }
@@ -305,7 +312,10 @@ impl DagSchedule {
         for v in 0..n {
             for &p in dag.predecessors(v) {
                 if slot_of[p] >= slot_of[v] {
-                    return Err(DagError::PredecessorNotEarlier { before: p, after: v });
+                    return Err(DagError::PredecessorNotEarlier {
+                        before: p,
+                        after: v,
+                    });
                 }
             }
         }
@@ -378,17 +388,27 @@ mod tests {
         let bad = DagSchedule::from_slots(vec![vec![0, 1], vec![2]]);
         assert_eq!(
             bad.validate(&d, 2).unwrap_err(),
-            DagError::PredecessorNotEarlier { before: 0, after: 1 }
+            DagError::PredecessorNotEarlier {
+                before: 0,
+                after: 1
+            }
         );
         // Too-wide slot is invalid.
         let wide = DagSchedule::from_slots(vec![vec![0, 2], vec![1]]);
         assert_eq!(
             wide.validate(&d, 1).unwrap_err(),
-            DagError::SlotTooWide { slot: 0, members: 2, channels: 1 }
+            DagError::SlotTooWide {
+                slot: 0,
+                members: 2,
+                channels: 1
+            }
         );
         // Duplicates and omissions are named.
         let dup = DagSchedule::from_slots(vec![vec![0], vec![0], vec![1, 2]]);
-        assert_eq!(dup.validate(&d, 2).unwrap_err(), DagError::NotAPermutation(0));
+        assert_eq!(
+            dup.validate(&d, 2).unwrap_err(),
+            DagError::NotAPermutation(0)
+        );
         let missing = DagSchedule::from_slots(vec![vec![0], vec![1]]);
         assert_eq!(
             missing.validate(&d, 2).unwrap_err(),

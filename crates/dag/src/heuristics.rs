@@ -22,7 +22,9 @@ impl PartialOrd for P {
 
 impl Ord for P {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 
@@ -84,7 +86,12 @@ pub fn greedy_weight(dag: &DependencyDag, k: usize) -> Result<DagSchedule, DagEr
 /// Random layered DAG generator for tests and benches: `layers` layers of
 /// `width` objects; each object depends on 1..=`max_deps` random objects
 /// of earlier layers (when any exist). Weights uniform in `[1, 100)`.
-pub fn random_layered_dag(layers: usize, width: usize, max_deps: usize, seed: u64) -> DependencyDag {
+pub fn random_layered_dag(
+    layers: usize,
+    width: usize,
+    max_deps: usize,
+    seed: u64,
+) -> DependencyDag {
     assert!(layers >= 1 && width >= 1, "need a non-empty DAG");
     let n = layers * width;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -156,7 +163,10 @@ mod tests {
             let d = random_layered_dag(3, 3, 2, seed);
             for k in [1usize, 2] {
                 let exact = exact_multi_channel(&d, k).unwrap();
-                for s in [greedy_density(&d, k).unwrap(), greedy_weight(&d, k).unwrap()] {
+                for s in [
+                    greedy_density(&d, k).unwrap(),
+                    greedy_weight(&d, k).unwrap(),
+                ] {
                     assert!(
                         s.average_wait(&d) >= exact.average_wait - 1e-9,
                         "seed {seed} k {k}"

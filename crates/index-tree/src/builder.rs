@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_tree() {
-        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeBuildError::EmptyTree);
+        assert_eq!(
+            TreeBuilder::new().build().unwrap_err(),
+            TreeBuildError::EmptyTree
+        );
     }
 
     #[test]

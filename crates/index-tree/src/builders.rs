@@ -23,12 +23,17 @@ pub fn paper_example() -> IndexTree {
     let n1 = b.root("1");
     let n2 = b.add_index(n1, "2").expect("valid parent");
     let n3 = b.add_index(n1, "3").expect("valid parent");
-    b.add_data(n2, Weight::from(20u32), "A").expect("valid parent");
-    b.add_data(n2, Weight::from(10u32), "B").expect("valid parent");
-    b.add_data(n3, Weight::from(18u32), "E").expect("valid parent");
+    b.add_data(n2, Weight::from(20u32), "A")
+        .expect("valid parent");
+    b.add_data(n2, Weight::from(10u32), "B")
+        .expect("valid parent");
+    b.add_data(n3, Weight::from(18u32), "E")
+        .expect("valid parent");
     let n4 = b.add_index(n3, "4").expect("valid parent");
-    b.add_data(n4, Weight::from(15u32), "C").expect("valid parent");
-    b.add_data(n4, Weight::from(7u32), "D").expect("valid parent");
+    b.add_data(n4, Weight::from(15u32), "C")
+        .expect("valid parent");
+    b.add_data(n4, Weight::from(7u32), "D")
+        .expect("valid parent");
     b.build().expect("paper example is structurally valid")
 }
 
@@ -201,7 +206,7 @@ mod tests {
         assert_eq!(t.num_index_nodes(), 3);
         assert_eq!(t.num_data_nodes(), 3);
         assert_eq!(t.depth(), 4); // I1, I2, I3, D3
-        // No level holds two index nodes.
+                                  // No level holds two index nodes.
         let i2 = t.find_by_label("I2").unwrap();
         assert_eq!(t.level(i2), 2);
     }

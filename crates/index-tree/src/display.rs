@@ -29,7 +29,12 @@ impl IndexTree {
             let last = i + 1 == children.len();
             let branch = if last { "└── " } else { "├── " };
             if self.is_data(c) {
-                let _ = writeln!(out, "{prefix}{branch}{} (w={})", self.label(c), self.weight(c));
+                let _ = writeln!(
+                    out,
+                    "{prefix}{branch}{} (w={})",
+                    self.label(c),
+                    self.weight(c)
+                );
             } else {
                 let _ = writeln!(out, "{prefix}{branch}{}", self.label(c));
             }

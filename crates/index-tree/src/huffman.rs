@@ -62,9 +62,9 @@ pub fn build_huffman_knary(weights: &[Weight], fanout: usize) -> Result<IndexTre
     let mut heap: BinaryHeap<Reverse<(Weight, u64)>> = BinaryHeap::new();
     let mut shapes: Vec<Option<Shape>> = Vec::new();
     let push = |heap: &mut BinaryHeap<Reverse<(Weight, u64)>>,
-                    shapes: &mut Vec<Option<Shape>>,
-                    w: Weight,
-                    s: Shape| {
+                shapes: &mut Vec<Option<Shape>>,
+                w: Weight,
+                s: Shape| {
         let id = shapes.len() as u64;
         shapes.push(Some(s));
         heap.push(Reverse((w, id)));
@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_args() {
-        assert_eq!(build_huffman_knary(&[], 2).unwrap_err(), HuffmanError::Empty);
+        assert_eq!(
+            build_huffman_knary(&[], 2).unwrap_err(),
+            HuffmanError::Empty
+        );
         assert_eq!(
             build_huffman_knary(&w(&[1]), 1).unwrap_err(),
             HuffmanError::FanoutTooSmall

@@ -232,7 +232,8 @@ pub fn build_weight_balanced(
     let mut stack = vec![(root, 0usize, weights.len() - 1)];
     while let Some((parent, i, j)) = stack.pop() {
         if i == j {
-            b.add_data(parent, weights[i], format!("D{i}")).expect("valid");
+            b.add_data(parent, weights[i], format!("D{i}"))
+                .expect("valid");
             continue;
         }
         let len = j - i + 1;
@@ -260,7 +261,8 @@ pub fn build_weight_balanced(
         }
         for &(pi, pj) in &bounds {
             if pi == pj {
-                b.add_data(parent, weights[pi], format!("D{pi}")).expect("valid");
+                b.add_data(parent, weights[pi], format!("D{pi}"))
+                    .expect("valid");
             } else {
                 counter += 1;
                 let id = b.add_index(parent, counter.to_string()).expect("valid");

@@ -8,8 +8,26 @@
 
 use crate::NodeId;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const BITS: usize = u64::BITS as usize;
+
+/// Process-wide count of [`BitSet`] clones (relaxed; diagnostic only).
+///
+/// The exact search engines promise *zero* bitset clones on their dominance
+/// hot path — states are interned once and referenced by id thereafter. A
+/// counter is the only way to assert that promise from a test without
+/// instrumenting every call site, so `Clone` ticks this atomic. The relaxed
+/// increment is noise next to the word-vector copy it accompanies.
+static CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total `BitSet` clones performed by this process so far.
+///
+/// Only deltas are meaningful, and only when no concurrent test is cloning
+/// bitsets — measure around a single-threaded region.
+pub fn total_clone_count() -> u64 {
+    CLONES.load(Ordering::Relaxed)
+}
 
 /// A fixed-capacity bitset over dense node ids.
 ///
@@ -17,10 +35,26 @@ const BITS: usize = u64::BITS as usize;
 /// same ids compare equal regardless of how much capacity each was created
 /// with — required because the search algorithms use `BitSet` as a hash-map
 /// key.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        BitSet {
+            words: self.words.clone(),
+            len: self.len,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+    }
 }
 
 impl PartialEq for BitSet {
@@ -36,17 +70,53 @@ impl Eq for BitSet {}
 
 impl std::hash::Hash for BitSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // Hash up to the last non-zero word only.
+        // One pre-mixed word keeps `HashMap` users consistent with the
+        // open-addressing dominance table, which consumes `mix_hash`
+        // directly.
+        state.write_u64(self.mix_hash());
+    }
+}
+
+/// The multiplier of FxHash (Firefox's hasher): a 64-bit odd constant with
+/// no obvious structure, chosen there empirically for word-sized keys.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Finalizing mix for a single word key (SplitMix64's avalanche function).
+///
+/// Used to spread an FxHash-style folded value — whose low bits are weak —
+/// across all 64 bits, so shard selection and open-addressing tables can
+/// slice *any* bit range of the result.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BitSet {
+    /// A well-mixed 64-bit hash of the set's contents.
+    ///
+    /// Word-wise FxHash-style fold (`h = rotl(h, 5) ⊕ word; h ·= seed`) over
+    /// the words up to the last non-zero one, finished with [`mix64`].
+    /// Ignoring trailing zero words keeps the hash consistent with `Eq`
+    /// (and with [`Hash`](std::hash::Hash), which delegates here) across
+    /// differently-sized-but-equal sets. One multiply per 64 ids — cheap
+    /// enough for the per-generated-state hot path of the search engines.
+    #[inline]
+    pub fn mix_hash(&self) -> u64 {
         let end = self
             .words
             .iter()
             .rposition(|&w| w != 0)
             .map_or(0, |i| i + 1);
-        self.words[..end].hash(state);
+        let mut h = 0u64;
+        for &w in &self.words[..end] {
+            h = (h.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+        }
+        mix64(h)
     }
-}
 
-impl BitSet {
     /// Creates an empty set able to hold ids `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
         BitSet {
@@ -92,6 +162,27 @@ impl BitSet {
         self.words[w] &= !mask;
         self.len -= usize::from(present);
         present
+    }
+
+    /// Number of set ids strictly below `id` — `id`'s rank within the set.
+    ///
+    /// Word-wise popcount, used by the incremental bound maintenance to
+    /// translate a global sorted rank into a rank among unplaced nodes in
+    /// O(id/64) rather than O(id).
+    #[inline]
+    pub fn rank(&self, id: NodeId) -> usize {
+        let (w, b) = (id.index() / BITS, id.index() % BITS);
+        let full: usize = self
+            .words
+            .iter()
+            .take(w.min(self.words.len()))
+            .map(|x| x.count_ones() as usize)
+            .sum();
+        let partial = self
+            .words
+            .get(w)
+            .map_or(0, |x| (x & ((1u64 << b) - 1)).count_ones() as usize);
+        full + partial
     }
 
     /// Membership test.
@@ -152,6 +243,39 @@ impl BitSet {
             .iter()
             .zip(&other.words)
             .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates the ids of `lo..hi` that are *not* in the set, ascending.
+    ///
+    /// Word-at-a-time over the complement, so the cost is proportional to
+    /// the number of absent ids plus the words spanned — the incremental
+    /// bound uses this to walk unplaced ranks without touching placed ones.
+    pub fn iter_unset(&self, lo: usize, hi: usize) -> impl Iterator<Item = NodeId> + '_ {
+        let lo_word = lo / BITS;
+        let hi_word = hi.div_ceil(BITS);
+        (lo_word..hi_word).flat_map(move |wi| {
+            let word = self.words.get(wi).copied().unwrap_or(0);
+            let mut bits = !word;
+            if wi == lo_word {
+                bits &= !0u64 << (lo % BITS);
+            }
+            if (wi + 1) * BITS > hi {
+                bits &= (1u64 << (hi % BITS)) - 1;
+            }
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::from_index(wi * BITS + b))
+            })
+        })
+    }
+
+    /// Bytes of heap backing the word vector.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Iterates ids in ascending order.
@@ -254,6 +378,90 @@ mod tests {
         assert_eq!(h.hash_one(&a), h.hash_one(&b));
         b.insert(NodeId(900));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_hash_ignores_capacity_and_matches_std_hash() {
+        use std::hash::{BuildHasher, RandomState};
+        // Equal sets built with very different capacities (and thus
+        // different trailing-zero word counts) must agree on both the raw
+        // mix and the `Hash` impl that feeds `HashMap`.
+        let cases: &[&[u32]] = &[&[], &[0], &[63], &[64], &[3, 64, 500], &[700]];
+        let h = RandomState::new();
+        for ids_in in cases {
+            let mut a = BitSet::with_capacity(1);
+            let mut b = BitSet::with_capacity(4096);
+            for &i in *ids_in {
+                a.insert(NodeId(i));
+                b.insert(NodeId(i));
+            }
+            assert_eq!(a, b);
+            assert_eq!(a.mix_hash(), b.mix_hash(), "{ids_in:?}");
+            assert_eq!(h.hash_one(&a), h.hash_one(&b), "{ids_in:?}");
+            // Removing down to empty must hash like a fresh empty set.
+            for &i in *ids_in {
+                b.remove(NodeId(i));
+            }
+            assert_eq!(b.mix_hash(), BitSet::default().mix_hash());
+        }
+    }
+
+    #[test]
+    fn mix_hash_separates_small_sets() {
+        // All 2^10 subsets of {0..10} hash distinctly — a weak mix (e.g.
+        // xor of words) would collide immediately on single-word sets.
+        let mut seen = std::collections::HashSet::new();
+        for mask in 0u32..1024 {
+            let s: BitSet = (0..10).filter(|i| mask >> i & 1 == 1).map(NodeId).collect();
+            assert!(seen.insert(s.mix_hash()), "collision at mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn rank_counts_ids_below() {
+        let s = ids(&[0, 3, 64, 70, 200]);
+        assert_eq!(s.rank(NodeId(0)), 0);
+        assert_eq!(s.rank(NodeId(1)), 1);
+        assert_eq!(s.rank(NodeId(3)), 1);
+        assert_eq!(s.rank(NodeId(64)), 2);
+        assert_eq!(s.rank(NodeId(65)), 3);
+        assert_eq!(s.rank(NodeId(200)), 4);
+        assert_eq!(s.rank(NodeId(10_000)), 5);
+        assert_eq!(BitSet::default().rank(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn iter_unset_walks_the_complement() {
+        let s = ids(&[1, 3, 64, 66]);
+        let got: Vec<u32> = s.iter_unset(0, 6).map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 2, 4, 5]);
+        let got: Vec<u32> = s.iter_unset(3, 67).map(|n| n.0).collect();
+        let want: Vec<u32> = (3..67).filter(|i| ![3, 64, 66].contains(i)).collect();
+        assert_eq!(got, want);
+        // Range beyond capacity: everything there is unset.
+        let got: Vec<u32> = BitSet::with_capacity(4)
+            .iter_unset(62, 66)
+            .map(|n| n.0)
+            .collect();
+        assert_eq!(got, vec![62, 63, 64, 65]);
+        assert!(s.iter_unset(5, 5).next().is_none());
+        // Word-aligned hi must not drop the final word.
+        let got: Vec<u32> = s.iter_unset(60, 64).map(|n| n.0).collect();
+        assert_eq!(got, vec![60, 61, 62, 63]);
+    }
+
+    #[test]
+    fn clone_ticks_the_counter() {
+        let s = ids(&[1, 2, 3]);
+        let c0 = total_clone_count();
+        let t = s.clone();
+        let mut u = BitSet::default();
+        u.clone_from(&t);
+        // Other tests may clone concurrently, so only a lower bound is
+        // exact here; the strict accounting lives in the single-threaded
+        // clone-discipline integration test of the core crate.
+        assert!(total_clone_count() >= c0 + 2);
+        assert_eq!(u, s);
     }
 
     #[test]

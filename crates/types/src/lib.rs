@@ -12,6 +12,9 @@
 //! * [`Weight`] — a non-negative access frequency,
 //! * [`BitSet`] — a growable bitset used for ancestor/placement sets in the
 //!   search algorithms,
+//! * [`DominanceTable`] — a flat open-addressing best-cost table keyed by
+//!   `(64-bit hash, small aux)` over interned state ids, shared by every
+//!   exact search engine's dominance/memoization layer (see [`dominance`]),
 //! * [`SharedIncumbent`] — the fixed-point atomic incumbent cost shared by
 //!   the parallel branch-and-bound engines (see [`incumbent`]).
 //!
@@ -21,11 +24,13 @@
 //! whose ordering discipline is documented in its module.
 
 mod bitset;
+pub mod dominance;
 mod ids;
 pub mod incumbent;
 mod weight;
 
-pub use bitset::BitSet;
+pub use bitset::{mix64, total_clone_count, BitSet};
+pub use dominance::DominanceTable;
 pub use ids::{BucketAddr, ChannelId, NodeId, Slot};
 pub use incumbent::SharedIncumbent;
 pub use weight::{Weight, WeightError};

@@ -189,11 +189,7 @@ mod tests {
 
     #[test]
     fn total_order_allows_sorting() {
-        let mut v = [
-            Weight::from(7u32),
-            Weight::from(20u32),
-            Weight::from(10u32),
-        ];
+        let mut v = [Weight::from(7u32), Weight::from(20u32), Weight::from(10u32)];
         v.sort();
         assert_eq!(v[0].get(), 7.0);
         assert_eq!(v[2].get(), 20.0);
@@ -201,7 +197,10 @@ mod tests {
 
     #[test]
     fn sum_of_weights() {
-        let total: Weight = [20u32, 10, 18, 15, 7].iter().map(|&w| Weight::from(w)).sum();
+        let total: Weight = [20u32, 10, 18, 15, 7]
+            .iter()
+            .map(|&w| Weight::from(w))
+            .sum();
         // Total weight of the paper's Fig. 1(a) example tree.
         assert_eq!(total.get(), 70.0);
     }

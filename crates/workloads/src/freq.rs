@@ -166,20 +166,27 @@ mod tests {
         let w = FrequencyDist::paper_fig14(20.0).sample(20_000, 2);
         let mean: f64 = w.iter().map(|x| x.get()).sum::<f64>() / w.len() as f64;
         assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
-        let var: f64 =
-            w.iter().map(|x| (x.get() - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        let var: f64 = w.iter().map(|x| (x.get() - mean).powi(2)).sum::<f64>() / w.len() as f64;
         assert!((var.sqrt() - 20.0).abs() < 1.0, "sd {}", var.sqrt());
     }
 
     #[test]
     fn normal_truncates_at_zero() {
-        let w = FrequencyDist::Normal { mu: 0.0, sigma: 50.0 }.sample(1000, 3);
+        let w = FrequencyDist::Normal {
+            mu: 0.0,
+            sigma: 50.0,
+        }
+        .sample(1000, 3);
         assert!(w.iter().all(|x| x.get() >= 0.0));
     }
 
     #[test]
     fn zipf_is_skewed_and_shuffled() {
-        let w = FrequencyDist::Zipf { theta: 1.0, scale: 100.0 }.sample(100, 4);
+        let w = FrequencyDist::Zipf {
+            theta: 1.0,
+            scale: 100.0,
+        }
+        .sample(100, 4);
         let sorted = sorted_desc(&w);
         assert_eq!(sorted[0].get(), 100.0);
         assert!((sorted[1].get() - 50.0).abs() < 1e-9);
@@ -190,7 +197,11 @@ mod tests {
 
     #[test]
     fn self_similar_mass_is_conserved() {
-        let w = FrequencyDist::SelfSimilar { fraction: 0.2, total: 1000.0 }.sample(64, 5);
+        let w = FrequencyDist::SelfSimilar {
+            fraction: 0.2,
+            total: 1000.0,
+        }
+        .sample(64, 5);
         let total: f64 = w.iter().map(|x| x.get()).sum();
         assert!((total - 1000.0).abs() < 1e-6);
         // Top 20% of items should hold roughly 80% of the mass.

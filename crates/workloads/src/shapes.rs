@@ -47,8 +47,17 @@ pub fn random_tree(config: &RandomTreeConfig, seed: u64) -> IndexTree {
     let mut b = TreeBuilder::new();
     let root = b.root("1");
     let mut counter = 1usize;
-    grow(&mut b, &mut rng, root, &weights, 0, config.max_fanout, &mut counter);
-    b.build().expect("random construction is structurally valid")
+    grow(
+        &mut b,
+        &mut rng,
+        root,
+        &weights,
+        0,
+        config.max_fanout,
+        &mut counter,
+    );
+    b.build()
+        .expect("random construction is structurally valid")
 }
 
 fn grow(
@@ -121,14 +130,8 @@ mod tests {
         let b = random_tree(&cfg, 5);
         assert_eq!(a.len(), b.len());
         assert_eq!(
-            a.preorder()
-                .iter()
-                .map(|&i| a.label(i))
-                .collect::<Vec<_>>(),
-            b.preorder()
-                .iter()
-                .map(|&i| b.label(i))
-                .collect::<Vec<_>>()
+            a.preorder().iter().map(|&i| a.label(i)).collect::<Vec<_>>(),
+            b.preorder().iter().map(|&i| b.label(i)).collect::<Vec<_>>()
         );
     }
 

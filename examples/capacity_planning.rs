@@ -17,7 +17,11 @@ use broadcast_alloc::workloads::FrequencyDist;
 fn main() {
     const ITEMS: usize = 12;
     const SEED: u64 = 5;
-    let weights = FrequencyDist::Zipf { theta: 0.8, scale: 100.0 }.sample(ITEMS, SEED);
+    let weights = FrequencyDist::Zipf {
+        theta: 0.8,
+        scale: 100.0,
+    }
+    .sample(ITEMS, SEED);
     let tree = knary::build_alphabetic_knary(&weights, 3).unwrap();
     println!("workload index: {}\n", TreeStats::of(&tree));
     let saturation = tree.max_level_width();

@@ -23,7 +23,11 @@ fn main() {
     const SEED: u64 = 2026;
 
     // Popularity: a few breaking stories dominate (Zipf θ = 1.1).
-    let popularity = FrequencyDist::Zipf { theta: 1.1, scale: 10_000.0 }.sample(HEADLINES, SEED);
+    let popularity = FrequencyDist::Zipf {
+        theta: 1.1,
+        scale: 10_000.0,
+    }
+    .sample(HEADLINES, SEED);
 
     // Index: optimal alphabetic k-nary tree (fanout 8 ≈ one wireless
     // packet per index bucket), searchable by headline key.
@@ -32,7 +36,10 @@ fn main() {
 
     // Allocate with the paper's scalable heuristics and two baselines.
     let candidates: Vec<(&str, broadcast_alloc::alloc::Schedule)> = vec![
-        ("sorting heuristic", sorting::sorting_schedule(&tree, CHANNELS)),
+        (
+            "sorting heuristic",
+            sorting::sorting_schedule(&tree, CHANNELS),
+        ),
         (
             "shrink heuristic",
             shrink::combine_solve(&tree, CHANNELS, 14).schedule,
@@ -41,7 +48,10 @@ fn main() {
             "frontier greedy",
             baselines::greedy_frontier(&tree, CHANNELS),
         ),
-        ("naive preorder", baselines::preorder_schedule(&tree, CHANNELS)),
+        (
+            "naive preorder",
+            baselines::preorder_schedule(&tree, CHANNELS),
+        ),
         (
             "random feasible",
             baselines::random_feasible(&tree, CHANNELS, SEED),

@@ -18,8 +18,10 @@ fn main() {
     let root = b.root("catalog");
     let fiction = b.add_index(root, "fiction").unwrap();
     let tech = b.add_index(root, "tech").unwrap();
-    b.add_data(fiction, Weight::from(120u32), "bestsellers").unwrap();
-    b.add_data(fiction, Weight::from(30u32), "classics").unwrap();
+    b.add_data(fiction, Weight::from(120u32), "bestsellers")
+        .unwrap();
+    b.add_data(fiction, Weight::from(30u32), "classics")
+        .unwrap();
     b.add_data(tech, Weight::from(80u32), "ai").unwrap();
     b.add_data(tech, Weight::from(45u32), "databases").unwrap();
     b.add_data(tech, Weight::from(10u32), "hardware").unwrap();

@@ -12,9 +12,7 @@
 //! cargo run --release --example software_updates
 //! ```
 
-use broadcast_alloc::dag::{
-    exact_multi_channel, greedy_density, greedy_weight, DependencyDag,
-};
+use broadcast_alloc::dag::{exact_multi_channel, greedy_density, greedy_weight, DependencyDag};
 use broadcast_alloc::types::Weight;
 
 fn main() {
@@ -41,9 +39,7 @@ fn main() {
         (1, 7), // security-fix needs kernel-patch
         (2, 7), // ... and ui-framework
     ];
-    let mut dag = DependencyDag::new(
-        packages.iter().map(|&(_, w)| Weight::from(w)).collect(),
-    );
+    let mut dag = DependencyDag::new(packages.iter().map(|&(_, w)| Weight::from(w)).collect());
     for &(a, b) in deps {
         dag.add_edge(a, b).expect("ids in range");
     }

@@ -21,8 +21,11 @@ fn main() {
     const SEED: u64 = 77;
 
     // 80/20 self-similar access pattern over ticker symbols.
-    let popularity =
-        FrequencyDist::SelfSimilar { fraction: 0.2, total: 1_000_000.0 }.sample(TICKERS, SEED);
+    let popularity = FrequencyDist::SelfSimilar {
+        fraction: 0.2,
+        total: 1_000_000.0,
+    }
+    .sample(TICKERS, SEED);
     let tree = knary::build_weight_balanced(&popularity, 16).unwrap();
     println!("ticker index: {}\n", TreeStats::of(&tree));
 

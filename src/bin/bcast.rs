@@ -101,7 +101,10 @@ impl Flags {
     }
     fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         self.get(key)
-            .map(|v| v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad value for --{key}: '{v}'"))
+            })
             .transpose()
     }
     fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
@@ -211,6 +214,26 @@ fn cmd_optimal(opts: &Flags) -> Result<(), String> {
         "optimal via {:?} ({} states expanded)",
         result.strategy_used, result.nodes_expanded
     );
+    let s = result.stats;
+    if s.bound_inc_updates + s.bound_full_evals > 0 {
+        let per_state =
+            s.bound_work as f64 / (s.bound_inc_updates + s.bound_full_evals).max(1) as f64;
+        let hit_rate = if s.table_probes == 0 {
+            0.0
+        } else {
+            100.0 * s.table_hits as f64 / s.table_probes as f64
+        };
+        println!(
+            "bound: {} incremental + {} full evals ({:.2} entries/state) | \
+             dominance: {} probes, {:.1}% hits | arena {} KiB",
+            s.bound_inc_updates,
+            s.bound_full_evals,
+            per_state,
+            s.table_probes,
+            hit_rate,
+            s.peak_arena_bytes / 1024
+        );
+    }
     print_schedule(&tree, &result.schedule, k)
 }
 
@@ -252,8 +275,7 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let program = BroadcastProgram::build(&alloc, &tree).map_err(|e| e.to_string())?;
     let tune_in = Slot(opts.parse::<u32>("tune-in")?.unwrap_or(1).max(1));
-    let trace =
-        simulator::access(&program, &tree, target, tune_in).map_err(|e| e.to_string())?;
+    let trace = simulator::access(&program, &tree, target, tune_in).map_err(|e| e.to_string())?;
     print!("{}", alloc.render(&tree));
     println!(
         "fetch '{item}' tuning in at slot {}: probe {} + data {} = {} slots, \
@@ -284,10 +306,16 @@ fn cmd_compare(opts: &Flags) -> Result<(), String> {
     let tree = load_tree(opts)?;
     let k = opts.channels()?;
     let lower = broadcast_alloc::channel::cost::data_wait_lower_bound(&tree, k);
-    println!("{} nodes, {k} channels, analytic floor {lower:.3} buckets\n", tree.len());
+    println!(
+        "{} nodes, {k} channels, analytic floor {lower:.3} buckets\n",
+        tree.len()
+    );
     println!("{:<22} {:>12} {:>10}", "method", "data wait", "vs floor");
     let show = |name: &str, wait: f64| {
-        println!("{name:<22} {wait:>12.4} {:>9.1}%", 100.0 * (wait - lower) / lower.max(1e-9));
+        println!(
+            "{name:<22} {wait:>12.4} {:>9.1}%",
+            100.0 * (wait - lower) / lower.max(1e-9)
+        );
     };
     let limit = opts.parse::<u64>("limit")?.or(Some(2_000_000));
     match find_optimal(
@@ -302,12 +330,30 @@ fn cmd_compare(opts: &Flags) -> Result<(), String> {
         Ok(r) => show(&format!("optimal ({:?})", r.strategy_used), r.data_wait),
         Err(e) => println!("{:<22} {:>12}", "optimal", format!("({e})")),
     }
-    show("sorting", sorting::sorting_schedule(&tree, k).average_data_wait(&tree));
-    show("shrink (combine)", shrink::combine_solve(&tree, k, 12).data_wait);
-    show("shrink (partition)", shrink::partition_solve(&tree, k, 12).data_wait);
-    show("frontier greedy", baselines::greedy_frontier(&tree, k).average_data_wait(&tree));
-    show("preorder", baselines::preorder_schedule(&tree, k).average_data_wait(&tree));
-    show("random", baselines::random_feasible(&tree, k, 1).average_data_wait(&tree));
+    show(
+        "sorting",
+        sorting::sorting_schedule(&tree, k).average_data_wait(&tree),
+    );
+    show(
+        "shrink (combine)",
+        shrink::combine_solve(&tree, k, 12).data_wait,
+    );
+    show(
+        "shrink (partition)",
+        shrink::partition_solve(&tree, k, 12).data_wait,
+    );
+    show(
+        "frontier greedy",
+        baselines::greedy_frontier(&tree, k).average_data_wait(&tree),
+    );
+    show(
+        "preorder",
+        baselines::preorder_schedule(&tree, k).average_data_wait(&tree),
+    );
+    show(
+        "random",
+        baselines::random_feasible(&tree, k, 1).average_data_wait(&tree),
+    );
     Ok(())
 }
 
@@ -322,14 +368,16 @@ fn cmd_gen(opts: &Flags) -> Result<(), String> {
         return Err("--fanout must be at least 2".into());
     }
     let dist = match opts.get("dist").unwrap_or("zipf") {
-        "zipf" => FrequencyDist::Zipf { theta: 1.0, scale: 1000.0 },
+        "zipf" => FrequencyDist::Zipf {
+            theta: 1.0,
+            scale: 1000.0,
+        },
         "uniform" => FrequencyDist::Uniform { lo: 1.0, hi: 100.0 },
         "normal" => FrequencyDist::paper_fig14(20.0),
         other => return Err(format!("unknown dist '{other}'")),
     };
     let weights = dist.sample(items, seed);
-    let tree = knary::build_weight_balanced(&weights, fanout)
-        .map_err(|e| e.to_string())?;
+    let tree = knary::build_weight_balanced(&weights, fanout).map_err(|e| e.to_string())?;
     print!("{}", textfmt::format_tree(&tree));
     Ok(())
 }

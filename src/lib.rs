@@ -25,9 +25,9 @@ pub mod textfmt;
 
 pub use bcast_adaptive as adaptive;
 pub use bcast_assignment as assignment;
-pub use bcast_dag as dag;
 pub use bcast_channel as channel;
 pub use bcast_core as alloc;
+pub use bcast_dag as dag;
 pub use bcast_index_tree as tree;
 pub use bcast_types as types;
 pub use bcast_workloads as workloads;

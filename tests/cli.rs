@@ -34,7 +34,14 @@ fn render_demo() {
 #[test]
 fn simulate_demo_traces_an_access() {
     let out = run_ok(&[
-        "simulate", "--demo", "--channels", "2", "--item", "C", "--tune-in", "3",
+        "simulate",
+        "--demo",
+        "--channels",
+        "2",
+        "--item",
+        "C",
+        "--tune-in",
+        "3",
     ]);
     assert!(out.contains("fetch 'C'"));
     assert!(out.contains("fleet expectation"));
@@ -43,7 +50,14 @@ fn simulate_demo_traces_an_access() {
 #[test]
 fn heuristic_with_replication_advice() {
     let out = run_ok(&[
-        "heuristic", "--demo", "--channels", "1", "--method", "sorting", "--replicas", "8",
+        "heuristic",
+        "--demo",
+        "--channels",
+        "1",
+        "--method",
+        "sorting",
+        "--replicas",
+        "8",
     ]);
     assert!(out.contains("heuristic: sorting"));
     assert!(out.contains("best root replication"));
@@ -79,10 +93,7 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--channels"));
 
-    let out = bcast()
-        .args(["frobnicate"])
-        .output()
-        .expect("binary runs");
+    let out = bcast().args(["frobnicate"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
@@ -119,7 +130,14 @@ fn unknown_flag_is_rejected() {
 #[test]
 fn tune_in_past_cycle_wraps_cyclically() {
     let a = run_ok(&[
-        "simulate", "--demo", "--channels", "2", "--item", "C", "--tune-in", "99",
+        "simulate",
+        "--demo",
+        "--channels",
+        "2",
+        "--item",
+        "C",
+        "--tune-in",
+        "99",
     ]);
     assert!(!a.contains("4294"), "no u32 underflow in probe wait: {a}");
 }

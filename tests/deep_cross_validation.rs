@@ -18,7 +18,10 @@ fn all_exact_strategies_agree_on_larger_trees() {
         let cfg = RandomTreeConfig {
             data_nodes: 6 + (seed as usize % 3),
             max_fanout: 3,
-            weights: FrequencyDist::Zipf { theta: 0.8, scale: 100.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.8,
+                scale: 100.0,
+            },
         };
         let tree = random_tree(&cfg, seed);
         for k in 1..=3usize {
@@ -69,6 +72,9 @@ fn data_tree_counts_nest_across_many_trees() {
         let p124 = data_tree::count_paths(&tree, PruneLevel::P124);
         assert!(p2 >= p12, "seed {seed}");
         assert!(p12 >= p124, "seed {seed}");
-        assert!(p124 >= 1, "seed {seed}: pruning must keep at least one path");
+        assert!(
+            p124 >= 1,
+            "seed {seed}: pruning must keep at least one path"
+        );
     }
 }

@@ -13,7 +13,11 @@ use broadcast_alloc::workloads::FrequencyDist;
 fn full_pipeline_zipf_catalog() {
     const ITEMS: usize = 24;
     const CHANNELS: usize = 3;
-    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 500.0 }.sample(ITEMS, 123);
+    let weights = FrequencyDist::Zipf {
+        theta: 1.0,
+        scale: 500.0,
+    }
+    .sample(ITEMS, 123);
 
     // Stage 1: searchable skewed index.
     let tree = knary::build_alphabetic_knary(&weights, 4).unwrap();
@@ -39,7 +43,11 @@ fn full_pipeline_zipf_catalog() {
     // Stage 5: every item reachable from every tune-in slot, and the
     // measured wait equals the optimizer's objective.
     for &d in tree.data_nodes() {
-        for t in [1u32, (program.cycle_len() / 2) as u32 + 1, program.cycle_len() as u32] {
+        for t in [
+            1u32,
+            (program.cycle_len() / 2) as u32 + 1,
+            program.cycle_len() as u32,
+        ] {
             simulator::access(&program, &tree, d, Slot(t)).unwrap();
         }
     }
@@ -72,7 +80,11 @@ fn corollary_fast_path_activates_on_wide_budgets() {
 fn node_limited_search_falls_back_to_heuristic_cleanly() {
     use broadcast_alloc::alloc::heuristics::sorting;
     use broadcast_alloc::alloc::SearchError;
-    let weights = FrequencyDist::Zipf { theta: 0.8, scale: 100.0 }.sample(40, 3);
+    let weights = FrequencyDist::Zipf {
+        theta: 0.8,
+        scale: 100.0,
+    }
+    .sample(40, 3);
     let tree = knary::build_weight_balanced(&weights, 4).unwrap();
     // A tiny budget forces the error the caller is supposed to handle by
     // switching to a heuristic — the documented large-instance workflow.

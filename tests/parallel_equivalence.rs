@@ -72,7 +72,10 @@ fn parallel_unpruned_agrees_on_a_seed_sweep() {
         let cfg = RandomTreeConfig {
             data_nodes: 2 + (seed as usize % 4),
             max_fanout: 3,
-            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.9,
+                scale: 100.0,
+            },
         };
         let tree = random_tree(&cfg, seed);
         for k in 1..=3usize {

@@ -32,8 +32,8 @@ fn stress_parallel_cost_is_deterministic_on_fig14_workload() {
         let weights = FrequencyDist::paper_fig14(sigma).sample(16, sub_seed(seed, si as u64));
         let tree = builders::full_balanced(4, 3, &weights).expect("valid shape");
         for k in [2usize, 3] {
-            let seq = best_first::search(&tree, k, &BestFirstOptions::default())
-                .expect("no node limit");
+            let seq =
+                best_first::search(&tree, k, &BestFirstOptions::default()).expect("no node limit");
             let opts = BestFirstOptions {
                 threads: NonZeroUsize::new(4),
                 ..BestFirstOptions::default()
@@ -59,8 +59,7 @@ fn stress_parallel_on_deep_tree_with_real_contention() {
     let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(27, 99);
     let tree = builders::full_balanced(3, 4, &weights).expect("valid shape");
     let k = 2;
-    let seq =
-        best_first::search(&tree, k, &BestFirstOptions::default()).expect("no node limit");
+    let seq = best_first::search(&tree, k, &BestFirstOptions::default()).expect("no node limit");
     for threads in [2usize, 4] {
         let opts = BestFirstOptions {
             threads: NonZeroUsize::new(threads),
@@ -68,10 +67,7 @@ fn stress_parallel_on_deep_tree_with_real_contention() {
         };
         for rep in 0..4 {
             let par = best_first::search(&tree, k, &opts).expect("no node limit");
-            assert_eq!(
-                par.data_wait, seq.data_wait,
-                "threads={threads} rep={rep}"
-            );
+            assert_eq!(par.data_wait, seq.data_wait, "threads={threads} rep={rep}");
         }
     }
 }

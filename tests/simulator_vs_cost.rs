@@ -25,8 +25,7 @@ fn check(tree: &IndexTree, schedule: &Schedule, k: usize, what: &str) {
         sim.avg_data_wait
     );
     assert!(
-        (sim.avg_access_time
-            - (cost::expected_probe_wait(alloc.cycle_len()) + analytic - 1.0))
+        (sim.avg_access_time - (cost::expected_probe_wait(alloc.cycle_len()) + analytic - 1.0))
             .abs()
             < 1e-9,
         "{what}: access-time decomposition"
@@ -48,7 +47,10 @@ fn every_producer_agrees_with_the_simulator() {
         let cfg = RandomTreeConfig {
             data_nodes: 3 + (seed as usize % 8),
             max_fanout: 4,
-            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+            weights: FrequencyDist::Zipf {
+                theta: 0.9,
+                scale: 100.0,
+            },
         };
         let tree = random_tree(&cfg, seed);
         for k in 1..=3usize {
@@ -103,7 +105,9 @@ fn check_invariants(alloc: &Allocation, tree: &IndexTree, what: &str) {
     // a client can always follow a pointer forward within the cycle.
     for i in 0..tree.len() {
         let node = broadcast_alloc::types::NodeId::from_index(i);
-        let Some(parent) = tree.parent(node) else { continue };
+        let Some(parent) = tree.parent(node) else {
+            continue;
+        };
         let child_slot = alloc.slot_of(node).expect("placed");
         let parent_slot = alloc.slot_of(parent).expect("placed");
         assert!(
@@ -112,7 +116,9 @@ fn check_invariants(alloc: &Allocation, tree: &IndexTree, what: &str) {
         );
     }
 
-    alloc.validate(tree).unwrap_or_else(|e| panic!("{what}: {e}"));
+    alloc
+        .validate(tree)
+        .unwrap_or_else(|e| panic!("{what}: {e}"));
 }
 
 proptest! {

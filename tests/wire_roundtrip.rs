@@ -10,7 +10,11 @@ use bytes::Bytes;
 
 #[test]
 fn client_navigates_from_decoded_bytes_only() {
-    let weights = FrequencyDist::Zipf { theta: 1.0, scale: 100.0 }.sample(12, 5);
+    let weights = FrequencyDist::Zipf {
+        theta: 1.0,
+        scale: 100.0,
+    }
+    .sample(12, 5);
     let tree = knary::build_alphabetic_knary(&weights, 3).unwrap();
     let k = 2usize;
     let result = find_optimal(&tree, k, &OptimalOptions::default()).unwrap();
@@ -64,8 +68,7 @@ fn corrupted_stream_fails_closed() {
     let result = find_optimal(&tree, 1, &OptimalOptions::default()).unwrap();
     let alloc = result.schedule.into_allocation(&tree, 1).unwrap();
     let program = BroadcastProgram::build(&alloc, &tree).unwrap();
-    let encoded =
-        wire::encode_channel(&program, ChannelId::FIRST, |_| Bytes::from_static(b"x"));
+    let encoded = wire::encode_channel(&program, ChannelId::FIRST, |_| Bytes::from_static(b"x"));
     // Flip the kind byte of the first bucket to garbage.
     let mut raw = encoded.to_vec();
     raw[0] = 0xFF;

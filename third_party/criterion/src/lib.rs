@@ -38,9 +38,7 @@ impl Criterion {
         let args: Vec<String> = std::env::args().skip(1).collect();
         // Ignore harness flags (--bench, --test); first free argument is
         // the id substring filter.
-        self.filter = args
-            .into_iter()
-            .find(|a| !a.starts_with('-'));
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
         self
     }
 
@@ -209,12 +207,7 @@ impl Bencher {
 /// Re-export for parity with `criterion::black_box`.
 pub use std::hint::black_box;
 
-fn run_one(
-    id: &str,
-    filter: Option<&str>,
-    measurement: Duration,
-    f: &mut dyn FnMut(&mut Bencher),
-) {
+fn run_one(id: &str, filter: Option<&str>, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     if let Some(pat) = filter {
         if !id.contains(pat) {
             return;

@@ -463,6 +463,7 @@ macro_rules! __proptest_params {
                 $crate::test_runner::CaseReporter::new(__case, __inputs);
             // Immediately-invoked closure so `prop_assume!` can skip a
             // case with `return` without leaving the case loop.
+            #[allow(clippy::redundant_closure_call)]
             (|| {
                 $(let $n = $n;)*
                 $body
