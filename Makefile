@@ -27,9 +27,11 @@ bench:
 
 # Maintains the machine-readable perf trajectory: the first run records the
 # "before" section, later runs only replace "after" (see bench_json's docs).
+# BENCH_PR3.json records scalar-vs-compiled serving throughput; both its
+# paths are measured every run.
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --bin bench_json -- \
-		--merge-into BENCH_PR2.json
+		--merge-into BENCH_PR2.json --serving-into BENCH_PR3.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

@@ -14,6 +14,7 @@
 
 use crate::estimator::EmaEstimator;
 use crate::stream::DriftingWorkload;
+use bcast_channel::{BroadcastProgram, CompiledProgram};
 use bcast_core::baselines;
 use bcast_core::heuristics::sorting;
 use bcast_index_tree::knary;
@@ -113,22 +114,30 @@ impl AdaptiveBroadcaster {
             AllocHeuristic::Sorting => sorting::sorting_schedule(&tree, self.policy.channels),
             AllocHeuristic::Frontier => baselines::greedy_frontier(&tree, self.policy.channels),
         };
+        // Materialize and compile the program so the estimator's per-item
+        // waits come from the same validated route tables the serving
+        // engine reads — the server answers requests from `T(Di)` lookups,
+        // not by re-deriving schedule positions.
+        let alloc = schedule
+            .into_allocation(&tree, self.policy.channels)
+            .expect("heuristic schedules are feasible");
+        let program = BroadcastProgram::build(&alloc, &tree).expect("validated allocation");
+        let compiled = CompiledProgram::compile(&program, &tree).expect("fresh programs route");
         // data_nodes() of an alphabetic tree is key order, so data node i
         // is item i.
         let mut wait = vec![0.0f64; weights.len()];
-        for (offset, members) in schedule.slots().iter().enumerate() {
-            for &n in members {
-                if tree.is_data(n) {
-                    let label = tree.label(n);
-                    let item: usize = label[1..]
-                        .parse()
-                        .expect("knary builders label data nodes D<key>");
-                    wait[item] = (offset + 1) as f64;
-                }
-            }
+        for &n in tree.data_nodes() {
+            let label = tree.label(n);
+            let item: usize = label[1..]
+                .parse()
+                .expect("knary builders label data nodes D<key>");
+            wait[item] = compiled
+                .data_slot(n)
+                .expect("compiled: all data routed")
+                .wait() as f64;
         }
         self.wait_of = wait;
-        self.cycle_len = schedule.len();
+        self.cycle_len = compiled.cycle_len();
         self.rebuilds += 1;
     }
 

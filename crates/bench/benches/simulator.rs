@@ -1,13 +1,19 @@
 //! Ablation A4: broadcast-substrate throughput — program materialization
-//! (pointer computation) and client-access simulation, over trees of
-//! increasing size. Keeps the substrate honest: the simulator must stay
-//! cheap enough to cross-validate every experiment's analytic numbers.
+//! (pointer computation), route-table compilation, and client-access
+//! serving, over trees of increasing size. Two axes added in PR 3 keep the
+//! compile-then-serve layer honest:
+//!
+//! * **batched vs scalar** — the same request batch through the scalar
+//!   pointer-walking `simulator::access` loop and through
+//!   `CompiledProgram::serve_batch`;
+//! * **threads** — the sharded serving engine at 1/2/4 threads (on a
+//!   single-core container the >1 rows measure coordination overhead).
 
-use bcast_channel::{simulator, BroadcastProgram};
+use bcast_channel::{simulator, BroadcastProgram, CompiledProgram, ServeOptions};
 use bcast_core::heuristics::sorting;
 use bcast_index_tree::{knary, IndexTree};
-use bcast_types::Slot;
-use bcast_workloads::FrequencyDist;
+use bcast_types::{NodeId, Slot};
+use bcast_workloads::{FrequencyDist, RequestStream};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -36,6 +42,13 @@ fn bench_simulator(c: &mut Criterion) {
         );
         let program = BroadcastProgram::build(&alloc, &tree).expect("valid");
         g.bench_with_input(
+            BenchmarkId::new("compile_route_tables", n),
+            &(&program, &tree),
+            |b, (p, t)| {
+                b.iter(|| black_box(CompiledProgram::compile(p, t).unwrap().num_data_nodes()))
+            },
+        );
+        g.bench_with_input(
             BenchmarkId::new("single_access", n),
             &(&program, &tree),
             |b, (p, t)| {
@@ -54,5 +67,59 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// Batched-vs-scalar and thread axes over a fixed 16k-request Zipf batch.
+fn bench_serving(c: &mut Criterion) {
+    const REQUESTS: usize = 16_384;
+    let mut g = c.benchmark_group("serving");
+    for n in [256usize, 4096] {
+        let (tree, alloc) = setup(n);
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid");
+        let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+        let data = tree.data_nodes();
+        let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 1.0, 77)
+            .take(REQUESTS)
+            .map(|i| data[i])
+            .collect();
+        let opts = ServeOptions {
+            threads: 1,
+            seed: 99,
+        };
+        g.throughput(Throughput::Elements(REQUESTS as u64));
+        g.bench_with_input(
+            BenchmarkId::new("scalar_access_loop", n),
+            &(&program, &tree, &targets),
+            |b, (p, t, targets)| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (i, &target) in targets.iter().enumerate() {
+                        let tune = opts.tune_in(i as u64, p.cycle_len());
+                        acc +=
+                            u64::from(simulator::access(p, t, target, tune).unwrap().access_time());
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("batched_compiled", n),
+            &(&compiled, &targets),
+            |b, (c, targets)| {
+                b.iter(|| black_box(c.serve_batch(targets, &opts).unwrap().mean_access_time))
+            },
+        );
+        for threads in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("batched_threads_n{n}"), threads),
+                &(&compiled, &targets),
+                |b, (c, targets)| {
+                    let t_opts = ServeOptions { threads, ..opts };
+                    b.iter(|| black_box(c.serve_batch(targets, &t_opts).unwrap().mean_access_time))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_serving);
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! ```
 
 use bcast_bench::render_table;
+use bcast_channel::{simulator, BroadcastProgram};
 use bcast_core::baselines;
 use bcast_core::heuristics::{shrink, sorting};
 use bcast_core::{find_optimal, OptimalOptions};
@@ -42,9 +43,25 @@ fn main() {
         let frontier = baselines::greedy_frontier(&tree, k);
         let preorder = baselines::preorder_schedule(&tree, k);
         let random = baselines::random_feasible(&tree, k, seed ^ 0xABCD);
+        // End-to-end cross-check: materialize the optimal allocation and
+        // replay it through the compiled route tables; the simulated mean
+        // must reproduce the analytic column exactly.
+        let alloc = optimal
+            .schedule
+            .into_allocation(&tree, k)
+            .expect("optimal schedules are feasible");
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+        let sim = simulator::aggregate_metrics(&program, &tree).expect("all targets routable");
+        assert!(
+            (sim.avg_data_wait - optimal.data_wait).abs() < 1e-9,
+            "k = {k}: simulated {} vs analytic {}",
+            sim.avg_data_wait,
+            optimal.data_wait
+        );
         rows.push(vec![
             k.to_string(),
             format!("{:.3}", optimal.data_wait),
+            format!("{:.3}", sim.avg_data_wait),
             format!("{:?}", optimal.strategy_used),
             format!("{:.3}", sorted.average_data_wait(&tree)),
             format!("{:.3}", combined.data_wait),
@@ -56,7 +73,10 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["k", "Optimal", "strategy", "Sorting", "Shrink", "Frontier", "Preorder", "Random"],
+            &[
+                "k", "Optimal", "sim", "strategy", "Sorting", "Shrink", "Frontier", "Preorder",
+                "Random"
+            ],
             &rows
         )
     );

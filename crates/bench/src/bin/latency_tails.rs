@@ -1,21 +1,28 @@
 //! Extension experiment: **tail latency** of broadcast layouts. The paper
 //! optimizes the *mean* data wait (formula 1); real mobile users also feel
-//! the tail. This experiment samples full access traces (weighted target,
-//! uniform tune-in) and reports p50/p90/p99/max per layout, showing that
-//! the optimal/heuristic layouts improve the mean mostly by pulling hot
-//! items forward — while the tail is governed by the cycle length, which
-//! every no-replication layout shares.
+//! the tail. This experiment serves full access traces (weighted target,
+//! uniform tune-in) through the compiled route tables and reports
+//! p50/p90/p99/max per layout, showing that the optimal/heuristic layouts
+//! improve the mean mostly by pulling hot items forward — while the tail is
+//! governed by the cycle length, which every no-replication layout shares.
+//!
+//! Since PR 3 the requests go through `CompiledProgram::serve_batch`
+//! (O(1) table reads + streaming histogram) instead of per-request pointer
+//! walks, so the sample count is one million per layout and the table also
+//! reports the serving throughput.
 //!
 //! ```text
-//! cargo run --release -p bcast-bench --bin latency_tails [seed] [items]
+//! cargo run --release -p bcast-bench --bin latency_tails [seed] [items] [threads]
 //! ```
 
 use bcast_bench::render_table;
-use bcast_channel::{simulator, BroadcastProgram};
+use bcast_channel::{BatchMetrics, BroadcastProgram, CompiledProgram, ServeOptions};
 use bcast_core::heuristics::sorting;
 use bcast_core::{baselines, Schedule};
 use bcast_index_tree::{knary, IndexTree};
-use bcast_workloads::FrequencyDist;
+use bcast_types::NodeId;
+use bcast_workloads::{FrequencyDist, RequestStream};
+use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,8 +34,12 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("items must be a usize"))
         .unwrap_or(300);
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a usize"))
+        .unwrap_or(1);
     const CHANNELS: usize = 3;
-    const REQUESTS: usize = 50_000;
+    const REQUESTS: usize = 1_000_000;
     let weights = FrequencyDist::Zipf {
         theta: 1.0,
         scale: 1000.0,
@@ -37,8 +48,17 @@ fn main() {
     let tree = knary::build_weight_balanced(&weights, 8).expect("non-empty");
     println!(
         "Access-latency tails — {items} items, Zipf(1.0), {CHANNELS} channels, \
-         {REQUESTS} sampled requests, seed {seed}\n"
+         {REQUESTS} batched requests, seed {seed}, {threads} thread(s)\n"
     );
+
+    // One shared request stream per run: targets drawn proportionally to
+    // access weight, identical across layouts.
+    let data = tree.data_nodes();
+    let target_weights: Vec<f64> = data.iter().map(|&d| tree.weight(d).get()).collect();
+    let targets: Vec<NodeId> = RequestStream::from_weights(&target_weights, seed ^ 0x7A11)
+        .take(REQUESTS)
+        .map(|i| data[i])
+        .collect();
 
     let layouts: Vec<(&str, Schedule)> = vec![
         (
@@ -61,19 +81,23 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, schedule) in &layouts {
-        let d = measure(&tree, schedule, CHANNELS, REQUESTS, seed);
+        let (m, rps) = measure(&tree, schedule, CHANNELS, &targets, seed, threads);
         rows.push(vec![
             name.to_string(),
-            format!("{:.1}", d.mean),
-            d.p50.to_string(),
-            d.p90.to_string(),
-            d.p99.to_string(),
-            d.max.to_string(),
+            format!("{:.1}", m.mean_access_time),
+            m.histogram.percentile(0.50).to_string(),
+            m.histogram.percentile(0.90).to_string(),
+            m.histogram.percentile(0.99).to_string(),
+            m.histogram.max().to_string(),
+            format!("{:.1}", rps / 1e6),
         ]);
     }
     println!(
         "{}",
-        render_table(&["layout", "mean", "p50", "p90", "p99", "max"], &rows)
+        render_table(
+            &["layout", "mean", "p50", "p90", "p99", "max", "Mreq/s"],
+            &rows
+        )
     );
     println!("\nShape check: frequency-aware layouts compress the mean and median");
     println!("(hot items early) while p99/max stay near the cycle length for every");
@@ -85,13 +109,23 @@ fn measure(
     tree: &IndexTree,
     schedule: &Schedule,
     k: usize,
-    requests: usize,
+    targets: &[NodeId],
     seed: u64,
-) -> simulator::LatencyDistribution {
+    threads: usize,
+) -> (BatchMetrics, f64) {
     let alloc = schedule
         .into_allocation(tree, k)
         .expect("layouts are feasible");
     let program = BroadcastProgram::build(&alloc, tree).expect("valid program");
-    simulator::latency_distribution(&program, tree, requests, seed ^ 0x5A5A)
-        .expect("all targets reachable")
+    let compiled = CompiledProgram::compile(&program, tree).expect("all targets routable");
+    let opts = ServeOptions {
+        threads,
+        seed: seed ^ 0x5A5A,
+    };
+    let t0 = Instant::now();
+    let metrics = compiled
+        .serve_batch(targets, &opts)
+        .expect("all targets reachable");
+    let rps = targets.len() as f64 / t0.elapsed().as_secs_f64();
+    (metrics, rps)
 }

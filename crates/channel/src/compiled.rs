@@ -1,0 +1,503 @@
+//! Compiled route tables and the batched serving engine.
+//!
+//! [`simulator::access`](crate::simulator::access) re-walks the pointer
+//! path through the bucket grid for every request — an O(path) walk plus an
+//! O(tree) ancestor-marking allocation. Every quantity it reports, however,
+//! is a pure function of `(target, tune-in residue)`:
+//!
+//! * probe wait depends only on the tune-in residue within the cycle,
+//! * data wait, tuning time and channel switches depend only on the target,
+//!   because the pointer route from the root to a data bucket is fixed by
+//!   the program.
+//!
+//! [`CompiledProgram::compile`] therefore walks the pointer graph **once**
+//! (each bucket is visited exactly once — O(buckets)), validating every
+//! pointer on the way, and stores per-node route records in flat
+//! structure-of-arrays tables. A single access becomes three array reads
+//! and one subtraction; [`CompiledProgram::serve_batch`] feeds millions of
+//! requests through those tables with per-thread sharding and a streaming
+//! [`LatencyHistogram`], never allocating per request. The pointer-chasing
+//! simulator remains the oracle the tables are property-tested against.
+
+use crate::hist::LatencyHistogram;
+use crate::program::{BroadcastProgram, Bucket};
+use crate::simulator::{AccessTrace, SimError};
+use bcast_index_tree::IndexTree;
+use bcast_types::{BucketAddr, ChannelId, NodeId, Slot};
+
+/// SplitMix64 finalizer: spreads a request index into an independent
+/// 64-bit draw, so per-request tune-in slots depend only on the *global*
+/// request index — sharded serving is thread-count invariant.
+#[inline]
+fn mix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-node route tables compiled from a [`BroadcastProgram`].
+///
+/// Construction validates the whole pointer graph (every child reachable,
+/// every pointer landing on the bucket it promises), so lookups are
+/// infallible for any data node of the source tree — the O(1) answers are
+/// *exact*, not approximations, by the argument in the module docs.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    cycle_len: u32,
+    /// `T(Di)`: absolute 1-based slot of the node's data bucket.
+    slot: Vec<u32>,
+    /// Buckets read on the pointer path root..=data (tuning time minus the
+    /// initial probe bucket).
+    path_len: Vec<u32>,
+    /// Channel switches performed after the probe.
+    switches: Vec<u32>,
+    /// Whether the node is a routed data node (lookup guard).
+    routed: Vec<bool>,
+    num_data: usize,
+}
+
+impl CompiledProgram {
+    /// Compiles `program` (built over `tree`) into flat route tables in one
+    /// pass over the pointer graph.
+    ///
+    /// # Errors
+    /// Surfaces the same corruption classes the walking simulator would hit
+    /// at request time, but eagerly: [`SimError::NoRoute`] if an index
+    /// bucket lacks a pointer to one of its children, and
+    /// [`SimError::BrokenPointer`] if a pointer leads outside the grid or
+    /// to a bucket not holding the promised node.
+    pub fn compile(program: &BroadcastProgram, tree: &IndexTree) -> Result<Self, SimError> {
+        let n = tree.len();
+        let mut this = CompiledProgram {
+            cycle_len: program.cycle_len() as u32,
+            slot: vec![0; n],
+            path_len: vec![0; n],
+            switches: vec![0; n],
+            routed: vec![false; n],
+            num_data: 0,
+        };
+        // Depth-first over the pointer graph; the tree structure guarantees
+        // each node (hence each occupied bucket) is pushed exactly once.
+        let root_addr = BucketAddr {
+            channel: ChannelId::FIRST,
+            slot: Slot::FIRST,
+        };
+        let mut stack: Vec<(BucketAddr, NodeId, u32, u32)> = vec![(root_addr, tree.root(), 1, 0)];
+        while let Some((at, expect, path_len, switches)) = stack.pop() {
+            if at.channel.index() >= program.num_channels()
+                || at.slot.offset() >= program.cycle_len()
+            {
+                // A corrupt pointer escaping the grid: report it instead of
+                // indexing out of bounds.
+                return Err(SimError::BrokenPointer {
+                    at,
+                    expected: expect,
+                });
+            }
+            match program.bucket(at) {
+                Bucket::Data { node } if *node == expect && tree.is_data(expect) => {
+                    let i = expect.index();
+                    this.slot[i] = at.slot.0;
+                    this.path_len[i] = path_len;
+                    this.switches[i] = switches;
+                    this.routed[i] = true;
+                    this.num_data += 1;
+                }
+                Bucket::Index { node, pointers } if *node == expect => {
+                    for &child in tree.children(expect) {
+                        let Some(ptr) = pointers.iter().find(|p| p.child == child) else {
+                            return Err(SimError::NoRoute {
+                                at: expect,
+                                target: child,
+                            });
+                        };
+                        stack.push((
+                            BucketAddr {
+                                channel: ptr.channel,
+                                slot: Slot(at.slot.0 + ptr.offset),
+                            },
+                            child,
+                            path_len + 1,
+                            switches + u32::from(ptr.channel != at.channel),
+                        ));
+                    }
+                }
+                // Bucket holds something other than the routed-to node (or
+                // a data payload where the tree expects an index node).
+                Bucket::Data { .. } | Bucket::Index { .. } | Bucket::Empty => {
+                    return Err(SimError::BrokenPointer {
+                        at,
+                        expected: expect,
+                    });
+                }
+            }
+        }
+        Ok(this)
+    }
+
+    /// Cycle length in slots.
+    #[inline]
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len as usize
+    }
+
+    /// Number of routed data nodes.
+    #[inline]
+    pub fn num_data_nodes(&self) -> usize {
+        self.num_data
+    }
+
+    /// The absolute slot `T(Di)` of a data node's bucket, or `None` for
+    /// index nodes / foreign ids.
+    #[inline]
+    pub fn data_slot(&self, node: NodeId) -> Option<Slot> {
+        let i = node.index();
+        (i < self.routed.len() && self.routed[i]).then(|| Slot(self.slot[i]))
+    }
+
+    /// Probe wait for a tune-in slot: slots until the next cycle's root
+    /// bucket has been read, with cyclic wraparound for tune-ins past the
+    /// cycle (matching the walking simulator's normalization).
+    #[inline]
+    pub fn probe_wait(&self, tune_in: Slot) -> u32 {
+        self.cycle_len - (tune_in.offset() as u32 % self.cycle_len)
+    }
+
+    /// O(1) equivalent of [`simulator::access`](crate::simulator::access):
+    /// three table reads and the probe-wait subtraction.
+    ///
+    /// # Errors
+    /// [`SimError::NotADataNode`] for index nodes or foreign ids; routing
+    /// errors cannot occur here because compilation validated every route.
+    #[inline]
+    pub fn access(&self, target: NodeId, tune_in: Slot) -> Result<AccessTrace, SimError> {
+        let i = target.index();
+        if i >= self.routed.len() || !self.routed[i] {
+            return Err(SimError::NotADataNode(target));
+        }
+        Ok(AccessTrace {
+            probe_wait: self.probe_wait(tune_in),
+            data_wait: self.slot[i] - 1,
+            tuning_time: self.path_len[i] + 1,
+            channel_switches: self.switches[i],
+        })
+    }
+
+    /// Serves a batch of requests through the route tables, optionally
+    /// sharded over `opts.threads` OS threads, and aggregates exact means
+    /// plus a streaming latency histogram (no per-request allocation).
+    ///
+    /// Each request's tune-in slot is drawn uniformly over the cycle from
+    /// `opts.seed` and the request's **global index**, so the result is
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    /// [`SimError::NotADataNode`] if any target is not a routed data node.
+    pub fn serve_batch(
+        &self,
+        targets: &[NodeId],
+        opts: &ServeOptions,
+    ) -> Result<BatchMetrics, SimError> {
+        let threads = opts.threads.max(1);
+        let shard = if threads <= 1 || targets.len() < threads {
+            self.serve_shard(targets, 0, opts.seed)?
+        } else {
+            let chunk = targets.len().div_ceil(threads);
+            let mut shards: Vec<Result<Shard, SimError>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(t, part)| {
+                        let start = (t * chunk) as u64;
+                        scope.spawn(move || self.serve_shard(part, start, opts.seed))
+                    })
+                    .collect();
+                shards = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect();
+            });
+            let mut merged: Option<Shard> = None;
+            for s in shards {
+                let s = s?;
+                match &mut merged {
+                    None => merged = Some(s),
+                    Some(m) => m.merge(&s),
+                }
+            }
+            merged.expect("at least one shard")
+        };
+        Ok(shard.into_metrics(targets.len()))
+    }
+
+    /// Sequential serving of one shard; `start` is the shard's global
+    /// request offset (keeps tune-in draws shard-layout independent).
+    fn serve_shard(&self, targets: &[NodeId], start: u64, seed: u64) -> Result<Shard, SimError> {
+        let mut shard = Shard::new(2 * self.cycle_len);
+        let cycle = u64::from(self.cycle_len);
+        for (j, &target) in targets.iter().enumerate() {
+            let i = target.index();
+            if i >= self.routed.len() || !self.routed[i] {
+                return Err(SimError::NotADataNode(target));
+            }
+            let probe = self.cycle_len - (mix64(seed, start + j as u64) % cycle) as u32;
+            let wait = self.slot[i] - 1;
+            shard.hist.record(probe + wait);
+            shard.wait_sum += u64::from(wait);
+            shard.tune_sum += u64::from(self.path_len[i] + 1);
+            shard.switch_sum += u64::from(self.switches[i]);
+        }
+        Ok(shard)
+    }
+}
+
+/// Options for [`CompiledProgram::serve_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// OS threads to shard the batch over (`0` and `1` both mean
+    /// sequential). Results do not depend on this value.
+    pub threads: usize,
+    /// Seed for the per-request tune-in draws.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The tune-in slot `serve_batch` uses for the request at `index` in a
+    /// cycle of `cycle_len` slots — exposed so oracle tests can replay the
+    /// exact same request against the walking simulator.
+    #[inline]
+    pub fn tune_in(&self, index: u64, cycle_len: usize) -> Slot {
+        Slot((mix64(self.seed, index) % cycle_len as u64) as u32 + 1)
+    }
+}
+
+/// Per-thread accumulator: integer sums (exact, order independent) plus a
+/// histogram shard.
+struct Shard {
+    hist: LatencyHistogram,
+    wait_sum: u64,
+    tune_sum: u64,
+    switch_sum: u64,
+}
+
+impl Shard {
+    fn new(bound: u32) -> Self {
+        Shard {
+            hist: LatencyHistogram::with_bound(bound),
+            wait_sum: 0,
+            tune_sum: 0,
+            switch_sum: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Shard) {
+        self.hist.merge(&other.hist);
+        self.wait_sum += other.wait_sum;
+        self.tune_sum += other.tune_sum;
+        self.switch_sum += other.switch_sum;
+    }
+
+    fn into_metrics(self, requests: usize) -> BatchMetrics {
+        let n = requests as f64;
+        BatchMetrics {
+            requests,
+            mean_access_time: if requests == 0 { 0.0 } else { self.hist.mean() },
+            mean_data_wait: if requests == 0 {
+                0.0
+            } else {
+                self.wait_sum as f64 / n
+            },
+            mean_tuning_time: if requests == 0 {
+                0.0
+            } else {
+                self.tune_sum as f64 / n
+            },
+            mean_channel_switches: if requests == 0 {
+                0.0
+            } else {
+                self.switch_sum as f64 / n
+            },
+            histogram: self.hist,
+        }
+    }
+}
+
+/// Aggregated result of one [`CompiledProgram::serve_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMetrics {
+    /// Requests served.
+    pub requests: usize,
+    /// Mean access time (probe wait + data wait) in slots.
+    pub mean_access_time: f64,
+    /// Mean data wait in slots, measured from the root bucket (i.e.
+    /// `T(Di) − 1` averaged over requests).
+    pub mean_data_wait: f64,
+    /// Mean tuning time in buckets.
+    pub mean_tuning_time: f64,
+    /// Mean channel switches per access.
+    pub mean_channel_switches: f64,
+    /// Exact access-time histogram (quantiles via
+    /// [`LatencyHistogram::percentile`]).
+    pub histogram: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+    use crate::simulator;
+    use bcast_index_tree::builders;
+
+    fn ids(tree: &IndexTree, labels: &[&str]) -> Vec<NodeId> {
+        labels
+            .iter()
+            .map(|l| tree.find_by_label(l).expect("label exists"))
+            .collect()
+    }
+
+    fn fig2b() -> (IndexTree, BroadcastProgram) {
+        let t = builders::paper_example();
+        let slots = vec![
+            ids(&t, &["1"]),
+            ids(&t, &["2", "3"]),
+            ids(&t, &["A", "B"]),
+            ids(&t, &["4", "E"]),
+            ids(&t, &["C", "D"]),
+        ];
+        let a = Allocation::from_slot_schedule(&slots, &t, 2).unwrap();
+        let p = BroadcastProgram::build(&a, &t).unwrap();
+        (t, p)
+    }
+
+    #[test]
+    fn compiled_access_matches_oracle_on_every_pair() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        assert_eq!(c.num_data_nodes(), t.num_data_nodes());
+        let cycle = p.cycle_len() as u32;
+        for &d in t.data_nodes() {
+            // Including tune-ins past the cycle (wraparound).
+            for tune in 1..=(2 * cycle + 3) {
+                let oracle = simulator::access(&p, &t, d, Slot(tune)).unwrap();
+                let fast = c.access(d, Slot(tune)).unwrap();
+                assert_eq!(oracle, fast, "node {} tune {tune}", t.label(d));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_index_targets() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let idx = t.find_by_label("2").unwrap();
+        assert_eq!(
+            c.access(idx, Slot::FIRST).unwrap_err(),
+            SimError::NotADataNode(idx)
+        );
+        assert_eq!(c.data_slot(idx), None);
+    }
+
+    #[test]
+    fn dropped_pointer_fails_compilation_with_no_route() {
+        let (t, mut p) = fig2b();
+        let root_addr = BucketAddr::new(0, 0);
+        let Bucket::Index { pointers, .. } = p.bucket_mut(root_addr) else {
+            panic!("root bucket is an index bucket");
+        };
+        pointers.pop().expect("root has children");
+        assert!(matches!(
+            CompiledProgram::compile(&p, &t),
+            Err(SimError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn redirected_pointer_fails_compilation_with_broken_pointer() {
+        let (t, mut p) = fig2b();
+        let root_addr = BucketAddr::new(0, 0);
+        let Bucket::Index { pointers, .. } = p.bucket_mut(root_addr) else {
+            panic!("root bucket is an index bucket");
+        };
+        // Point the first child pointer at a different occupied bucket.
+        pointers[0].offset += 1;
+        assert!(matches!(
+            CompiledProgram::compile(&p, &t),
+            Err(SimError::BrokenPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_batch_is_thread_count_invariant() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..1000).map(|i| data[i % data.len()]).collect();
+        let base = ServeOptions {
+            threads: 1,
+            seed: 42,
+        };
+        let m1 = c.serve_batch(&targets, &base).unwrap();
+        for threads in [2, 3, 8] {
+            let mt = c
+                .serve_batch(&targets, &ServeOptions { threads, ..base })
+                .unwrap();
+            assert_eq!(m1, mt, "threads = {threads}");
+        }
+        assert_eq!(m1.requests, 1000);
+        assert_eq!(m1.histogram.count(), 1000);
+    }
+
+    #[test]
+    fn serve_batch_matches_oracle_fold() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..257).map(|i| data[(i * 7) % data.len()]).collect();
+        let opts = ServeOptions {
+            threads: 1,
+            seed: 7,
+        };
+        let m = c.serve_batch(&targets, &opts).unwrap();
+        let mut access_sum = 0u64;
+        let mut wait_sum = 0u64;
+        for (i, &target) in targets.iter().enumerate() {
+            let tune = opts.tune_in(i as u64, c.cycle_len());
+            let trace = simulator::access(&p, &t, target, tune).unwrap();
+            access_sum += u64::from(trace.access_time());
+            wait_sum += u64::from(trace.data_wait);
+        }
+        let n = targets.len() as f64;
+        assert!((m.mean_access_time - access_sum as f64 / n).abs() < 1e-12);
+        assert!((m.mean_data_wait - wait_sum as f64 / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_batch_rejects_bad_targets() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let idx = t.find_by_label("3").unwrap();
+        let err = c.serve_batch(&[idx], &ServeOptions::default()).unwrap_err();
+        assert_eq!(err, SimError::NotADataNode(idx));
+    }
+
+    #[test]
+    fn empty_batch_yields_zero_metrics() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let m = c.serve_batch(&[], &ServeOptions::default()).unwrap();
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.mean_access_time, 0.0);
+        assert!(m.histogram.is_empty());
+    }
+}

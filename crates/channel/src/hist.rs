@@ -1,0 +1,197 @@
+//! A streaming fixed-bucket latency histogram.
+//!
+//! Broadcast access times are small bounded integers (probe wait ≤ cycle,
+//! data wait < cycle), so a bucket width of one slot makes the histogram
+//! *exact*: recording is a single counter increment — no per-request
+//! allocation, no sample vector to sort — and every quantile query returns
+//! the same value a sorted sample array would. Shards produced by parallel
+//! serving merge by element-wise addition.
+
+/// Exact integer-valued histogram with unit-width buckets `0..=bound`.
+///
+/// Values above the bound are clamped into the top bucket for counting
+/// purposes (quantiles then saturate at `bound`), but [`max`](Self::max)
+/// always reports the true maximum observed value. Callers that size the
+/// bound from a known worst case (the serving engine uses `2 × cycle_len`)
+/// never clamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u32,
+    max: u32,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram covering values `0..=bound`.
+    pub fn with_bound(bound: u32) -> Self {
+        LatencyHistogram {
+            counts: vec![0; bound as usize + 1],
+            total: 0,
+            sum: 0,
+            min: u32::MAX,
+            max: 0,
+        }
+    }
+
+    /// Largest value representable without clamping.
+    #[inline]
+    pub fn bound(&self) -> u32 {
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Records one observation. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, value: u32) {
+        let idx = (value as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u64::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram (e.g. a per-thread shard) into this one.
+    ///
+    /// # Panics
+    /// Panics if the bounds differ — shards of one batch always agree.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of all observations (true values, not clamped).
+    ///
+    /// # Panics
+    /// Panics on an empty histogram.
+    pub fn mean(&self) -> f64 {
+        assert!(self.total > 0, "mean of an empty histogram");
+        self.sum as f64 / self.total as f64
+    }
+
+    /// The value at sorted rank `⌊count · p⌋` (capped at the last rank) —
+    /// exactly what indexing a sorted sample array at that position would
+    /// return, so quantiles are exact, not interpolated.
+    ///
+    /// # Panics
+    /// Panics on an empty histogram or `p` outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u32 {
+        assert!(self.total > 0, "percentile of an empty histogram");
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        let rank = ((self.total as f64 * p) as u64).min(self.total - 1);
+        let mut seen = 0u64;
+        for (value, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return value as u32;
+            }
+        }
+        unreachable!("total matches sum of counts")
+    }
+
+    /// Smallest observed value.
+    ///
+    /// # Panics
+    /// Panics on an empty histogram.
+    pub fn min(&self) -> u32 {
+        assert!(self.total > 0, "min of an empty histogram");
+        self.min
+    }
+
+    /// Largest observed value (never clamped).
+    ///
+    /// # Panics
+    /// Panics on an empty histogram.
+    pub fn max(&self) -> u32 {
+        assert!(self.total > 0, "max of an empty histogram");
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sorted_array_semantics() {
+        let samples: Vec<u32> = vec![9, 1, 4, 4, 7, 2, 2, 2, 30, 5];
+        let mut h = LatencyHistogram::with_bound(64);
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+            assert_eq!(h.percentile(p), sorted[rank], "p = {p}");
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.count(), 10);
+        let mean: f64 = samples.iter().map(|&s| f64::from(s)).sum::<f64>() / 10.0;
+        assert!((h.mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = LatencyHistogram::with_bound(20);
+        let mut a = LatencyHistogram::with_bound(20);
+        let mut b = LatencyHistogram::with_bound(20);
+        for v in 0..=20u32 {
+            all.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn clamps_counts_but_reports_true_max() {
+        let mut h = LatencyHistogram::with_bound(4);
+        h.record(100);
+        h.record(1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.percentile(1.0), 4); // clamped into the top bucket
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_percentile_panics() {
+        let _ = LatencyHistogram::with_bound(4).percentile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn mismatched_merge_panics() {
+        let mut a = LatencyHistogram::with_bound(4);
+        a.merge(&LatencyHistogram::with_bound(5));
+    }
+}

@@ -21,13 +21,23 @@
 //! * [`simulator`] — a client that tunes in at an arbitrary slot, follows
 //!   pointers, and reports access time / tuning time / channel switches,
 //!   used to cross-validate the analytic cost model and to measure the
-//!   tuning-time effects the paper's introduction discusses.
+//!   tuning-time effects the paper's introduction discusses;
+//! * [`compiled`] — the compile-then-serve layer: per-node route tables
+//!   precomputed in one pass ([`CompiledProgram`]), turning each simulated
+//!   access into an O(1) table read, plus the sharded batched serving
+//!   engine ([`CompiledProgram::serve_batch`]) and its exact streaming
+//!   [`LatencyHistogram`].
 
 mod allocation;
+pub mod compiled;
 pub mod cost;
+pub mod hist;
 mod program;
 pub mod simulator;
 pub mod wire;
 
 pub use allocation::{Allocation, FeasibilityError};
+pub use compiled::{BatchMetrics, CompiledProgram, ServeOptions};
+pub use hist::LatencyHistogram;
 pub use program::{BroadcastProgram, Bucket, Pointer, ProgramError};
+pub use simulator::SimError;

@@ -125,6 +125,16 @@ impl BroadcastProgram {
         &self.grid[addr.channel.index()][addr.slot.offset()]
     }
 
+    /// Mutable access to the bucket at `addr` — a fault-injection hook for
+    /// corruption tests (dropped pointers, redirected offsets). A program
+    /// mutated through this no longer carries `build`'s validity guarantee;
+    /// the simulator and `CompiledProgram::compile` must surface such
+    /// corruption as [`crate::simulator::SimError`]s, never panic.
+    #[inline]
+    pub fn bucket_mut(&mut self, addr: BucketAddr) -> &mut Bucket {
+        &mut self.grid[addr.channel.index()][addr.slot.offset()]
+    }
+
     /// Slots until the start of the next cycle, as seen by a client reading
     /// the bucket at `slot` — the "pointer to the first bucket of the next
     /// broadcast cycle" carried by every `C1` bucket.

@@ -13,6 +13,8 @@
 //! comparisons between index-tree shapes that motivated the paper's choice
 //! of alphabetic trees.
 
+use crate::compiled::CompiledProgram;
+use crate::hist::LatencyHistogram;
 use crate::program::{BroadcastProgram, Bucket};
 use bcast_index_tree::IndexTree;
 use bcast_types::{BucketAddr, ChannelId, NodeId, Slot};
@@ -185,6 +187,9 @@ pub fn aggregate_metrics(
     program: &BroadcastProgram,
     tree: &IndexTree,
 ) -> Result<AggregateMetrics, SimError> {
+    // One O(buckets) compile validates every route; each per-node read is
+    // then O(1) instead of a pointer walk.
+    let compiled = CompiledProgram::compile(program, tree)?;
     let total_w = tree.total_weight().get();
     let cycle = program.cycle_len() as f64;
     let mut access_acc = 0.0;
@@ -195,7 +200,7 @@ pub fn aggregate_metrics(
         let w = tree.weight(d).get();
         // Probe wait depends only on the tune-in slot; average it once.
         // data wait / tuning / switches are tune-in independent.
-        let trace = access(program, tree, d, Slot::FIRST)?;
+        let trace = compiled.access(d, Slot::FIRST)?;
         let avg_probe = (cycle + 1.0) / 2.0;
         access_acc += w * (avg_probe + f64::from(trace.data_wait));
         wait_acc += w * f64::from(trace.data_wait + 1); // + root slot
@@ -241,6 +246,11 @@ pub struct LatencyDistribution {
 /// realized access-time distribution. Deterministic per `seed`
 /// (xorshift64*).
 ///
+/// Each access is an O(1) read of the compiled route tables, and samples
+/// stream through an exact fixed-bucket [`LatencyHistogram`] — no
+/// per-request allocation or sort, so request counts in the millions are
+/// routine (see `CompiledProgram::serve_batch` for the sharded engine).
+///
 /// # Errors
 /// Propagates any routing failure (a corrupt program).
 ///
@@ -259,6 +269,7 @@ pub fn latency_distribution(
         total > 0.0,
         "cannot draw targets from an all-zero-weight tree"
     );
+    let compiled = CompiledProgram::compile(program, tree)?;
     // Cumulative weights for inverse-CDF target sampling.
     let data = tree.data_nodes();
     let mut cdf = Vec::with_capacity(data.len());
@@ -275,26 +286,23 @@ pub fn latency_distribution(
         state
     };
     let cycle = program.cycle_len() as u64;
-    let mut samples: Vec<u32> = Vec::with_capacity(requests);
-    let mut sum = 0.0f64;
+    // Access time is bounded by probe (≤ cycle) + data wait (< cycle).
+    let mut hist = LatencyHistogram::with_bound(2 * cycle as u32);
     for _ in 0..requests {
         let u = (next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
         let idx = match cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(data.len() - 1),
         };
         let tune = Slot((next_u64() % cycle) as u32 + 1);
-        let trace = access(program, tree, data[idx], tune)?;
-        samples.push(trace.access_time());
-        sum += f64::from(trace.access_time());
+        let trace = compiled.access(data[idx], tune)?;
+        hist.record(trace.access_time());
     }
-    samples.sort_unstable();
-    let pct = |p: f64| samples[((samples.len() as f64 * p) as usize).min(samples.len() - 1)];
     Ok(LatencyDistribution {
-        mean: sum / requests as f64,
-        p50: pct(0.50),
-        p90: pct(0.90),
-        p99: pct(0.99),
-        max: *samples.last().expect("requests > 0"),
+        mean: hist.mean(),
+        p50: hist.percentile(0.50),
+        p90: hist.percentile(0.90),
+        p99: hist.percentile(0.99),
+        max: hist.max(),
         samples: requests,
     })
 }

@@ -11,8 +11,10 @@
 //! Everything is deterministic given an explicit `u64` seed.
 
 pub mod freq;
+pub mod requests;
 pub mod rng;
 pub mod shapes;
 
 pub use freq::FrequencyDist;
+pub use requests::RequestStream;
 pub use shapes::{random_tree, RandomTreeConfig};

@@ -1,0 +1,227 @@
+//! Request-stream generators for the batched serving engine.
+//!
+//! The serving-side experiments (latency tails, throughput benches, the
+//! adaptive harness) need millions of item draws per run, so sampling must
+//! be O(1) per request with no allocation. [`RequestStream`] preprocesses
+//! an arbitrary probability mass function into a Walker **alias table**
+//! (O(items) build) and then draws with one SplitMix64 step, one
+//! multiply-shift index map and one comparison per sample.
+//!
+//! Deterministic given an explicit `u64` seed, like every generator in
+//! this crate.
+
+/// An infinite, deterministic stream of item indices drawn i.i.d. from a
+/// fixed probability mass function, via the alias method.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    /// Acceptance threshold per column, scaled to `u32::MAX + 1`.
+    threshold: Vec<u32>,
+    /// Alias item per column.
+    alias: Vec<u32>,
+    state: u64,
+}
+
+impl RequestStream {
+    /// Builds a stream over `weights.len()` items with draw probability
+    /// proportional to each weight.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn from_weights(weights: &[f64], seed: u64) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "need at least one item");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        // Vose's stable alias construction: scale each probability by n,
+        // then pair every under-full column with an over-full donor.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut threshold = vec![u32::MAX; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            threshold[s as usize] = (scaled[s as usize] * (u32::MAX as f64 + 1.0)) as u32;
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (either list) are exactly full up to rounding: always
+        // accept.
+        RequestStream {
+            threshold,
+            alias,
+            state: seed,
+        }
+    }
+
+    /// A Zipf(θ) stream: item `i` has probability ∝ `1 / (i + 1)^theta`
+    /// (item 0 is the hottest; shuffle externally if rank order and item
+    /// ids must be independent).
+    ///
+    /// # Panics
+    /// Panics if `items == 0` or `theta` is negative or non-finite.
+    pub fn zipf(items: usize, theta: f64, seed: u64) -> Self {
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be >= 0");
+        let pmf: Vec<f64> = (0..items)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
+            .collect();
+        Self::from_weights(&pmf, seed)
+    }
+
+    /// A hotset stream: the first `hot_items` items uniformly share
+    /// `hot_mass` of the probability, the remaining items uniformly share
+    /// the rest — the classic 80/20-style skew dialed by two knobs.
+    ///
+    /// # Panics
+    /// Panics if `hot_items` is zero or larger than `items`, or `hot_mass`
+    /// is outside `[0, 1]` (and, transitively, if the resulting pmf would
+    /// be all-zero: `hot_mass == 0` with no cold items).
+    pub fn hotset(items: usize, hot_items: usize, hot_mass: f64, seed: u64) -> Self {
+        assert!(
+            hot_items > 0 && hot_items <= items,
+            "hot_items must be in 1..=items"
+        );
+        assert!(
+            (0.0..=1.0).contains(&hot_mass),
+            "hot_mass must be in [0, 1]"
+        );
+        let cold_items = items - hot_items;
+        let pmf: Vec<f64> = (0..items)
+            .map(|i| {
+                if i < hot_items {
+                    hot_mass / hot_items as f64
+                } else {
+                    (1.0 - hot_mass) / cold_items as f64
+                }
+            })
+            .collect();
+        Self::from_weights(&pmf, seed)
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Always false — streams have at least one item by construction.
+    pub fn is_empty(&self) -> bool {
+        self.threshold.is_empty()
+    }
+
+    /// Draws the next item index: O(1), allocation-free.
+    #[inline]
+    pub fn sample(&mut self) -> usize {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Low 32 bits pick the column (Lemire multiply-shift, bias-free at
+        // these table sizes); high 32 bits flip the acceptance coin.
+        let col = ((u64::from(z as u32) * self.threshold.len() as u64) >> 32) as usize;
+        if (z >> 32) as u32 <= self.threshold[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = usize;
+
+    /// Infinite stream; use `take(n)` for a finite batch.
+    fn next(&mut self) -> Option<usize> {
+        Some(self.sample())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(stream: &mut RequestStream, draws: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; stream.len()];
+        for _ in 0..draws {
+            counts[stream.sample()] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / draws as f64)
+            .collect()
+    }
+
+    #[test]
+    fn matches_target_pmf() {
+        let weights = [5.0, 1.0, 3.0, 1.0];
+        let mut s = RequestStream::from_weights(&weights, 11);
+        let freq = empirical(&mut s, 200_000);
+        let total: f64 = weights.iter().sum();
+        for (i, f) in freq.iter().enumerate() {
+            let expect = weights[i] / total;
+            assert!(
+                (f - expect).abs() < 0.01,
+                "item {i}: empirical {f} vs pmf {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_rank_monotone() {
+        let mut s = RequestStream::zipf(16, 1.0, 3);
+        let freq = empirical(&mut s, 100_000);
+        assert!(freq[0] > freq[3] && freq[3] > freq[15]);
+        // Hottest rank of Zipf(1) over 16 items: 1 / H_16 ≈ 0.296.
+        assert!((freq[0] - 0.296).abs() < 0.02, "hottest {}", freq[0]);
+    }
+
+    #[test]
+    fn hotset_concentrates_the_requested_mass() {
+        let mut s = RequestStream::hotset(100, 10, 0.8, 9);
+        let freq = empirical(&mut s, 100_000);
+        let hot: f64 = freq[..10].iter().sum();
+        assert!((hot - 0.8).abs() < 0.01, "hot mass {hot}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<usize> = RequestStream::zipf(32, 0.9, 5).take(100).collect();
+        let b: Vec<usize> = RequestStream::zipf(32, 0.9, 5).take(100).collect();
+        assert_eq!(a, b);
+        let c: Vec<usize> = RequestStream::zipf(32, 0.9, 6).take(100).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_item_stream_draws_it() {
+        let mut s = RequestStream::from_weights(&[2.5], 1);
+        for _ in 0..10 {
+            assert_eq!(s.sample(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_zero_mass() {
+        let _ = RequestStream::from_weights(&[0.0, 0.0], 1);
+    }
+}

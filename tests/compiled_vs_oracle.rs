@@ -1,0 +1,265 @@
+//! The compiled route tables must agree with the pointer-chasing
+//! simulator — the oracle — on every trace field, for every data node,
+//! tune-in slot (including cycle wraparound) and channel count any
+//! schedule producer can generate; and both paths must surface corruption
+//! (`BrokenPointer`, `NoRoute`) as errors rather than panicking or
+//! mis-routing.
+
+use broadcast_alloc::alloc::heuristics::sorting;
+use broadcast_alloc::alloc::{baselines, Schedule};
+use broadcast_alloc::channel::{
+    simulator, BroadcastProgram, Bucket, CompiledProgram, ServeOptions,
+};
+use broadcast_alloc::tree::{builders, IndexTree};
+use broadcast_alloc::types::{BucketAddr, NodeId, Slot};
+use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig, RequestStream};
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+fn producer_schedule(tree: &IndexTree, producer: usize, k: usize, seed: u64) -> Schedule {
+    match producer {
+        0 => sorting::sorting_schedule(tree, k),
+        1 => baselines::greedy_frontier(tree, k),
+        2 => baselines::preorder_schedule(tree, k),
+        _ => baselines::random_feasible(tree, k, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled table reads reproduce the oracle's full trace (probe wait,
+    /// data wait, tuning time, channel switches) on random trees × random
+    /// valid schedules, k ∈ {1,2,3}, with tune-ins past the cycle end
+    /// exercising the wraparound normalization.
+    #[test]
+    fn compiled_tables_agree_with_walking_oracle(
+        n in 2usize..10,
+        fanout in 2usize..5,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        producer in 0usize..4,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: fanout,
+            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let schedule = producer_schedule(&tree, producer, k, seed);
+        let alloc = schedule.into_allocation(&tree, k).expect("feasible");
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+        let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+        prop_assert_eq!(compiled.num_data_nodes(), tree.num_data_nodes());
+        prop_assert_eq!(compiled.cycle_len(), program.cycle_len());
+        let cycle = program.cycle_len() as u32;
+        for &d in tree.data_nodes() {
+            // In-cycle, boundary, and wrapped tune-in offsets.
+            for tune in [1, cycle / 2 + 1, cycle, cycle + 1, 2 * cycle + 3] {
+                let oracle = simulator::access(&program, &tree, d, Slot(tune))
+                    .expect("oracle routes every data node");
+                let fast = compiled.access(d, Slot(tune)).expect("table routes it too");
+                prop_assert_eq!(oracle, fast, "node {:?} tune {}", d, tune);
+            }
+        }
+        // Index nodes are rejected identically.
+        for i in 0..tree.len() {
+            let node = NodeId::from_index(i);
+            if !tree.is_data(node) {
+                prop_assert_eq!(
+                    compiled.access(node, Slot::FIRST).unwrap_err(),
+                    simulator::access(&program, &tree, node, Slot::FIRST).unwrap_err()
+                );
+            }
+        }
+    }
+
+    /// `serve_batch` equals a scalar oracle fold over the identical request
+    /// sequence (targets + tune-ins), for every thread count.
+    #[test]
+    fn serve_batch_equals_oracle_fold(
+        n in 2usize..10,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        requests in 1usize..300,
+        threads in 1usize..5,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: 3,
+            weights: FrequencyDist::Uniform { lo: 1.0, hi: 100.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let schedule = sorting::sorting_schedule(&tree, k);
+        let alloc = schedule.into_allocation(&tree, k).expect("feasible");
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+        let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+        let data = tree.data_nodes();
+        let target_weights: Vec<f64> = data.iter().map(|&d| tree.weight(d).get()).collect();
+        let targets: Vec<NodeId> = RequestStream::from_weights(&target_weights, seed ^ 1)
+            .take(requests)
+            .map(|i| data[i])
+            .collect();
+        let opts = ServeOptions { threads, seed };
+        let m = compiled.serve_batch(&targets, &opts).expect("all data targets");
+        prop_assert_eq!(m.requests, requests);
+        prop_assert_eq!(m.histogram.count(), requests as u64);
+        let mut access_sum = 0u64;
+        let mut wait_sum = 0u64;
+        let mut tune_sum = 0u64;
+        let mut switch_sum = 0u64;
+        let mut max_access = 0u32;
+        for (i, &t) in targets.iter().enumerate() {
+            let tune = opts.tune_in(i as u64, compiled.cycle_len());
+            let trace = simulator::access(&program, &tree, t, tune).expect("reachable");
+            access_sum += u64::from(trace.access_time());
+            wait_sum += u64::from(trace.data_wait);
+            tune_sum += u64::from(trace.tuning_time);
+            switch_sum += u64::from(trace.channel_switches);
+            max_access = max_access.max(trace.access_time());
+        }
+        let nf = requests as f64;
+        prop_assert!((m.mean_access_time - access_sum as f64 / nf).abs() < 1e-9);
+        prop_assert!((m.mean_data_wait - wait_sum as f64 / nf).abs() < 1e-9);
+        prop_assert!((m.mean_tuning_time - tune_sum as f64 / nf).abs() < 1e-9);
+        prop_assert!((m.mean_channel_switches - switch_sum as f64 / nf).abs() < 1e-9);
+        prop_assert_eq!(m.histogram.max(), max_access);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimError paths: corruption must surface as errors in BOTH the walking
+// simulator and the compiler — never a panic, never a silent mis-route.
+// ---------------------------------------------------------------------------
+
+fn fig2b() -> (IndexTree, BroadcastProgram) {
+    let t = builders::paper_example();
+    let labels = |ls: &[&str]| -> Vec<NodeId> {
+        ls.iter()
+            .map(|l| t.find_by_label(l).expect("label exists"))
+            .collect()
+    };
+    let slots = vec![
+        labels(&["1"]),
+        labels(&["2", "3"]),
+        labels(&["A", "B"]),
+        labels(&["4", "E"]),
+        labels(&["C", "D"]),
+    ];
+    let a = broadcast_alloc::channel::Allocation::from_slot_schedule(&slots, &t, 2).unwrap();
+    let p = BroadcastProgram::build(&a, &t).unwrap();
+    (t, p)
+}
+
+/// The root's bucket address in every program.
+const ROOT_ADDR: BucketAddr = BucketAddr {
+    channel: broadcast_alloc::types::ChannelId::FIRST,
+    slot: Slot::FIRST,
+};
+
+#[test]
+fn dropped_pointer_surfaces_no_route_in_both_paths() {
+    let (t, mut p) = fig2b();
+    let Bucket::Index { pointers, .. } = p.bucket_mut(ROOT_ADDR) else {
+        panic!("root bucket is an index bucket");
+    };
+    let dropped = pointers.pop().expect("root has two children");
+    // Every data node under the dropped child is now unroutable.
+    let mut under_dropped: Vec<NodeId> = t
+        .data_nodes()
+        .iter()
+        .copied()
+        .filter(|&d| d == dropped.child || t.ancestors(d).any(|a| a == dropped.child))
+        .collect();
+    assert!(!under_dropped.is_empty(), "dropped child has data below it");
+    under_dropped.sort();
+    for d in under_dropped {
+        let err = simulator::access(&p, &t, d, Slot::FIRST).unwrap_err();
+        assert!(
+            matches!(err, simulator::SimError::NoRoute { .. }),
+            "oracle: {err}"
+        );
+    }
+    let err = CompiledProgram::compile(&p, &t).unwrap_err();
+    assert!(
+        matches!(err, simulator::SimError::NoRoute { .. }),
+        "compile: {err}"
+    );
+}
+
+#[test]
+fn redirected_pointer_surfaces_broken_pointer_in_both_paths() {
+    let (t, mut p) = fig2b();
+    let node2 = t.find_by_label("2").unwrap();
+    let Bucket::Index { pointers, .. } = p.bucket_mut(ROOT_ADDR) else {
+        panic!("root bucket is an index bucket");
+    };
+    // Redirect the pointer for child "2" one slot too far: it now lands on
+    // an occupied bucket holding one of "2"'s own children (A or B).
+    let ptr = pointers
+        .iter_mut()
+        .find(|ptr| ptr.child == node2)
+        .expect("root points at node 2");
+    ptr.offset += 1;
+    let dest = BucketAddr {
+        channel: ptr.channel,
+        slot: Slot(1 + ptr.offset),
+    };
+    // Oracle: probe with whichever of A/B the pointer does NOT land on, so
+    // the corruption cannot alias with the target's own bucket.
+    let Bucket::Data { node: found } = p.bucket(dest) else {
+        panic!("slot 3 holds data buckets");
+    };
+    let target = if *found == t.find_by_label("A").unwrap() {
+        t.find_by_label("B").unwrap()
+    } else {
+        t.find_by_label("A").unwrap()
+    };
+    let err = simulator::access(&p, &t, target, Slot::FIRST).unwrap_err();
+    assert!(
+        matches!(err, simulator::SimError::BrokenPointer { .. }),
+        "oracle: {err}"
+    );
+    let err = CompiledProgram::compile(&p, &t).unwrap_err();
+    assert!(
+        matches!(err, simulator::SimError::BrokenPointer { .. }),
+        "compile: {err}"
+    );
+}
+
+#[test]
+fn emptied_bucket_surfaces_broken_pointer_in_both_paths() {
+    let (t, mut p) = fig2b();
+    let c = t.find_by_label("C").unwrap();
+    // Blank the data bucket of "C" (channel/slot found via a fresh compile
+    // of the intact program).
+    let intact = CompiledProgram::compile(&p, &t).unwrap();
+    let slot = intact.data_slot(c).expect("C is data");
+    let addr_of_c = (0..2)
+        .map(|ch| BucketAddr::new(ch, slot.offset()))
+        .find(|&addr| matches!(p.bucket(addr), Bucket::Data { node } if *node == c))
+        .expect("C is somewhere in its slot");
+    *p.bucket_mut(addr_of_c) = Bucket::Empty;
+    let err = simulator::access(&p, &t, c, Slot::FIRST).unwrap_err();
+    assert!(
+        matches!(err, simulator::SimError::BrokenPointer { .. }),
+        "oracle: {err}"
+    );
+    let err = CompiledProgram::compile(&p, &t).unwrap_err();
+    assert!(
+        matches!(err, simulator::SimError::BrokenPointer { .. }),
+        "compile: {err}"
+    );
+}
+
+#[test]
+fn corruption_also_fails_the_rewired_aggregates() {
+    // `aggregate_metrics` and `latency_distribution` now run on compiled
+    // tables; they must propagate compilation errors, not panic.
+    let (t, mut p) = fig2b();
+    let Bucket::Index { pointers, .. } = p.bucket_mut(ROOT_ADDR) else {
+        panic!("root bucket is an index bucket");
+    };
+    pointers.pop();
+    assert!(simulator::aggregate_metrics(&p, &t).is_err());
+    assert!(simulator::latency_distribution(&p, &t, 100, 1).is_err());
+}
