@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress bench bench-json clippy fmt fmt-check
+.PHONY: check build test stress bench bench-json publish-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated parallel-search stress tests in release
@@ -27,11 +27,24 @@ bench:
 
 # Maintains the machine-readable perf trajectory: the first run records the
 # "before" section, later runs only replace "after" (see bench_json's docs).
-# BENCH_PR3.json records scalar-vs-compiled serving throughput; both its
-# paths are measured every run.
+# BENCH_PR3.json records scalar-vs-compiled serving throughput and
+# BENCH_PR4.json publish build time: the vendored pre-PR4 "seed" pipeline
+# (quadratic — measured once per machine, ~25 min at 1M, then carried
+# forward from the existing file) vs the current three-pass API vs the
+# fused Publisher, the latter two re-measured every run. The alloc-count
+# feature installs the counting global allocator so PR4's heap-allocation
+# columns are real (its per-alloc overhead is one thread-local increment —
+# noise for the other sections).
 bench-json:
-	$(CARGO) run --release $(OFFLINE) -p bcast-bench --bin bench_json -- \
-		--merge-into BENCH_PR2.json --serving-into BENCH_PR3.json
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
+		--bin bench_json -- --merge-into BENCH_PR2.json \
+		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json
+
+# Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
+# skipping the exact-search and serving sections.
+publish-bench:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
+		--bin bench_json -- --publish-into BENCH_PR4.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

@@ -14,9 +14,7 @@
 
 use crate::estimator::EmaEstimator;
 use crate::stream::DriftingWorkload;
-use bcast_channel::{BroadcastProgram, CompiledProgram};
-use bcast_core::baselines;
-use bcast_core::heuristics::sorting;
+use bcast_core::{PublishHeuristic, PublishOptions, Publisher};
 use bcast_index_tree::knary;
 use bcast_types::Weight;
 
@@ -64,6 +62,9 @@ impl Default for RebuildPolicy {
 pub struct AdaptiveBroadcaster {
     policy: RebuildPolicy,
     estimator: EmaEstimator,
+    /// Fused schedule-and-compile engine; its double-buffered program and
+    /// heuristic scratch keep rebuilds allocation-free at steady state.
+    publisher: Publisher,
     /// `wait_of[item]` — slot of the item's bucket in the current cycle.
     wait_of: Vec<f64>,
     cycle_len: usize,
@@ -83,6 +84,7 @@ impl AdaptiveBroadcaster {
         let mut this = AdaptiveBroadcaster {
             estimator: EmaEstimator::new(items, policy.alpha),
             policy,
+            publisher: Publisher::new(),
             wait_of: Vec::new(),
             cycle_len: 0,
             epoch: 0,
@@ -110,33 +112,38 @@ impl AdaptiveBroadcaster {
     fn rebuild(&mut self, weights: &[Weight]) {
         // Alphabetic shape keeps items key-searchable across rebuilds.
         let tree = knary::build_weight_balanced(weights, self.policy.fanout).expect("items >= 1");
-        let schedule = match self.policy.heuristic {
-            AllocHeuristic::Sorting => sorting::sorting_schedule(&tree, self.policy.channels),
-            AllocHeuristic::Frontier => baselines::greedy_frontier(&tree, self.policy.channels),
+        let heuristic = match self.policy.heuristic {
+            AllocHeuristic::Sorting => PublishHeuristic::Sorting,
+            AllocHeuristic::Frontier => PublishHeuristic::Frontier,
         };
-        // Materialize and compile the program so the estimator's per-item
-        // waits come from the same validated route tables the serving
-        // engine reads — the server answers requests from `T(Di)` lookups,
-        // not by re-deriving schedule positions.
-        let alloc = schedule
-            .into_allocation(&tree, self.policy.channels)
+        // The fused pipeline schedules, validates and compiles the `T(Di)`
+        // route tables in one pass, reusing the previous rebuild's buffers
+        // (double-buffered program swap) — the estimator's per-item waits
+        // come from the same tables the serving engine reads.
+        let compiled = self
+            .publisher
+            .publish(
+                &tree,
+                self.policy.channels,
+                heuristic,
+                PublishOptions::default(),
+            )
             .expect("heuristic schedules are feasible");
-        let program = BroadcastProgram::build(&alloc, &tree).expect("validated allocation");
-        let compiled = CompiledProgram::compile(&program, &tree).expect("fresh programs route");
         // data_nodes() of an alphabetic tree is key order, so data node i
         // is item i.
-        let mut wait = vec![0.0f64; weights.len()];
-        for &n in tree.data_nodes() {
-            let label = tree.label(n);
-            let item: usize = label[1..]
-                .parse()
-                .expect("knary builders label data nodes D<key>");
-            wait[item] = compiled
+        self.wait_of.clear();
+        self.wait_of.resize(weights.len(), 0.0);
+        for (item, &n) in tree.data_nodes().iter().enumerate() {
+            debug_assert_eq!(
+                tree.label(n)[1..].parse::<usize>().ok(),
+                Some(item),
+                "knary builders label data nodes D<key> in key order"
+            );
+            self.wait_of[item] = compiled
                 .data_slot(n)
                 .expect("compiled: all data routed")
                 .wait() as f64;
         }
-        self.wait_of = wait;
         self.cycle_len = compiled.cycle_len();
         self.rebuilds += 1;
     }

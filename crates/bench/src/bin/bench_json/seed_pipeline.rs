@@ -1,0 +1,172 @@
+//! The pre-PR4 publish path, vendored verbatim so the bench can keep
+//! measuring the true "before".
+//!
+//! PR 4 rewrote the in-tree heuristics (SoA preorder views, the awake-set
+//! packer, reusable scratch), and the legacy `sorting_schedule` wrapper now
+//! shares those fast engines — so the repository no longer *contains* the
+//! baseline this PR replaced. This module freezes it: `sorted_preorder` and
+//! `distribute` are copied from the seed revision of
+//! `crates/core/src/heuristics/{sorting,one_to_k}.rs` (allocation-heavy
+//! per-node child sorts; per-level lists merged through fresh `Vec`s; a
+//! rescan-and-recopy slot loop that is quadratic once a dump list grows).
+//! The downstream stages — `Schedule::into_allocation`,
+//! `BroadcastProgram::build`, `CompiledProgram::compile` — run the current
+//! code, whose algorithms are unchanged since the seed; where PR 4 touched
+//! them at all it was to add capacity reuse, so if anything this baseline
+//! is *faster* than the seed and the reported speedups are conservative.
+//!
+//! Correctness is pinned, not assumed: the bench asserts the compiled
+//! output of this path is bit-identical to the fused `Publisher`'s at every
+//! size it measures.
+
+use bcast_channel::{BroadcastProgram, CompiledProgram};
+use bcast_core::Schedule;
+use bcast_index_tree::IndexTree;
+use bcast_types::NodeId;
+
+/// The seed's full three-pass publish: heuristic `Schedule`, validated
+/// `Allocation` + bucket grid, then route-table compile — three separate
+/// traversals with fresh allocations throughout.
+pub fn publish(tree: &IndexTree, k: usize) -> CompiledProgram {
+    let order = sorted_preorder(tree);
+    let schedule = if k == 1 {
+        Schedule::from_sequence(order)
+    } else {
+        distribute(tree, &order, k)
+    };
+    let alloc = schedule.into_allocation(tree, k).expect("feasible");
+    let program = BroadcastProgram::build(&alloc, tree).expect("valid program");
+    CompiledProgram::compile(&program, tree).expect("routable")
+}
+
+/// Seed `sorting::sorted_preorder`: preorder with children sorted by
+/// descending density, cloning and sorting a fresh `Vec` per node.
+fn sorted_preorder(tree: &IndexTree) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(tree.len());
+    let mut stack = vec![tree.root()];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        let mut children: Vec<NodeId> = tree.children(n).to_vec();
+        children.sort_by(|&a, &b| {
+            let da = tree.subtree_weight(a).get() * tree.subtree_size(b) as f64;
+            let db = tree.subtree_weight(b).get() * tree.subtree_size(a) as f64;
+            db.total_cmp(&da).then(a.cmp(&b))
+        });
+        for &c in children.iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// Seed `one_to_k::distribute`: per-level lists merged by sequence number,
+/// one slot per inner level, the last level dumped `k` per slot with a full
+/// rescan-and-recopy of the remaining list every slot.
+fn distribute(tree: &IndexTree, order: &[NodeId], k: usize) -> Schedule {
+    assert!(k >= 2, "k = 1 needs no distribution");
+    assert_eq!(order.len(), tree.len(), "order must cover all nodes");
+
+    let depth = tree.depth() as usize;
+    let mut seq = vec![u32::MAX; tree.len()];
+    for (i, &n) in order.iter().enumerate() {
+        assert_eq!(
+            seq[n.index()],
+            u32::MAX,
+            "order is not a permutation: node {n} appears twice"
+        );
+        seq[n.index()] = i as u32;
+    }
+    let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); depth + 1];
+    for &n in order {
+        lists[tree.level(n) as usize].push(n);
+    }
+
+    let mut slot_of = vec![u32::MAX; tree.len()];
+    let mut schedule = Schedule::new();
+    let mut slot = 0u32;
+    let mut carry: Vec<NodeId> = Vec::new();
+
+    #[allow(clippy::needless_range_loop)] // `level` is also compared to `depth`
+    for level in 1..=depth {
+        let list = merge_by_seq(
+            std::mem::take(&mut lists[level]),
+            std::mem::take(&mut carry),
+            &seq,
+        );
+        let last_level = level == depth;
+        let mut pending = list;
+        loop {
+            let mut members: Vec<NodeId> = Vec::with_capacity(k);
+            let mut rest: Vec<NodeId> = Vec::with_capacity(pending.len());
+            for &n in &pending {
+                let parent_ok = tree
+                    .parent(n)
+                    .is_none_or(|p| slot_of[p.index()] != u32::MAX && slot_of[p.index()] < slot);
+                if members.len() < k && parent_ok {
+                    members.push(n);
+                } else {
+                    rest.push(n);
+                }
+            }
+            if members.is_empty() {
+                carry = rest;
+                break;
+            }
+            for &n in &members {
+                slot_of[n.index()] = slot;
+            }
+            schedule.push_slot(members);
+            slot += 1;
+            if last_level {
+                if rest.is_empty() {
+                    carry = rest;
+                    break;
+                }
+                pending = rest;
+            } else {
+                carry = rest;
+                break;
+            }
+        }
+    }
+    let mut pending = carry;
+    while !pending.is_empty() {
+        let mut members: Vec<NodeId> = Vec::with_capacity(k);
+        let mut rest: Vec<NodeId> = Vec::with_capacity(pending.len());
+        for &n in &pending {
+            let parent_ok = tree
+                .parent(n)
+                .is_none_or(|p| slot_of[p.index()] != u32::MAX && slot_of[p.index()] < slot);
+            if members.len() < k && parent_ok {
+                members.push(n);
+            } else {
+                rest.push(n);
+            }
+        }
+        assert!(!members.is_empty(), "topological order guarantees progress");
+        for &n in &members {
+            slot_of[n.index()] = slot;
+        }
+        schedule.push_slot(members);
+        slot += 1;
+        pending = rest;
+    }
+    schedule
+}
+
+fn merge_by_seq(a: Vec<NodeId>, b: Vec<NodeId>, seq: &[u32]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if seq[a[i].index()] <= seq[b[j].index()] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}

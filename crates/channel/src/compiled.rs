@@ -42,7 +42,7 @@ fn mix64(seed: u64, index: u64) -> u64 {
 /// every pointer landing on the bucket it promises), so lookups are
 /// infallible for any data node of the source tree — the O(1) answers are
 /// *exact*, not approximations, by the argument in the module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompiledProgram {
     cycle_len: u32,
     /// `T(Di)`: absolute 1-based slot of the node's data bucket.
@@ -134,6 +134,36 @@ impl CompiledProgram {
             }
         }
         Ok(this)
+    }
+
+    /// Resets the tables for `n` nodes and `cycle_len` slots, keeping the
+    /// backing capacity — the fused pipeline's rebuild entry point
+    /// (`clear` + `resize` never reallocates once the buffers have grown
+    /// to steady-state size).
+    pub(crate) fn reset(&mut self, n: usize, cycle_len: u32) {
+        self.cycle_len = cycle_len;
+        self.slot.clear();
+        self.slot.resize(n, 0);
+        self.path_len.clear();
+        self.path_len.resize(n, 0);
+        self.switches.clear();
+        self.switches.resize(n, 0);
+        self.routed.clear();
+        self.routed.resize(n, false);
+        self.num_data = 0;
+    }
+
+    /// Writes one data node's route record — the fused pipeline's
+    /// equivalent of the DFS leaf case in [`CompiledProgram::compile`].
+    #[inline]
+    pub(crate) fn record_data(&mut self, node: NodeId, slot: u32, path_len: u32, switches: u32) {
+        let i = node.index();
+        debug_assert!(!self.routed[i], "data node recorded twice");
+        self.slot[i] = slot;
+        self.path_len[i] = path_len;
+        self.switches[i] = switches;
+        self.routed[i] = true;
+        self.num_data += 1;
     }
 
     /// Cycle length in slots.

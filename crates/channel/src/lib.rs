@@ -26,13 +26,18 @@
 //!   precomputed in one pass ([`CompiledProgram`]), turning each simulated
 //!   access into an O(1) table read, plus the sharded batched serving
 //!   engine ([`CompiledProgram::serve_batch`]) and its exact streaming
-//!   [`LatencyHistogram`].
+//!   [`LatencyHistogram`];
+//! * [`publish`] — the fused zero-allocation path from a heuristic's
+//!   [`SlotPlan`] straight to a servable [`CompiledProgram`]
+//!   ([`PublishPipeline`]), double-buffered so a rebuild never disturbs
+//!   the program currently being served.
 
 mod allocation;
 pub mod compiled;
 pub mod cost;
 pub mod hist;
 mod program;
+pub mod publish;
 pub mod simulator;
 pub mod wire;
 
@@ -40,4 +45,5 @@ pub use allocation::{Allocation, FeasibilityError};
 pub use compiled::{BatchMetrics, CompiledProgram, ServeOptions};
 pub use hist::LatencyHistogram;
 pub use program::{BroadcastProgram, Bucket, Pointer, ProgramError};
+pub use publish::{PublishPipeline, SlotPlan};
 pub use simulator::SimError;

@@ -69,7 +69,7 @@ impl From<FeasibilityError> for ProgramError {
 }
 
 /// A complete, validated broadcast cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BroadcastProgram {
     /// `grid[channel][slot_offset]`.
     grid: Vec<Vec<Bucket>>,
@@ -105,6 +105,16 @@ impl BroadcastProgram {
             grid[addr.channel.index()][addr.slot.offset()] = bucket;
         }
         Ok(BroadcastProgram { grid, cycle_len })
+    }
+
+    /// Assembles a program from an already-validated grid — used by the
+    /// fused pipeline's [`materialize_program`], whose inline feasibility
+    /// checks subsume [`build`]'s validation.
+    ///
+    /// [`materialize_program`]: crate::publish::PublishPipeline::materialize_program
+    /// [`build`]: BroadcastProgram::build
+    pub(crate) fn from_parts(grid: Vec<Vec<Bucket>>, cycle_len: usize) -> Self {
+        BroadcastProgram { grid, cycle_len }
     }
 
     /// Cycle length in slots.

@@ -15,8 +15,11 @@
 //!   narrow levels idle their channel (waste).
 
 use crate::schedule::{greedy_schedule_from_order, Schedule};
+use bcast_channel::SlotPlan;
 use bcast_index_tree::IndexTree;
 use bcast_types::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Plain preorder order packed into `k` channels.
 pub fn preorder_schedule(tree: &IndexTree, k: usize) -> Schedule {
@@ -71,11 +74,59 @@ pub fn random_feasible(tree: &IndexTree, k: usize, seed: u64) -> Schedule {
 /// O(n log n): priorities are static, so a single binary heap drives the
 /// whole schedule.
 pub fn greedy_frontier(tree: &IndexTree, k: usize) -> Schedule {
-    assert!(k >= 1, "need at least one channel");
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
+    let mut scratch = FrontierScratch::new();
+    let mut plan = SlotPlan::new();
+    frontier_plan_into(tree, k, &mut scratch, &mut plan);
+    Schedule::from_plan(&plan)
+}
 
-    // Max-heap over (priority, Reverse(id)) — deterministic tie-break.
+/// Max-heap priority for the frontier policy: `(priority, Reverse(id))` —
+/// deterministic tie-break toward the lower node id.
+#[derive(Debug, PartialEq)]
+struct FrontierPriority(f64, Reverse<NodeId>);
+
+impl Eq for FrontierPriority {}
+
+impl PartialOrd for FrontierPriority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FrontierPriority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// Reusable frontier heap for [`frontier_plan_into`]: capacity survives
+/// across calls, so a steady-state frontier scheduler performs no heap
+/// allocation.
+#[derive(Debug, Default)]
+pub struct FrontierScratch {
+    heap: BinaryHeap<(FrontierPriority, NodeId)>,
+}
+
+impl FrontierScratch {
+    /// Empty scratch; the first run sizes the heap.
+    pub fn new() -> Self {
+        FrontierScratch::default()
+    }
+}
+
+/// The zero-allocation twin of [`greedy_frontier`]: emits the frontier
+/// schedule into `plan` (cleared first) using `scratch`'s reusable heap.
+/// Produces the identical slot structure — `greedy_frontier` is now a thin
+/// wrapper over this function.
+pub fn frontier_plan_into(
+    tree: &IndexTree,
+    k: usize,
+    scratch: &mut FrontierScratch,
+    plan: &mut SlotPlan,
+) {
+    assert!(k >= 1, "need at least one channel");
     let priority = |n: NodeId| -> f64 {
         if tree.is_data(n) {
             tree.weight(n).get()
@@ -83,41 +134,27 @@ pub fn greedy_frontier(tree: &IndexTree, k: usize) -> Schedule {
             tree.subtree_weight(n).get() / f64::from(tree.subtree_size(n))
         }
     };
-    #[derive(PartialEq)]
-    struct P(f64, Reverse<NodeId>);
-    impl Eq for P {}
-    impl PartialOrd for P {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for P {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .total_cmp(&other.0)
-                .then_with(|| self.1.cmp(&other.1))
-        }
-    }
-
-    let mut heap: BinaryHeap<(P, NodeId)> = BinaryHeap::new();
-    heap.push((P(priority(tree.root()), Reverse(tree.root())), tree.root()));
-    let mut schedule = Schedule::new();
+    let heap = &mut scratch.heap;
+    heap.clear();
+    plan.clear();
+    heap.push((
+        FrontierPriority(priority(tree.root()), Reverse(tree.root())),
+        tree.root(),
+    ));
     while !heap.is_empty() {
         let take = k.min(heap.len());
-        let mut members = Vec::with_capacity(take);
         for _ in 0..take {
             let (_, n) = heap.pop().expect("len checked");
-            members.push(n);
+            plan.push(n);
         }
         // Children join the frontier only after their parent's slot.
-        for &n in &members {
+        for &n in plan.open_members() {
             for &c in tree.children(n) {
-                heap.push((P(priority(c), Reverse(c)), c));
+                heap.push((FrontierPriority(priority(c), Reverse(c)), c));
             }
         }
-        schedule.push_slot(members);
+        plan.commit_slot();
     }
-    schedule
 }
 
 /// Analytic model of the \[SV96\] per-level cyclic allocation.

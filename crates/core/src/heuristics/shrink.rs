@@ -30,38 +30,41 @@ pub struct CombineResult {
     /// Maps each reduced node to its original node.
     pub to_orig: Vec<NodeId>,
     /// Original index nodes that were combined, with their (original)
-    /// children at combination time. Combination cascades, so children may
-    /// themselves be combined super-nodes.
+    /// children at combination time, pre-sorted heaviest-first by
+    /// effective (post-combination) weight — the Lemma-3 canonical
+    /// restoration order. Combination cascades, so children may themselves
+    /// be combined super-nodes.
     expansion: Vec<Option<Vec<NodeId>>>,
-    /// Effective weight per original node: combined super-nodes carry the
-    /// sum of their (transitive) data weights.
-    eff_weight: Vec<Weight>,
 }
 
 impl CombineResult {
     /// Expands a reduced-tree node into its original broadcast fragment:
     /// the node itself, or (for a combined super-node) its index node
-    /// followed — recursively — by its children heaviest-first (the
-    /// Lemma-3 canonical restoration order).
+    /// followed — transitively — by its children heaviest-first.
+    /// Convenience wrapper over [`CombineResult::expand_node_into`].
     pub fn expand_node(&self, reduced_node: NodeId) -> Vec<NodeId> {
+        let mut stack = Vec::new();
         let mut out = Vec::new();
-        self.expand_into(self.to_orig[reduced_node.index()], &mut out);
+        self.expand_node_into(reduced_node, &mut stack, &mut out);
         out
     }
 
-    fn expand_into(&self, orig: NodeId, out: &mut Vec<NodeId>) {
-        out.push(orig);
-        if let Some(children) = &self.expansion[orig.index()] {
-            // Effective (post-combination) weights, so the shared helper
-            // does not apply here — super-nodes outweigh their label.
-            let mut kids = children.clone();
-            kids.sort_by(|&a, &b| {
-                self.eff_weight[b.index()]
-                    .cmp(&self.eff_weight[a.index()])
-                    .then(a.cmp(&b))
-            });
-            for k in kids {
-                self.expand_into(k, out);
+    /// Appends the expansion of `reduced_node` to `out`, driving the walk
+    /// with the caller's reusable `stack` (the expansion lists are
+    /// pre-sorted at combine time, so no per-node buffer or sort is
+    /// needed here).
+    pub fn expand_node_into(
+        &self,
+        reduced_node: NodeId,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        stack.clear();
+        stack.push(self.to_orig[reduced_node.index()]);
+        while let Some(orig) = stack.pop() {
+            out.push(orig);
+            if let Some(children) = &self.expansion[orig.index()] {
+                stack.extend(children.iter().rev().copied());
             }
         }
     }
@@ -128,6 +131,13 @@ pub fn combine(tree: &IndexTree, max_nodes: usize) -> CombineResult {
         }
     }
 
+    // Pre-sort every expansion list heaviest-first (effective weight, id
+    // tie-break). A child's weight is frozen the moment it is combined
+    // away, so sorting once here matches sorting at expansion time.
+    for kids in expansion.iter_mut().flatten() {
+        kids.sort_by(|&a, &b| weight[b.index()].cmp(&weight[a.index()]).then(a.cmp(&b)));
+    }
+
     // Rebuild as an IndexTree over the alive nodes.
     let mut b = TreeBuilder::new();
     let mut to_orig: Vec<NodeId> = Vec::with_capacity(node_count);
@@ -163,7 +173,6 @@ pub fn combine(tree: &IndexTree, max_nodes: usize) -> CombineResult {
         reduced,
         to_orig,
         expansion,
-        eff_weight: weight,
     }
 }
 
@@ -178,51 +187,132 @@ pub struct ShrinkResult {
     pub reduced_nodes: usize,
 }
 
+/// The combine heuristic's linear broadcast order (shrink to `max_nodes`,
+/// solve the reduced instance exactly, expand), appended into `out`
+/// (cleared first). Returns the reduced instance's node count. Splitting
+/// this out of [`combine_solve`] lets the fused publish path pack the
+/// order straight into a [`bcast_channel::SlotPlan`] without the
+/// intermediate `Schedule`.
+pub fn combine_order_into(tree: &IndexTree, max_nodes: usize, out: &mut Vec<NodeId>) -> usize {
+    let combined = combine(tree, max_nodes);
+    let reduced_order = solve_sequence(&combined.reduced);
+    out.clear();
+    out.reserve(tree.len());
+    let mut stack = Vec::new();
+    for rn in reduced_order {
+        combined.expand_node_into(rn, &mut stack, out);
+    }
+    combined.reduced.len()
+}
+
 /// Node-combination heuristic: shrink to `max_nodes`, solve the reduced
 /// instance exactly (1-channel data-tree search), expand, and repack into
 /// `k` channels.
 pub fn combine_solve(tree: &IndexTree, k: usize, max_nodes: usize) -> ShrinkResult {
     assert!(k >= 1, "need at least one channel");
-    let combined = combine(tree, max_nodes);
-    let reduced_order = solve_sequence(&combined.reduced);
-    let mut order: Vec<NodeId> = Vec::with_capacity(tree.len());
-    for rn in reduced_order {
-        order.extend(combined.expand_node(rn));
-    }
+    let mut order: Vec<NodeId> = Vec::new();
+    let reduced_nodes = combine_order_into(tree, max_nodes, &mut order);
     let schedule = greedy_schedule_from_order(&order, tree, k);
     let data_wait = schedule.average_data_wait(tree);
     ShrinkResult {
         schedule,
         data_wait,
-        reduced_nodes: combined.reduced.len(),
+        reduced_nodes,
     }
+}
+
+/// One root subtree's contribution to [`partition_solve`]: its merge
+/// density, its expanded broadcast order (original-tree ids), and the
+/// reduced node count actually searched. `copy_stack` and `expand_stack`
+/// are reusable worklists so a worker solving many subtrees allocates no
+/// fresh stack per partition.
+fn solve_partition(
+    tree: &IndexTree,
+    sub_root: NodeId,
+    max_sub_nodes: usize,
+    copy_stack: &mut Vec<(NodeId, NodeId)>,
+    expand_stack: &mut Vec<NodeId>,
+) -> (f64, Vec<NodeId>, usize) {
+    if tree.is_data(sub_root) {
+        return (tree.weight(sub_root).get(), vec![sub_root], 1);
+    }
+    let (sub, to_orig) = copy_subtree(tree, sub_root, copy_stack);
+    let combined = combine(&sub, max_sub_nodes);
+    let reduced_order = solve_sequence(&combined.reduced);
+    let mut order: Vec<NodeId> = Vec::with_capacity(sub.len());
+    for rn in reduced_order {
+        // Expand within the subtree, then map to the original tree.
+        let before = order.len();
+        combined.expand_node_into(rn, expand_stack, &mut order);
+        for n in &mut order[before..] {
+            *n = to_orig[n.index()];
+        }
+    }
+    let density = tree.subtree_weight(sub_root).get() / tree.subtree_size(sub_root) as f64;
+    (density, order, combined.reduced.len())
 }
 
 /// Tree-partitioning heuristic: solve each root subtree independently
 /// (shrinking any subtree above `max_sub_nodes` first), merge subtree
-/// broadcasts in descending weight-density order, repack into `k` channels.
+/// broadcasts in descending weight-density order, repack into `k`
+/// channels. Sequential ([`partition_solve_threaded`] with one thread).
 pub fn partition_solve(tree: &IndexTree, k: usize, max_sub_nodes: usize) -> ShrinkResult {
+    partition_solve_threaded(tree, k, max_sub_nodes, 1)
+}
+
+/// [`partition_solve`] with the per-subtree solves sharded over `threads`
+/// scoped workers. Each worker takes a contiguous chunk of the root's
+/// children and solves them with its own reused worklists; results are
+/// collected in child order before the density merge, so the schedule is
+/// bit-identical at every thread count (`threads ≤ 1` never spawns).
+pub fn partition_solve_threaded(
+    tree: &IndexTree,
+    k: usize,
+    max_sub_nodes: usize,
+    threads: usize,
+) -> ShrinkResult {
     assert!(k >= 1, "need at least one channel");
-    let mut parts: Vec<(f64, Vec<NodeId>)> = Vec::new();
+    let kids = tree.children(tree.root());
+    let threads = threads.max(1).min(kids.len().max(1));
+    let solved: Vec<(f64, Vec<NodeId>, usize)> = if threads <= 1 {
+        let mut copy_stack = Vec::new();
+        let mut expand_stack = Vec::new();
+        kids.iter()
+            .map(|&c| solve_partition(tree, c, max_sub_nodes, &mut copy_stack, &mut expand_stack))
+            .collect()
+    } else {
+        let chunk = kids.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = kids
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut copy_stack = Vec::new();
+                        let mut expand_stack = Vec::new();
+                        part.iter()
+                            .map(|&c| {
+                                solve_partition(
+                                    tree,
+                                    c,
+                                    max_sub_nodes,
+                                    &mut copy_stack,
+                                    &mut expand_stack,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panics"))
+                .collect()
+        })
+    };
     let mut max_reduced = 1usize;
-    for &c in tree.children(tree.root()) {
-        if tree.is_data(c) {
-            let density = tree.weight(c).get();
-            parts.push((density, vec![c]));
-            continue;
-        }
-        let (sub, to_orig) = copy_subtree(tree, c);
-        let combined = combine(&sub, max_sub_nodes);
-        max_reduced = max_reduced.max(combined.reduced.len());
-        let reduced_order = solve_sequence(&combined.reduced);
-        let mut order: Vec<NodeId> = Vec::new();
-        for rn in reduced_order {
-            // expand within the subtree, then map to the original tree.
-            for sub_node in combined.expand_node(rn) {
-                order.push(to_orig[sub_node.index()]);
-            }
-        }
-        let density = tree.subtree_weight(c).get() / tree.subtree_size(c) as f64;
+    let mut parts: Vec<(f64, Vec<NodeId>)> = Vec::with_capacity(solved.len());
+    for (density, order, reduced) in solved {
+        max_reduced = max_reduced.max(reduced);
         parts.push((density, order));
     }
     // Heaviest density first (Lemma-6 merge rule); stable tie-break by
@@ -251,8 +341,13 @@ fn solve_sequence(tree: &IndexTree) -> Vec<NodeId> {
 }
 
 /// Deep-copies the subtree rooted at `sub_root` (an index node) into a
-/// standalone tree; returns it with a new-id → original-id map.
-fn copy_subtree(tree: &IndexTree, sub_root: NodeId) -> (IndexTree, Vec<NodeId>) {
+/// standalone tree; returns it with a new-id → original-id map. `stack` is
+/// the caller's reusable worklist.
+fn copy_subtree(
+    tree: &IndexTree,
+    sub_root: NodeId,
+    stack: &mut Vec<(NodeId, NodeId)>,
+) -> (IndexTree, Vec<NodeId>) {
     debug_assert!(tree.is_index(sub_root));
     let mut b = TreeBuilder::new();
     let mut to_orig = Vec::new();
@@ -260,12 +355,8 @@ fn copy_subtree(tree: &IndexTree, sub_root: NodeId) -> (IndexTree, Vec<NodeId>) 
     debug_assert_eq!(root, NodeId::ROOT);
     to_orig.push(sub_root);
     // (original node, new parent)
-    let mut stack: Vec<(NodeId, NodeId)> = tree
-        .children(sub_root)
-        .iter()
-        .rev()
-        .map(|&c| (c, root))
-        .collect();
+    stack.clear();
+    stack.extend(tree.children(sub_root).iter().rev().map(|&c| (c, root)));
     while let Some((orig, parent_new)) = stack.pop() {
         let new = if tree.is_data(orig) {
             b.add_data(parent_new, tree.weight(orig), tree.label(orig))
@@ -351,6 +442,25 @@ mod tests {
                 r.data_wait,
                 exact.data_wait
             );
+        }
+    }
+
+    #[test]
+    fn partition_solve_is_thread_count_invariant() {
+        let cfg = RandomTreeConfig {
+            data_nodes: 400,
+            max_fanout: 6,
+            weights: FrequencyDist::Zipf {
+                theta: 0.8,
+                scale: 200.0,
+            },
+        };
+        let t = random_tree(&cfg, 5);
+        let base = partition_solve(&t, 3, 10);
+        for threads in [2usize, 4, 7] {
+            let r = partition_solve_threaded(&t, 3, 10, threads);
+            assert_eq!(r.schedule, base.schedule, "threads = {threads}");
+            assert_eq!(r.reduced_nodes, base.reduced_nodes);
         }
     }
 

@@ -14,6 +14,19 @@
 //! [`crate::heuristics::one_to_k`] distribution (for `k` channels).
 //! Sorting costs `O(N log m)` per the paper; the whole heuristic is
 //! near-linear and handles trees far beyond the exact searches.
+//!
+//! ## Zero-allocation engine
+//!
+//! [`sorted_preorder_into`] is the million-node entry point: it sorts
+//! child *index ranges* of the tree's flat CSR child table in place inside
+//! a reusable [`SortScratch`] — no per-node `Vec` — and emits the preorder
+//! into a caller-owned buffer. The pairwise cross-product rule is replaced
+//! by one precomputed scalar key per node (the density `W/N`, bit-encoded
+//! so `u64` order = descending density), which the two in-place sorters
+//! share: comparison sort for ordinary fanouts, LSD radix for very wide
+//! ones. Key computation and per-parent range sorting shard over scoped
+//! threads with disjoint writes, so the output is bit-identical at every
+//! thread count.
 
 use crate::heuristics::one_to_k;
 use crate::schedule::Schedule;
@@ -28,27 +41,219 @@ pub fn precedes(tree: &IndexTree, a: NodeId, b: NodeId) -> bool {
     nb * wa >= na * wb
 }
 
-/// Preorder traversal of the tree with every node's children visited in
-/// sorted (descending-density) order. For a single channel, this sequence
-/// *is* the broadcast.
-pub fn sorted_preorder(tree: &IndexTree) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(tree.len());
-    let mut stack = vec![tree.root()];
-    while let Some(n) = stack.pop() {
-        out.push(n);
-        let mut children: Vec<NodeId> = tree.children(n).to_vec();
-        // Descending density; deterministic tie-break on id. Sorting by the
-        // scalar density is equivalent to the pairwise rule (both compare
-        // W·N' against W'·N) and gives a total order.
-        children.sort_by(|&a, &b| {
-            let da = tree.subtree_weight(a).get() * tree.subtree_size(b) as f64;
-            let db = tree.subtree_weight(b).get() * tree.subtree_size(a) as f64;
-            db.total_cmp(&da).then(a.cmp(&b))
-        });
-        for &c in children.iter().rev() {
-            stack.push(c);
+/// Child ranges at least this wide take the LSD-radix path; narrower ones
+/// use the in-place comparison sort on the same keys (identical order, so
+/// the cutover is purely a performance knob).
+const RADIX_MIN: usize = 64;
+
+/// Reusable buffers for [`sorted_preorder_into`]. Capacity survives across
+/// calls: a steady-state publisher re-sorting the same tree performs no
+/// heap allocation on the single-threaded path.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    /// Per-node sort key: descending subtree density encoded so plain
+    /// ascending `u64` order gives the paper's `>` order.
+    keys: Vec<u64>,
+    /// Working copy of the tree's CSR child table whose per-parent ranges
+    /// are sorted in place.
+    sorted: Vec<NodeId>,
+    /// DFS emit stack.
+    stack: Vec<NodeId>,
+    /// Radix-scatter buffer for wide child ranges.
+    radix: Vec<NodeId>,
+}
+
+impl SortScratch {
+    /// Empty scratch; the first call sizes the buffers to the tree.
+    pub fn new() -> Self {
+        SortScratch::default()
+    }
+}
+
+/// Encodes a subtree's density `W/N` so ascending `u64` order means
+/// *descending* density. Weights are non-negative and finite and `N ≥ 1`,
+/// so the quotient is a non-negative finite `f64`, whose IEEE bit pattern
+/// is monotone in the value; complementing the bits reverses the order.
+#[inline]
+fn density_key(weight: f64, size: u32) -> u64 {
+    !(weight / f64::from(size)).to_bits()
+}
+
+/// Fills `keys[lo..hi]` from the subtree tables.
+fn fill_keys(tree: &IndexTree, lo: usize, part: &mut [u64]) {
+    let weights = tree.subtree_weight_table();
+    let sizes = tree.subtree_size_table();
+    for (i, k) in part.iter_mut().enumerate() {
+        *k = density_key(weights[lo + i].get(), sizes[lo + i]);
+    }
+}
+
+/// Sorts one child range in place by `(key, id)` — descending density,
+/// ascending id tie-break. The range arrives in CSR order (ascending id),
+/// so the stable radix path needs no explicit tie-break digit.
+fn sort_range(range: &mut [NodeId], keys: &[u64], tmp: &mut Vec<NodeId>) {
+    if range.len() < RADIX_MIN {
+        range.sort_unstable_by(|&a, &b| keys[a.index()].cmp(&keys[b.index()]).then(a.cmp(&b)));
+        return;
+    }
+    // LSD radix over 8-bit digits, ping-ponging between `range` and `tmp`;
+    // constant digits are skipped, so uniform high bytes cost one counting
+    // pass each.
+    let mut counts = [0usize; 256];
+    tmp.clear();
+    tmp.resize(range.len(), NodeId(0));
+    let mut in_range = true;
+    for shift in (0..64).step_by(8) {
+        counts.fill(0);
+        let src: &[NodeId] = if in_range { range } else { tmp };
+        for &n in src {
+            counts[((keys[n.index()] >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.contains(&range.len()) {
+            continue;
+        }
+        let mut sum = 0usize;
+        for c in counts.iter_mut() {
+            let here = *c;
+            *c = sum;
+            sum += here;
+        }
+        if in_range {
+            for &n in range.iter() {
+                let d = ((keys[n.index()] >> shift) & 0xFF) as usize;
+                tmp[counts[d]] = n;
+                counts[d] += 1;
+            }
+        } else {
+            for &n in tmp.iter() {
+                let d = ((keys[n.index()] >> shift) & 0xFF) as usize;
+                range[counts[d]] = n;
+                counts[d] += 1;
+            }
+        }
+        in_range = !in_range;
+    }
+    if !in_range {
+        range.copy_from_slice(tmp);
+    }
+}
+
+/// Sorts the child ranges of parents `lo..hi` inside `part`, which holds
+/// the CSR slice `child_flat[starts[lo] .. starts[hi]]` (so ranges are
+/// rebased by `base = starts[lo]`).
+fn sort_parent_ranges(
+    starts: &[u32],
+    keys: &[u64],
+    lo: usize,
+    hi: usize,
+    part: &mut [NodeId],
+    base: usize,
+    tmp: &mut Vec<NodeId>,
+) {
+    for p in lo..hi {
+        let a = starts[p] as usize - base;
+        let b = starts[p + 1] as usize - base;
+        if b - a > 1 {
+            sort_range(&mut part[a..b], keys, tmp);
         }
     }
+}
+
+/// Preorder of the density-sorted tree, emitted into `out` (cleared first)
+/// using `scratch`'s reusable buffers — the zero-allocation core of the
+/// sorting heuristic (see the module docs). With `threads > 1`, key
+/// computation and range sorting shard over `std::thread::scope` workers
+/// writing disjoint slices; the result is bit-identical at any thread
+/// count (`threads ≤ 1` never spawns, keeping the hot path allocation
+/// free).
+pub fn sorted_preorder_into(
+    tree: &IndexTree,
+    threads: usize,
+    scratch: &mut SortScratch,
+    out: &mut Vec<NodeId>,
+) {
+    let n = tree.len();
+    let threads = threads.max(1).min(n.max(1));
+    let starts = tree.child_starts();
+
+    // Phase 1: one density key per node.
+    scratch.keys.clear();
+    scratch.keys.resize(n, 0);
+    if threads <= 1 {
+        fill_keys(tree, 0, &mut scratch.keys);
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, part) in scratch.keys.chunks_mut(chunk).enumerate() {
+                s.spawn(move || fill_keys(tree, ci * chunk, part));
+            }
+        });
+    }
+
+    // Phase 2: sort each parent's child range in place. Re-copying from
+    // the tree's CSR table restores the ascending-id order the radix
+    // tie-break relies on (a reused scratch still holds last call's order).
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(tree.flat_children());
+    let keys: &[u64] = &scratch.keys;
+    if threads <= 1 {
+        sort_parent_ranges(
+            starts,
+            keys,
+            0,
+            n,
+            &mut scratch.sorted,
+            0,
+            &mut scratch.radix,
+        );
+    } else {
+        // Split parents into contiguous chunks; each worker owns the
+        // matching contiguous CSR slice (child ranges never straddle a
+        // parent boundary), so writes are disjoint by construction.
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest: &mut [NodeId] = &mut scratch.sorted;
+            let mut base = 0usize;
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                let end = starts[hi] as usize;
+                let (part, tail) = rest.split_at_mut(end - base);
+                rest = tail;
+                let part_base = base;
+                s.spawn(move || {
+                    let mut tmp = Vec::new();
+                    sort_parent_ranges(starts, keys, lo, hi, part, part_base, &mut tmp);
+                });
+                base = end;
+                lo = hi;
+            }
+        });
+    }
+
+    // Phase 3: preorder emit over the sorted ranges.
+    out.clear();
+    out.reserve(n);
+    scratch.stack.clear();
+    scratch.stack.push(tree.root());
+    while let Some(node) = scratch.stack.pop() {
+        out.push(node);
+        for &c in scratch.sorted[tree.child_range(node)].iter().rev() {
+            scratch.stack.push(c);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+}
+
+/// Preorder traversal of the tree with every node's children visited in
+/// sorted (descending-density) order. For a single channel, this sequence
+/// *is* the broadcast. Convenience wrapper over [`sorted_preorder_into`]
+/// with one-shot buffers; allocation-sensitive callers hold a
+/// [`SortScratch`] and call the `_into` form directly.
+pub fn sorted_preorder(tree: &IndexTree) -> Vec<NodeId> {
+    let mut scratch = SortScratch::new();
+    let mut out = Vec::new();
+    sorted_preorder_into(tree, 1, &mut scratch, &mut out);
     out
 }
 
@@ -101,6 +306,80 @@ mod tests {
         assert!(precedes(&t, id("A"), id("B")));
         assert!(precedes(&t, id("E"), id("4"))); // 3·18 ≥ 1·22
         assert!(precedes(&t, id("C"), id("D")));
+    }
+
+    #[test]
+    fn density_key_orders_like_the_comparator() {
+        // Distinct densities: the scalar key must agree with `precedes`.
+        let t = builders::paper_example();
+        for &a in t.preorder() {
+            for &b in t.preorder() {
+                let ka = density_key(t.subtree_weight(a).get(), t.subtree_size(a));
+                let kb = density_key(t.subtree_weight(b).get(), t.subtree_size(b));
+                if ka < kb {
+                    assert!(
+                        precedes(&t, a, b),
+                        "{} should precede {}",
+                        t.label(a),
+                        t.label(b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_threads_are_bit_identical() {
+        let cfg = RandomTreeConfig {
+            data_nodes: 5_000,
+            max_fanout: 150, // wide fanouts exercise the radix path
+            weights: FrequencyDist::Zipf {
+                theta: 0.8,
+                scale: 300.0,
+            },
+        };
+        let mut scratch = SortScratch::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for seed in 0..3u64 {
+            let t = random_tree(&cfg, seed);
+            sorted_preorder_into(&t, 1, &mut scratch, &mut a);
+            assert_eq!(a, sorted_preorder(&t), "seed {seed}: scratch reuse");
+            for threads in [2usize, 4, 7] {
+                sorted_preorder_into(&t, threads, &mut scratch, &mut b);
+                assert_eq!(a, b, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_and_comparison_paths_agree() {
+        // A star tree: one root with hundreds of children of equal and
+        // distinct densities, far past RADIX_MIN.
+        let cfg = RandomTreeConfig {
+            data_nodes: 800,
+            max_fanout: 500,
+            weights: FrequencyDist::Uniform { lo: 0.0, hi: 5.0 }, // ties likely
+        };
+        let t = random_tree(&cfg, 11);
+        let order = sorted_preorder(&t);
+        // Every adjacent sibling pair in every sorted range obeys the key
+        // order with id tie-break.
+        let mut scratch = SortScratch::new();
+        let mut out = Vec::new();
+        sorted_preorder_into(&t, 1, &mut scratch, &mut out);
+        assert_eq!(order, out);
+        for p in 0..t.len() {
+            let r = t.child_range(bcast_types::NodeId::from_index(p));
+            let range = &scratch.sorted[r];
+            for w in range.windows(2) {
+                let (ka, kb) = (
+                    density_key(t.subtree_weight(w[0]).get(), t.subtree_size(w[0])),
+                    density_key(t.subtree_weight(w[1]).get(), t.subtree_size(w[1])),
+                );
+                assert!((ka, w[0]) < (kb, w[1]), "range out of order");
+            }
+        }
     }
 
     #[test]

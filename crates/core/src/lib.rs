@@ -37,9 +37,12 @@ pub mod heuristics;
 pub mod optimal;
 pub mod parallel;
 pub mod prune;
+pub mod publish;
 pub mod replication;
 pub mod schedule;
+pub mod seqset;
 pub mod topo_tree;
 
 pub use optimal::{find_optimal, OptimalOptions, OptimalResult, SearchError, Strategy};
+pub use publish::{PublishHeuristic, PublishOptions, Publisher};
 pub use schedule::Schedule;

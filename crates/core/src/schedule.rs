@@ -7,7 +7,8 @@
 //! schedules and the §3.1 channel rules are applied once at the end via
 //! [`Schedule::into_allocation`].
 
-use bcast_channel::{Allocation, FeasibilityError};
+use crate::seqset::MinSeqSet;
+use bcast_channel::{Allocation, FeasibilityError, SlotPlan};
 use bcast_index_tree::IndexTree;
 use bcast_types::NodeId;
 
@@ -32,6 +33,15 @@ impl Schedule {
     pub fn from_sequence(sequence: impl IntoIterator<Item = NodeId>) -> Self {
         Schedule {
             slots: sequence.into_iter().map(|n| vec![n]).collect(),
+        }
+    }
+
+    /// Clones a flat [`SlotPlan`] into per-slot vectors. The inverse
+    /// direction of the zero-allocation pipeline: plan-producing code paths
+    /// use this to keep serving the `Schedule`-based API.
+    pub fn from_plan(plan: &SlotPlan) -> Self {
+        Schedule {
+            slots: plan.slots().map(<[NodeId]>::to_vec).collect(),
         }
     }
 
@@ -112,55 +122,100 @@ impl Schedule {
 /// Panics if `order` is not a permutation of the tree's nodes — wrong
 /// length or any duplicate (a programming error in the caller).
 pub fn greedy_schedule_from_order(order: &[NodeId], tree: &IndexTree, k: usize) -> Schedule {
+    let mut scratch = PackScratch::new();
+    let mut plan = SlotPlan::new();
+    greedy_pack_into(order, tree, k, &mut scratch, &mut plan);
+    Schedule::from_plan(&plan)
+}
+
+/// Reusable buffers for [`greedy_pack_into`]: capacity survives across
+/// calls, so a steady-state packer performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct PackScratch {
+    /// Position of each node in `order` (doubles as the duplicate check).
+    rank: Vec<u32>,
+    /// Awake nodes — parent aired in a strictly earlier slot — keyed by
+    /// `order` position.
+    awake: MinSeqSet,
+}
+
+impl PackScratch {
+    /// Empty scratch; the first pack sizes the buffers.
+    pub fn new() -> Self {
+        PackScratch::default()
+    }
+}
+
+/// The zero-allocation twin of [`greedy_schedule_from_order`]: packs
+/// `order` into `plan` (cleared first) using `scratch`'s reusable buffers.
+/// Produces the identical slot structure — `greedy_schedule_from_order` is
+/// now a thin wrapper over this function.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the tree's nodes — wrong
+/// length or any duplicate (a programming error in the caller).
+pub fn greedy_pack_into(
+    order: &[NodeId],
+    tree: &IndexTree,
+    k: usize,
+    scratch: &mut PackScratch,
+    plan: &mut SlotPlan,
+) {
     assert!(k >= 1, "need at least one channel");
     assert_eq!(order.len(), tree.len(), "order must cover all nodes");
+    let PackScratch { rank, awake } = scratch;
     // Enforce the permutation contract up front: silent duplicates would
     // otherwise yield a schedule that never airs some node while reporting
-    // a full node_count.
-    {
-        let mut seen = vec![false; tree.len()];
-        for &n in order {
-            assert!(
-                !seen[n.index()],
-                "order is not a permutation of the tree: node {n} appears twice"
-            );
-            seen[n.index()] = true;
+    // a full node_count. `rank` doubles as the seen-set (`u32::MAX` =
+    // unseen), saving a dedicated buffer.
+    rank.clear();
+    rank.resize(tree.len(), u32::MAX);
+    for (i, &n) in order.iter().enumerate() {
+        assert!(
+            rank[n.index()] == u32::MAX,
+            "order is not a permutation of the tree: node {n} appears twice"
+        );
+        rank[n.index()] = i as u32;
+    }
+    plan.clear();
+    // Each slot takes the `k` earliest-in-`order` nodes whose parent aired
+    // in a strictly earlier slot. Rescanning the remaining list per slot is
+    // quadratic when a subtree piles up behind an unplaced ancestor, so the
+    // pack runs off an *awake set* keyed by `order` position: a node
+    // enters the set once its parent has aired (placing a node wakes its
+    // children for the *next* slot — never the current one, matching the
+    // strict comparison of the scanning version), and each slot pops the
+    // first `k` — the identical selection in near-linear time (see
+    // [`MinSeqSet`]).
+    awake.reset(order.len());
+    for &n in order {
+        if tree.parent(n).is_none() {
+            awake.insert(rank[n.index()] as usize);
         }
     }
-    let mut slot_of = vec![u32::MAX; tree.len()];
-    let mut placed = vec![false; tree.len()];
-    let mut remaining = order.to_vec();
-    let mut schedule = Schedule::new();
     let mut slot = 0u32;
-    while !remaining.is_empty() {
-        let mut members = Vec::with_capacity(k);
-        remaining.retain(|&n| {
-            if members.len() == k {
-                return true;
-            }
-            let parent_ok = match tree.parent(n) {
-                None => true,
-                Some(p) => placed[p.index()] && slot_of[p.index()] < slot,
+    let mut placed = 0usize;
+    while !awake.is_empty() {
+        while plan.open_len() < k {
+            let Some(pos) = awake.pop_min() else {
+                break;
             };
-            if parent_ok {
-                members.push(n);
-                false
-            } else {
-                true
-            }
-        });
-        assert!(
-            !members.is_empty(),
-            "order is not a permutation of the tree: nothing placeable at slot {slot}"
-        );
-        for &n in &members {
-            placed[n.index()] = true;
-            slot_of[n.index()] = slot;
+            plan.push(order[pos]);
         }
-        schedule.push_slot(members);
+        placed += plan.open_len();
+        for &n in plan.open_members() {
+            for &c in tree.children(n) {
+                awake.insert(rank[c.index()] as usize);
+            }
+        }
+        plan.commit_slot();
         slot += 1;
     }
-    schedule
+    assert_eq!(
+        placed,
+        order.len(),
+        "order is not a permutation of the tree: nothing placeable at slot {slot}"
+    );
 }
 
 #[cfg(test)]

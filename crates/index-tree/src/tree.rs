@@ -50,6 +50,10 @@ pub struct IndexTree {
     preorder_seq: Vec<NodeId>,
     subtree_sizes: Vec<u32>,
     subtree_weights: Vec<Weight>,
+    /// CSR child table: node `i`'s children occupy
+    /// `child_flat[child_starts[i] .. child_starts[i + 1]]`, in key order.
+    child_starts: Vec<u32>,
+    child_flat: Vec<NodeId>,
     data_nodes: Vec<NodeId>,
     total_weight: Weight,
     depth: u32,
@@ -101,6 +105,18 @@ impl IndexTree {
 
         let total_weight = subtree_weights[0];
         let depth = levels.iter().copied().max().unwrap_or(0);
+
+        // Flatten the per-node child vectors into one CSR table, so the
+        // heuristics can sort child *index ranges* in place over flat
+        // arrays instead of cloning a `Vec<NodeId>` per node.
+        let mut child_starts = Vec::with_capacity(n + 1);
+        let mut child_flat = Vec::with_capacity(n.saturating_sub(1));
+        child_starts.push(0u32);
+        for node in &nodes {
+            child_flat.extend_from_slice(&node.children);
+            child_starts.push(u32::try_from(child_flat.len()).expect("fits: one entry per node"));
+        }
+
         IndexTree {
             nodes,
             levels,
@@ -108,6 +124,8 @@ impl IndexTree {
             preorder_seq,
             subtree_sizes,
             subtree_weights,
+            child_starts,
+            child_flat,
             data_nodes,
             total_weight,
             depth,
@@ -245,6 +263,56 @@ impl IndexTree {
         widths.into_iter().max().unwrap_or(0)
     }
 
+    /// The flattened CSR child table: the concatenation of every node's
+    /// children in node-id order. Node `i` owns the index range
+    /// [`IndexTree::child_range`]`(i)` of this slice.
+    ///
+    /// Together with [`IndexTree::child_starts`],
+    /// [`IndexTree::subtree_size_table`], [`IndexTree::subtree_weight_table`]
+    /// and [`IndexTree::level_table`], this is the structure-of-arrays
+    /// preorder view the §4.2 heuristics traverse without touching the node
+    /// arena: child ranges can be copied once into a scratch buffer and
+    /// sorted in place, with subtree aggregates read by plain indexing.
+    #[inline]
+    pub fn flat_children(&self) -> &[NodeId] {
+        &self.child_flat
+    }
+
+    /// CSR offsets into [`IndexTree::flat_children`], length `len() + 1`.
+    /// Monotone; `child_starts()[i]..child_starts()[i + 1]` is node `i`'s
+    /// child range.
+    #[inline]
+    pub fn child_starts(&self) -> &[u32] {
+        &self.child_starts
+    }
+
+    /// Index range of `id`'s children within [`IndexTree::flat_children`].
+    #[inline]
+    pub fn child_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        self.child_starts[id.index()] as usize..self.child_starts[id.index() + 1] as usize
+    }
+
+    /// Per-node subtree sizes, indexed by `NodeId` (the SoA twin of
+    /// [`IndexTree::subtree_size`]).
+    #[inline]
+    pub fn subtree_size_table(&self) -> &[u32] {
+        &self.subtree_sizes
+    }
+
+    /// Per-node subtree data weights, indexed by `NodeId` (the SoA twin of
+    /// [`IndexTree::subtree_weight`]).
+    #[inline]
+    pub fn subtree_weight_table(&self) -> &[Weight] {
+        &self.subtree_weights
+    }
+
+    /// Per-node levels (root = 1), indexed by `NodeId` (the SoA twin of
+    /// [`IndexTree::level`]).
+    #[inline]
+    pub fn level_table(&self) -> &[u32] {
+        &self.levels
+    }
+
     /// Iterator over the proper ancestors of `id`, nearest first.
     pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         std::iter::successors(self.parent(id), move |&a| self.parent(a))
@@ -345,6 +413,20 @@ mod tests {
         assert_eq!(t.subtree_size(n3), 5);
         assert_eq!(t.subtree_weight(n3).get(), 40.0);
         assert_eq!(t.subtree_size(t.root()) as usize, t.len());
+    }
+
+    #[test]
+    fn csr_child_table_matches_node_children() {
+        let t = builders::paper_example();
+        assert_eq!(t.child_starts().len(), t.len() + 1);
+        assert_eq!(t.flat_children().len(), t.len() - 1);
+        for i in 0..t.len() {
+            let id = NodeId::from_index(i);
+            assert_eq!(&t.flat_children()[t.child_range(id)], t.children(id));
+        }
+        assert_eq!(t.subtree_size_table().len(), t.len());
+        assert_eq!(t.subtree_weight_table()[0], t.total_weight());
+        assert_eq!(t.level_table()[0], 1);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! The incumbent is the one deliberate exception — a single `AtomicU64`
 //! whose ordering discipline is documented in its module.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_counter;
 mod bitset;
 pub mod dominance;
 mod ids;

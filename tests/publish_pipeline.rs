@@ -1,0 +1,118 @@
+//! The fused publish pipeline vs the legacy three-pass path.
+//!
+//! Two claims are pinned here:
+//!
+//! 1. **Bit-identical output.** For random trees × heuristic × channel
+//!    count × thread count, [`Publisher::publish`] (one fused traversal:
+//!    schedule → channel assignment → route tables) produces exactly the
+//!    `CompiledProgram`, `BroadcastProgram` buckets and mean data wait of
+//!    the legacy pipeline `Schedule` → `Allocation::from_slot_schedule` →
+//!    `BroadcastProgram::build` → `CompiledProgram::compile`.
+//! 2. **Zero heap allocations after warm-up.** This binary installs the
+//!    [`CountingAlloc`] global allocator; once the publisher's scratch
+//!    buffers are sized, a single-threaded republish must not touch the
+//!    heap at all.
+
+use broadcast_alloc::alloc::heuristics::{shrink, sorting};
+use broadcast_alloc::alloc::{baselines, PublishHeuristic, PublishOptions, Publisher, Schedule};
+use broadcast_alloc::channel::{BroadcastProgram, CompiledProgram};
+use broadcast_alloc::tree::IndexTree;
+use broadcast_alloc::types::alloc_counter::{allocation_count, CountingAlloc};
+use broadcast_alloc::workloads::{random_tree, FrequencyDist, RandomTreeConfig};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The legacy three-pass path for a schedule.
+fn three_pass(s: &Schedule, tree: &IndexTree, k: usize) -> (BroadcastProgram, CompiledProgram) {
+    let alloc = s.into_allocation(tree, k).expect("feasible");
+    let program = BroadcastProgram::build(&alloc, tree).expect("valid");
+    let compiled = CompiledProgram::compile(&program, tree).expect("compiles");
+    (program, compiled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_publish_matches_three_pass(
+        n in 2usize..120,
+        k in 1usize..4,
+        t_idx in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let threads = [1usize, 2, 4][t_idx];
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: 5,
+            weights: FrequencyDist::SelfSimilar { fraction: 0.25, total: 10_000.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let mut p = Publisher::new();
+        for (h, schedule) in [
+            (PublishHeuristic::Sorting, sorting::sorting_schedule(&tree, k)),
+            (
+                PublishHeuristic::Shrink { max_nodes: 8 },
+                shrink::combine_solve(&tree, k, 8).schedule,
+            ),
+            (PublishHeuristic::Frontier, baselines::greedy_frontier(&tree, k)),
+            (PublishHeuristic::Preorder, baselines::preorder_schedule(&tree, k)),
+        ] {
+            let fused = p
+                .publish(&tree, k, h, PublishOptions { threads })
+                .expect("heuristic plans are feasible")
+                .clone();
+            let (program, compiled) = three_pass(&schedule, &tree, k);
+            // Identical T(Di) route tables…
+            prop_assert_eq!(&fused, &compiled, "{:?} at k = {}, threads = {}", h, k, threads);
+            // …identical bucket grid…
+            prop_assert_eq!(
+                p.pipeline().materialize_program(&tree),
+                program,
+                "{:?} at k = {}, threads = {}",
+                h,
+                k,
+                threads
+            );
+            // …identical mean cost.
+            let fused_wait = p.plan().average_data_wait(&tree);
+            let legacy_wait = schedule.average_data_wait(&tree);
+            prop_assert!((fused_wait - legacy_wait).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn fused_hot_path_is_allocation_free_after_warmup() {
+    let cfg = RandomTreeConfig {
+        data_nodes: 4096,
+        max_fanout: 4,
+        weights: FrequencyDist::SelfSimilar {
+            fraction: 0.2,
+            total: 1_000_000.0,
+        },
+    };
+    let tree = random_tree(&cfg, 7);
+    let mut p = Publisher::new();
+    let opts = PublishOptions { threads: 1 };
+    for h in [
+        PublishHeuristic::Sorting,
+        PublishHeuristic::Frontier,
+        PublishHeuristic::Preorder,
+    ] {
+        for k in [1usize, 3] {
+            // Two warm-up publishes size every scratch buffer (the second
+            // catches capacity that only settles after the first swap).
+            p.publish(&tree, k, h, opts).expect("feasible");
+            p.publish(&tree, k, h, opts).expect("feasible");
+            let before = allocation_count();
+            p.publish(&tree, k, h, opts).expect("feasible");
+            let delta = allocation_count() - before;
+            assert_eq!(
+                delta, 0,
+                "fused {h:?} hot path at k = {k} performed {delta} heap allocations"
+            );
+        }
+    }
+}
