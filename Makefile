@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress bench bench-json publish-bench clippy fmt fmt-check
+.PHONY: check build test stress chaos bench bench-json publish-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated parallel-search stress tests in release
@@ -22,6 +22,11 @@ test:
 stress:
 	$(CARGO) test --release $(OFFLINE) -- --ignored stress
 
+# Lossy-channel chaos stress: 100k requests under 35% erasure and a burst
+# storm, pinning thread-count invariance and recovery-budget bounds.
+chaos:
+	$(CARGO) test --release $(OFFLINE) --test faults_recovery -- --ignored chaos
+
 bench:
 	$(CARGO) bench $(OFFLINE) -p bcast-bench --bench search_strategies
 
@@ -34,11 +39,15 @@ bench:
 # fused Publisher, the latter two re-measured every run. The alloc-count
 # feature installs the counting global allocator so PR4's heap-allocation
 # columns are real (its per-alloc overhead is one thread-local increment —
-# noise for the other sections).
+# noise for the other sections). BENCH_PR5.json records lossy-channel
+# serving: the FaultPlan::none() fast path as the regression guard against
+# the PR3 numbers, plus throughput/delivery-rate/recovery-wait rows for the
+# standard fault grid (1% / 5% / 20% erasure and bursty).
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
-		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json
+		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
+		--faults-into BENCH_PR5.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.

@@ -29,6 +29,46 @@ pub enum AllocHeuristic {
     Frontier,
 }
 
+/// Degraded-feedback configuration: when and how delivery-rate drops
+/// (reported by the lossy serving engine's `BatchMetrics::delivery_rate`)
+/// trigger an out-of-schedule rebuild.
+///
+/// Two guards keep fault *bursts* from causing rebuild storms:
+///
+/// * **hysteresis** — only `sustain_epochs` *consecutive* degraded epochs
+///   trigger a rebuild, and one epoch at or above `recovered_rate` resets
+///   the streak (rates between the two thresholds are neutral);
+/// * **backoff** — after a degradation rebuild the trigger is locked out
+///   for a cooldown that doubles on every consecutive degraded rebuild
+///   (up to `max_cooldown_epochs`); a healthy epoch resets the backoff to
+///   `cooldown_epochs` and clears any remaining lockout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Delivery rate below this marks an epoch as degraded.
+    pub min_delivery_rate: f64,
+    /// Delivery rate at or above this marks the channel healthy (resets
+    /// the degraded streak and the cooldown backoff).
+    pub recovered_rate: f64,
+    /// Consecutive degraded epochs required before rebuilding.
+    pub sustain_epochs: u32,
+    /// Base lockout (in epochs) after a degradation rebuild.
+    pub cooldown_epochs: u64,
+    /// Cap for the doubling cooldown.
+    pub max_cooldown_epochs: u64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            min_delivery_rate: 0.9,
+            recovered_rate: 0.97,
+            sustain_epochs: 3,
+            cooldown_epochs: 8,
+            max_cooldown_epochs: 64,
+        }
+    }
+}
+
 /// Rebuild configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebuildPolicy {
@@ -43,6 +83,8 @@ pub struct RebuildPolicy {
     pub channels: usize,
     /// Allocation heuristic used at each rebuild.
     pub heuristic: AllocHeuristic,
+    /// Delivery-rate feedback trigger (`None` = periodic rebuilds only).
+    pub degradation: Option<DegradationPolicy>,
 }
 
 impl Default for RebuildPolicy {
@@ -53,6 +95,7 @@ impl Default for RebuildPolicy {
             fanout: 4,
             channels: 2,
             heuristic: AllocHeuristic::default(),
+            degradation: None,
         }
     }
 }
@@ -70,6 +113,14 @@ pub struct AdaptiveBroadcaster {
     cycle_len: usize,
     epoch: u64,
     rebuilds: u64,
+    /// Consecutive epochs with delivery rate below the degradation floor.
+    degraded_streak: u32,
+    /// Epochs the degradation trigger is still locked out.
+    cooldown_left: u64,
+    /// Cooldown to apply after the *next* degradation rebuild (doubles on
+    /// consecutive degraded rebuilds, resets on recovery).
+    next_cooldown: u64,
+    degraded_rebuilds: u64,
 }
 
 impl AdaptiveBroadcaster {
@@ -83,12 +134,16 @@ impl AdaptiveBroadcaster {
         assert_eq!(initial_weights.len(), items, "one weight per item");
         let mut this = AdaptiveBroadcaster {
             estimator: EmaEstimator::new(items, policy.alpha),
-            policy,
             publisher: Publisher::new(),
             wait_of: Vec::new(),
             cycle_len: 0,
             epoch: 0,
             rebuilds: 0,
+            degraded_streak: 0,
+            cooldown_left: 0,
+            next_cooldown: policy.degradation.map_or(0, |d| d.cooldown_epochs),
+            degraded_rebuilds: 0,
+            policy,
         };
         this.rebuild(initial_weights);
         this
@@ -97,6 +152,11 @@ impl AdaptiveBroadcaster {
     /// Rebuild count (excluding the initial build... including it minus 1).
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds - 1
+    }
+
+    /// Rebuilds triggered by the degraded-feedback path specifically.
+    pub fn degraded_rebuilds(&self) -> u64 {
+        self.degraded_rebuilds
     }
 
     /// Current cycle length in slots.
@@ -168,6 +228,42 @@ impl AdaptiveBroadcaster {
             }
         }
         mean
+    }
+
+    /// Feeds one epoch's delivery rate (the lossy serving engine's
+    /// `BatchMetrics::delivery_rate`) into the degraded-feedback path.
+    /// Returns `true` if this observation triggered a rebuild.
+    ///
+    /// See [`DegradationPolicy`] for the hysteresis + backoff rules; with
+    /// no degradation policy configured this is a no-op.
+    pub fn observe_delivery(&mut self, delivery_rate: f64) -> bool {
+        let Some(d) = self.policy.degradation else {
+            return false;
+        };
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+        }
+        if delivery_rate < d.min_delivery_rate {
+            self.degraded_streak = self.degraded_streak.saturating_add(1);
+        } else if delivery_rate >= d.recovered_rate {
+            // A healthy epoch clears the streak, the escalated backoff and
+            // any remaining lockout — the lockout exists to pace rebuilds
+            // *within* a degraded period, not to delay response to the
+            // next one.
+            self.degraded_streak = 0;
+            self.next_cooldown = d.cooldown_epochs;
+            self.cooldown_left = 0;
+        }
+        if self.degraded_streak >= d.sustain_epochs && self.cooldown_left == 0 {
+            let w = self.estimator.weights();
+            self.rebuild(&w);
+            self.degraded_rebuilds += 1;
+            self.degraded_streak = 0;
+            self.cooldown_left = self.next_cooldown;
+            self.next_cooldown = (self.next_cooldown.saturating_mul(2)).min(d.max_cooldown_epochs);
+            return true;
+        }
+        false
     }
 }
 
@@ -296,5 +392,112 @@ mod tests {
         let w: Vec<Weight> = (1..=4u32).map(Weight::from).collect();
         let mut b = AdaptiveBroadcaster::new(4, &w, RebuildPolicy::default());
         assert_eq!(b.serve_epoch(&[]), 0.0);
+    }
+
+    fn degradation_broadcaster(d: DegradationPolicy) -> AdaptiveBroadcaster {
+        let w: Vec<Weight> = (1..=12u32).map(Weight::from).collect();
+        AdaptiveBroadcaster::new(
+            12,
+            &w,
+            RebuildPolicy {
+                rebuild_every: None,
+                degradation: Some(d),
+                ..RebuildPolicy::default()
+            },
+        )
+    }
+
+    #[test]
+    fn brief_dips_never_trigger_a_rebuild() {
+        let mut b = degradation_broadcaster(DegradationPolicy::default());
+        // Alternating bad/healthy epochs: the streak never reaches 3.
+        for _ in 0..20 {
+            assert!(!b.observe_delivery(0.5));
+            assert!(!b.observe_delivery(0.99));
+        }
+        assert_eq!(b.degraded_rebuilds(), 0);
+    }
+
+    #[test]
+    fn neutral_rates_do_not_reset_the_streak() {
+        // Between min (0.9) and recovered (0.97) is hysteresis dead band.
+        let mut b = degradation_broadcaster(DegradationPolicy::default());
+        assert!(!b.observe_delivery(0.5));
+        assert!(!b.observe_delivery(0.93)); // neutral: streak survives
+        assert!(!b.observe_delivery(0.5));
+        assert!(b.observe_delivery(0.5)); // third degraded epoch fires
+        assert_eq!(b.degraded_rebuilds(), 1);
+    }
+
+    #[test]
+    fn sustained_loss_rebuilds_with_doubling_cooldown() {
+        let d = DegradationPolicy {
+            min_delivery_rate: 0.9,
+            recovered_rate: 0.97,
+            sustain_epochs: 2,
+            cooldown_epochs: 4,
+            max_cooldown_epochs: 16,
+        };
+        let mut b = degradation_broadcaster(d);
+        let mut rebuild_epochs = Vec::new();
+        for epoch in 0..60u64 {
+            if b.observe_delivery(0.4) {
+                rebuild_epochs.push(epoch);
+            }
+        }
+        // A permanent fault storm must not rebuild every sustain_epochs:
+        // the doubling cooldown spreads rebuilds out (4, 8, 16, 16…).
+        assert!(
+            rebuild_epochs.len() <= 5,
+            "rebuild storm: {rebuild_epochs:?}"
+        );
+        let gaps: Vec<u64> = rebuild_epochs.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).all(|g| g[1] >= g[0]),
+            "cooldown must not shrink during a storm: {gaps:?}"
+        );
+        assert!(b.degraded_rebuilds() >= 2);
+    }
+
+    #[test]
+    fn recovery_resets_the_cooldown_backoff() {
+        let d = DegradationPolicy {
+            min_delivery_rate: 0.9,
+            recovered_rate: 0.97,
+            sustain_epochs: 2,
+            cooldown_epochs: 2,
+            max_cooldown_epochs: 32,
+        };
+        let mut b = degradation_broadcaster(d);
+        // First storm: escalate the backoff.
+        for _ in 0..20 {
+            b.observe_delivery(0.4);
+        }
+        let after_storm = b.degraded_rebuilds();
+        assert!(after_storm >= 2);
+        // Healthy stretch: backoff resets to the base cooldown.
+        for _ in 0..5 {
+            assert!(!b.observe_delivery(0.995));
+        }
+        // A fresh storm fires after sustain_epochs again (no stale
+        // escalated cooldown in the way once the lockout has drained).
+        let mut fired_at = None;
+        for epoch in 0..10u64 {
+            if b.observe_delivery(0.4) {
+                fired_at = Some(epoch);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(1), "sustain_epochs=2 → fire on 2nd epoch");
+    }
+
+    #[test]
+    fn no_policy_means_no_feedback() {
+        let w: Vec<Weight> = (1..=6u32).map(Weight::from).collect();
+        let mut b = AdaptiveBroadcaster::new(6, &w, RebuildPolicy::default());
+        for _ in 0..10 {
+            assert!(!b.observe_delivery(0.0));
+        }
+        assert_eq!(b.degraded_rebuilds(), 0);
     }
 }

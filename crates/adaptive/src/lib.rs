@@ -18,16 +18,18 @@
 //!   push–pull capacity trade-off;
 //! * [`controller`] — an [`AdaptiveBroadcaster`]
 //!   that periodically rebuilds the index tree and reallocates the
-//!   broadcast from the current estimates, and the evaluation harness
-//!   comparing it against a *static* (never rebuild) and an *oracle*
-//!   (rebuild from true instantaneous popularity) policy.
+//!   broadcast from the current estimates — plus a degraded-feedback path
+//!   ([`DegradationPolicy`]) that rebuilds on sustained delivery-rate
+//!   drops with hysteresis and exponential cooldown backoff — and the
+//!   evaluation harness comparing it against a *static* (never rebuild)
+//!   and an *oracle* (rebuild from true instantaneous popularity) policy.
 
 pub mod controller;
 pub mod estimator;
 pub mod hotset;
 pub mod stream;
 
-pub use controller::{AdaptiveBroadcaster, PolicyReport, RebuildPolicy};
+pub use controller::{AdaptiveBroadcaster, DegradationPolicy, PolicyReport, RebuildPolicy};
 pub use estimator::EmaEstimator;
 pub use hotset::{HotSetConfig, HotSetManager};
 pub use stream::{DriftKind, DriftingWorkload};

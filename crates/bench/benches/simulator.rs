@@ -83,6 +83,7 @@ fn bench_serving(c: &mut Criterion) {
         let opts = ServeOptions {
             threads: 1,
             seed: 99,
+            ..ServeOptions::default()
         };
         g.throughput(Throughput::Elements(REQUESTS as u64));
         g.bench_with_input(

@@ -18,6 +18,15 @@
 //! identical request sequence and the means are cross-checked before the
 //! numbers are written.
 //!
+//! Since PR 5 it also maintains `BENCH_PR5.json` (via `--faults-into`):
+//! lossy-channel serving. One zero-fault row pins that compiling the fault
+//! hooks into `serve_batch` costs nothing when `FaultPlan::none()` is set
+//! (cross-checked against BENCH_PR3.json's `after` throughput when that
+//! file is on disk), then one row per `standard_scenarios()` channel
+//! condition (clean / 1% / 5% / 20% erasure / bursty) records throughput,
+//! delivery rate, retries and recovery wait under the default recovery
+//! policy.
+//!
 //! Since PR 4 it also maintains `BENCH_PR4.json` (via `--publish-into`):
 //! end-to-end publish build time at 65k/1M/4M items for three paths — the
 //! vendored pre-PR4 pipeline ([`seed_pipeline`], quadratic; measured once
@@ -26,7 +35,10 @@
 
 mod seed_pipeline;
 
-use bcast_channel::{simulator, BroadcastProgram, CompiledProgram, ServeOptions};
+use bcast_channel::{
+    simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, RecoveryPolicy,
+    ServeOptions,
+};
 use bcast_core::best_first::{self, BestFirstOptions};
 use bcast_core::heuristics::sorting;
 use bcast_core::{PublishHeuristic, PublishOptions, Publisher};
@@ -174,6 +186,7 @@ fn serving_report() -> String {
     let opts = ServeOptions {
         threads: 1,
         seed: 0x5EED,
+        ..ServeOptions::default()
     };
 
     // Before: the scalar pointer-walking loop (one warmup slice, one timed
@@ -239,6 +252,145 @@ fn serving_report() -> String {
         batch_s,
         after_rps,
         after_rps / before_rps
+    )
+}
+
+/// Lossy-channel serving: the same Fig-14 workload and request stream as
+/// the PR-3 section, served through `serve_batch` under each channel
+/// condition of `bcast_workloads::standard_scenarios()`. The zero-fault
+/// row uses `FaultPlan::none()` — the dedicated fast path — and is the
+/// regression guard against the pre-fault engine (BENCH_PR3.json `after`).
+/// Returns the full PR-5 JSON document.
+fn faults_report(pr3: Option<&str>) -> String {
+    const ITEMS: usize = 65_536;
+    const REQUESTS: usize = 1_000_000;
+    const CHANNELS: usize = 3;
+    const FANOUT: usize = 4;
+    let weights = FrequencyDist::paper_fig14(30.0).sample(ITEMS, 14);
+    let tree = knary::build_weight_balanced(&weights, FANOUT).expect("non-empty");
+    let alloc = sorting::sorting_schedule(&tree, CHANNELS)
+        .into_allocation(&tree, CHANNELS)
+        .expect("feasible");
+    let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+    let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+    let data = tree.data_nodes();
+    let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 1.0, 3)
+        .take(REQUESTS)
+        .map(|i| data[i])
+        .collect();
+    let policy = RecoveryPolicy::default();
+
+    // Zero-fault guard: FaultPlan::none() must take the pre-PR5 fast path.
+    let base = ServeOptions {
+        threads: 1,
+        seed: 0x5EED,
+        ..ServeOptions::default()
+    };
+    let mut zero_s = f64::INFINITY;
+    let mut zero_mean = 0.0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let m = compiled.serve_batch(&targets, &base).expect("routable");
+        zero_s = zero_s.min(t0.elapsed().as_secs_f64());
+        zero_mean = m.mean_access_time;
+    }
+    let zero_rps = REQUESTS as f64 / zero_s;
+    let pr3_after_rps = pr3
+        .and_then(|text| extract_object(text, "\"after\":"))
+        .and_then(|obj| field_f64(&obj, "rps"));
+    eprintln!(
+        "faults-bench: zero-fault {zero_rps:.0} rps (PR3 after: {})",
+        pr3_after_rps.map_or("n/a".into(), |r| format!("{r:.0} rps"))
+    );
+
+    let mut rows = Vec::new();
+    for scenario in bcast_workloads::standard_scenarios() {
+        let plan = match scenario.burst {
+            Some(b) => FaultPlan::gilbert_elliott(
+                GilbertElliott {
+                    p_good_to_bad: b.p_good_to_bad,
+                    p_bad_to_good: b.p_bad_to_good,
+                    loss_good: b.loss_good,
+                    loss_bad: b.loss_bad,
+                },
+                0x5EED,
+            )
+            .expect("preset probabilities are valid"),
+            None => FaultPlan::erasure(scenario.erasure_p, 0x5EED).expect("preset p is valid"),
+        };
+        let opts = ServeOptions {
+            faults: plan,
+            recovery: policy,
+            ..base
+        };
+        let mut wall_s = f64::INFINITY;
+        let mut metrics = None;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let m = compiled.serve_batch(&targets, &opts).expect("routable");
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            metrics = Some(m);
+        }
+        let m = metrics.expect("at least one run");
+        if scenario.expected_loss() == 0.0 {
+            // The lossy engine at zero loss reproduces the fast path.
+            assert_eq!(m.delivery_rate(), 1.0, "clean scenario lost requests");
+            assert!(
+                (m.mean_access_time - zero_mean).abs() < 1e-9,
+                "lossy engine at p=0 disagrees with the fast path"
+            );
+        }
+        let rps = REQUESTS as f64 / wall_s;
+        eprintln!(
+            "faults-bench: {} {rps:.0} rps, {:.4} delivered, +{:.3} wait",
+            scenario.name,
+            m.delivery_rate(),
+            m.mean_extra_wait
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"expected_loss\": {:.4}, ",
+                "\"wall_s\": {:.3}, \"rps\": {:.0}, \"delivery_rate\": {:.6}, ",
+                "\"failed\": {}, \"retries_per_request\": {:.4}, ",
+                "\"mean_extra_wait_slots\": {:.3}, ",
+                "\"mean_access_time_slots\": {:.3}}}"
+            ),
+            scenario.name,
+            scenario.expected_loss(),
+            wall_s,
+            rps,
+            m.delivery_rate(),
+            m.failed,
+            m.retries as f64 / REQUESTS as f64,
+            m.mean_extra_wait,
+            m.mean_access_time,
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n  \"pr\": 5,\n",
+            "  \"description\": \"lossy-channel serving on the PR-3 workload ",
+            "(Fig-14 N(100,30), {} items, fanout {}, {} channels, 1M-request ",
+            "Zipf(1.0) stream, 1 thread, default recovery policy): zero_fault ",
+            "= FaultPlan::none() through the unchanged fast path (regression ",
+            "guard vs BENCH_PR3.json after); scenarios = the standard fault ",
+            "grid served through the recovery engine; the clean scenario is ",
+            "cross-checked against the fast path to 1e-9\",\n",
+            "  \"machine\": \"1-core Linux container\",\n",
+            "  \"zero_fault\": {{\"wall_s\": {:.3}, \"rps\": {:.0}, ",
+            "\"mean_access_time_slots\": {:.3}, \"pr3_after_rps\": {}, ",
+            "\"vs_pr3\": {}}},\n",
+            "  \"scenarios\": [\n{}\n  ]\n}}\n"
+        ),
+        ITEMS,
+        FANOUT,
+        CHANNELS,
+        zero_s,
+        zero_rps,
+        zero_mean,
+        pr3_after_rps.map_or("null".into(), |r| format!("{r:.0}")),
+        pr3_after_rps.map_or("null".into(), |r| format!("{:.3}", zero_rps / r)),
+        rows.join(",\n")
     )
 }
 
@@ -500,16 +652,18 @@ fn main() {
     let mut merge_into = None;
     let mut serving_into = None;
     let mut publish_into = None;
+    let mut faults_into = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match (flag.as_str(), it.next()) {
             ("--merge-into", Some(path)) => merge_into = Some(path.clone()),
             ("--serving-into", Some(path)) => serving_into = Some(path.clone()),
             ("--publish-into", Some(path)) => publish_into = Some(path.clone()),
+            ("--faults-into", Some(path)) => faults_into = Some(path.clone()),
             _ => {
                 eprintln!(
                     "usage: bench_json [--merge-into FILE] [--serving-into FILE] \
-                     [--publish-into FILE]"
+                     [--publish-into FILE] [--faults-into FILE]"
                 );
                 std::process::exit(2);
             }
@@ -517,7 +671,10 @@ fn main() {
     }
     // `--publish-into` alone (the `make publish-bench` target) skips the
     // exact-search section so the publish numbers regenerate quickly.
-    let publish_only = publish_into.is_some() && merge_into.is_none() && serving_into.is_none();
+    let publish_only = publish_into.is_some()
+        && merge_into.is_none()
+        && serving_into.is_none()
+        && faults_into.is_none();
     if let Some(path) = publish_into {
         let previous = std::fs::read_to_string(&path).ok();
         std::fs::write(&path, publish_report(previous.as_deref())).expect("write publish report");
@@ -526,8 +683,16 @@ fn main() {
     if publish_only {
         return;
     }
-    if let Some(path) = serving_into {
-        std::fs::write(&path, serving_report()).expect("write serving report");
+    if let Some(path) = &serving_into {
+        std::fs::write(path, serving_report()).expect("write serving report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = faults_into {
+        // The freshly written PR-3 file supplies the regression baseline.
+        let pr3 = serving_into
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok());
+        std::fs::write(&path, faults_report(pr3.as_deref())).expect("write faults report");
         eprintln!("wrote {path}");
     }
     let current = run_section();

@@ -121,6 +121,7 @@ fn measure(
     let opts = ServeOptions {
         threads,
         seed: seed ^ 0x5A5A,
+        ..ServeOptions::default()
     };
     let t0 = Instant::now();
     let metrics = compiled

@@ -19,6 +19,7 @@
 //! [`LatencyHistogram`], never allocating per request. The pointer-chasing
 //! simulator remains the oracle the tables are property-tested against.
 
+use crate::faults::{self, FaultPlan, RecoveryPolicy, RequestOutcome};
 use crate::hist::LatencyHistogram;
 use crate::program::{BroadcastProgram, Bucket};
 use crate::simulator::{AccessTrace, SimError};
@@ -220,7 +221,14 @@ impl CompiledProgram {
     ///
     /// Each request's tune-in slot is drawn uniformly over the cycle from
     /// `opts.seed` and the request's **global index**, so the result is
-    /// bit-identical for every thread count.
+    /// bit-identical for every thread count — and because
+    /// [`FaultPlan::link`] is keyed by the same global index, that also
+    /// holds with `opts.faults` enabled. With [`FaultPlan::none`] the
+    /// engine takes the original fault-free fast path unchanged; with
+    /// faults, each lost read is recovered per `opts.recovery`, delivered
+    /// requests record their **total** access time (recovery wait
+    /// included) in the histogram, and failed requests are counted in
+    /// [`BatchMetrics::failed`] instead of aborting the batch.
     ///
     /// # Errors
     /// [`SimError::NotADataNode`] if any target is not a routed data node.
@@ -230,8 +238,14 @@ impl CompiledProgram {
         opts: &ServeOptions,
     ) -> Result<BatchMetrics, SimError> {
         let threads = opts.threads.max(1);
+        // Replica-gap overlay shared by every shard (empty when unused).
+        let root_gaps = if opts.faults.is_none() {
+            Vec::new()
+        } else {
+            faults::root_occurrence_gaps(self.cycle_len(), opts.recovery.root_replicas)
+        };
         let shard = if threads <= 1 || targets.len() < threads {
-            self.serve_shard(targets, 0, opts.seed)?
+            self.serve_shard(targets, 0, opts, &root_gaps)?
         } else {
             let chunk = targets.len().div_ceil(threads);
             let mut shards: Vec<Result<Shard, SimError>> = Vec::new();
@@ -241,7 +255,8 @@ impl CompiledProgram {
                     .enumerate()
                     .map(|(t, part)| {
                         let start = (t * chunk) as u64;
-                        scope.spawn(move || self.serve_shard(part, start, opts.seed))
+                        let gaps = &root_gaps;
+                        scope.spawn(move || self.serve_shard(part, start, opts, gaps))
                     })
                     .collect();
                 shards = handles
@@ -263,34 +278,129 @@ impl CompiledProgram {
     }
 
     /// Sequential serving of one shard; `start` is the shard's global
-    /// request offset (keeps tune-in draws shard-layout independent).
-    fn serve_shard(&self, targets: &[NodeId], start: u64, seed: u64) -> Result<Shard, SimError> {
-        let mut shard = Shard::new(2 * self.cycle_len);
+    /// request offset (keeps tune-in and fault draws shard-layout
+    /// independent).
+    fn serve_shard(
+        &self,
+        targets: &[NodeId],
+        start: u64,
+        opts: &ServeOptions,
+        root_gaps: &[u64],
+    ) -> Result<Shard, SimError> {
         let cycle = u64::from(self.cycle_len);
+        if opts.faults.is_none() {
+            // Fault-free fast path: identical to the pre-fault engine.
+            let mut shard = Shard::new(2 * self.cycle_len);
+            for (j, &target) in targets.iter().enumerate() {
+                let i = target.index();
+                if i >= self.routed.len() || !self.routed[i] {
+                    return Err(SimError::NotADataNode(target));
+                }
+                let probe = self.cycle_len - (mix64(opts.seed, start + j as u64) % cycle) as u32;
+                let wait = self.slot[i] - 1;
+                shard.hist.record(probe + wait);
+                shard.wait_sum += u64::from(wait);
+                shard.tune_sum += u64::from(self.path_len[i] + 1);
+                shard.switch_sum += u64::from(self.switches[i]);
+                shard.delivered += 1;
+            }
+            return Ok(shard);
+        }
+        // Lossy path: replay the recovery protocol over each request's
+        // fault-free trace. Recovery can add many cycles of wait, so the
+        // histogram bound gets headroom (values beyond it clamp in
+        // percentile queries; the mean stays exact).
+        let mut shard = Shard::new(LOSSY_HIST_CYCLES * self.cycle_len);
         for (j, &target) in targets.iter().enumerate() {
             let i = target.index();
             if i >= self.routed.len() || !self.routed[i] {
                 return Err(SimError::NotADataNode(target));
             }
-            let probe = self.cycle_len - (mix64(seed, start + j as u64) % cycle) as u32;
-            let wait = self.slot[i] - 1;
-            shard.hist.record(probe + wait);
-            shard.wait_sum += u64::from(wait);
-            shard.tune_sum += u64::from(self.path_len[i] + 1);
-            shard.switch_sum += u64::from(self.switches[i]);
+            let index = start + j as u64;
+            let s = (mix64(opts.seed, index) % cycle) as u32 + 1;
+            let base = AccessTrace {
+                probe_wait: self.cycle_len - (s - 1),
+                data_wait: self.slot[i] - 1,
+                tuning_time: self.path_len[i] + 1,
+                channel_switches: self.switches[i],
+            };
+            let mut link = opts.faults.link(index);
+            let outcome = faults::recover_access(
+                base,
+                Slot(s),
+                self.cycle_len,
+                &mut link,
+                &opts.recovery,
+                root_gaps,
+            );
+            match outcome {
+                RequestOutcome::Delivered(d) => {
+                    let total = u32::try_from(d.total_access_time()).unwrap_or(u32::MAX);
+                    shard.hist.record(total);
+                    shard.wait_sum += u64::from(d.trace.data_wait);
+                    shard.tune_sum += u64::from(d.trace.tuning_time);
+                    shard.switch_sum += u64::from(d.trace.channel_switches);
+                    shard.extra_sum += d.extra_wait;
+                    shard.retries += u64::from(d.retries);
+                    shard.delivered += 1;
+                }
+                RequestOutcome::Failed(f) => {
+                    shard.retries += u64::from(f.retries);
+                    shard.failed += 1;
+                }
+            }
         }
         Ok(shard)
     }
+
+    /// Single lossy access through the route tables: the compiled
+    /// equivalent of [`faults::access_lossy`] (which walks the real bucket
+    /// grid — property tests pin the two together).
+    ///
+    /// # Errors
+    /// [`SimError::NotADataNode`] for unrouted targets; losses are not
+    /// errors, they surface in the [`RequestOutcome`].
+    pub fn access_lossy(
+        &self,
+        target: NodeId,
+        tune_in: Slot,
+        plan: &FaultPlan,
+        request_index: u64,
+        policy: &RecoveryPolicy,
+    ) -> Result<RequestOutcome, SimError> {
+        let base = self.access(target, tune_in)?;
+        let root_gaps = faults::root_occurrence_gaps(self.cycle_len(), policy.root_replicas);
+        let s = (tune_in.offset() as u32 % self.cycle_len) + 1;
+        let mut link = plan.link(request_index);
+        Ok(faults::recover_access(
+            base,
+            Slot(s),
+            self.cycle_len,
+            &mut link,
+            policy,
+            &root_gaps,
+        ))
+    }
 }
 
+/// Histogram headroom for lossy serving, in multiples of the cycle length
+/// (fault-free serving needs exactly 2 — probe ≤ cycle, data wait <
+/// cycle; recovery waits can add several more).
+const LOSSY_HIST_CYCLES: u32 = 8;
+
 /// Options for [`CompiledProgram::serve_batch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeOptions {
     /// OS threads to shard the batch over (`0` and `1` both mean
     /// sequential). Results do not depend on this value.
     pub threads: usize,
     /// Seed for the per-request tune-in draws.
     pub seed: u64,
+    /// Channel fault model ([`FaultPlan::none`] = the perfect channel and
+    /// the original fast path).
+    pub faults: FaultPlan,
+    /// Recovery budget applied when `faults` is not the perfect channel.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ServeOptions {
@@ -298,6 +408,8 @@ impl Default for ServeOptions {
         ServeOptions {
             threads: 1,
             seed: 0x5EED,
+            faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -319,6 +431,10 @@ struct Shard {
     wait_sum: u64,
     tune_sum: u64,
     switch_sum: u64,
+    extra_sum: u64,
+    retries: u64,
+    delivered: u64,
+    failed: u64,
 }
 
 impl Shard {
@@ -328,6 +444,10 @@ impl Shard {
             wait_sum: 0,
             tune_sum: 0,
             switch_sum: 0,
+            extra_sum: 0,
+            retries: 0,
+            delivered: 0,
+            failed: 0,
         }
     }
 
@@ -336,50 +456,97 @@ impl Shard {
         self.wait_sum += other.wait_sum;
         self.tune_sum += other.tune_sum;
         self.switch_sum += other.switch_sum;
+        self.extra_sum += other.extra_sum;
+        self.retries += other.retries;
+        self.delivered += other.delivered;
+        self.failed += other.failed;
     }
 
     fn into_metrics(self, requests: usize) -> BatchMetrics {
-        let n = requests as f64;
+        // Means are over *delivered* requests; failed ones contribute only
+        // to the failure/retry columns.
+        let n = self.delivered as f64;
         BatchMetrics {
             requests,
-            mean_access_time: if requests == 0 { 0.0 } else { self.hist.mean() },
-            mean_data_wait: if requests == 0 {
+            mean_access_time: if self.delivered == 0 {
+                0.0
+            } else {
+                self.hist.mean()
+            },
+            mean_data_wait: if self.delivered == 0 {
                 0.0
             } else {
                 self.wait_sum as f64 / n
             },
-            mean_tuning_time: if requests == 0 {
+            mean_tuning_time: if self.delivered == 0 {
                 0.0
             } else {
                 self.tune_sum as f64 / n
             },
-            mean_channel_switches: if requests == 0 {
+            mean_channel_switches: if self.delivered == 0 {
                 0.0
             } else {
                 self.switch_sum as f64 / n
             },
+            mean_extra_wait: if self.delivered == 0 {
+                0.0
+            } else {
+                self.extra_sum as f64 / n
+            },
+            delivered: self.delivered,
+            failed: self.failed,
+            retries: self.retries,
             histogram: self.hist,
         }
     }
 }
 
 /// Aggregated result of one [`CompiledProgram::serve_batch`] call.
+///
+/// All `mean_*` columns average over **delivered** requests; failed
+/// requests are counted in [`failed`](Self::failed) (and their retries in
+/// [`retries`](Self::retries)) but never skew the means. On the perfect
+/// channel every request is delivered and the metrics are bit-identical
+/// to the fault-free engine's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchMetrics {
-    /// Requests served.
+    /// Requests served (delivered + failed).
     pub requests: usize,
-    /// Mean access time (probe wait + data wait) in slots.
+    /// Mean access time in slots (probe wait + data wait; plus recovery
+    /// wait under faults).
     pub mean_access_time: f64,
     /// Mean data wait in slots, measured from the root bucket (i.e.
     /// `T(Di) − 1` averaged over requests).
     pub mean_data_wait: f64,
-    /// Mean tuning time in buckets.
+    /// Mean tuning time in buckets (failed reads included for delivered
+    /// requests).
     pub mean_tuning_time: f64,
     /// Mean channel switches per access.
     pub mean_channel_switches: f64,
-    /// Exact access-time histogram (quantiles via
-    /// [`LatencyHistogram::percentile`]).
+    /// Mean slots of recovery wait added on top of the fault-free access
+    /// (0 on the perfect channel).
+    pub mean_extra_wait: f64,
+    /// Requests delivered within their recovery budget.
+    pub delivered: u64,
+    /// Requests abandoned after exhausting their retry/timeout budget.
+    pub failed: u64,
+    /// Total failed reads recovered from (or charged by failed requests).
+    pub retries: u64,
+    /// Exact access-time histogram over delivered requests (quantiles via
+    /// [`LatencyHistogram::percentile`]; under faults the recorded value
+    /// is the total access time, recovery wait included).
     pub histogram: LatencyHistogram,
+}
+
+impl BatchMetrics {
+    /// Fraction of requests delivered (`1.0` for an empty batch).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.requests as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +643,7 @@ mod tests {
         let base = ServeOptions {
             threads: 1,
             seed: 42,
+            ..ServeOptions::default()
         };
         let m1 = c.serve_batch(&targets, &base).unwrap();
         for threads in [2, 3, 8] {
@@ -497,6 +665,7 @@ mod tests {
         let opts = ServeOptions {
             threads: 1,
             seed: 7,
+            ..ServeOptions::default()
         };
         let m = c.serve_batch(&targets, &opts).unwrap();
         let mut access_sum = 0u64;
@@ -529,5 +698,110 @@ mod tests {
         assert_eq!(m.requests, 0);
         assert_eq!(m.mean_access_time, 0.0);
         assert!(m.histogram.is_empty());
+        assert_eq!(m.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn lossy_serving_is_thread_count_invariant_and_deterministic() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..2000).map(|i| data[(i * 3) % data.len()]).collect();
+        let base = ServeOptions {
+            threads: 1,
+            seed: 42,
+            faults: FaultPlan::erasure(0.15, 0xFA11).unwrap(),
+            recovery: RecoveryPolicy {
+                max_retries: 5,
+                timeout_slots: 64,
+                ..RecoveryPolicy::default()
+            },
+        };
+        let m1 = c.serve_batch(&targets, &base).unwrap();
+        assert!(m1.failed > 0, "tight budget at 15% loss must fail some");
+        assert!(m1.retries > 0);
+        assert_eq!(m1.delivered + m1.failed, targets.len() as u64);
+        for threads in [2, 3, 8] {
+            let mt = c
+                .serve_batch(&targets, &ServeOptions { threads, ..base })
+                .unwrap();
+            assert_eq!(m1, mt, "threads = {threads}");
+        }
+        // Rerun with the same seed: bit-identical.
+        assert_eq!(m1, c.serve_batch(&targets, &base).unwrap());
+        // A different fault seed changes the outcome.
+        let other = ServeOptions {
+            faults: FaultPlan::erasure(0.15, 0xFA12).unwrap(),
+            ..base
+        };
+        assert_ne!(m1, c.serve_batch(&targets, &other).unwrap());
+    }
+
+    #[test]
+    fn zero_probability_faults_match_the_fault_free_fast_path() {
+        // p = 0 exercises the lossy code path but loses nothing: every
+        // aggregate must equal the fast path's (histogram bounds differ by
+        // design, so compare fields, not the whole struct).
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..500).map(|i| data[i % data.len()]).collect();
+        let clean = c.serve_batch(&targets, &ServeOptions::default()).unwrap();
+        let lossy_opts = ServeOptions {
+            faults: FaultPlan::erasure(0.0, 9).unwrap(),
+            ..ServeOptions::default()
+        };
+        let lossy = c.serve_batch(&targets, &lossy_opts).unwrap();
+        assert_eq!(lossy.delivered, clean.delivered);
+        assert_eq!(lossy.failed, 0);
+        assert_eq!(lossy.retries, 0);
+        assert_eq!(lossy.mean_access_time, clean.mean_access_time);
+        assert_eq!(lossy.mean_data_wait, clean.mean_data_wait);
+        assert_eq!(lossy.mean_tuning_time, clean.mean_tuning_time);
+        assert_eq!(lossy.mean_extra_wait, 0.0);
+        assert_eq!(lossy.histogram.mean(), clean.histogram.mean());
+    }
+
+    #[test]
+    fn total_loss_fails_everything_without_aborting() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..100).map(|i| data[i % data.len()]).collect();
+        let opts = ServeOptions {
+            faults: FaultPlan::erasure(1.0, 1).unwrap(),
+            ..ServeOptions::default()
+        };
+        let m = c.serve_batch(&targets, &opts).unwrap();
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.failed, 100);
+        assert_eq!(m.delivery_rate(), 0.0);
+        assert_eq!(m.mean_access_time, 0.0);
+        assert!(m.histogram.is_empty());
+        // Every request charged its full retry budget, nothing more.
+        assert_eq!(m.retries, 100 * u64::from(opts.recovery.max_retries));
+    }
+
+    #[test]
+    fn compiled_lossy_access_matches_walking_oracle() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let plan = FaultPlan::erasure(0.3, 0xABCD).unwrap();
+        let policy = RecoveryPolicy {
+            max_retries: 10,
+            timeout_slots: 200,
+            backoff_cap: 3,
+            root_replicas: 2,
+        };
+        for &d in t.data_nodes() {
+            for tune in 1..=p.cycle_len() as u32 {
+                for req in 0..8u64 {
+                    let walk =
+                        faults::access_lossy(&p, &t, d, Slot(tune), &plan, req, &policy).unwrap();
+                    let fast = c.access_lossy(d, Slot(tune), &plan, req, &policy).unwrap();
+                    assert_eq!(walk, fast, "node {} tune {tune} req {req}", t.label(d));
+                }
+            }
+        }
     }
 }

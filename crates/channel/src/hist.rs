@@ -77,6 +77,14 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Sum of all observations (true values, not clamped) — lets callers
+    /// combine histograms with externally tracked totals (e.g. delivered
+    /// vs failed request accounting) without floating-point drift.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// True if nothing has been recorded.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -151,6 +159,7 @@ mod tests {
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 30);
         assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), samples.iter().map(|&s| u64::from(s)).sum::<u64>());
         let mean: f64 = samples.iter().map(|&s| f64::from(s)).sum::<f64>() / 10.0;
         assert!((h.mean() - mean).abs() < 1e-12);
     }

@@ -30,11 +30,17 @@
 //! * [`publish`] — the fused zero-allocation path from a heuristic's
 //!   [`SlotPlan`] straight to a servable [`CompiledProgram`]
 //!   ([`PublishPipeline`]), double-buffered so a rebuild never disturbs
-//!   the program currently being served.
+//!   the program currently being served;
+//! * [`faults`] — deterministic lossy-channel fault injection
+//!   ([`FaultPlan`]: seeded erasure and Gilbert–Elliott burst loss) and
+//!   the bounded-budget client recovery protocol ([`RecoveryPolicy`]),
+//!   injectable into both the pointer-walk oracle
+//!   ([`faults::access_lossy`]) and the batched serving engine.
 
 mod allocation;
 pub mod compiled;
 pub mod cost;
+pub mod faults;
 pub mod hist;
 mod program;
 pub mod publish;
@@ -43,6 +49,10 @@ pub mod wire;
 
 pub use allocation::{Allocation, FeasibilityError};
 pub use compiled::{BatchMetrics, CompiledProgram, ServeOptions};
+pub use faults::{
+    ClientLink, DeliveredTrace, FailReason, FaultError, FaultPlan, GilbertElliott, RecoveryFailure,
+    RecoveryPolicy, RequestOutcome,
+};
 pub use hist::LatencyHistogram;
 pub use program::{BroadcastProgram, Bucket, Pointer, ProgramError};
 pub use publish::{PublishPipeline, SlotPlan};

@@ -32,6 +32,13 @@
 //! The pointer-grid [`BroadcastProgram`] is *not* built on the hot path;
 //! [`PublishPipeline::materialize_program`] reconstructs it bit-identically
 //! on demand for oracle tests and wire serialization.
+//!
+//! Programs published here serve lossy channels unchanged: fault injection
+//! and client recovery ([`crate::faults`]) operate on the compiled route
+//! tables at request time via
+//! [`ServeOptions::faults`](crate::compiled::ServeOptions), so a rebuild
+//! under degraded delivery (see `bcast-adaptive`'s `DegradationPolicy`)
+//! reuses this exact pipeline.
 
 use crate::allocation::FeasibilityError;
 use crate::compiled::CompiledProgram;

@@ -19,7 +19,22 @@
 
 use crate::schedule::Schedule;
 use bcast_index_tree::IndexTree;
+use bcast_types::occurrences::{self, RootReplication};
 use bcast_types::NodeId;
+
+/// Positions of every root copy (1-based slots in the stretched cycle) for
+/// replication factor `replicas` over a base cycle of `base_len` slots.
+///
+/// This is the exact placement [`analyze`] prices — exposed (and shared
+/// through [`bcast_types::occurrences`]) so the lossy-serving recovery
+/// overlay in `bcast_channel::faults` retries at the *same* occurrences
+/// this analysis assumes.
+///
+/// # Panics
+/// Panics if `replicas == 0` or `base_len == 0`.
+pub fn root_copy_positions(base_len: usize, replicas: u32) -> RootReplication {
+    occurrences::replicate_root(base_len, replicas)
+}
 
 /// Exact expectations for one replication factor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,24 +74,17 @@ pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> Replicat
         "schedule must start with the index root"
     );
     let base_len = schedule.len();
-    let extra = (replicas - 1) as usize;
-    let new_len = base_len + extra;
-
-    // Positions (1-based slots) of root copies in the stretched cycle:
-    // the original root at slot 1 plus `extra` copies evenly spaced.
-    // Original slot i (1-based) maps to i + (number of copies inserted
-    // before it).
-    let mut copy_positions: Vec<usize> = vec![1];
-    // Insert copy j (1-based among extras) after original slot
-    // floor(j * base_len / replicas).
+    // Root-copy placement comes from the shared occurrence geometry so the
+    // fault-recovery overlay retries at exactly these slots.
+    let RootReplication {
+        positions: copy_positions,
+        cuts,
+        cycle_len: new_len,
+    } = root_copy_positions(base_len, replicas);
+    // inserted_before[i] = how many extra copies sit before original
+    // slot i (1-based); original slot i maps to i + inserted_before[i].
     let mut inserted_before = vec![0usize; base_len + 2];
     {
-        let mut cuts: Vec<usize> = (1..=extra)
-            .map(|j| (j * base_len) / replicas as usize)
-            .collect();
-        cuts.sort_unstable();
-        // inserted_before[i] = how many extra copies sit before original
-        // slot i.
         let mut count = 0usize;
         let mut ci = 0usize;
         for (i, slot) in inserted_before
@@ -91,15 +99,7 @@ pub fn analyze(schedule: &Schedule, tree: &IndexTree, replicas: u32) -> Replicat
             }
             *slot = count;
         }
-        for (j, &cut) in cuts.iter().enumerate() {
-            // The copy lands right after original slot `cut`; `j` earlier
-            // copies already shifted the grid, and the copy itself takes
-            // the next position.
-            copy_positions.push(cut + j + 1);
-        }
     }
-    copy_positions.sort_unstable();
-    copy_positions.dedup();
     let r = copy_positions.len();
 
     // New position of every data node.
@@ -276,6 +276,18 @@ mod tests {
         let a = analyze(&s, &t, 2);
         assert_eq!(a.expected_data_wait, 0.0);
         assert!(a.expected_probe_wait > 0.0);
+    }
+
+    #[test]
+    fn shared_positions_match_the_analysis_grid() {
+        let t = builders::paper_example();
+        let s = base(&t);
+        for r in 1..=5u32 {
+            let rep = root_copy_positions(s.len(), r);
+            let a = analyze(&s, &t, r);
+            assert_eq!(rep.cycle_len, a.cycle_len, "replicas {r}");
+            assert_eq!(rep.positions.len() as u32, a.replicas, "replicas {r}");
+        }
     }
 
     #[test]

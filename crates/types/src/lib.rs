@@ -16,7 +16,9 @@
 //!   `(64-bit hash, small aux)` over interned state ids, shared by every
 //!   exact search engine's dominance/memoization layer (see [`dominance`]),
 //! * [`SharedIncumbent`] — the fixed-point atomic incumbent cost shared by
-//!   the parallel branch-and-bound engines (see [`incumbent`]).
+//!   the parallel branch-and-bound engines (see [`incumbent`]),
+//! * [`occurrences`] — cyclic root-occurrence geometry shared by the §5
+//!   replication analysis and the lossy-serving recovery overlay.
 //!
 //! All types except the incumbent are plain data: `Copy` where possible, no
 //! interior mutability, no allocation beyond the bitset's backing vector.
@@ -29,6 +31,7 @@ mod bitset;
 pub mod dominance;
 mod ids;
 pub mod incumbent;
+pub mod occurrences;
 mod weight;
 
 pub use bitset::{mix64, total_clone_count, BitSet};

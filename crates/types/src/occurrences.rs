@@ -1,0 +1,146 @@
+//! Cyclic occurrence geometry for replicated root buckets.
+//!
+//! The §5 replication extension spreads `r` copies of the index root evenly
+//! through one broadcast cycle. Two consumers need the *same* positions:
+//!
+//! * `bcast_core::replication` prices the probe/data-wait trade-off of the
+//!   stretched cycle analytically,
+//! * `bcast_channel::faults` prices a *retry* at the next root occurrence
+//!   when a root bucket is lost on a degraded channel.
+//!
+//! Keeping the placement formula here (the leaf crate both depend on)
+//! guarantees the fault-recovery overlay and the replication analysis never
+//! disagree about where the copies sit.
+
+/// Placement of `replicas` root copies in a cycle of `base_len` slots.
+///
+/// The `replicas - 1` extra copies stretch the cycle by one slot each;
+/// positions are 1-based slots in the stretched cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootReplication {
+    /// Sorted, deduplicated 1-based slots of every root copy (the original
+    /// root at slot 1 included) in the stretched cycle.
+    pub positions: Vec<usize>,
+    /// Sorted original-slot cuts: extra copy `j` is inserted right after
+    /// original slot `cuts[j]` (used to shift the original buckets).
+    pub cuts: Vec<usize>,
+    /// Cycle length after insertion: `base_len + replicas - 1`.
+    pub cycle_len: usize,
+}
+
+/// Computes where `replicas` root copies land when spread evenly through a
+/// base cycle of `base_len` slots: extra copy `j` (1-based) is inserted
+/// after original slot `⌊j · base_len / replicas⌋`.
+///
+/// # Panics
+/// Panics if `replicas == 0` or `base_len == 0`.
+pub fn replicate_root(base_len: usize, replicas: u32) -> RootReplication {
+    assert!(replicas >= 1, "need at least the original root");
+    assert!(base_len >= 1, "cycle must hold at least the root");
+    let extra = (replicas - 1) as usize;
+    let mut cuts: Vec<usize> = (1..=extra)
+        .map(|j| (j * base_len) / replicas as usize)
+        .collect();
+    cuts.sort_unstable();
+    let mut positions: Vec<usize> = vec![1];
+    for (j, &cut) in cuts.iter().enumerate() {
+        // `j` earlier copies already shifted the grid, and the copy itself
+        // takes the next position after the (shifted) cut slot.
+        positions.push(cut + j + 1);
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    RootReplication {
+        positions,
+        cuts,
+        cycle_len: base_len + extra,
+    }
+}
+
+/// Cyclic gaps between consecutive occurrences: `gaps[i]` is the distance
+/// in slots from `positions[i]` to the next occurrence (wrapping from the
+/// last back to the first). The gaps always sum to `cycle_len`.
+///
+/// # Panics
+/// Panics if `positions` is empty, unsorted, or escapes `1..=cycle_len`.
+pub fn occurrence_gaps(positions: &[usize], cycle_len: usize) -> Vec<u64> {
+    assert!(!positions.is_empty(), "need at least one occurrence");
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must be strictly increasing"
+    );
+    assert!(
+        positions[0] >= 1 && *positions.last().expect("non-empty") <= cycle_len,
+        "positions must lie in 1..=cycle_len"
+    );
+    let r = positions.len();
+    (0..r)
+        .map(|i| {
+            if i + 1 < r {
+                (positions[i + 1] - positions[i]) as u64
+            } else {
+                (positions[0] + cycle_len - positions[r - 1]) as u64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_is_the_whole_cycle() {
+        let r = replicate_root(9, 1);
+        assert_eq!(r.positions, vec![1]);
+        assert_eq!(r.cycle_len, 9);
+        assert_eq!(occurrence_gaps(&r.positions, r.cycle_len), vec![9]);
+    }
+
+    #[test]
+    fn two_copies_in_nine_slots() {
+        // Cut after original slot 4 → copy at stretched slot 5, cycle 10.
+        let r = replicate_root(9, 2);
+        assert_eq!(r.cycle_len, 10);
+        assert_eq!(r.positions, vec![1, 5]);
+        assert_eq!(occurrence_gaps(&r.positions, r.cycle_len), vec![4, 6]);
+    }
+
+    #[test]
+    fn gaps_always_sum_to_cycle() {
+        for base in [1usize, 2, 5, 9, 64, 1000] {
+            for replicas in 1..=8u32 {
+                let r = replicate_root(base, replicas);
+                let gaps = occurrence_gaps(&r.positions, r.cycle_len);
+                assert_eq!(
+                    gaps.iter().sum::<u64>(),
+                    r.cycle_len as u64,
+                    "base {base} replicas {replicas}"
+                );
+                assert!(gaps.iter().all(|&g| g >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn more_copies_shrink_the_longest_gap() {
+        let base = 120;
+        let mut prev_worst = u64::MAX;
+        for replicas in [1u32, 2, 4, 8] {
+            let r = replicate_root(base, replicas);
+            let worst = occurrence_gaps(&r.positions, r.cycle_len)
+                .into_iter()
+                .max()
+                .expect("non-empty");
+            assert!(worst <= prev_worst, "replicas {replicas}");
+            prev_worst = worst;
+        }
+        assert!(prev_worst <= (base as u64).div_ceil(8) + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the original root")]
+    fn zero_replicas_rejected() {
+        let _ = replicate_root(9, 0);
+    }
+}

@@ -10,11 +10,13 @@
 //!
 //! Everything is deterministic given an explicit `u64` seed.
 
+pub mod fault_scenarios;
 pub mod freq;
 pub mod requests;
 pub mod rng;
 pub mod shapes;
 
+pub use fault_scenarios::{erasure_sweep, standard_scenarios, BurstProfile, FaultScenario};
 pub use freq::FrequencyDist;
 pub use requests::RequestStream;
 pub use shapes::{random_tree, RandomTreeConfig};

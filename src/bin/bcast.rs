@@ -4,6 +4,8 @@
 //! bcast optimal   [--input FILE | --demo] --channels K [--strategy S] [--limit N] [--threads T]
 //! bcast heuristic [--input FILE | --demo] --channels K [--method M] [--replicas R]
 //! bcast simulate  [--input FILE | --demo] --channels K --item LABEL [--tune-in SLOT]
+//!                 [--loss P | --burst GB,BG,LG,LB] [--retries N] [--timeout SLOTS]
+//!                 [--replicas R] [--requests N] [--seed S]
 //! bcast render    [--input FILE | --demo]
 //! bcast gen       --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
 //! ```
@@ -20,11 +22,14 @@ use broadcast_alloc::alloc::heuristics::{shrink, sorting};
 use broadcast_alloc::alloc::{
     baselines, find_optimal, replication, OptimalOptions, Schedule, Strategy,
 };
-use broadcast_alloc::channel::{simulator, BroadcastProgram};
+use broadcast_alloc::channel::{
+    simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, RecoveryPolicy,
+    RequestOutcome, ServeOptions,
+};
 use broadcast_alloc::textfmt;
 use broadcast_alloc::tree::{knary, IndexTree, TreeStats};
 use broadcast_alloc::types::Slot;
-use broadcast_alloc::workloads::FrequencyDist;
+use broadcast_alloc::workloads::{FrequencyDist, RequestStream};
 use std::collections::HashMap;
 use std::io::Read;
 use std::process::ExitCode;
@@ -57,7 +62,13 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_heuristic(&opts)
         }
         "simulate" => {
-            opts.allow(INPUT, &["channels", "item", "tune-in"])?;
+            opts.allow(
+                INPUT,
+                &[
+                    "channels", "item", "tune-in", "loss", "burst", "retries", "timeout",
+                    "replicas", "requests", "seed",
+                ],
+            )?;
             cmd_simulate(&opts)
         }
         "render" => {
@@ -87,6 +98,8 @@ commands:
   optimal    provably optimal allocation      --channels K [--strategy auto|datatree|bestfirst|exhaustive] [--limit N] [--threads T]
   heuristic  scalable allocation              --channels K [--method sorting|shrink|partition|frontier] [--replicas R]
   simulate   client access trace              --channels K --item LABEL [--tune-in SLOT]
+             lossy channel:                   [--loss P | --burst GB,BG,LG,LB] [--retries N]
+                                              [--timeout SLOTS] [--replicas R] [--requests N] [--seed S]
   render     pretty-print the tree
   gen        emit a random tree               --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
   compare    run every method on one tree     --channels K [--limit N] [--threads T]
@@ -291,6 +304,104 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     println!(
         "fleet expectation: access {:.2} slots, tuning {:.2} buckets",
         agg.avg_access_time, agg.avg_tuning_time
+    );
+    if opts.get("loss").is_some() || opts.get("burst").is_some() {
+        simulate_lossy(opts, &tree, &program, target, tune_in)?;
+    }
+    Ok(())
+}
+
+/// The `--loss`/`--burst` extension of `simulate`: replays the same access
+/// over a faulty channel (single recovered trace + a weighted batch).
+fn simulate_lossy(
+    opts: &Flags,
+    tree: &IndexTree,
+    program: &BroadcastProgram,
+    target: broadcast_alloc::types::NodeId,
+    tune_in: Slot,
+) -> Result<(), String> {
+    let seed: u64 = opts.parse("seed")?.unwrap_or(7);
+    let plan = match opts.get("burst") {
+        Some(spec) => {
+            let parts: Vec<f64> = spec
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("bad --burst component '{p}'"))
+                })
+                .collect::<Result<_, String>>()?;
+            let [gb, bg, lg, lb] = parts[..] else {
+                return Err("--burst needs four values: GB,BG,LG,LB".into());
+            };
+            FaultPlan::gilbert_elliott(
+                GilbertElliott {
+                    p_good_to_bad: gb,
+                    p_bad_to_good: bg,
+                    loss_good: lg,
+                    loss_bad: lb,
+                },
+                seed,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => FaultPlan::erasure(opts.parse("loss")?.unwrap_or(0.0), seed)
+            .map_err(|e| e.to_string())?,
+    };
+    let defaults = RecoveryPolicy::default();
+    let policy = RecoveryPolicy {
+        max_retries: opts.parse("retries")?.unwrap_or(defaults.max_retries),
+        timeout_slots: opts.parse("timeout")?.unwrap_or(defaults.timeout_slots),
+        root_replicas: opts.parse::<u32>("replicas")?.unwrap_or(1).max(1),
+        ..defaults
+    };
+    let compiled = CompiledProgram::compile(program, tree).map_err(|e| e.to_string())?;
+    println!(
+        "\nlossy channel (expected loss {:.2}%, retries <= {}, root replicas {}):",
+        100.0 * plan.expected_loss(),
+        policy.max_retries,
+        policy.root_replicas
+    );
+    match compiled
+        .access_lossy(target, tune_in, &plan, 0, &policy)
+        .map_err(|e| e.to_string())?
+    {
+        RequestOutcome::Delivered(d) => println!(
+            "  this access: delivered after {} retr{} (+{} recovery slots, {} total)",
+            d.retries,
+            if d.retries == 1 { "y" } else { "ies" },
+            d.extra_wait,
+            d.total_access_time()
+        ),
+        RequestOutcome::Failed(f) => println!("  this access: {f}"),
+    }
+    let requests: usize = opts.parse("requests")?.unwrap_or(10_000);
+    let data = tree.data_nodes();
+    let weights: Vec<f64> = data.iter().map(|&d| tree.weight(d).get()).collect();
+    let targets: Vec<_> = RequestStream::from_weights(&weights, seed ^ 0x7A11)
+        .take(requests)
+        .map(|i| data[i])
+        .collect();
+    let m = compiled
+        .serve_batch(
+            &targets,
+            &ServeOptions {
+                seed,
+                faults: plan,
+                recovery: policy,
+                ..ServeOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  {} requests: {:.2}% delivered ({} failed), mean access {:.2} slots \
+         (+{:.2} recovery), {:.3} retries/request",
+        m.requests,
+        100.0 * m.delivery_rate(),
+        m.failed,
+        m.mean_access_time,
+        m.mean_extra_wait,
+        m.retries as f64 / m.requests.max(1) as f64
     );
     Ok(())
 }

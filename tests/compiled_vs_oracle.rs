@@ -99,7 +99,11 @@ proptest! {
             .take(requests)
             .map(|i| data[i])
             .collect();
-        let opts = ServeOptions { threads, seed };
+        let opts = ServeOptions {
+            threads,
+            seed,
+            ..ServeOptions::default()
+        };
         let m = compiled.serve_batch(&targets, &opts).expect("all data targets");
         prop_assert_eq!(m.requests, requests);
         prop_assert_eq!(m.histogram.count(), requests as u64);

@@ -35,6 +35,7 @@ fn million_request_serving_stress() {
     let opts = ServeOptions {
         threads: 1,
         seed: 0xBEEF,
+        ..ServeOptions::default()
     };
     let m1 = compiled
         .serve_batch(&targets, &opts)

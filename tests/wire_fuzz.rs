@@ -1,0 +1,135 @@
+//! Adversarial wire-format fuzzing: a receiver decoding a hostile or
+//! damaged byte stream must fail *closed* — every truncation and bit flip
+//! surfaces as a [`wire::WireError`], never a panic and never a silently
+//! corrupted `Ok`. The per-bucket CRC32 trailer (PR 5) is what turns
+//! "garbled pointer that mis-routes clients for a whole cycle" into an
+//! immediate `ChecksumMismatch`.
+
+use broadcast_alloc::alloc::heuristics::sorting;
+use broadcast_alloc::channel::{wire, BroadcastProgram};
+use broadcast_alloc::tree::knary;
+use broadcast_alloc::types::ChannelId;
+use broadcast_alloc::workloads::FrequencyDist;
+use bytes::Bytes;
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+/// A small but non-trivial encoded channel: random weights, 2 channels,
+/// payloads of varying length so bucket framing is irregular.
+fn encoded_channel(items: usize, seed: u64) -> Bytes {
+    let weights = FrequencyDist::Zipf {
+        theta: 0.8,
+        scale: 100.0,
+    }
+    .sample(items.max(2), seed);
+    let tree = knary::build_weight_balanced(&weights, 3).expect("non-empty weights");
+    let k = 2;
+    let schedule = sorting::sorting_schedule(&tree, k);
+    let alloc = schedule.into_allocation(&tree, k).expect("feasible");
+    let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+    wire::encode_channel(&program, ChannelId::FIRST, |n| {
+        Bytes::from(vec![n.index() as u8; 1 + n.index() % 7])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating the stream at *any* byte boundary either errors or — when
+    /// the cut lands exactly between sealed buckets — yields a strict
+    /// prefix of the genuine buckets. It never panics and never fabricates
+    /// a bucket that was not broadcast.
+    #[test]
+    fn truncation_fails_closed_at_every_length(
+        items in 2usize..10,
+        seed in 0u64..10_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let encoded = encoded_channel(items, seed);
+        let clean = wire::decode_channel(encoded.clone()).expect("self-produced stream decodes");
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < encoded.len());
+        match wire::decode_channel(encoded.slice(0..cut)) {
+            // A cut between buckets is indistinguishable from a shorter
+            // broadcast; every surviving bucket must still be genuine.
+            Ok(prefix) => {
+                prop_assert!(prefix.len() < clean.len());
+                prop_assert_eq!(&prefix[..], &clean[..prefix.len()]);
+            }
+            Err(e) => {
+                // Mid-bucket cuts are truncations; a cut inside the CRC
+                // trailer can also read as a checksum mismatch. Formatting
+                // the error exercises the Display impls.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Flipping any single bit anywhere in the stream is detected: the
+    /// decode errors (almost always `ChecksumMismatch`; framing damage may
+    /// surface as `Truncated`/`BadKind` first) and never returns the
+    /// original bucket sequence as if nothing happened.
+    #[test]
+    fn single_bit_flips_never_decode_silently(
+        items in 2usize..10,
+        seed in 0u64..10_000,
+        flip_pos in 0u64..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let encoded = encoded_channel(items, seed);
+        let clean = wire::decode_channel(encoded.clone()).expect("clean stream decodes");
+        let mut raw = encoded.to_vec();
+        let pos = (flip_pos % raw.len() as u64) as usize;
+        raw[pos] ^= 1 << bit;
+        if let Ok(decoded) = wire::decode_channel(Bytes::from(raw)) {
+            prop_assert!(
+                decoded != clean,
+                "bit {bit} of byte {pos} flipped yet the stream decoded unchanged"
+            );
+        }
+    }
+
+    /// Feeding completely arbitrary bytes into the bucket decoder never
+    /// panics — it either rejects the garbage or parses some structurally
+    /// valid (and CRC-consistent) bucket out of it.
+    #[test]
+    fn random_garbage_never_panics_the_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let mut stream = Bytes::from(bytes.clone());
+        // Errors are expected and fine; what this pins is "no panic".
+        let _ = wire::decode_bucket(&mut stream);
+        let _ = wire::decode_channel(Bytes::from(bytes));
+    }
+}
+
+/// Deterministic companion: chop an encoded channel *inside the CRC
+/// trailer* of its final bucket and check the specific error taxonomy —
+/// structural bytes intact, checksum unreadable → `Truncated`.
+#[test]
+fn missing_crc_trailer_reads_as_truncation() {
+    let encoded = encoded_channel(5, 42);
+    for missing in 1..=4 {
+        let cut = encoded.len() - missing;
+        let err = wire::decode_channel(encoded.slice(0..cut))
+            .expect_err("a bucket without its full CRC cannot decode");
+        assert_eq!(err, wire::WireError::Truncated, "missing {missing} bytes");
+    }
+}
+
+/// Corrupting a *payload* byte (not framing) is exactly the case headers
+/// alone cannot catch — it must surface as `ChecksumMismatch`.
+#[test]
+fn payload_corruption_is_a_checksum_mismatch() {
+    let encoded = encoded_channel(6, 7);
+    // Walk buckets to find a data bucket's payload byte: re-decode the
+    // clean stream, then flip the last body byte before the final CRC.
+    let mut raw = encoded.to_vec();
+    let n = raw.len();
+    raw[n - 5] ^= 0x01; // last byte covered by the final bucket's CRC
+    match wire::decode_channel(Bytes::from(raw)) {
+        Err(wire::WireError::ChecksumMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
