@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress chaos bench bench-json publish-bench clippy fmt fmt-check
+.PHONY: check build test stress chaos scenarios bench bench-json publish-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated parallel-search stress tests in release
@@ -23,9 +23,21 @@ stress:
 	$(CARGO) test --release $(OFFLINE) -- --ignored stress
 
 # Lossy-channel chaos stress: 100k requests under 35% erasure and a burst
-# storm, pinning thread-count invariance and recovery-budget bounds.
+# storm, pinning thread-count invariance and recovery-budget bounds; plus
+# the tenant-isolation storm — one tenant under sustained ~20%
+# Gilbert–Elliott loss while its neighbors must match their solo-run
+# baselines exactly.
 chaos:
-	$(CARGO) test --release $(OFFLINE) --test faults_recovery -- --ignored chaos
+	$(CARGO) test --release $(OFFLINE) --test faults_recovery \
+		--test tenant_isolation -- --ignored chaos
+
+# Tier-2 "day in the life" sweep: the four canonical scenarios (flash
+# crowd, diurnal drift, brownout, tenant churn) through the multi-tenant
+# serving loop at scaled load, including the #[ignore]-gated long runs,
+# plus the scenario-determinism property suite — all in release mode.
+scenarios:
+	$(CARGO) test --release $(OFFLINE) --test scenarios \
+		--test scenario_determinism --test tenant_isolation -- --include-ignored
 
 bench:
 	$(CARGO) bench $(OFFLINE) -p bcast-bench --bench search_strategies
@@ -42,12 +54,16 @@ bench:
 # noise for the other sections). BENCH_PR5.json records lossy-channel
 # serving: the FaultPlan::none() fast path as the regression guard against
 # the PR3 numbers, plus throughput/delivery-rate/recovery-wait rows for the
-# standard fault grid (1% / 5% / 20% erasure and bursty).
+# standard fault grid (1% / 5% / 20% erasure and bursty). BENCH_PR6.json
+# records live multi-tenant serving: sustained aggregate throughput and
+# worst p99 across 8 concurrent tenants in the ServeLoop, plus one row per
+# canonical day-in-the-life scenario, each asserted SLO-clean with zero
+# rebuild downtime before the numbers are written.
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
 		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
-		--faults-into BENCH_PR5.json
+		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.

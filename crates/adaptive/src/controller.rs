@@ -69,6 +69,89 @@ impl Default for DegradationPolicy {
     }
 }
 
+/// The mutable hysteresis/cooldown state machine behind a
+/// [`DegradationPolicy`], extracted so every *tenant* of a multi-tenant
+/// service owns an independent instance: one tenant's brownout escalating
+/// its cooldown must never suppress a neighbor's rebuild. (The
+/// [`AdaptiveBroadcaster`] embeds one; the serving loop keeps one per
+/// tenant.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationTracker {
+    policy: DegradationPolicy,
+    /// Consecutive epochs with delivery rate below the degradation floor.
+    degraded_streak: u32,
+    /// Epochs the trigger is still locked out.
+    cooldown_left: u64,
+    /// Cooldown applied after the *next* degradation rebuild (doubles on
+    /// consecutive degraded rebuilds, resets on recovery).
+    next_cooldown: u64,
+    degraded_rebuilds: u64,
+}
+
+impl DegradationTracker {
+    /// A fresh tracker for `policy` (streak empty, no lockout).
+    pub fn new(policy: DegradationPolicy) -> Self {
+        DegradationTracker {
+            policy,
+            degraded_streak: 0,
+            cooldown_left: 0,
+            next_cooldown: policy.cooldown_epochs,
+            degraded_rebuilds: 0,
+        }
+    }
+
+    /// The policy this tracker enforces.
+    pub fn policy(&self) -> &DegradationPolicy {
+        &self.policy
+    }
+
+    /// Feeds one epoch's delivery rate. Returns `true` when the caller
+    /// should rebuild *now* — the tracker has already recorded the rebuild
+    /// (streak cleared, cooldown armed), so the caller only performs it.
+    ///
+    /// See [`DegradationPolicy`] for the hysteresis + backoff rules.
+    pub fn observe(&mut self, delivery_rate: f64) -> bool {
+        let d = self.policy;
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+        }
+        if delivery_rate < d.min_delivery_rate {
+            self.degraded_streak = self.degraded_streak.saturating_add(1);
+        } else if delivery_rate >= d.recovered_rate {
+            // A healthy epoch clears the streak, the escalated backoff and
+            // any remaining lockout — the lockout exists to pace rebuilds
+            // *within* a degraded period, not to delay response to the
+            // next one.
+            self.degraded_streak = 0;
+            self.next_cooldown = d.cooldown_epochs;
+            self.cooldown_left = 0;
+        }
+        if self.degraded_streak >= d.sustain_epochs && self.cooldown_left == 0 {
+            self.degraded_rebuilds += 1;
+            self.degraded_streak = 0;
+            self.cooldown_left = self.next_cooldown;
+            self.next_cooldown = (self.next_cooldown.saturating_mul(2)).min(d.max_cooldown_epochs);
+            return true;
+        }
+        false
+    }
+
+    /// Forgets all transient state (streak, lockout, escalated backoff)
+    /// but keeps the lifetime rebuild count — a tenant re-joining after
+    /// churn, or a channel re-provisioned out of band, starts with a
+    /// clean slate instead of a stale cooldown.
+    pub fn reset(&mut self) {
+        self.degraded_streak = 0;
+        self.cooldown_left = 0;
+        self.next_cooldown = self.policy.cooldown_epochs;
+    }
+
+    /// Rebuilds this tracker has triggered.
+    pub fn degraded_rebuilds(&self) -> u64 {
+        self.degraded_rebuilds
+    }
+}
+
 /// Rebuild configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebuildPolicy {
@@ -113,14 +196,8 @@ pub struct AdaptiveBroadcaster {
     cycle_len: usize,
     epoch: u64,
     rebuilds: u64,
-    /// Consecutive epochs with delivery rate below the degradation floor.
-    degraded_streak: u32,
-    /// Epochs the degradation trigger is still locked out.
-    cooldown_left: u64,
-    /// Cooldown to apply after the *next* degradation rebuild (doubles on
-    /// consecutive degraded rebuilds, resets on recovery).
-    next_cooldown: u64,
-    degraded_rebuilds: u64,
+    /// Per-instance degradation state machine (`None` = no feedback path).
+    degradation: Option<DegradationTracker>,
 }
 
 impl AdaptiveBroadcaster {
@@ -139,10 +216,7 @@ impl AdaptiveBroadcaster {
             cycle_len: 0,
             epoch: 0,
             rebuilds: 0,
-            degraded_streak: 0,
-            cooldown_left: 0,
-            next_cooldown: policy.degradation.map_or(0, |d| d.cooldown_epochs),
-            degraded_rebuilds: 0,
+            degradation: policy.degradation.map(DegradationTracker::new),
             policy,
         };
         this.rebuild(initial_weights);
@@ -156,7 +230,9 @@ impl AdaptiveBroadcaster {
 
     /// Rebuilds triggered by the degraded-feedback path specifically.
     pub fn degraded_rebuilds(&self) -> u64 {
-        self.degraded_rebuilds
+        self.degradation
+            .as_ref()
+            .map_or(0, DegradationTracker::degraded_rebuilds)
     }
 
     /// Current cycle length in slots.
@@ -237,30 +313,12 @@ impl AdaptiveBroadcaster {
     /// See [`DegradationPolicy`] for the hysteresis + backoff rules; with
     /// no degradation policy configured this is a no-op.
     pub fn observe_delivery(&mut self, delivery_rate: f64) -> bool {
-        let Some(d) = self.policy.degradation else {
+        let Some(tracker) = self.degradation.as_mut() else {
             return false;
         };
-        if self.cooldown_left > 0 {
-            self.cooldown_left -= 1;
-        }
-        if delivery_rate < d.min_delivery_rate {
-            self.degraded_streak = self.degraded_streak.saturating_add(1);
-        } else if delivery_rate >= d.recovered_rate {
-            // A healthy epoch clears the streak, the escalated backoff and
-            // any remaining lockout — the lockout exists to pace rebuilds
-            // *within* a degraded period, not to delay response to the
-            // next one.
-            self.degraded_streak = 0;
-            self.next_cooldown = d.cooldown_epochs;
-            self.cooldown_left = 0;
-        }
-        if self.degraded_streak >= d.sustain_epochs && self.cooldown_left == 0 {
+        if tracker.observe(delivery_rate) {
             let w = self.estimator.weights();
             self.rebuild(&w);
-            self.degraded_rebuilds += 1;
-            self.degraded_streak = 0;
-            self.cooldown_left = self.next_cooldown;
-            self.next_cooldown = (self.next_cooldown.saturating_mul(2)).min(d.max_cooldown_epochs);
             return true;
         }
         false
@@ -489,6 +547,50 @@ mod tests {
             }
         }
         assert_eq!(fired_at, Some(1), "sustain_epochs=2 → fire on 2nd epoch");
+    }
+
+    #[test]
+    fn trackers_are_independent_per_tenant() {
+        // The multi-tenant requirement: a brownout escalating tenant A's
+        // cooldown must not delay tenant B's first rebuild.
+        let d = DegradationPolicy {
+            sustain_epochs: 2,
+            cooldown_epochs: 4,
+            ..DegradationPolicy::default()
+        };
+        let mut a = DegradationTracker::new(d);
+        let mut b = DegradationTracker::new(d);
+        // A endures a long storm (escalated backoff, several rebuilds).
+        let mut a_rebuilds = 0;
+        for _ in 0..30 {
+            if a.observe(0.3) {
+                a_rebuilds += 1;
+            }
+        }
+        assert!(a_rebuilds >= 2);
+        // B, pristine, fires after exactly sustain_epochs.
+        assert!(!b.observe(0.3));
+        assert!(b.observe(0.3));
+        assert_eq!(b.degraded_rebuilds(), 1);
+    }
+
+    #[test]
+    fn reset_clears_the_lockout_but_keeps_history() {
+        let d = DegradationPolicy {
+            sustain_epochs: 2,
+            cooldown_epochs: 16,
+            max_cooldown_epochs: 64,
+            ..DegradationPolicy::default()
+        };
+        let mut t = DegradationTracker::new(d);
+        assert!(!t.observe(0.3));
+        assert!(t.observe(0.3));
+        // Locked out for 16 epochs now; a churned-in tenant resets.
+        t.reset();
+        assert!(!t.observe(0.3));
+        assert!(t.observe(0.3), "reset must drop the cooldown lockout");
+        assert_eq!(t.degraded_rebuilds(), 2, "lifetime count survives reset");
+        assert_eq!(t.policy(), &d);
     }
 
     #[test]

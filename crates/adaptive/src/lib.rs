@@ -29,7 +29,9 @@ pub mod estimator;
 pub mod hotset;
 pub mod stream;
 
-pub use controller::{AdaptiveBroadcaster, DegradationPolicy, PolicyReport, RebuildPolicy};
+pub use controller::{
+    AdaptiveBroadcaster, DegradationPolicy, DegradationTracker, PolicyReport, RebuildPolicy,
+};
 pub use estimator::EmaEstimator;
 pub use hotset::{HotSetConfig, HotSetManager};
 pub use stream::{DriftKind, DriftingWorkload};

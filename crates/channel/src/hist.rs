@@ -71,6 +71,25 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Folds another histogram into this one, clamping values above this
+    /// histogram's bound into the top bucket — the cross-window variant of
+    /// [`merge`](Self::merge) for accumulators whose source bounds vary
+    /// (a tenant's cycle length, hence its per-batch histogram bound,
+    /// changes across rebuilds; its phase-level accumulator does not).
+    /// The true sum/min/max are carried over exactly, so the mean never
+    /// drifts; only above-bound quantiles saturate, as documented on the
+    /// type.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        let top = self.counts.len() - 1;
+        for (value, &c) in other.counts.iter().enumerate() {
+            self.counts[value.min(top)] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded observations.
     #[inline]
     pub fn count(&self) -> u64 {
@@ -189,6 +208,34 @@ mod tests {
         assert_eq!(h.max(), 100);
         assert_eq!(h.percentile(1.0), 4); // clamped into the top bucket
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn absorb_accepts_mismatched_bounds() {
+        // Same-bound absorb is exactly merge.
+        let mut a = LatencyHistogram::with_bound(20);
+        let mut b = LatencyHistogram::with_bound(20);
+        let mut m = LatencyHistogram::with_bound(20);
+        for v in [1u32, 5, 19] {
+            a.record(v);
+            m.record(v);
+        }
+        for v in [0u32, 20] {
+            b.record(v);
+            m.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a, m);
+        // Wider source clamps into the top bucket but keeps exact moments.
+        let mut narrow = LatencyHistogram::with_bound(4);
+        let mut wide = LatencyHistogram::with_bound(100);
+        wide.record(2);
+        wide.record(90);
+        narrow.absorb(&wide);
+        assert_eq!(narrow.count(), 2);
+        assert_eq!(narrow.sum(), 92);
+        assert_eq!(narrow.max(), 90);
+        assert_eq!(narrow.percentile(1.0), 4);
     }
 
     #[test]

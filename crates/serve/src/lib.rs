@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! A live multi-tenant serving loop over the broadcast machinery — the
+//! "day in the life" harness that exercises everything the lower crates
+//! provide (allocation heuristics, compiled serving, fault recovery,
+//! online adaptation) as one long-lived service.
+//!
+//! * [`tenant`] — one tenant: tree + double-buffered publisher + EMA
+//!   estimator + degradation tracker, advanced one time slice at a time;
+//! * [`service`] — the [`ServeLoop`]: a roster of tenants advanced in
+//!   lock-step slices, sharded across scoped worker threads;
+//! * [`scenario`] — the [`run_scenario`] interpreter for the canonical
+//!   [`bcast_workloads::scenario`] scripts, producing per-phase SLO
+//!   verdicts.
+//!
+//! Determinism is the design invariant: tenants are self-contained (all
+//! randomness derives from the service seed and the tenant's stable id),
+//! so a scenario replays bit-identically at any thread count, and a
+//! tenant's metrics are the same whether it serves alone or among noisy
+//! neighbors — the property the tenant-isolation chaos tests pin down
+//! with exact equality.
+
+pub mod scenario;
+pub mod service;
+pub mod tenant;
+
+pub use scenario::{run_scenario, PhaseReport, ScenarioOutcome, TenantPhaseReport};
+pub use service::ServeLoop;
+pub use tenant::{TenantConfig, TenantRuntime};

@@ -1,0 +1,276 @@
+//! Interprets a [`ScenarioSpec`] against a [`ServeLoop`]: churn at phase
+//! boundaries, per-tenant demand/fault/SLO scripts, and per-phase SLO
+//! verdicts collected into a [`ScenarioOutcome`].
+//!
+//! The outcome derives `PartialEq`, and every number in it is either an
+//! exact integer or an `f64` computed from exact integers — so "replays
+//! bit-identically" is testable as plain `==` between outcomes from
+//! different thread counts or reruns, and [`ScenarioOutcome::fingerprint`]
+//! folds the whole outcome into one `u64` for cheap cross-run comparison.
+
+use crate::service::ServeLoop;
+use crate::tenant::TenantConfig;
+use bcast_types::{SloSnapshot, SloSpec, SloViolation};
+use bcast_workloads::{PhaseSpec, ScenarioSpec};
+
+/// One tenant's verdict for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPhaseReport {
+    /// Stable tenant id.
+    pub tenant: u64,
+    /// What the tenant measured over the phase.
+    pub snapshot: SloSnapshot,
+    /// The SLO it was held to.
+    pub slo: SloSpec,
+    /// Objectives violated (empty = the SLO held).
+    pub violations: Vec<SloViolation>,
+}
+
+/// All tenants' verdicts for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase label from the spec.
+    pub name: String,
+    /// Slices the phase ran.
+    pub slices: u32,
+    /// Per-tenant verdicts, in ascending tenant id order.
+    pub tenants: Vec<TenantPhaseReport>,
+}
+
+impl PhaseReport {
+    /// Requests offered across all tenants in the phase.
+    pub fn requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.snapshot.requests).sum()
+    }
+
+    /// Worst per-tenant delivery rate in the phase.
+    pub fn min_delivery_rate(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.snapshot.delivery_rate())
+            .fold(1.0, f64::min)
+    }
+}
+
+/// The full record of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario label from the spec.
+    pub name: String,
+    /// The seed the run derived all randomness from.
+    pub seed: u64,
+    /// Per-phase reports, in timeline order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ScenarioOutcome {
+    /// Every violation in the run as `(phase, tenant, violation)`.
+    pub fn violations(&self) -> Vec<(&str, u64, &SloViolation)> {
+        self.phases
+            .iter()
+            .flat_map(|p| {
+                p.tenants
+                    .iter()
+                    .flat_map(|t| t.violations.iter().map(|v| (p.name.as_str(), t.tenant, v)))
+            })
+            .collect()
+    }
+
+    /// Panics with a readable listing if any phase SLO was violated.
+    pub fn assert_slos(&self) {
+        let violations = self.violations();
+        assert!(
+            violations.is_empty(),
+            "scenario '{}' (seed {:#x}) violated SLOs:\n{}",
+            self.name,
+            self.seed,
+            violations
+                .iter()
+                .map(|(phase, tenant, v)| format!("  [{phase}] tenant {tenant}: {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Requests offered across the whole run.
+    pub fn total_requests(&self) -> u64 {
+        self.phases.iter().map(PhaseReport::requests).sum()
+    }
+
+    /// Programs published across the whole run (all tenants).
+    pub fn total_rebuilds(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tenants)
+            .map(|t| t.snapshot.rebuilds)
+            .sum()
+    }
+
+    /// Slots any tenant spent without a servable program — zero by
+    /// construction of the double-buffered swap.
+    pub fn total_downtime_slots(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tenants)
+            .map(|t| t.snapshot.rebuild_downtime_slots)
+            .sum()
+    }
+
+    /// Worst per-tenant p99 access time (slots) across the run.
+    pub fn worst_p99_slots(&self) -> u32 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tenants)
+            .map(|t| t.snapshot.p99_slots)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Folds every field of the outcome into one order-sensitive 64-bit
+    /// FNV-1a digest (floats by bit pattern). Two runs are bit-identical
+    /// iff their fingerprints match — the cheap cross-thread-count and
+    /// cross-rerun determinism check.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: u64, x: u64) -> u64 {
+            x.to_le_bytes().iter().fold(h, |h, &b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            })
+        }
+        let mut h = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        h = eat(h, self.seed);
+        for p in &self.phases {
+            h = eat(h, u64::from(p.slices));
+            for t in &p.tenants {
+                let s = &t.snapshot;
+                for x in [
+                    t.tenant,
+                    s.requests,
+                    s.delivered,
+                    s.failed,
+                    s.retries,
+                    u64::from(s.p99_slots),
+                    s.mean_access_slots.to_bits(),
+                    u64::from(s.max_cycle_len),
+                    s.rebuilds,
+                    s.degraded_rebuilds,
+                    s.rebuild_downtime_slots,
+                    t.violations.len() as u64,
+                ] {
+                    h = eat(h, x);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Tenant configuration the runner boots every scenario tenant with.
+fn tenant_config(id: u64, spec: &ScenarioSpec) -> TenantConfig {
+    let mut config = TenantConfig::new(id, spec.items_per_tenant);
+    config.fanout = spec.fanout;
+    config.channels = spec.channels;
+    config
+}
+
+/// Applies one phase's churn and scripts to the roster.
+fn begin_phase(svc: &mut ServeLoop, phase: &PhaseSpec, spec: &ScenarioSpec) {
+    for _ in 0..phase.join {
+        let id = svc.next_id();
+        svc.join(tenant_config(id, spec));
+    }
+    for _ in 0..phase.leave {
+        let Some(last) = svc.tenants().last().map(|t| t.id()) else {
+            break;
+        };
+        svc.leave(last);
+    }
+    for t in svc.tenants_mut() {
+        let id = t.id();
+        t.begin_phase(
+            phase.demand_for(id),
+            phase.faults_for(id),
+            phase.slo_for(id),
+            phase.slices,
+        );
+    }
+}
+
+/// Runs a scenario to completion: boots `spec.tenants` tenants with ids
+/// `0..tenants`, then for each phase applies churn, scripts every tenant
+/// and advances the loop `slices` times. Deterministic in `(spec, seed)`
+/// alone — `threads` only partitions work.
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64, threads: usize) -> ScenarioOutcome {
+    let mut svc = ServeLoop::new(seed, threads);
+    for id in 0..spec.tenants as u64 {
+        svc.join(tenant_config(id, spec));
+    }
+    let mut phases = Vec::with_capacity(spec.phases.len());
+    for phase in &spec.phases {
+        begin_phase(&mut svc, phase, spec);
+        svc.run_slices(phase.slices);
+        phases.push(PhaseReport {
+            name: phase.name.to_string(),
+            slices: phase.slices,
+            tenants: svc
+                .tenants()
+                .iter()
+                .map(|t| TenantPhaseReport {
+                    tenant: t.id(),
+                    snapshot: t.phase_snapshot(),
+                    slo: t.slo(),
+                    violations: t.phase_violations(),
+                })
+                .collect(),
+        });
+    }
+    ScenarioOutcome {
+        name: spec.name.to_string(),
+        seed,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_workloads::{flash_crowd, tenant_churn};
+
+    #[test]
+    fn runner_follows_the_phase_timeline() {
+        let spec = flash_crowd(3, 32, 80, 6);
+        let out = run_scenario(&spec, 0xF1A5, 1);
+        assert_eq!(out.phases.len(), 3);
+        assert_eq!(out.phases[0].name, "calm");
+        // The spike phase multiplies tenant 0's rate by 8.
+        let calm = out.phases[0].tenants[0].snapshot.requests;
+        let spike = out.phases[1].tenants[0].snapshot.requests;
+        assert_eq!(spike, calm * 8);
+        out.assert_slos();
+        assert_eq!(out.total_downtime_slots(), 0);
+    }
+
+    #[test]
+    fn churn_changes_the_roster_between_phases() {
+        let spec = tenant_churn(3, 32, 60, 5);
+        let out = run_scenario(&spec, 7, 2);
+        assert_eq!(out.phases[0].tenants.len(), 3);
+        assert_eq!(out.phases[1].tenants.len(), 5, "2 joined");
+        assert_eq!(out.phases[2].tenants.len(), 3, "2 newest left");
+        let ids: Vec<u64> = out.phases[2].tenants.iter().map(|t| t.tenant).collect();
+        assert_eq!(ids, vec![0, 1, 2], "original cohort keeps its ids");
+        out.assert_slos();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_runs_and_matches_replays() {
+        let spec = flash_crowd(2, 24, 50, 4);
+        let a = run_scenario(&spec, 11, 1);
+        let b = run_scenario(&spec, 11, 4);
+        assert_eq!(a, b, "thread count is invisible");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run_scenario(&spec, 12, 1);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed changes the run");
+    }
+}

@@ -1,0 +1,213 @@
+//! The multi-tenant event loop: a roster of [`TenantRuntime`]s advanced
+//! in lock-step time slices, sharded across scoped worker threads.
+//!
+//! Sharding is pure partitioning: tenants are self-contained (every
+//! random draw derives from the tenant's own seed), workers get disjoint
+//! contiguous chunks of the roster, and no state is merged across
+//! tenants — so the loop produces bit-identical results at any thread
+//! count, and `threads == 1` never spawns at all.
+
+use crate::tenant::{TenantConfig, TenantRuntime};
+
+/// A live multi-tenant serving loop.
+#[derive(Debug)]
+pub struct ServeLoop {
+    tenants: Vec<TenantRuntime>,
+    seed: u64,
+    threads: usize,
+    next_id: u64,
+    slices_run: u64,
+}
+
+impl ServeLoop {
+    /// An empty loop. `seed` roots every tenant's derived seed; `threads`
+    /// is the worker count for [`run_slice`](Self::run_slice) (`0` and
+    /// `1` both mean sequential — results never depend on it).
+    pub fn new(seed: u64, threads: usize) -> Self {
+        ServeLoop {
+            tenants: Vec::new(),
+            seed,
+            threads,
+            next_id: 0,
+            slices_run: 0,
+        }
+    }
+
+    /// Boots a tenant cold and adds it to the roster, keeping the roster
+    /// sorted by id. The tenant's seed derives from the service seed and
+    /// `config.id` only — never from roster position — so a tenant
+    /// behaves identically whether it serves alone or among neighbors.
+    ///
+    /// # Panics
+    /// Panics if a tenant with the same id is already on the roster.
+    pub fn join(&mut self, config: TenantConfig) -> u64 {
+        let id = config.id;
+        assert!(
+            self.tenant(id).is_none(),
+            "tenant id {id} already on the roster"
+        );
+        self.next_id = self.next_id.max(id + 1);
+        let runtime = TenantRuntime::new(config, self.seed);
+        let at = self.tenants.partition_point(|t| t.id() < id);
+        self.tenants.insert(at, runtime);
+        id
+    }
+
+    /// The next unused tenant id (for churn scripts that join anonymous
+    /// tenants).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Removes a tenant from the roster. Returns `false` if no tenant
+    /// with that id is present.
+    pub fn leave(&mut self, id: u64) -> bool {
+        match self.tenants.iter().position(|t| t.id() == id) {
+            Some(at) => {
+                self.tenants.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The roster, in ascending id order.
+    pub fn tenants(&self) -> &[TenantRuntime] {
+        &self.tenants
+    }
+
+    /// Mutable roster access (for per-phase scripting).
+    pub fn tenants_mut(&mut self) -> &mut [TenantRuntime] {
+        &mut self.tenants
+    }
+
+    /// One tenant by id.
+    pub fn tenant(&self, id: u64) -> Option<&TenantRuntime> {
+        self.tenants.iter().find(|t| t.id() == id)
+    }
+
+    /// One tenant by id, mutably.
+    pub fn tenant_mut(&mut self, id: u64) -> Option<&mut TenantRuntime> {
+        self.tenants.iter_mut().find(|t| t.id() == id)
+    }
+
+    /// Slices the loop has run.
+    pub fn slices_run(&self) -> u64 {
+        self.slices_run
+    }
+
+    /// Advances every tenant by one time slice, sharding the roster over
+    /// the worker threads. Each worker owns a disjoint contiguous chunk,
+    /// so there is no synchronization beyond the scope join and no
+    /// execution-order dependence in the results.
+    pub fn run_slice(&mut self) {
+        let threads = self.threads.clamp(1, self.tenants.len().max(1));
+        if threads <= 1 {
+            for t in &mut self.tenants {
+                t.run_slice();
+            }
+        } else {
+            let chunk = self.tenants.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for part in self.tenants.chunks_mut(chunk) {
+                    scope.spawn(|| {
+                        for t in part {
+                            t.run_slice();
+                        }
+                    });
+                }
+            });
+        }
+        self.slices_run += 1;
+    }
+
+    /// Runs `n` consecutive slices.
+    pub fn run_slices(&mut self, n: u32) {
+        for _ in 0..n {
+            self.run_slice();
+        }
+    }
+
+    /// Lifetime requests offered across the whole roster (tenants that
+    /// already left are not counted).
+    pub fn total_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.total_requests()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_types::SloSpec;
+    use bcast_workloads::{DemandShape, DemandSpec};
+
+    fn demand(rate: u32) -> DemandSpec {
+        DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, rate)
+    }
+
+    fn boot(threads: usize, tenants: u64) -> ServeLoop {
+        let mut svc = ServeLoop::new(0x5EED, threads);
+        for id in 0..tenants {
+            svc.join(TenantConfig::new(id, 32));
+            svc.tenant_mut(id)
+                .unwrap()
+                .begin_phase(demand(120), None, SloSpec::lossless(), 6);
+        }
+        svc
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let snapshots = |threads: usize| {
+            let mut svc = boot(threads, 5);
+            svc.run_slices(6);
+            svc.tenants()
+                .iter()
+                .map(|t| (t.id(), t.phase_snapshot()))
+                .collect::<Vec<_>>()
+        };
+        let one = snapshots(1);
+        assert_eq!(one, snapshots(2));
+        assert_eq!(one, snapshots(4));
+        assert_eq!(one, snapshots(16), "more threads than tenants");
+    }
+
+    #[test]
+    fn roster_position_does_not_change_a_tenant() {
+        // Tenant 3 solo vs tenant 3 among neighbors: bit-identical.
+        let mut solo = ServeLoop::new(9, 1);
+        solo.join(TenantConfig::new(3, 24));
+        solo.tenant_mut(3)
+            .unwrap()
+            .begin_phase(demand(90), None, SloSpec::lossless(), 5);
+        solo.run_slices(5);
+
+        let mut svc = ServeLoop::new(9, 2);
+        for id in [0u64, 1, 3, 6] {
+            svc.join(TenantConfig::new(id, 24));
+            svc.tenant_mut(id)
+                .unwrap()
+                .begin_phase(demand(90), None, SloSpec::lossless(), 5);
+        }
+        svc.run_slices(5);
+        assert_eq!(
+            solo.tenant(3).unwrap().phase_snapshot(),
+            svc.tenant(3).unwrap().phase_snapshot()
+        );
+    }
+
+    #[test]
+    fn churn_keeps_ids_stable_and_unique() {
+        let mut svc = boot(1, 3);
+        assert_eq!(svc.next_id(), 3);
+        svc.leave(1);
+        let id = svc.next_id();
+        svc.join(TenantConfig::new(id, 32));
+        assert_eq!(id, 3, "freed low ids are not recycled");
+        assert_eq!(
+            svc.tenants().iter().map(|t| t.id()).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert!(!svc.leave(99), "unknown id");
+    }
+}

@@ -1,0 +1,480 @@
+//! One tenant of the serving loop: an index tree, a double-buffered
+//! publisher, a demand estimator and a degradation tracker, advanced one
+//! time slice at a time.
+//!
+//! A tenant is a *self-contained* state machine: every random draw it
+//! makes (request sampling, tune-in slots, channel faults) derives from
+//! its own seed — itself derived only from the service seed and the
+//! tenant's stable id — and the global slice counter. Nothing depends on
+//! which worker thread runs the tenant or on who its neighbors are, which
+//! is what makes scenario runs bit-identical across thread counts and
+//! lets the isolation tests demand *exact* equality between a tenant's
+//! solo run and its run amid noisy co-tenants.
+
+use bcast_adaptive::{DegradationPolicy, DegradationTracker, EmaEstimator};
+use bcast_channel::{
+    compiled::{BatchMetrics, ServeOptions},
+    faults::{FaultPlan, GilbertElliott, RecoveryPolicy},
+    hist::LatencyHistogram,
+};
+use bcast_core::publish::{PublishHeuristic, PublishOptions, Publisher};
+use bcast_index_tree::{knary, IndexTree};
+use bcast_types::{mix64, NodeId, SloSnapshot, SloSpec, SloViolation};
+use bcast_workloads::{DemandSpec, FaultScenario, RequestStream};
+
+/// Mixes two 64-bit values into one seed. [`mix64`] is a one-argument
+/// finalizer, so two-value mixing composes it: the golden-ratio multiply
+/// separates `(a, b)` from `(a, b + 1)` before the final avalanche.
+#[inline]
+fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Headroom of the per-phase latency accumulator, in cycles: wide enough
+/// that even a degraded tenant's p99 (budgeted at 8 cycles) is measured
+/// exactly, not clamped. Rebuilds within a phase change the cycle length
+/// slightly; [`LatencyHistogram::absorb`] clamps only above this bound.
+const PHASE_HIST_CYCLES: u32 = 16;
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Stable tenant id — the *only* tenant-specific input to seed
+    /// derivation, so a tenant's behavior is independent of roster
+    /// position.
+    pub id: u64,
+    /// Catalog size (data items).
+    pub items: usize,
+    /// Index-tree fanout.
+    pub fanout: usize,
+    /// Broadcast channels.
+    pub channels: usize,
+    /// Allocation heuristic for publishes.
+    pub heuristic: PublishHeuristic,
+    /// EMA smoothing factor for the demand estimator.
+    pub alpha: f64,
+    /// Republish every this many slices (`None` = only on degradation).
+    pub rebuild_every: Option<u64>,
+    /// Degradation-feedback rebuild policy (`None` = disabled).
+    pub degradation: Option<DegradationPolicy>,
+    /// Client recovery budget under channel faults.
+    pub recovery: RecoveryPolicy,
+}
+
+impl TenantConfig {
+    /// A tenant with the defaults the canonical scenarios use: fanout-4
+    /// tree over 3 channels, sorting heuristic, EMA α = 0.4, periodic
+    /// republish every 8 slices plus the default degradation feedback.
+    pub fn new(id: u64, items: usize) -> Self {
+        TenantConfig {
+            id,
+            items,
+            fanout: 4,
+            channels: 3,
+            heuristic: PublishHeuristic::Sorting,
+            alpha: 0.4,
+            rebuild_every: Some(8),
+            degradation: Some(DegradationPolicy::default()),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// Metrics accumulated over the current observation window (one scenario
+/// phase, typically).
+#[derive(Debug, Clone)]
+struct Window {
+    requests: u64,
+    delivered: u64,
+    failed: u64,
+    retries: u64,
+    hist: LatencyHistogram,
+    max_cycle_len: u32,
+    rebuilds: u64,
+    degraded_rebuilds: u64,
+    downtime_slots: u64,
+}
+
+impl Window {
+    fn new(hist_bound: u32) -> Self {
+        Window {
+            requests: 0,
+            delivered: 0,
+            failed: 0,
+            retries: 0,
+            hist: LatencyHistogram::with_bound(hist_bound.max(1)),
+            max_cycle_len: 0,
+            rebuilds: 0,
+            degraded_rebuilds: 0,
+            downtime_slots: 0,
+        }
+    }
+
+    fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            requests: self.requests,
+            delivered: self.delivered,
+            failed: self.failed,
+            retries: self.retries,
+            p99_slots: if self.hist.is_empty() {
+                0
+            } else {
+                self.hist.percentile(0.99)
+            },
+            mean_access_slots: if self.hist.is_empty() {
+                0.0
+            } else {
+                self.hist.mean()
+            },
+            max_cycle_len: self.max_cycle_len,
+            rebuilds: self.rebuilds,
+            degraded_rebuilds: self.degraded_rebuilds,
+            rebuild_downtime_slots: self.downtime_slots,
+        }
+    }
+}
+
+/// A live tenant: tree + publisher + estimator + degradation tracker,
+/// advanced by [`run_slice`](TenantRuntime::run_slice).
+#[derive(Debug)]
+pub struct TenantRuntime {
+    config: TenantConfig,
+    seed: u64,
+    tree: IndexTree,
+    data_nodes: Vec<NodeId>,
+    publisher: Publisher,
+    estimator: EmaEstimator,
+    degradation: Option<DegradationTracker>,
+    // Current-phase script.
+    demand: DemandSpec,
+    faults: Option<FaultScenario>,
+    slo: SloSpec,
+    phase_slices: u32,
+    slice_in_phase: u32,
+    // Lifetime counters.
+    slices_run: u64,
+    total_requests: u64,
+    total_rebuilds: u64,
+    window: Window,
+    // Reused per-slice target buffer (allocation-free steady state).
+    targets: Vec<NodeId>,
+}
+
+impl TenantRuntime {
+    /// Boots a tenant cold: uniform weights, first program published.
+    ///
+    /// # Panics
+    /// Panics if `config.items == 0` or the catalog cannot be scheduled
+    /// on `config.channels` channels (the bundled heuristics always
+    /// produce feasible allocations for sane configs).
+    pub fn new(config: TenantConfig, service_seed: u64) -> Self {
+        assert!(config.items > 0, "tenant needs at least one item");
+        let seed = mix2(service_seed, config.id);
+        let estimator = EmaEstimator::new(config.items, config.alpha);
+        let weights = estimator.weights();
+        let tree = knary::build_weight_balanced(&weights, config.fanout)
+            .expect("uniform weights build a valid tree");
+        let mut publisher = Publisher::new();
+        publisher
+            .publish(
+                &tree,
+                config.channels,
+                config.heuristic,
+                PublishOptions::default(),
+            )
+            .expect("bundled heuristics produce feasible allocations");
+        let data_nodes = tree.data_nodes().to_vec();
+        let cycle = publisher.current().cycle_len() as u32;
+        TenantRuntime {
+            seed,
+            tree,
+            data_nodes,
+            publisher,
+            estimator,
+            degradation: config.degradation.map(DegradationTracker::new),
+            demand: DemandSpec::flat(bcast_workloads::DemandShape::Zipf { theta: 0.9 }, 0),
+            faults: None,
+            slo: SloSpec::default(),
+            phase_slices: 0,
+            slice_in_phase: 0,
+            slices_run: 0,
+            total_requests: 0,
+            total_rebuilds: 0,
+            window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
+            targets: Vec::new(),
+            config,
+        }
+    }
+
+    /// Stable tenant id.
+    pub fn id(&self) -> u64 {
+        self.config.id
+    }
+
+    /// The tenant's configuration.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// Cycle length (slots) of the program currently on air.
+    pub fn cycle_len(&self) -> u32 {
+        self.publisher.current().cycle_len() as u32
+    }
+
+    /// Lifetime requests offered to this tenant.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Lifetime programs published (boot publish excluded).
+    pub fn total_rebuilds(&self) -> u64 {
+        self.total_rebuilds
+    }
+
+    /// The SLO the current phase holds this tenant to.
+    pub fn slo(&self) -> SloSpec {
+        self.slo
+    }
+
+    /// Starts a new observation window with a new script: demand shape,
+    /// channel condition and SLO for the next `slices` slices. Resets the
+    /// window accumulator; estimator, tree and degradation state carry
+    /// over (a tenant's demand history does not reset at phase
+    /// boundaries).
+    pub fn begin_phase(
+        &mut self,
+        demand: DemandSpec,
+        faults: Option<FaultScenario>,
+        slo: SloSpec,
+        slices: u32,
+    ) {
+        self.demand = demand;
+        self.faults = faults;
+        self.slo = slo;
+        self.phase_slices = slices;
+        self.slice_in_phase = 0;
+        self.window = Window::new(PHASE_HIST_CYCLES * self.cycle_len().max(1));
+    }
+
+    /// Clears the degradation tracker's transient hysteresis/cooldown
+    /// state (e.g. after an operator re-provisions the tenant's channel),
+    /// keeping its lifetime rebuild count.
+    pub fn reset_channel_state(&mut self) {
+        if let Some(t) = &mut self.degradation {
+            t.reset();
+        }
+    }
+
+    /// Advances the tenant by one time slice: sample the slice's
+    /// requests from the scripted demand, serve them against the program
+    /// on air, feed the estimator, then run the between-slice control
+    /// actions (degradation feedback, periodic republish). Both rebuild
+    /// paths go through the double-buffered publisher swap, so requests
+    /// are never held while a program compiles — the downtime counter
+    /// stays at zero and the SLO check proves it.
+    pub fn run_slice(&mut self) {
+        let rate = self
+            .demand
+            .rate_at(self.slice_in_phase, self.phase_slices.max(1));
+        let slice_seed = mix2(self.seed, self.slices_run);
+        self.slice_in_phase = (self.slice_in_phase + 1).min(self.phase_slices.saturating_sub(1));
+        self.slices_run += 1;
+
+        if rate > 0 {
+            // Sample this slice's requests. The alias table is rebuilt per
+            // slice because the scripted pmf may change every slice (rate
+            // interpolation keeps the shape, drift scripts move it).
+            let pmf = self.demand.shape.pmf(self.config.items);
+            let mut stream = RequestStream::from_weights(&pmf, mix2(slice_seed, 1));
+            self.targets.clear();
+            self.targets.reserve(rate as usize);
+            for _ in 0..rate {
+                let item = stream.sample();
+                // The estimator sees what was *requested* (demand, not
+                // delivery — channel loss must not starve the allocator's
+                // view of popularity).
+                self.estimator.observe(item);
+                self.targets.push(self.data_nodes[item]);
+            }
+
+            // Serve against the program on air. `current()` is always
+            // servable — the publisher swaps buffers atomically between
+            // slices — so the downtime branch is unreachable by
+            // construction; the counter exists to *prove* that to the SLO
+            // check rather than assume it.
+            let program = self.publisher.current();
+            if program.num_data_nodes() == 0 {
+                self.window.downtime_slots += 1;
+            } else {
+                let opts = ServeOptions {
+                    threads: 1,
+                    seed: mix2(slice_seed, 2),
+                    faults: fault_plan(self.faults.as_ref(), mix2(slice_seed, 3)),
+                    recovery: self.config.recovery,
+                };
+                let metrics = program
+                    .serve_batch(&self.targets, &opts)
+                    .expect("targets are data nodes of the published tree");
+                self.absorb_metrics(&metrics);
+
+                // Degradation feedback reacts to this slice's delivery.
+                let fire = self
+                    .degradation
+                    .as_mut()
+                    .is_some_and(|t| t.observe(metrics.delivery_rate()));
+                if fire {
+                    self.rebuild();
+                    self.window.degraded_rebuilds += 1;
+                }
+            }
+        }
+
+        self.estimator.roll_epoch();
+        if let Some(every) = self.config.rebuild_every {
+            if every > 0 && self.slices_run.is_multiple_of(every) {
+                self.rebuild();
+            }
+        }
+    }
+
+    /// The window accumulated so far, as plain data.
+    pub fn phase_snapshot(&self) -> SloSnapshot {
+        self.window.snapshot()
+    }
+
+    /// Checks the accumulated window against the phase's SLO.
+    pub fn phase_violations(&self) -> Vec<SloViolation> {
+        self.window.snapshot().check(&self.slo)
+    }
+
+    fn absorb_metrics(&mut self, m: &BatchMetrics) {
+        self.window.requests += m.requests as u64;
+        self.window.delivered += m.delivered;
+        self.window.failed += m.failed;
+        self.window.retries += m.retries;
+        self.window.hist.absorb(&m.histogram);
+        self.window.max_cycle_len = self.window.max_cycle_len.max(self.cycle_len());
+        self.total_requests += m.requests as u64;
+    }
+
+    /// Republishes from the estimator's current weights through the
+    /// double-buffered swap: the old program serves until the new one is
+    /// compiled, then `current()` flips.
+    fn rebuild(&mut self) {
+        let weights = self.estimator.weights();
+        let tree = knary::build_weight_balanced(&weights, self.config.fanout)
+            .expect("estimator weights are positive");
+        self.publisher
+            .publish(
+                &tree,
+                self.config.channels,
+                self.config.heuristic,
+                PublishOptions::default(),
+            )
+            .expect("bundled heuristics produce feasible allocations");
+        self.data_nodes.clear();
+        self.data_nodes.extend_from_slice(tree.data_nodes());
+        self.tree = tree;
+        self.window.rebuilds += 1;
+        self.window.max_cycle_len = self.window.max_cycle_len.max(self.cycle_len());
+        self.total_rebuilds += 1;
+    }
+}
+
+/// Interprets a workload-crate [`FaultScenario`] (plain numbers) as a
+/// channel-crate [`FaultPlan`] seeded for one slice.
+fn fault_plan(scenario: Option<&FaultScenario>, seed: u64) -> FaultPlan {
+    match scenario {
+        None => FaultPlan::none(),
+        Some(s) => match s.burst {
+            Some(b) => FaultPlan::gilbert_elliott(
+                GilbertElliott {
+                    p_good_to_bad: b.p_good_to_bad,
+                    p_bad_to_good: b.p_bad_to_good,
+                    loss_good: b.loss_good,
+                    loss_bad: b.loss_bad,
+                },
+                seed,
+            )
+            .expect("scenario presets are valid probabilities"),
+            None if s.erasure_p > 0.0 => {
+                FaultPlan::erasure(s.erasure_p, seed).expect("scenario presets are valid")
+            }
+            None => FaultPlan::none(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_workloads::DemandShape;
+
+    fn demand(rate: u32) -> DemandSpec {
+        DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, rate)
+    }
+
+    #[test]
+    fn lossless_slices_deliver_everything_with_zero_downtime() {
+        let mut t = TenantRuntime::new(TenantConfig::new(7, 32), 0xDA7);
+        t.begin_phase(demand(200), None, SloSpec::lossless(), 10);
+        for _ in 0..10 {
+            t.run_slice();
+        }
+        let snap = t.phase_snapshot();
+        assert_eq!(snap.requests, 2000);
+        assert_eq!(snap.delivered, 2000);
+        assert_eq!(snap.rebuild_downtime_slots, 0);
+        assert!(snap.rebuilds >= 1, "periodic republish every 8 slices");
+        assert!(
+            t.phase_violations().is_empty(),
+            "{:?}",
+            t.phase_violations()
+        );
+    }
+
+    #[test]
+    fn same_seed_and_id_replay_bit_identically() {
+        let run = |service_seed: u64| {
+            let mut t = TenantRuntime::new(TenantConfig::new(3, 48), service_seed);
+            t.begin_phase(demand(150), None, SloSpec::lossless(), 8);
+            for _ in 0..8 {
+                t.run_slice();
+            }
+            t.phase_snapshot()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn lossy_channel_still_bounded_by_degraded_slo() {
+        let mut t = TenantRuntime::new(TenantConfig::new(0, 32), 0xBAD);
+        t.begin_phase(
+            demand(200),
+            Some(bcast_workloads::brownout_channel()),
+            SloSpec::degraded(0.90, 8.0),
+            12,
+        );
+        for _ in 0..12 {
+            t.run_slice();
+        }
+        let snap = t.phase_snapshot();
+        assert!(snap.failed < snap.requests / 10, "{snap:?}");
+        assert_eq!(snap.rebuild_downtime_slots, 0);
+        assert!(t.phase_violations().is_empty(), "{:?}", t.phase_snapshot());
+    }
+
+    #[test]
+    fn rate_zero_slices_are_idle_but_still_roll_epochs() {
+        let mut t = TenantRuntime::new(TenantConfig::new(1, 16), 1);
+        t.begin_phase(demand(0), None, SloSpec::lossless(), 4);
+        for _ in 0..4 {
+            t.run_slice();
+        }
+        let snap = t.phase_snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.delivery_rate(), 1.0);
+        assert!(t.phase_violations().is_empty());
+    }
+}

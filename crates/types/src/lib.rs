@@ -18,7 +18,10 @@
 //! * [`SharedIncumbent`] — the fixed-point atomic incumbent cost shared by
 //!   the parallel branch-and-bound engines (see [`incumbent`]),
 //! * [`occurrences`] — cyclic root-occurrence geometry shared by the §5
-//!   replication analysis and the lossy-serving recovery overlay.
+//!   replication analysis and the lossy-serving recovery overlay,
+//! * [`slo`] — service-level-objective vocabulary ([`SloSpec`],
+//!   [`SloSnapshot`], [`SloViolation`]) shared by the multi-tenant serving
+//!   loop, the scenario harness and the CLI.
 //!
 //! All types except the incumbent are plain data: `Copy` where possible, no
 //! interior mutability, no allocation beyond the bitset's backing vector.
@@ -32,10 +35,12 @@ pub mod dominance;
 mod ids;
 pub mod incumbent;
 pub mod occurrences;
+pub mod slo;
 mod weight;
 
 pub use bitset::{mix64, total_clone_count, BitSet};
 pub use dominance::DominanceTable;
 pub use ids::{BucketAddr, ChannelId, NodeId, Slot};
 pub use incumbent::SharedIncumbent;
+pub use slo::{SloSnapshot, SloSpec, SloViolation};
 pub use weight::{Weight, WeightError};

@@ -1,0 +1,277 @@
+//! Service-level objectives for the live multi-tenant serving loop.
+//!
+//! The scenario harness judges every tenant in every scenario phase
+//! against an [`SloSpec`]: a delivery-rate floor, a p99 access-time
+//! ceiling, and a rebuild-downtime budget. The measured side is an
+//! [`SloSnapshot`] — plain integers and `f64`s accumulated by the serving
+//! loop — so the comparison ([`SloSnapshot::check`]) is pure data against
+//! data, independent of how the window was served (thread count, tenant
+//! sharding, co-tenants).
+//!
+//! The p99 ceiling is expressed in *cycles*, not slots: a broadcast
+//! client's access time is dominated by where in the cycle it tunes in,
+//! so "p99 within `c` cycles" is the scale-free form that survives
+//! rebuilds changing the cycle length. The check multiplies by the
+//! largest cycle length observed in the window.
+
+/// Per-phase service-level objective for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Minimum fraction of requests delivered within their recovery
+    /// budget (`1.0` demands perfection — achievable on a lossless
+    /// channel, where the serving engine never fails a request).
+    pub min_delivery_rate: f64,
+    /// Ceiling on the p99 total access time, in multiples of the cycle
+    /// length (fault-free serving is bounded by 2 cycles: probe wait ≤ 1
+    /// cycle, data wait < 1 cycle; recovery under loss adds more).
+    pub max_p99_cycles: f64,
+    /// Ceiling on slots spent without a servable program. The
+    /// double-buffered publish swap keeps the old program live through a
+    /// rebuild, so the steady-state budget is exactly zero.
+    pub max_rebuild_downtime_slots: u64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            min_delivery_rate: 0.999,
+            max_p99_cycles: 2.0,
+            max_rebuild_downtime_slots: 0,
+        }
+    }
+}
+
+impl SloSpec {
+    /// A lossless-channel SLO: every request delivered, p99 within the
+    /// fault-free 2-cycle bound, zero downtime.
+    pub fn lossless() -> Self {
+        SloSpec {
+            min_delivery_rate: 1.0,
+            max_p99_cycles: 2.0,
+            max_rebuild_downtime_slots: 0,
+        }
+    }
+
+    /// A degraded-channel SLO for a tenant known to be under loss:
+    /// `min_delivery` delivery with recovery headroom of `p99_cycles`
+    /// cycles at p99. Downtime stays zero — loss never justifies serving
+    /// without a program.
+    pub fn degraded(min_delivery: f64, p99_cycles: f64) -> Self {
+        SloSpec {
+            min_delivery_rate: min_delivery,
+            max_p99_cycles: p99_cycles,
+            max_rebuild_downtime_slots: 0,
+        }
+    }
+}
+
+/// What one tenant measured over one observation window (a scenario
+/// phase, typically). All counters are exact integers; the two `f64`
+/// means are derived from integer sums, so equal windows produce
+/// bit-identical snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSnapshot {
+    /// Requests offered (delivered + failed).
+    pub requests: u64,
+    /// Requests delivered within their recovery budget.
+    pub delivered: u64,
+    /// Requests abandoned after exhausting their retry/timeout budget.
+    pub failed: u64,
+    /// Failed reads recovered from (or charged by failed requests).
+    pub retries: u64,
+    /// p99 total access time in slots over delivered requests (`0` when
+    /// nothing was delivered).
+    pub p99_slots: u32,
+    /// Mean total access time in slots over delivered requests.
+    pub mean_access_slots: f64,
+    /// Largest cycle length (slots) the tenant served during the window.
+    pub max_cycle_len: u32,
+    /// Programs published during the window (periodic + degradation).
+    pub rebuilds: u64,
+    /// Rebuilds triggered by the degradation-feedback path specifically.
+    pub degraded_rebuilds: u64,
+    /// Slots spent with requests pending but no servable program.
+    pub rebuild_downtime_slots: u64,
+}
+
+impl SloSnapshot {
+    /// Fraction of offered requests delivered (`1.0` for an idle window).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.requests as f64
+        }
+    }
+
+    /// Checks the window against `spec`, returning every violated
+    /// objective (empty = the SLO held).
+    pub fn check(&self, spec: &SloSpec) -> Vec<SloViolation> {
+        let mut out = Vec::new();
+        let rate = self.delivery_rate();
+        if rate < spec.min_delivery_rate {
+            out.push(SloViolation::DeliveryRate {
+                measured: rate,
+                floor: spec.min_delivery_rate,
+            });
+        }
+        let limit_slots = spec.max_p99_cycles * f64::from(self.max_cycle_len);
+        if self.delivered > 0 && f64::from(self.p99_slots) > limit_slots {
+            out.push(SloViolation::P99AccessTime {
+                measured_slots: self.p99_slots,
+                limit_slots,
+            });
+        }
+        if self.rebuild_downtime_slots > spec.max_rebuild_downtime_slots {
+            out.push(SloViolation::RebuildDowntime {
+                measured_slots: self.rebuild_downtime_slots,
+                budget_slots: spec.max_rebuild_downtime_slots,
+            });
+        }
+        out
+    }
+}
+
+/// One violated objective of an [`SloSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloViolation {
+    /// Delivery rate fell below the floor.
+    DeliveryRate {
+        /// Measured delivery rate.
+        measured: f64,
+        /// The spec's floor.
+        floor: f64,
+    },
+    /// p99 access time exceeded the cycle-relative ceiling.
+    P99AccessTime {
+        /// Measured p99 in slots.
+        measured_slots: u32,
+        /// The ceiling in slots (`max_p99_cycles × max_cycle_len`).
+        limit_slots: f64,
+    },
+    /// Slots were served (or dropped) without a program.
+    RebuildDowntime {
+        /// Measured downtime in slots.
+        measured_slots: u64,
+        /// The spec's budget.
+        budget_slots: u64,
+    },
+}
+
+impl std::fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SloViolation::DeliveryRate { measured, floor } => {
+                write!(f, "delivery rate {measured:.6} below floor {floor:.6}")
+            }
+            SloViolation::P99AccessTime {
+                measured_slots,
+                limit_slots,
+            } => write!(
+                f,
+                "p99 access {measured_slots} slots above limit {limit_slots:.1}"
+            ),
+            SloViolation::RebuildDowntime {
+                measured_slots,
+                budget_slots,
+            } => write!(
+                f,
+                "rebuild downtime {measured_slots} slots above budget {budget_slots}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> SloSnapshot {
+        SloSnapshot {
+            requests: 1000,
+            delivered: 1000,
+            p99_slots: 150,
+            mean_access_slots: 80.0,
+            max_cycle_len: 100,
+            ..SloSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn healthy_window_passes_the_lossless_slo() {
+        assert!(healthy().check(&SloSpec::lossless()).is_empty());
+    }
+
+    #[test]
+    fn each_objective_trips_independently() {
+        let spec = SloSpec::lossless();
+        let dropped = SloSnapshot {
+            delivered: 990,
+            failed: 10,
+            ..healthy()
+        };
+        assert!(matches!(
+            dropped.check(&spec)[..],
+            [SloViolation::DeliveryRate { .. }]
+        ));
+        let slow = SloSnapshot {
+            p99_slots: 201,
+            ..healthy()
+        };
+        assert!(matches!(
+            slow.check(&spec)[..],
+            [SloViolation::P99AccessTime { .. }]
+        ));
+        let down = SloSnapshot {
+            rebuild_downtime_slots: 3,
+            ..healthy()
+        };
+        assert!(matches!(
+            down.check(&spec)[..],
+            [SloViolation::RebuildDowntime { .. }]
+        ));
+    }
+
+    #[test]
+    fn degraded_spec_tolerates_loss_and_recovery_tails() {
+        let spec = SloSpec::degraded(0.95, 6.0);
+        let lossy = SloSnapshot {
+            requests: 1000,
+            delivered: 960,
+            failed: 40,
+            retries: 2100,
+            p99_slots: 550,
+            mean_access_slots: 170.0,
+            max_cycle_len: 100,
+            ..SloSnapshot::default()
+        };
+        assert!(lossy.check(&spec).is_empty());
+        assert!((lossy.delivery_rate() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_window_is_healthy_by_convention() {
+        let idle = SloSnapshot::default();
+        assert_eq!(idle.delivery_rate(), 1.0);
+        assert!(idle.check(&SloSpec::default()).is_empty());
+    }
+
+    #[test]
+    fn violations_render_for_reports() {
+        let spec = SloSpec::lossless();
+        let bad = SloSnapshot {
+            delivered: 1,
+            failed: 999,
+            requests: 1000,
+            p99_slots: 999,
+            max_cycle_len: 10,
+            rebuild_downtime_slots: 5,
+            ..SloSnapshot::default()
+        };
+        let v = bad.check(&spec);
+        assert_eq!(v.len(), 3);
+        for violation in v {
+            assert!(!violation.to_string().is_empty());
+        }
+    }
+}

@@ -14,9 +14,14 @@ pub mod fault_scenarios;
 pub mod freq;
 pub mod requests;
 pub mod rng;
+pub mod scenario;
 pub mod shapes;
 
 pub use fault_scenarios::{erasure_sweep, standard_scenarios, BurstProfile, FaultScenario};
 pub use freq::FrequencyDist;
 pub use requests::RequestStream;
+pub use scenario::{
+    brownout, brownout_channel, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn,
+    DemandShape, DemandSpec, PhaseSpec, ScenarioSpec, TenantOverride,
+};
 pub use shapes::{random_tree, RandomTreeConfig};

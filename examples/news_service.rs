@@ -5,7 +5,11 @@
 //!
 //! 200 headlines with Zipf popularity are indexed by a k-nary alphabetic
 //! search tree (searchable by headline key), allocated to 4 channels with
-//! the Index Tree Sorting heuristic, and compared against naive layouts.
+//! the Index Tree Sorting heuristic, and compared against naive layouts —
+//! with *measured* metrics from the batch-serving engine rather than the
+//! analytic pointer walk. Then the service goes live: a breaking-news day
+//! (the flash-crowd scenario) runs through the multi-tenant serving loop,
+//! republishing the program as the estimator tracks the crowd.
 //!
 //! ```text
 //! cargo run --release --example news_service
@@ -13,14 +17,16 @@
 
 use broadcast_alloc::alloc::baselines;
 use broadcast_alloc::alloc::heuristics::{shrink, sorting};
-use broadcast_alloc::channel::{cost, simulator, BroadcastProgram};
+use broadcast_alloc::channel::{cost, BroadcastProgram, CompiledProgram, ServeOptions};
+use broadcast_alloc::serve::run_scenario;
 use broadcast_alloc::tree::{knary, TreeStats};
-use broadcast_alloc::workloads::FrequencyDist;
+use broadcast_alloc::workloads::{flash_crowd, FrequencyDist, RequestStream};
 
 fn main() {
     const HEADLINES: usize = 200;
     const CHANNELS: usize = 4;
     const SEED: u64 = 2026;
+    const READERS: usize = 50_000;
 
     // Popularity: a few breaking stories dominate (Zipf θ = 1.1).
     let popularity = FrequencyDist::Zipf {
@@ -58,31 +64,75 @@ fn main() {
         ),
     ];
 
+    // Measure each layout by actually serving a popularity-weighted batch
+    // of reader requests (one per tune-in) through the compiled program.
+    let data = tree.data_nodes();
+    let weights: Vec<f64> = data.iter().map(|&d| tree.weight(d).get()).collect();
+    let targets: Vec<_> = RequestStream::from_weights(&weights, SEED ^ 0x7A11)
+        .take(READERS)
+        .map(|i| data[i])
+        .collect();
     println!(
-        "{:<18} {:>10} {:>12} {:>12} {:>10}",
-        "layout", "data wait", "access time", "tuning time", "switches"
+        "{:<18} {:>12} {:>12} {:>10} ({READERS} served requests)",
+        "layout", "access time", "tuning time", "switches"
     );
     let mut best: Option<(f64, &str)> = None;
     for (name, schedule) in &candidates {
         let alloc = schedule.into_allocation(&tree, CHANNELS).unwrap();
         let program = BroadcastProgram::build(&alloc, &tree).unwrap();
-        let m = simulator::aggregate_metrics(&program, &tree).unwrap();
+        let compiled = CompiledProgram::compile(&program, &tree).unwrap();
+        let m = compiled
+            .serve_batch(&targets, &ServeOptions::default())
+            .unwrap();
         println!(
-            "{name:<18} {:>10.2} {:>12.2} {:>12.2} {:>10.2}",
-            m.avg_data_wait, m.avg_access_time, m.avg_tuning_time, m.avg_channel_switches
+            "{name:<18} {:>12.2} {:>12.2} {:>10.2}",
+            m.mean_access_time, m.mean_tuning_time, m.mean_channel_switches
         );
-        if best.is_none_or(|(w, _)| m.avg_data_wait < w) {
-            best = Some((m.avg_data_wait, name));
+        if best.is_none_or(|(w, _)| m.mean_access_time < w) {
+            best = Some((m.mean_access_time, name));
         }
     }
     let (wait, winner) = best.unwrap();
-    println!("\nbest layout: {winner} at {wait:.2} buckets average data wait");
+    println!("\nbest layout: {winner} at {wait:.2} slots measured mean access");
     println!(
-        "analytic floor (any allocation, {CHANNELS} channels): {:.2} buckets",
+        "analytic floor (any allocation, {CHANNELS} channels): {:.2} buckets data wait",
         cost::data_wait_lower_bound(&tree, CHANNELS)
     );
     assert!(
         winner == "sorting heuristic" || winner == "frontier greedy",
         "expected a frequency-aware layout to win, got {winner}"
     );
+
+    // Go live: a breaking-news day. Tenant 0's readers multiply by 8 and
+    // collapse onto four headlines, then drift back — the service loop
+    // re-estimates demand and republishes through the double-buffered
+    // swap, so no reader ever waits on a rebuild.
+    println!("\nbreaking-news day (flash-crowd scenario, 3 news tenants):");
+    let day = run_scenario(&flash_crowd(3, HEADLINES, 400, 16), SEED, 2);
+    for phase in &day.phases {
+        println!(
+            "  {:<6} {:>7} requests, {:>7.3}% delivered, p99 {:>3} slots, {} rebuilds",
+            phase.name,
+            phase.requests(),
+            100.0 * phase.min_delivery_rate(),
+            phase
+                .tenants
+                .iter()
+                .map(|t| t.snapshot.p99_slots)
+                .max()
+                .unwrap_or(0),
+            phase
+                .tenants
+                .iter()
+                .map(|t| t.snapshot.rebuilds)
+                .sum::<u64>(),
+        );
+    }
+    day.assert_slos();
+    assert_eq!(
+        day.total_downtime_slots(),
+        0,
+        "rebuilds never stall readers"
+    );
+    println!("every phase SLO held; rebuild downtime 0 slots");
 }

@@ -8,6 +8,8 @@
 //!                 [--replicas R] [--requests N] [--seed S]
 //! bcast render    [--input FILE | --demo]
 //! bcast gen       --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
+//! bcast serve     --scenario NAME|all [--tenants N] [--items N] [--rate R]
+//!                 [--slices S] [--threads T] [--seed S]
 //! ```
 //!
 //! Trees are read in the text format of [`broadcast_alloc::textfmt`]
@@ -26,6 +28,7 @@ use broadcast_alloc::channel::{
     simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, RecoveryPolicy,
     RequestOutcome, ServeOptions,
 };
+use broadcast_alloc::serve::{run_scenario, ScenarioOutcome};
 use broadcast_alloc::textfmt;
 use broadcast_alloc::tree::{knary, IndexTree, TreeStats};
 use broadcast_alloc::types::Slot;
@@ -83,6 +86,15 @@ fn run(args: &[String]) -> Result<(), String> {
             opts.allow(INPUT, &["channels", "limit", "threads"])?;
             cmd_compare(&opts)
         }
+        "serve" => {
+            opts.allow(
+                &[],
+                &[
+                    "scenario", "tenants", "items", "rate", "slices", "threads", "seed",
+                ],
+            )?;
+            cmd_serve(&opts)
+        }
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
             Ok(())
@@ -103,6 +115,9 @@ commands:
   render     pretty-print the tree
   gen        emit a random tree               --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
   compare    run every method on one tree     --channels K [--limit N] [--threads T]
+  serve      multi-tenant scenario service    --scenario flash-crowd|diurnal-drift|brownout|tenant-churn|all
+                                              [--tenants N] [--items N] [--rate R] [--slices S]
+                                              [--threads T] [--seed S]
 
 input: --input FILE (text format), --demo (paper example), or stdin.";
 
@@ -466,6 +481,94 @@ fn cmd_compare(opts: &Flags) -> Result<(), String> {
         baselines::random_feasible(&tree, k, 1).average_data_wait(&tree),
     );
     Ok(())
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use broadcast_alloc::workloads::{
+        brownout, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn,
+    };
+    let tenants: usize = opts.parse("tenants")?.unwrap_or(4);
+    let items: usize = opts.parse("items")?.unwrap_or(64);
+    let rate: u32 = opts.parse("rate")?.unwrap_or(500);
+    let slices: u32 = opts.parse("slices")?.unwrap_or(24);
+    let threads: usize = opts.parse("threads")?.unwrap_or(4);
+    let seed: u64 = opts.parse("seed")?.unwrap_or(0x5EED);
+    if tenants == 0 || items == 0 || slices == 0 {
+        return Err("--tenants, --items and --slices must be positive".into());
+    }
+    let name = opts.get("scenario").unwrap_or("all");
+    let specs = match name {
+        "all" => canonical_scenarios(tenants, items, rate, slices),
+        "flash-crowd" => vec![flash_crowd(tenants, items, rate, slices)],
+        "diurnal-drift" => vec![diurnal_drift(tenants, items, rate, slices)],
+        "brownout" => vec![brownout(tenants, items, rate, slices)],
+        "tenant-churn" => vec![tenant_churn(tenants, items, rate, slices)],
+        other => return Err(format!("unknown scenario '{other}' (try `all`)")),
+    };
+    let mut all_held = true;
+    for spec in &specs {
+        let outcome = run_scenario(spec, seed, threads);
+        all_held &= print_outcome(&outcome);
+    }
+    if all_held {
+        Ok(())
+    } else {
+        Err("one or more phase SLOs were violated".into())
+    }
+}
+
+/// Renders one scenario outcome as a per-phase table; returns whether
+/// every phase SLO held.
+fn print_outcome(outcome: &ScenarioOutcome) -> bool {
+    println!(
+        "scenario {} (seed {:#x}) — {} requests, {} rebuilds, fingerprint {:016x}",
+        outcome.name,
+        outcome.seed,
+        outcome.total_requests(),
+        outcome.total_rebuilds(),
+        outcome.fingerprint()
+    );
+    println!(
+        "  {:<12} {:>7} {:>10} {:>9} {:>9} {:>8} {:>9}  slo",
+        "phase", "tenants", "requests", "deliver%", "p99 slots", "rebuilds", "downtime"
+    );
+    let mut all_held = true;
+    for p in &outcome.phases {
+        let requests = p.requests();
+        let p99 = p
+            .tenants
+            .iter()
+            .map(|t| t.snapshot.p99_slots)
+            .max()
+            .unwrap_or(0);
+        let rebuilds: u64 = p.tenants.iter().map(|t| t.snapshot.rebuilds).sum();
+        let downtime: u64 = p
+            .tenants
+            .iter()
+            .map(|t| t.snapshot.rebuild_downtime_slots)
+            .sum();
+        let violated: usize = p.tenants.iter().map(|t| t.violations.len()).sum();
+        all_held &= violated == 0;
+        println!(
+            "  {:<12} {:>7} {:>10} {:>9.3} {:>9} {:>8} {:>9}  {}",
+            p.name,
+            p.tenants.len(),
+            requests,
+            100.0 * p.min_delivery_rate(),
+            p99,
+            rebuilds,
+            downtime,
+            if violated == 0 {
+                "ok".to_string()
+            } else {
+                format!("{violated} VIOLATED")
+            }
+        );
+    }
+    for (phase, tenant, v) in outcome.violations() {
+        println!("  ! [{phase}] tenant {tenant}: {v}");
+    }
+    all_held
 }
 
 fn cmd_gen(opts: &Flags) -> Result<(), String> {

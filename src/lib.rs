@@ -17,6 +17,8 @@
 //!   data tree, heuristics, baselines),
 //! * [`adaptive`] — online re-optimization under drifting access patterns
 //!   (the paper's future work 1),
+//! * [`serve`] — the live multi-tenant serving loop and "day in the life"
+//!   scenario harness tying all of the above together,
 //! * [`dag`] — allocation under arbitrary DAG dependencies (future work 3).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -29,5 +31,6 @@ pub use bcast_channel as channel;
 pub use bcast_core as alloc;
 pub use bcast_dag as dag;
 pub use bcast_index_tree as tree;
+pub use bcast_serve as serve;
 pub use bcast_types as types;
 pub use bcast_workloads as workloads;

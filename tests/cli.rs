@@ -156,4 +156,51 @@ fn help_prints_usage() {
     let out = run_ok(&["help"]);
     assert!(out.contains("optimal"));
     assert!(out.contains("heuristic"));
+    assert!(out.contains("serve"));
+}
+
+#[test]
+fn serve_runs_a_scenario_and_reports_phases() {
+    let small = &[
+        "--tenants",
+        "3",
+        "--items",
+        "32",
+        "--rate",
+        "150",
+        "--slices",
+        "6",
+    ];
+    let out = run_ok(&[&["serve", "--scenario", "flash-crowd"], &small[..]].concat());
+    assert!(out.contains("scenario flash-crowd"), "{out}");
+    for phase in ["calm", "spike", "decay"] {
+        assert!(out.contains(phase), "missing phase {phase}: {out}");
+    }
+    assert!(out.contains("ok"), "phases should pass their SLOs: {out}");
+
+    // Determinism surfaces in the output: same seed + scenario => same
+    // fingerprint at a different thread count.
+    let a = run_ok(
+        &[
+            &["serve", "--scenario", "flash-crowd", "--threads", "1"],
+            &small[..],
+        ]
+        .concat(),
+    );
+    let b = run_ok(
+        &[
+            &["serve", "--scenario", "flash-crowd", "--threads", "4"],
+            &small[..],
+        ]
+        .concat(),
+    );
+    assert_eq!(a, b, "serve output must be thread-count invariant");
+
+    // Unknown scenarios are a clean error.
+    let out = bcast()
+        .args(["serve", "--scenario", "earthquake"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 }

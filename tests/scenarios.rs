@@ -1,0 +1,97 @@
+//! "Day in the life" scenario suite: the four canonical scripts run
+//! end-to-end through the multi-tenant serving loop at several thread
+//! counts, and every phase SLO must hold — delivery-rate floors, p99
+//! ceilings, and *zero* rebuild downtime (the double-buffered swap keeps
+//! a program on air through every republish).
+//!
+//! The default-sized runs keep debug-mode `cargo test` fast; `make
+//! scenarios` runs the `#[ignore]`-gated scaled versions in release mode
+//! (heavier load, longer days, more tenants).
+
+use broadcast_alloc::serve::{run_scenario, ScenarioOutcome};
+use broadcast_alloc::workloads::{
+    brownout, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn, ScenarioSpec,
+};
+
+const SEED: u64 = 0xDA7_1CDE;
+
+/// Runs a spec at threads 1, 2 and 4; asserts every phase SLO, zero
+/// downtime, and bit-identical outcomes across thread counts; returns
+/// the single-thread outcome.
+fn run_at_all_thread_counts(spec: &ScenarioSpec) -> ScenarioOutcome {
+    let one = run_scenario(spec, SEED, 1);
+    one.assert_slos();
+    assert_eq!(
+        one.total_downtime_slots(),
+        0,
+        "{}: the swap never leaves a tenant without a program",
+        spec.name
+    );
+    for threads in [2, 4] {
+        let other = run_scenario(spec, SEED, threads);
+        assert_eq!(
+            one, other,
+            "{}: outcome must not depend on thread count ({threads})",
+            spec.name
+        );
+    }
+    one
+}
+
+#[test]
+fn flash_crowd_holds_slos_through_the_spike() {
+    let out = run_at_all_thread_counts(&flash_crowd(4, 48, 300, 12));
+    // The spike phase really is a spike: tenant 0 offers 8× the calm rate.
+    let calm = out.phases[0].tenants[0].snapshot.requests;
+    let spike = out.phases[1].tenants[0].snapshot.requests;
+    assert_eq!(spike, calm * 8);
+    // The service adapted: programs were republished during the day.
+    assert!(out.total_rebuilds() > 0);
+}
+
+#[test]
+fn diurnal_drift_follows_the_moving_hot_set() {
+    let out = run_at_all_thread_counts(&diurnal_drift(4, 48, 300, 12));
+    assert_eq!(out.phases.len(), 4);
+    // Afternoon (peak, flat 2× rate) offers more than night (¼ rate).
+    assert!(out.phases[2].requests() > out.phases[0].requests());
+}
+
+#[test]
+fn brownout_degrades_one_tenant_without_slo_violations() {
+    let out = run_at_all_thread_counts(&brownout(4, 48, 300, 12));
+    let storm = &out.phases[1];
+    let victim = &storm.tenants[0].snapshot;
+    // The victim really took loss (its SLO is the degraded one) …
+    assert!(victim.failed > 0 || victim.retries > 0, "{victim:?}");
+    // … while every neighbor stayed perfect under the strict SLO.
+    for t in &storm.tenants[1..] {
+        assert_eq!(t.snapshot.delivered, t.snapshot.requests);
+    }
+}
+
+#[test]
+fn tenant_churn_keeps_the_roster_and_slos_straight() {
+    let out = run_at_all_thread_counts(&tenant_churn(4, 48, 300, 12));
+    let sizes: Vec<usize> = out.phases.iter().map(|p| p.tenants.len()).collect();
+    assert_eq!(sizes, [4, 6, 4]);
+    // The survivors after the evening exodus are the original cohort.
+    let ids: Vec<u64> = out.phases[2].tenants.iter().map(|t| t.tenant).collect();
+    assert_eq!(ids, [0, 1, 2, 3]);
+}
+
+/// The scaled tier-2 sweep `make scenarios` runs in release mode: longer
+/// days, heavier rates, more tenants — same invariants.
+#[test]
+#[ignore = "scaled scenario sweep; run with make scenarios"]
+fn scenarios_scaled_day() {
+    for spec in canonical_scenarios(8, 128, 2_000, 48) {
+        let out = run_at_all_thread_counts(&spec);
+        assert!(
+            out.total_requests() > 1_000_000,
+            "{}: scaled day should offer over a million requests, got {}",
+            out.name,
+            out.total_requests()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Tenant-isolation chaos suite: one tenant's channel takes ~20%
+//! Gilbert–Elliott burst loss while its neighbors serve lossless — and
+//! the neighbors must not be able to tell. Their delivery rate, p99 and
+//! every other metric must equal their *solo-run* baseline **exactly**
+//! (`==` on the full snapshot, not epsilon), because a tenant's entire
+//! random universe derives from the service seed and its own stable id,
+//! never from who else is on the roster.
+//!
+//! The default-sized test runs in debug `cargo test`; the
+//! `#[ignore]`-gated chaos version (heavier load, longer storm, more
+//! neighbors) runs in release via `make chaos`.
+
+use broadcast_alloc::serve::{ServeLoop, TenantConfig};
+use broadcast_alloc::types::{SloSnapshot, SloSpec};
+use broadcast_alloc::workloads::{brownout_channel, DemandShape, DemandSpec};
+
+const SEED: u64 = 0x150_1A7E;
+
+fn demand(rate: u32) -> DemandSpec {
+    DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, rate)
+}
+
+/// Runs tenant `id` alone for `slices` lossless slices and returns its
+/// snapshot — the baseline its co-tenant run must reproduce exactly.
+fn solo_baseline(id: u64, items: usize, rate: u32, slices: u32) -> SloSnapshot {
+    let mut svc = ServeLoop::new(SEED, 1);
+    svc.join(TenantConfig::new(id, items));
+    svc.tenant_mut(id)
+        .unwrap()
+        .begin_phase(demand(rate), None, SloSpec::lossless(), slices);
+    svc.run_slices(slices);
+    svc.tenant(id).unwrap().phase_snapshot()
+}
+
+/// The shared scenario: tenant 0 under burst loss, ids `1..tenants`
+/// lossless, all serving the same demand concurrently.
+fn storm_with_neighbors(
+    tenants: u64,
+    items: usize,
+    rate: u32,
+    slices: u32,
+    threads: usize,
+) -> ServeLoop {
+    let mut svc = ServeLoop::new(SEED, threads);
+    for id in 0..tenants {
+        svc.join(TenantConfig::new(id, items));
+        let (faults, slo) = if id == 0 {
+            (Some(brownout_channel()), SloSpec::degraded(0.90, 8.0))
+        } else {
+            (None, SloSpec::lossless())
+        };
+        svc.tenant_mut(id)
+            .unwrap()
+            .begin_phase(demand(rate), faults, slo, slices);
+    }
+    svc.run_slices(slices);
+    svc
+}
+
+fn assert_isolation(tenants: u64, items: usize, rate: u32, slices: u32, threads: usize) {
+    let svc = storm_with_neighbors(tenants, items, rate, slices, threads);
+
+    // The victim genuinely suffered: burst loss forced retries.
+    let victim = svc.tenant(0).unwrap().phase_snapshot();
+    assert!(victim.retries > 0, "storm was a no-op: {victim:?}");
+    assert!(
+        victim.delivery_rate() >= 0.90,
+        "recovery should hold 90% delivery under ~20% loss: {victim:?}"
+    );
+    assert!(svc.tenant(0).unwrap().phase_violations().is_empty());
+
+    // Every neighbor is bit-identical to its solo run: same delivery
+    // rate, same p99, same rebuild schedule — the victim's storm and the
+    // co-tenants' existence are invisible.
+    for id in 1..tenants {
+        let among_crowd = svc.tenant(id).unwrap().phase_snapshot();
+        let alone = solo_baseline(id, items, rate, slices);
+        assert_eq!(
+            among_crowd, alone,
+            "tenant {id} observed its neighbors (threads {threads})"
+        );
+        assert_eq!(among_crowd.delivered, among_crowd.requests);
+        assert!(svc.tenant(id).unwrap().phase_violations().is_empty());
+    }
+}
+
+#[test]
+fn neighbors_match_solo_baselines_exactly() {
+    for threads in [1, 2, 4] {
+        assert_isolation(4, 48, 250, 10, threads);
+    }
+}
+
+#[test]
+fn victims_storm_is_reproducible() {
+    let a = storm_with_neighbors(3, 32, 200, 8, 1);
+    let b = storm_with_neighbors(3, 32, 200, 8, 4);
+    assert_eq!(
+        a.tenant(0).unwrap().phase_snapshot(),
+        b.tenant(0).unwrap().phase_snapshot(),
+        "the lossy tenant itself is thread-count invariant too"
+    );
+}
+
+/// The release-mode chaos version `make chaos` runs: more neighbors, a
+/// longer storm, heavier rates — same exact-equality bar.
+#[test]
+#[ignore = "heavy isolation chaos; run with make chaos"]
+fn chaos_isolation_under_sustained_storm() {
+    for threads in [1, 4, 8] {
+        assert_isolation(8, 96, 2_000, 40, threads);
+    }
+}
