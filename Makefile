@@ -6,11 +6,12 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress chaos scenarios bench bench-json publish-bench clippy fmt fmt-check
+.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
-# suite, then the #[ignore]-gated parallel-search stress tests in release
-# mode.
+# suite, then the #[ignore]-gated stress tests in release mode (the
+# parallel-search runs and the 1M-item delta-republish chain — the
+# `stress` filter matches `million_item_delta_stress` too).
 check: fmt-check clippy build test stress
 
 build:
@@ -58,18 +59,32 @@ bench:
 # records live multi-tenant serving: sustained aggregate throughput and
 # worst p99 across 8 concurrent tenants in the ServeLoop, plus one row per
 # canonical day-in-the-life scenario, each asserted SLO-clean with zero
-# rebuild downtime before the numbers are written.
+# rebuild downtime before the numbers are written. BENCH_PR7.json records
+# the incremental delta republish lane: a churn sweep (0.01%/0.1%/1%/10%
+# reweighted per epoch) at 65k and 1M items, delta vs full warm wall time
+# with every patched epoch cross-checked bit-identical to a twin full
+# publish, the 1M rows at <=1% churn asserted >=100x faster, and the
+# PR4/PR5/PR6 headline numbers carried forward as regression context.
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
 		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
-		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json
+		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json \
+		--delta-into BENCH_PR7.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.
 publish-bench:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --publish-into BENCH_PR4.json
+
+# Regenerates only BENCH_PR7.json (incremental delta republish churn
+# sweep at 65k/1M items), skipping the exact-search and serving sections;
+# the regression row is carried forward from the BENCH_PR4/5/6 files on
+# disk rather than re-measured.
+delta-bench:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench \
+		--bin bench_json -- --delta-into BENCH_PR7.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

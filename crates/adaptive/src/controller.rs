@@ -193,6 +193,12 @@ pub struct AdaptiveBroadcaster {
     publisher: Publisher,
     /// `wait_of[item]` — slot of the item's bucket in the current cycle.
     wait_of: Vec<f64>,
+    /// Popularity snapshot the next rebuild consumes, patched in place
+    /// from the estimator's changed set — an estimator-driven rebuild
+    /// hands over O(changed) pairs instead of cloning all `items` weights.
+    weights: Vec<Weight>,
+    /// Scratch for [`EmaEstimator::drain_changed`].
+    changes: Vec<(u32, Weight)>,
     cycle_len: usize,
     epoch: u64,
     rebuilds: u64,
@@ -213,6 +219,8 @@ impl AdaptiveBroadcaster {
             estimator: EmaEstimator::new(items, policy.alpha),
             publisher: Publisher::new(),
             wait_of: Vec::new(),
+            weights: initial_weights.to_vec(),
+            changes: Vec::new(),
             cycle_len: 0,
             epoch: 0,
             rebuilds: 0,
@@ -284,6 +292,24 @@ impl AdaptiveBroadcaster {
         self.rebuilds += 1;
     }
 
+    /// Estimator-driven rebuild: drains the changed set into the
+    /// persistent weight snapshot (O(changed) handoff, no full-vector
+    /// clone) and rebuilds from it. The snapshot equals
+    /// [`EmaEstimator::weights`] bit for bit whenever at least one epoch
+    /// has rolled since construction, because `drain_changed` applies the
+    /// same `max(1e-6)` floor; before any roll it keeps the initial
+    /// weights instead of collapsing everything to the floor.
+    fn rebuild_from_estimator(&mut self) {
+        self.changes.clear();
+        self.estimator.drain_changed(&mut self.changes);
+        for &(i, w) in &self.changes {
+            self.weights[i as usize] = w;
+        }
+        let w = std::mem::take(&mut self.weights);
+        self.rebuild(&w);
+        self.weights = w;
+    }
+
     /// Serves one epoch of requests: returns their mean data wait under the
     /// current program, then ingests them and rebuilds if due.
     pub fn serve_epoch(&mut self, requests: &[usize]) -> f64 {
@@ -299,8 +325,7 @@ impl AdaptiveBroadcaster {
         self.epoch += 1;
         if let Some(every) = self.policy.rebuild_every {
             if self.epoch.is_multiple_of(every) {
-                let w = self.estimator.weights();
-                self.rebuild(&w);
+                self.rebuild_from_estimator();
             }
         }
         mean
@@ -317,8 +342,7 @@ impl AdaptiveBroadcaster {
             return false;
         };
         if tracker.observe(delivery_rate) {
-            let w = self.estimator.weights();
-            self.rebuild(&w);
+            self.rebuild_from_estimator();
             return true;
         }
         false

@@ -32,6 +32,12 @@ pub struct EmaEstimator {
     counts: Vec<u64>,
     estimate: Vec<f64>,
     epochs: u64,
+    /// Floored weights as of the last [`EmaEstimator::drain_changed`] —
+    /// the published snapshot the changed-set diffs against.
+    published: Vec<f64>,
+    /// Items whose floored weight bits moved vs `published`, deduplicated.
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
 }
 
 impl EmaEstimator {
@@ -48,6 +54,9 @@ impl EmaEstimator {
             counts: vec![0; items],
             estimate: vec![0.0; items],
             epochs: 0,
+            published: vec![f64::NAN; items], // NaN ⇒ everything dirty at first drain
+            dirty: Vec::new(),
+            dirty_flag: vec![false; items],
         }
     }
 
@@ -69,13 +78,47 @@ impl EmaEstimator {
         self.counts[item] += 1;
     }
 
-    /// Ends the current epoch, folding its counts into the estimate.
+    /// Ends the current epoch, folding its counts into the estimate and
+    /// marking every item whose *floored published weight* bits moved —
+    /// the epoch roll already walks all items, so dirty tracking rides
+    /// along for free and [`drain_changed`](EmaEstimator::drain_changed)
+    /// stays O(changed).
     pub fn roll_epoch(&mut self) {
-        for (est, cnt) in self.estimate.iter_mut().zip(&mut self.counts) {
+        for (i, (est, cnt)) in self.estimate.iter_mut().zip(&mut self.counts).enumerate() {
             *est = self.alpha * (*cnt as f64) + (1.0 - self.alpha) * *est;
             *cnt = 0;
+            let floored = est.max(1e-6);
+            if floored.to_bits() != self.published[i].to_bits() && !self.dirty_flag[i] {
+                self.dirty_flag[i] = true;
+                self.dirty.push(i as u32);
+            }
         }
         self.epochs += 1;
+    }
+
+    /// Items whose floored weight changed since the last
+    /// [`drain_changed`](EmaEstimator::drain_changed), ascending.
+    pub fn changed(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// Drains the changed set into `out` as `(item, new weight)` pairs
+    /// (ascending by item, appended) and advances the published snapshot —
+    /// O(changed), so rebuild callers no longer clone the full weight
+    /// vector. Weights match [`weights`](EmaEstimator::weights) exactly:
+    /// the same `max(1e-6)` floor, bit for bit.
+    pub fn drain_changed(&mut self, out: &mut Vec<(u32, Weight)>) {
+        self.dirty.sort_unstable();
+        for &i in &self.dirty {
+            let w = self.estimate[i as usize].max(1e-6);
+            self.published[i as usize] = w;
+            self.dirty_flag[i as usize] = false;
+            out.push((
+                i,
+                Weight::new(w).expect("EMA of counts is finite, non-negative"),
+            ));
+        }
+        self.dirty.clear();
     }
 
     /// Epochs rolled so far.
@@ -152,6 +195,44 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn rejects_bad_alpha() {
         let _ = EmaEstimator::new(1, 0.0);
+    }
+
+    #[test]
+    fn changed_set_tracks_exactly_the_moved_weights() {
+        let mut e = EmaEstimator::new(4, 0.5);
+        let mut out = Vec::new();
+        // First drain: everything is dirty (nothing published yet), and
+        // the drained weights equal the full vector bit for bit.
+        e.roll_epoch();
+        e.drain_changed(&mut out);
+        assert_eq!(out.len(), 4);
+        for (i, &(item, w)) in out.iter().enumerate() {
+            assert_eq!(item as usize, i);
+            assert_eq!(w.get().to_bits(), e.weights()[i].get().to_bits());
+        }
+        // A quiet epoch over all-zero estimates moves nothing.
+        out.clear();
+        e.roll_epoch();
+        e.drain_changed(&mut out);
+        assert!(out.is_empty(), "no weight moved, but {out:?} drained");
+        // Requests against item 2 dirty exactly item 2.
+        e.observe(2);
+        e.observe(2);
+        e.roll_epoch();
+        assert_eq!(e.changed(), &[2]);
+        e.drain_changed(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.get().to_bits(), e.weights()[2].get().to_bits());
+        // Dirty marks deduplicate across epochs until drained.
+        out.clear();
+        e.observe(1);
+        e.roll_epoch();
+        e.observe(1);
+        e.roll_epoch();
+        assert_eq!(e.changed(), &[1, 2], "decay keeps item 2 moving");
+        e.drain_changed(&mut out);
+        assert_eq!(out.iter().map(|c| c.0).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     proptest! {

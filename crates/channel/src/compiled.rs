@@ -167,6 +167,44 @@ impl CompiledProgram {
         self.num_data += 1;
     }
 
+    /// Overwrites an *existing* data route record in place — the delta
+    /// republish lane's counterpart of [`record_data`]: `path_len` (the
+    /// node's level) and `num_data` are invariant under a repack, so only
+    /// the slot and switch count move.
+    ///
+    /// [`record_data`]: CompiledProgram::record_data
+    #[inline]
+    pub(crate) fn patch_data(&mut self, node: NodeId, slot: u32, switches: u32) {
+        let i = node.index();
+        debug_assert!(self.routed[i], "patch_data targets an existing record");
+        self.slot[i] = slot;
+        self.switches[i] = switches;
+    }
+
+    /// Reconciles one node's route record from `other` — the delta lane's
+    /// journal replay. Only `slot` and `switches` can differ between the
+    /// double-buffer halves after an in-place patch: `path_len`, `routed`,
+    /// `num_data` and the cycle length are all repack-invariant.
+    #[inline]
+    pub(crate) fn copy_record_from(&mut self, other: &CompiledProgram, node: NodeId) {
+        let i = node.index();
+        self.slot[i] = other.slot[i];
+        self.switches[i] = other.switches[i];
+    }
+
+    /// Makes `self` a bit-identical copy of `other`, reusing this buffer's
+    /// capacity (`Vec::clone_from` per column — memcpy-grade, no
+    /// allocation once capacities match). The delta lane seeds the back
+    /// buffer from the served front program before patching dirty records.
+    pub(crate) fn copy_from(&mut self, other: &CompiledProgram) {
+        self.cycle_len = other.cycle_len;
+        self.slot.clone_from(&other.slot);
+        self.path_len.clone_from(&other.path_len);
+        self.switches.clone_from(&other.switches);
+        self.routed.clone_from(&other.routed);
+        self.num_data = other.num_data;
+    }
+
     /// Cycle length in slots.
     #[inline]
     pub fn cycle_len(&self) -> usize {

@@ -68,13 +68,17 @@ impl Default for PublishOptions {
 /// a failed publish leaves it untouched.
 #[derive(Debug, Default)]
 pub struct Publisher {
-    sort: SortScratch,
-    dist: DistributeScratch,
+    pub(crate) sort: SortScratch,
+    pub(crate) dist: DistributeScratch,
     pack: PackScratch,
     frontier: FrontierScratch,
-    order: Vec<NodeId>,
-    plan: SlotPlan,
-    pipeline: PublishPipeline,
+    pub(crate) order: Vec<NodeId>,
+    pub(crate) plan: SlotPlan,
+    pub(crate) pipeline: PublishPipeline,
+    /// Persistent diff state for the incremental republish lane
+    /// ([`Publisher::republish_delta`] in [`crate::delta`]); rebuilt after
+    /// every successful full `Sorting` publish, invalid otherwise.
+    pub(crate) delta: crate::delta::DeltaState,
 }
 
 impl Publisher {
@@ -131,7 +135,29 @@ impl Publisher {
                 greedy_pack_into(tree.preorder(), tree, k, &mut self.pack, &mut self.plan);
             }
         }
-        self.pipeline.publish(tree, &self.plan, k)
+        self.pipeline.publish(tree, &self.plan, k)?;
+        // Snapshot the diff state the delta lane repairs against. Only the
+        // Sorting heuristic has an incremental twin; any other publish
+        // invalidates the state so `republish_delta` falls back cleanly.
+        match heuristic {
+            PublishHeuristic::Sorting if k == 1 => {
+                self.delta.rebuild(tree, k, &self.order, &self.plan, 0, &[]);
+                self.pipeline.preseed_back();
+            }
+            PublishHeuristic::Sorting => {
+                self.delta.rebuild(
+                    tree,
+                    k,
+                    &self.order,
+                    &self.plan,
+                    self.dist.first_dump_slot(),
+                    self.dist.inner_log(),
+                );
+                self.pipeline.preseed_back();
+            }
+            _ => self.delta.invalidate(),
+        }
+        Ok(self.pipeline.current())
     }
 
     /// The route tables of the most recent successful publish (empty

@@ -26,4 +26,4 @@ pub mod tenant;
 
 pub use scenario::{run_scenario, PhaseReport, ScenarioOutcome, TenantPhaseReport};
 pub use service::ServeLoop;
-pub use tenant::{TenantConfig, TenantRuntime};
+pub use tenant::{RebuildLane, TenantConfig, TenantRuntime};

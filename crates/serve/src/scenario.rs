@@ -9,7 +9,7 @@
 //! folds the whole outcome into one `u64` for cheap cross-run comparison.
 
 use crate::service::ServeLoop;
-use crate::tenant::TenantConfig;
+use crate::tenant::{RebuildLane, TenantConfig};
 use bcast_types::{SloSnapshot, SloSpec, SloViolation};
 use bcast_workloads::{PhaseSpec, ScenarioSpec};
 
@@ -126,10 +126,14 @@ impl ScenarioOutcome {
             .unwrap_or(0)
     }
 
-    /// Folds every field of the outcome into one order-sensitive 64-bit
-    /// FNV-1a digest (floats by bit pattern). Two runs are bit-identical
-    /// iff their fingerprints match — the cheap cross-thread-count and
-    /// cross-rerun determinism check.
+    /// Folds every deterministic field of the outcome into one
+    /// order-sensitive 64-bit FNV-1a digest (floats by bit pattern). Two
+    /// runs are bit-identical iff their fingerprints match — the cheap
+    /// cross-thread-count and cross-rerun determinism check. The
+    /// snapshots' `rebuild_wall_ns` side channel is excluded, exactly as
+    /// it is from `SloSnapshot`'s equality; the rebuild-lane counters
+    /// (`delta_rebuilds`, `full_rebuilds`, `touched_ppm`) are *included*,
+    /// so the delta/full fallback decision itself is pinned deterministic.
     pub fn fingerprint(&self) -> u64 {
         fn eat(h: u64, x: u64) -> u64 {
             x.to_le_bytes().iter().fold(h, |h, &b| {
@@ -156,6 +160,9 @@ impl ScenarioOutcome {
                     s.rebuilds,
                     s.degraded_rebuilds,
                     s.rebuild_downtime_slots,
+                    s.delta_rebuilds,
+                    s.full_rebuilds,
+                    s.touched_ppm,
                     t.violations.len() as u64,
                 ] {
                     h = eat(h, x);
@@ -171,6 +178,9 @@ fn tenant_config(id: u64, spec: &ScenarioSpec) -> TenantConfig {
     let mut config = TenantConfig::new(id, spec.items_per_tenant);
     config.fanout = spec.fanout;
     config.channels = spec.channels;
+    if let Some(max_touched) = spec.delta_max_touched {
+        config.rebuild_lane = RebuildLane::Delta { max_touched };
+    }
     config
 }
 

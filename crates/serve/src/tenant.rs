@@ -18,9 +18,11 @@ use bcast_channel::{
     hist::LatencyHistogram,
 };
 use bcast_core::publish::{PublishHeuristic, PublishOptions, Publisher};
+use bcast_core::{DeltaLane, DeltaOptions};
 use bcast_index_tree::{knary, IndexTree};
-use bcast_types::{mix64, NodeId, SloSnapshot, SloSpec, SloViolation};
+use bcast_types::{mix64, NodeId, SloSnapshot, SloSpec, SloViolation, Weight};
 use bcast_workloads::{DemandSpec, FaultScenario, RequestStream};
+use std::time::Instant;
 
 /// Mixes two 64-bit values into one seed. [`mix64`] is a one-argument
 /// finalizer, so two-value mixing composes it: the golden-ratio multiply
@@ -35,6 +37,32 @@ fn mix2(a: u64, b: u64) -> u64 {
 /// exactly, not clamped. Rebuilds within a phase change the cycle length
 /// slightly; [`LatencyHistogram::absorb`] clamps only above this bound.
 const PHASE_HIST_CYCLES: u32 = 16;
+
+/// Which republish machinery a tenant's rebuilds run through.
+///
+/// The delta lane keeps the boot-time index-tree *structure* and only
+/// repairs weights, schedule order and routes incrementally
+/// ([`bcast_core::delta`]); the full lane re-derives the weight-balanced
+/// tree from scratch every rebuild. Both swap the double-buffered program
+/// atomically, so downtime is zero either way — the lane trades
+/// structural adaptivity for O(changed) rebuild cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RebuildLane {
+    /// Rebuild the tree and republish everything (the PR6 behavior; the
+    /// default, so existing scenario fingerprints replay unchanged).
+    #[default]
+    Full,
+    /// Diff the estimator's changed weights against the served program
+    /// and patch in place when at most `max_touched` of the schedule
+    /// moved, falling back to a full publish past the threshold. The
+    /// index-tree *structure* stays fixed at its boot shape — only
+    /// weights and the allocation adapt (the documented trade of this
+    /// lane; tenants whose catalog shape must track demand keep `Full`).
+    Delta {
+        /// Fallback threshold as a fraction of schedule positions.
+        max_touched: f64,
+    },
+}
 
 /// Static configuration of one tenant.
 #[derive(Debug, Clone)]
@@ -59,6 +87,8 @@ pub struct TenantConfig {
     pub degradation: Option<DegradationPolicy>,
     /// Client recovery budget under channel faults.
     pub recovery: RecoveryPolicy,
+    /// Republish machinery: full rebuilds or the incremental delta lane.
+    pub rebuild_lane: RebuildLane,
 }
 
 impl TenantConfig {
@@ -76,6 +106,7 @@ impl TenantConfig {
             rebuild_every: Some(8),
             degradation: Some(DegradationPolicy::default()),
             recovery: RecoveryPolicy::default(),
+            rebuild_lane: RebuildLane::Full,
         }
     }
 }
@@ -93,6 +124,14 @@ struct Window {
     rebuilds: u64,
     degraded_rebuilds: u64,
     downtime_slots: u64,
+    delta_rebuilds: u64,
+    full_rebuilds: u64,
+    /// Schedule positions touched / positions total, summed over the
+    /// window's rebuilds (exact integers → deterministic ppm).
+    touched_nodes: u64,
+    touched_total: u64,
+    /// Wall nanoseconds inside rebuilds — side channel, never compared.
+    rebuild_wall_ns: u64,
 }
 
 impl Window {
@@ -107,6 +146,11 @@ impl Window {
             rebuilds: 0,
             degraded_rebuilds: 0,
             downtime_slots: 0,
+            delta_rebuilds: 0,
+            full_rebuilds: 0,
+            touched_nodes: 0,
+            touched_total: 0,
+            rebuild_wall_ns: 0,
         }
     }
 
@@ -130,6 +174,12 @@ impl Window {
             rebuilds: self.rebuilds,
             degraded_rebuilds: self.degraded_rebuilds,
             rebuild_downtime_slots: self.downtime_slots,
+            delta_rebuilds: self.delta_rebuilds,
+            full_rebuilds: self.full_rebuilds,
+            touched_ppm: (self.touched_nodes * 1_000_000)
+                .checked_div(self.touched_total)
+                .unwrap_or(0),
+            rebuild_wall_ns: self.rebuild_wall_ns,
         }
     }
 }
@@ -158,6 +208,14 @@ pub struct TenantRuntime {
     window: Window,
     // Reused per-slice target buffer (allocation-free steady state).
     targets: Vec<NodeId>,
+    /// Popularity snapshot the next rebuild consumes, patched in place
+    /// from the estimator's changed set — rebuilds no longer clone the
+    /// full weight vector.
+    weights: Vec<Weight>,
+    /// Scratch for [`EmaEstimator::drain_changed`] (item-indexed).
+    changes: Vec<(u32, Weight)>,
+    /// The same changes mapped onto tree data nodes for the delta lane.
+    node_changes: Vec<(NodeId, Weight)>,
 }
 
 impl TenantRuntime {
@@ -202,6 +260,9 @@ impl TenantRuntime {
             total_rebuilds: 0,
             window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
             targets: Vec::new(),
+            weights,
+            changes: Vec::new(),
+            node_changes: Vec::new(),
             config,
         }
     }
@@ -359,25 +420,73 @@ impl TenantRuntime {
 
     /// Republishes from the estimator's current weights through the
     /// double-buffered swap: the old program serves until the new one is
-    /// compiled, then `current()` flips.
+    /// compiled, then `current()` flips. The configured [`RebuildLane`]
+    /// picks the machinery — a full tree rebuild + publish, or the
+    /// incremental delta lane patching the served schedule in place —
+    /// and the window's lane counters and wall-clock side channel record
+    /// which path ran and how much of the schedule it touched.
     fn rebuild(&mut self) {
-        let weights = self.estimator.weights();
-        let tree = knary::build_weight_balanced(&weights, self.config.fanout)
-            .expect("estimator weights are positive");
-        self.publisher
-            .publish(
-                &tree,
-                self.config.channels,
-                self.config.heuristic,
-                PublishOptions::default(),
-            )
-            .expect("bundled heuristics produce feasible allocations");
-        self.data_nodes.clear();
-        self.data_nodes.extend_from_slice(tree.data_nodes());
-        self.tree = tree;
+        let started = Instant::now();
+        // O(changed) estimator handoff, shared by both lanes: the
+        // persistent snapshot absorbs only the weights that moved.
+        self.changes.clear();
+        self.estimator.drain_changed(&mut self.changes);
+        for &(i, w) in &self.changes {
+            self.weights[i as usize] = w;
+        }
+        match self.config.rebuild_lane {
+            RebuildLane::Full => {
+                let tree = knary::build_weight_balanced(&self.weights, self.config.fanout)
+                    .expect("estimator weights are positive");
+                self.publisher
+                    .publish(
+                        &tree,
+                        self.config.channels,
+                        self.config.heuristic,
+                        PublishOptions::default(),
+                    )
+                    .expect("bundled heuristics produce feasible allocations");
+                self.data_nodes.clear();
+                self.data_nodes.extend_from_slice(tree.data_nodes());
+                self.tree = tree;
+                self.window.full_rebuilds += 1;
+                let total = self.tree.len() as u64;
+                self.window.touched_nodes += total;
+                self.window.touched_total += total;
+            }
+            RebuildLane::Delta { max_touched } => {
+                // Structure stays at its boot shape: only weights move,
+                // so `data_nodes` keeps mapping item i → leaf i.
+                self.node_changes.clear();
+                self.node_changes.extend(
+                    self.changes
+                        .iter()
+                        .map(|&(i, w)| (self.data_nodes[i as usize], w)),
+                );
+                self.tree.reweight(&self.node_changes);
+                let report = self
+                    .publisher
+                    .republish_delta(
+                        &self.tree,
+                        &self.node_changes,
+                        self.config.channels,
+                        self.config.heuristic,
+                        PublishOptions::default(),
+                        DeltaOptions { max_touched },
+                    )
+                    .expect("bundled heuristics produce feasible allocations");
+                match report.lane {
+                    DeltaLane::Patched => self.window.delta_rebuilds += 1,
+                    DeltaLane::Full(_) => self.window.full_rebuilds += 1,
+                }
+                self.window.touched_nodes += report.touched as u64;
+                self.window.touched_total += report.total as u64;
+            }
+        }
         self.window.rebuilds += 1;
         self.window.max_cycle_len = self.window.max_cycle_len.max(self.cycle_len());
         self.total_rebuilds += 1;
+        self.window.rebuild_wall_ns += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -463,6 +572,43 @@ mod tests {
         assert!(snap.failed < snap.requests / 10, "{snap:?}");
         assert_eq!(snap.rebuild_downtime_slots, 0);
         assert!(t.phase_violations().is_empty(), "{:?}", t.phase_snapshot());
+    }
+
+    #[test]
+    fn delta_lane_serves_with_zero_downtime_and_counts_lanes() {
+        let mut config = TenantConfig::new(5, 64);
+        config.rebuild_lane = RebuildLane::Delta { max_touched: 0.25 };
+        let mut t = TenantRuntime::new(config, 0xDE17A);
+        t.begin_phase(demand(300), None, SloSpec::lossless(), 24);
+        for _ in 0..24 {
+            t.run_slice();
+        }
+        let snap = t.phase_snapshot();
+        assert_eq!(snap.requests, snap.delivered, "lossless channel");
+        assert_eq!(snap.rebuild_downtime_slots, 0, "swap stays double-buffered");
+        assert!(snap.rebuilds >= 2, "periodic republish every 8 slices");
+        assert_eq!(
+            snap.delta_rebuilds + snap.full_rebuilds,
+            snap.rebuilds,
+            "every rebuild is attributed to exactly one lane"
+        );
+        assert!(t.phase_violations().is_empty(), "{snap:?}");
+    }
+
+    #[test]
+    fn delta_lane_replays_bit_identically() {
+        let run = |_attempt: u64| {
+            let mut config = TenantConfig::new(9, 48);
+            config.rebuild_lane = RebuildLane::Delta { max_touched: 0.1 };
+            let mut t = TenantRuntime::new(config, 0xFACE);
+            t.begin_phase(demand(200), None, SloSpec::lossless(), 16);
+            for _ in 0..16 {
+                t.run_slice();
+            }
+            t.phase_snapshot()
+        };
+        // Wall ns differs between the runs; equality must hold anyway.
+        assert_eq!(run(0), run(1));
     }
 
     #[test]

@@ -69,7 +69,13 @@ impl SloSpec {
 /// phase, typically). All counters are exact integers; the two `f64`
 /// means are derived from integer sums, so equal windows produce
 /// bit-identical snapshots.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// The one exception is [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns):
+/// it measures wall-clock time, which no amount of seeding makes
+/// reproducible, so the manual [`PartialEq`] impl *excludes* it — two
+/// snapshots are equal iff every deterministic field matches, and the
+/// thread-count/replay determinism tests stay exact.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SloSnapshot {
     /// Requests offered (delivered + failed).
     pub requests: u64,
@@ -92,6 +98,38 @@ pub struct SloSnapshot {
     pub degraded_rebuilds: u64,
     /// Slots spent with requests pending but no servable program.
     pub rebuild_downtime_slots: u64,
+    /// Rebuilds the incremental delta lane patched in place.
+    pub delta_rebuilds: u64,
+    /// Rebuilds that ran the full publish path (delta fallbacks included).
+    pub full_rebuilds: u64,
+    /// Parts-per-million of schedule nodes touched across the window's
+    /// rebuilds (`Σ touched · 10⁶ / Σ total`; a full rebuild touches
+    /// everything, a quiet delta patch close to nothing). `0` when no
+    /// rebuild ran.
+    pub touched_ppm: u64,
+    /// Wall-clock nanoseconds spent inside rebuilds during the window.
+    /// A *side channel* for operators and benches — excluded from
+    /// equality and fingerprints because wall time is not deterministic.
+    pub rebuild_wall_ns: u64,
+}
+
+impl PartialEq for SloSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // Every deterministic field, skipping only `rebuild_wall_ns`.
+        self.requests == other.requests
+            && self.delivered == other.delivered
+            && self.failed == other.failed
+            && self.retries == other.retries
+            && self.p99_slots == other.p99_slots
+            && self.mean_access_slots == other.mean_access_slots
+            && self.max_cycle_len == other.max_cycle_len
+            && self.rebuilds == other.rebuilds
+            && self.degraded_rebuilds == other.degraded_rebuilds
+            && self.rebuild_downtime_slots == other.rebuild_downtime_slots
+            && self.delta_rebuilds == other.delta_rebuilds
+            && self.full_rebuilds == other.full_rebuilds
+            && self.touched_ppm == other.touched_ppm
+    }
 }
 
 impl SloSnapshot {
@@ -247,6 +285,27 @@ mod tests {
         };
         assert!(lossy.check(&spec).is_empty());
         assert!((lossy.delivery_rate() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_time_is_a_side_channel_not_part_of_equality() {
+        let a = SloSnapshot {
+            rebuild_wall_ns: 12_345,
+            delta_rebuilds: 3,
+            full_rebuilds: 1,
+            touched_ppm: 480,
+            ..healthy()
+        };
+        let b = SloSnapshot {
+            rebuild_wall_ns: 99_999_999,
+            ..a
+        };
+        assert_eq!(a, b, "wall ns must not break determinism equality");
+        let c = SloSnapshot {
+            delta_rebuilds: 4,
+            ..a
+        };
+        assert_ne!(a, c, "lane counters are deterministic and compared");
     }
 
     #[test]

@@ -217,6 +217,12 @@ pub struct ScenarioSpec {
     pub fanout: usize,
     /// Broadcast channels per tenant.
     pub channels: usize,
+    /// When set, every tenant routes its rebuilds through the serving
+    /// loop's incremental delta lane with this fallback threshold
+    /// (fraction of schedule positions; `None` = full rebuilds, the
+    /// canonical behavior). Plain data here — the serve crate maps it
+    /// onto its `RebuildLane`.
+    pub delta_max_touched: Option<f64>,
     /// The phase timeline.
     pub phases: Vec<PhaseSpec>,
 }
@@ -225,6 +231,14 @@ impl ScenarioSpec {
     /// Total time slices across all phases.
     pub fn total_slices(&self) -> u64 {
         self.phases.iter().map(|p| u64::from(p.slices)).sum()
+    }
+
+    /// Routes every tenant's rebuilds through the incremental delta lane
+    /// with fallback threshold `max_touched` — the same script replayed
+    /// through the other republish machinery.
+    pub fn with_delta_lane(mut self, max_touched: f64) -> Self {
+        self.delta_max_touched = Some(max_touched);
+        self
     }
 
     /// Scales every phase's request rates by `factor` — benches reuse
@@ -286,6 +300,7 @@ pub fn flash_crowd(tenants: usize, items: usize, rate: u32, slices: u32) -> Scen
         items_per_tenant: items,
         fanout: 4,
         channels: 3,
+        delta_max_touched: None,
         phases: vec![
             PhaseSpec::uniform("calm", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {
@@ -335,6 +350,7 @@ pub fn diurnal_drift(tenants: usize, items: usize, rate: u32, slices: u32) -> Sc
         items_per_tenant: items,
         fanout: 4,
         channels: 3,
+        delta_max_touched: None,
         phases: vec![
             PhaseSpec::uniform(
                 "night",
@@ -381,6 +397,7 @@ pub fn brownout(tenants: usize, items: usize, rate: u32, slices: u32) -> Scenari
         items_per_tenant: items,
         fanout: 4,
         channels: 3,
+        delta_max_touched: None,
         phases: vec![
             PhaseSpec::uniform("clean", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {
@@ -410,6 +427,7 @@ pub fn tenant_churn(tenants: usize, items: usize, rate: u32, slices: u32) -> Sce
         items_per_tenant: items,
         fanout: 4,
         channels: 3,
+        delta_max_touched: None,
         phases: vec![
             PhaseSpec::uniform("steady", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {

@@ -90,7 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
             opts.allow(
                 &[],
                 &[
-                    "scenario", "tenants", "items", "rate", "slices", "threads", "seed",
+                    "scenario", "tenants", "items", "rate", "slices", "threads", "seed", "delta",
                 ],
             )?;
             cmd_serve(&opts)
@@ -117,7 +117,9 @@ commands:
   compare    run every method on one tree     --channels K [--limit N] [--threads T]
   serve      multi-tenant scenario service    --scenario flash-crowd|diurnal-drift|brownout|tenant-churn|all
                                               [--tenants N] [--items N] [--rate R] [--slices S]
-                                              [--threads T] [--seed S]
+                                              [--threads T] [--seed S] [--delta MAX_TOUCHED]
+             --delta routes rebuilds through the incremental republish lane
+             (falls back to a full publish past the MAX_TOUCHED fraction)
 
 input: --input FILE (text format), --demo (paper example), or stdin.";
 
@@ -496,8 +498,14 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     if tenants == 0 || items == 0 || slices == 0 {
         return Err("--tenants, --items and --slices must be positive".into());
     }
+    let delta: Option<f64> = opts.parse("delta")?;
+    if let Some(d) = delta {
+        if !(0.0..=1.0).contains(&d) {
+            return Err("--delta must be a fraction in [0, 1]".into());
+        }
+    }
     let name = opts.get("scenario").unwrap_or("all");
-    let specs = match name {
+    let mut specs = match name {
         "all" => canonical_scenarios(tenants, items, rate, slices),
         "flash-crowd" => vec![flash_crowd(tenants, items, rate, slices)],
         "diurnal-drift" => vec![diurnal_drift(tenants, items, rate, slices)],
@@ -505,6 +513,12 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         "tenant-churn" => vec![tenant_churn(tenants, items, rate, slices)],
         other => return Err(format!("unknown scenario '{other}' (try `all`)")),
     };
+    if let Some(max_touched) = delta {
+        specs = specs
+            .into_iter()
+            .map(|s| s.with_delta_lane(max_touched))
+            .collect();
+    }
     let mut all_held = true;
     for spec in &specs {
         let outcome = run_scenario(spec, seed, threads);
@@ -529,8 +543,18 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         outcome.fingerprint()
     );
     println!(
-        "  {:<12} {:>7} {:>10} {:>9} {:>9} {:>8} {:>9}  slo",
-        "phase", "tenants", "requests", "deliver%", "p99 slots", "rebuilds", "downtime"
+        "  {:<12} {:>7} {:>10} {:>9} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10} {:>9}  slo",
+        "phase",
+        "tenants",
+        "requests",
+        "deliver%",
+        "p99 slots",
+        "rebuilds",
+        "delta",
+        "full",
+        "touch_ppm",
+        "rebuild_ms",
+        "downtime"
     );
     let mut all_held = true;
     for p in &outcome.phases {
@@ -542,6 +566,17 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
             .max()
             .unwrap_or(0);
         let rebuilds: u64 = p.tenants.iter().map(|t| t.snapshot.rebuilds).sum();
+        let delta: u64 = p.tenants.iter().map(|t| t.snapshot.delta_rebuilds).sum();
+        let full: u64 = p.tenants.iter().map(|t| t.snapshot.full_rebuilds).sum();
+        // Worst per-tenant touched fraction: full rebuilds read 10⁶ ppm,
+        // a quiet delta patch a few hundred.
+        let touched_ppm = p
+            .tenants
+            .iter()
+            .map(|t| t.snapshot.touched_ppm)
+            .max()
+            .unwrap_or(0);
+        let wall_ns: u64 = p.tenants.iter().map(|t| t.snapshot.rebuild_wall_ns).sum();
         let downtime: u64 = p
             .tenants
             .iter()
@@ -550,13 +585,17 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         let violated: usize = p.tenants.iter().map(|t| t.violations.len()).sum();
         all_held &= violated == 0;
         println!(
-            "  {:<12} {:>7} {:>10} {:>9.3} {:>9} {:>8} {:>9}  {}",
+            "  {:<12} {:>7} {:>10} {:>9.3} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10.3} {:>9}  {}",
             p.name,
             p.tenants.len(),
             requests,
             100.0 * p.min_delivery_rate(),
             p99,
             rebuilds,
+            delta,
+            full,
+            touched_ppm,
+            wall_ns as f64 / 1e6,
             downtime,
             if violated == 0 {
                 "ok".to_string()

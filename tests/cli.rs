@@ -194,7 +194,31 @@ fn serve_runs_a_scenario_and_reports_phases() {
         ]
         .concat(),
     );
-    assert_eq!(a, b, "serve output must be thread-count invariant");
+    // The rebuild_ms column is wall time — the one machine-dependent
+    // field, deliberately excluded from the fingerprint — so mask it
+    // before demanding textual equality.
+    let mask_wall = |out: &str| -> String {
+        out.lines()
+            .map(|line| {
+                let cols: Vec<&str> = line.split_whitespace().collect();
+                match cols.as_slice() {
+                    // phase rows: ... touch_ppm rebuild_ms downtime slo
+                    [.., _ppm, _wall, _downtime, _slo] if cols.len() == 12 => {
+                        let mut cols = cols;
+                        cols[9] = "-";
+                        cols.join(" ")
+                    }
+                    _ => line.to_string(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        mask_wall(&a),
+        mask_wall(&b),
+        "serve output must be thread-count invariant outside rebuild_ms"
+    );
 
     // Unknown scenarios are a clean error.
     let out = bcast()
