@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench clippy fmt fmt-check
+.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench snapshot-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated stress tests in release mode (the
@@ -65,12 +65,17 @@ bench:
 # with every patched epoch cross-checked bit-identical to a twin full
 # publish, the 1M rows at <=1% churn asserted >=100x faster, and the
 # PR4/PR5/PR6 headline numbers carried forward as regression context.
+# BENCH_PR8.json records the chunked serve kernel vs the scalar oracle
+# (iterations interleaved against the container's throughput phases,
+# BatchMetrics asserted bit-identical, the 65k row asserted >=1.3x) and
+# the 1M-item snapshot cold-start vs the full warm publish it displaces
+# (asserted >=100x and bit-identical after the disk round-trip).
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
 		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
 		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json \
-		--delta-into BENCH_PR7.json
+		--delta-into BENCH_PR7.json --kernel-into BENCH_PR8.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.
@@ -85,6 +90,13 @@ publish-bench:
 delta-bench:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench \
 		--bin bench_json -- --delta-into BENCH_PR7.json
+
+# Regenerates only BENCH_PR8.json (chunked serve kernel at 65k/1M items
+# plus the 1M snapshot cold-start), skipping every other section; the
+# regression row is carried forward from the BENCH_PR5/7 files on disk.
+snapshot-bench:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench \
+		--bin bench_json -- --kernel-into BENCH_PR8.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

@@ -1,72 +1,47 @@
 //! `bench_json` — machine-readable perf trajectory for the exact engines.
 //!
-//! Runs the sequential pruned best-first search (Packed bound, Property 1)
-//! on the fixed instances of `benches/search_strategies.rs` and emits one
-//! JSON document with wall time and search counters per instance. The
-//! `make bench-json` target maintains `BENCH_PR2.json`: the first run on a
-//! machine records the `before` section, later runs only replace `after`,
-//! so the before/after pair survives regeneration.
+//! One module per PR maintains one report file; this root parses the
+//! `--*-into` flags and hands each section its regression baselines
+//! (usually the previous PRs' freshly written files). The shared
+//! plumbing — JSON fragment scanning and the write-and-announce step —
+//! lives in [`report`].
+//!
+//! * [`pr2`] → `BENCH_PR2.json` (`--merge-into`): the sequential pruned
+//!   best-first search on the fixed instances of
+//!   `benches/search_strategies.rs`. The first run on a machine records
+//!   the `before` section; later runs only replace `after`.
+//! * [`pr3`] → `BENCH_PR3.json` (`--serving-into`): scalar
+//!   `simulator::access` loop vs compiled `serve_batch` on a 1M-request
+//!   Zipf stream, means cross-checked before the numbers are written.
+//! * [`pr4`] → `BENCH_PR4.json` (`--publish-into`): end-to-end publish
+//!   build time at 65k/1M/4M items — vendored pre-PR4 [`seed_pipeline`]
+//!   (measured once per machine, carried forward), the current
+//!   `Schedule`-API three-pass, and the fused `Publisher`.
+//! * [`pr5`] → `BENCH_PR5.json` (`--faults-into`): lossy-channel serving;
+//!   the `FaultPlan::none()` zero-fault row guards against PR 3.
+//! * [`pr6`] → `BENCH_PR6.json` (`--serve-into`): live multi-tenant
+//!   serving, sustained and per canonical scenario, asserted SLO-clean.
+//! * [`pr7`] → `BENCH_PR7.json` (`--delta-into`): the incremental delta
+//!   republish churn sweep, patched epochs cross-checked bit-identical,
+//!   the 1M ≤1%-churn rows asserted ≥100× faster than a full warm
+//!   republish, and per-row full-lane fallback reasons counted.
+//! * [`pr8`] → `BENCH_PR8.json` (`--kernel-into`): the chunked serve
+//!   kernel vs the scalar oracle (interleaved, bit-identical, 65k row
+//!   asserted ≥1.3×) and the 1M-item snapshot cold-start vs the full
+//!   warm publish (asserted ≥100×).
 //!
 //! Wall times are the minimum over several runs after a warmup — the most
-//! reproducible point statistic for a CPU-bound search on a shared box.
-//!
-//! Since PR 3 the binary additionally maintains `BENCH_PR3.json` (via
-//! `--serving-into`): requests-per-second of the scalar pointer-walking
-//! `simulator::access` loop (the *before* path) vs the compiled route
-//! tables' `serve_batch` (the *after* path) on a one-million-request
-//! Zipf stream over a Fig-14 `N(100, σ)` workload. Both paths serve the
-//! identical request sequence and the means are cross-checked before the
-//! numbers are written.
-//!
-//! Since PR 5 it also maintains `BENCH_PR5.json` (via `--faults-into`):
-//! lossy-channel serving. One zero-fault row pins that compiling the fault
-//! hooks into `serve_batch` costs nothing when `FaultPlan::none()` is set
-//! (cross-checked against BENCH_PR3.json's `after` throughput when that
-//! file is on disk), then one row per `standard_scenarios()` channel
-//! condition (clean / 1% / 5% / 20% erasure / bursty) records throughput,
-//! delivery rate, retries and recovery wait under the default recovery
-//! policy.
-//!
-//! Since PR 6 it also maintains `BENCH_PR6.json` (via `--serve-into`):
-//! live multi-tenant serving. One sustained-load section (8 tenants
-//! serving concurrently through the `ServeLoop`, aggregate
-//! requests-per-second plus worst per-tenant p99), then one row per
-//! canonical "day in the life" scenario (flash crowd, diurnal drift,
-//! brownout, tenant churn) with throughput, delivery floor, worst p99
-//! and rebuild counts — every row asserted SLO-clean and downtime-free
-//! before it is written, and the whole report cross-referenced against
-//! BENCH_PR5.json's `zero_fault` row when that file is on disk.
-//!
-//! Since PR 7 it also maintains `BENCH_PR7.json` (via `--delta-into`):
-//! the incremental delta republish lane. A churn sweep (0.01% / 0.1% /
-//! 1% / 10% of the catalog reweighted per epoch) at 65k and 1M items
-//! measures `Publisher::republish_delta` against the full warm republish
-//! on the same tree, every patched epoch cross-checked bit-identical to a
-//! twin full publish before any number is written. The 1M rows at ≤1%
-//! churn are asserted ≥100× faster than the full warm rebuild, and the
-//! PR4 (warm publish), PR5 (zero-fault serving) and PR6 (sustained
-//! multi-tenant) headline numbers are carried forward from their files as
-//! regression context.
-//!
-//! Since PR 4 it also maintains `BENCH_PR4.json` (via `--publish-into`):
-//! end-to-end publish build time at 65k/1M/4M items for three paths — the
-//! vendored pre-PR4 pipeline ([`seed_pipeline`], quadratic; measured once
-//! per machine and carried forward on regeneration), the current
-//! `Schedule`-API three-pass, and the fused `Publisher`.
+//! reproducible point statistic for a CPU-bound workload on a shared box.
 
+mod pr2;
+mod pr3;
+mod pr4;
+mod pr5;
+mod pr6;
+mod pr7;
+mod pr8;
+mod report;
 mod seed_pipeline;
-
-use bcast_channel::{
-    simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, RecoveryPolicy,
-    ServeOptions,
-};
-use bcast_core::best_first::{self, BestFirstOptions};
-use bcast_core::heuristics::sorting;
-use bcast_core::{DeltaLane, DeltaOptions, PublishHeuristic, PublishOptions, Publisher};
-use bcast_index_tree::{builders, knary, IndexTree};
-use bcast_types::{NodeId, Weight};
-use bcast_workloads::{FrequencyDist, RequestStream};
-use std::time::Instant;
 
 /// With the `alloc-count` feature the binary installs the counting global
 /// allocator, so BENCH_PR4.json carries real heap-allocation counts for the
@@ -85,1011 +60,6 @@ fn allocation_count() -> u64 {
     0
 }
 
-/// (name, tree, k, timed runs): mirrors the bench suite's instances.
-fn instances() -> Vec<(String, IndexTree, usize, usize)> {
-    let mut out = vec![("paper".to_string(), builders::paper_example(), 2, 32)];
-    for m in [2usize, 3] {
-        let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(m * m, 99);
-        out.push((
-            format!("balanced-m{m}"),
-            builders::full_balanced(m, 3, &weights).expect("valid shape"),
-            2,
-            16,
-        ));
-    }
-    let weights = FrequencyDist::Uniform { lo: 1.0, hi: 100.0 }.sample(27, 99);
-    out.push((
-        "balanced-d4".to_string(),
-        builders::full_balanced(3, 4, &weights).expect("valid shape"),
-        2,
-        5,
-    ));
-    out
-}
-
-fn measure(name: &str, tree: &IndexTree, k: usize, runs: usize) -> String {
-    let opts = BestFirstOptions::default();
-    let mut best_ms = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..=runs {
-        let t0 = Instant::now();
-        let r = best_first::search(tree, k, &opts).expect("no node limit set");
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
-        // The 0th iteration is warmup; it still provides the result.
-        if result.is_some() {
-            best_ms = best_ms.min(ms);
-        }
-        result = Some(r);
-    }
-    let r = result.expect("at least one run");
-    let s = r.stats;
-    let bound_per_state = if r.nodes_generated == 0 {
-        0.0
-    } else {
-        s.bound_work as f64 / (s.bound_inc_updates + s.bound_full_evals).max(1) as f64
-    };
-    format!(
-        concat!(
-            "{{\"instance\": \"{}\", \"k\": {}, \"wall_ms\": {:.3}, ",
-            "\"expanded\": {}, \"generated\": {}, ",
-            "\"bound_full_evals\": {}, \"bound_inc_updates\": {}, ",
-            "\"bound_work\": {}, \"bound_work_per_state\": {:.3}, ",
-            "\"table_probes\": {}, \"table_hits\": {}, ",
-            "\"peak_arena_bytes\": {}}}"
-        ),
-        name,
-        k,
-        best_ms,
-        r.nodes_expanded,
-        r.nodes_generated,
-        s.bound_full_evals,
-        s.bound_inc_updates,
-        s.bound_work,
-        bound_per_state,
-        s.table_probes,
-        s.table_hits,
-        s.peak_arena_bytes
-    )
-}
-
-fn run_section() -> String {
-    let runs: Vec<String> = instances()
-        .iter()
-        .map(|(name, tree, k, n)| format!("    {}", measure(name, tree, *k, *n)))
-        .collect();
-    format!("{{\"runs\": [\n{}\n  ]}}", runs.join(",\n"))
-}
-
-/// Extracts the JSON object following `key` (e.g. `"before":`) by brace
-/// matching — the file is our own output, so a structural scan is
-/// sufficient.
-fn extract_object(text: &str, key: &str) -> Option<String> {
-    let start = text.find(key)? + key.len();
-    let rest = text[start..].trim_start();
-    if !rest.starts_with('{') {
-        return None;
-    }
-    let mut depth = 0usize;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(rest[..=i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Serving throughput: the scalar `access()` loop vs the compiled batched
-/// engine on the same 1M-request Zipf stream over a Fig-14 workload.
-/// Returns the full PR-3 JSON document.
-fn serving_report() -> String {
-    const ITEMS: usize = 65_536;
-    const REQUESTS: usize = 1_000_000;
-    const CHANNELS: usize = 3;
-    const FANOUT: usize = 4;
-    let weights = FrequencyDist::paper_fig14(30.0).sample(ITEMS, 14);
-    let tree = knary::build_weight_balanced(&weights, FANOUT).expect("non-empty");
-    let alloc = sorting::sorting_schedule(&tree, CHANNELS)
-        .into_allocation(&tree, CHANNELS)
-        .expect("feasible");
-    let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
-    let data = tree.data_nodes();
-    let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 1.0, 3)
-        .take(REQUESTS)
-        .map(|i| data[i])
-        .collect();
-    let opts = ServeOptions {
-        threads: 1,
-        seed: 0x5EED,
-        ..ServeOptions::default()
-    };
-
-    // Before: the scalar pointer-walking loop (one warmup slice, one timed
-    // full pass — it is the slow baseline).
-    for (i, &t) in targets.iter().take(10_000).enumerate() {
-        let tune = opts.tune_in(i as u64, program.cycle_len());
-        simulator::access(&program, &tree, t, tune).expect("reachable");
-    }
-    let t0 = Instant::now();
-    let mut scalar_sum = 0u64;
-    for (i, &t) in targets.iter().enumerate() {
-        let tune = opts.tune_in(i as u64, program.cycle_len());
-        let trace = simulator::access(&program, &tree, t, tune).expect("reachable");
-        scalar_sum += u64::from(trace.access_time());
-    }
-    let scalar_s = t0.elapsed().as_secs_f64();
-
-    // After: compile once, then the batched table reads; min over 3 runs.
-    let t0 = Instant::now();
-    let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
-    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let mut batch_s = f64::INFINITY;
-    let mut batch_mean = 0.0;
-    for _ in 0..3 {
-        let t0 = Instant::now();
-        let m = compiled.serve_batch(&targets, &opts).expect("routable");
-        batch_s = batch_s.min(t0.elapsed().as_secs_f64());
-        batch_mean = m.mean_access_time;
-    }
-    let scalar_mean = scalar_sum as f64 / REQUESTS as f64;
-    assert!(
-        (scalar_mean - batch_mean).abs() < 1e-9,
-        "scalar mean {scalar_mean} vs batched mean {batch_mean}: paths disagree"
-    );
-    let before_rps = REQUESTS as f64 / scalar_s;
-    let after_rps = REQUESTS as f64 / batch_s;
-    format!(
-        concat!(
-            "{{\n  \"pr\": 3,\n",
-            "  \"description\": \"serving throughput on a 1M-request ",
-            "Zipf(1.0) stream, Fig-14 N(100,30) workload ({} items, ",
-            "fanout {}, {} channels): scalar pointer-walking access() loop ",
-            "vs compiled route tables (serve_batch, 1 thread); identical ",
-            "request sequence, means cross-checked to 1e-9\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"compile_ms\": {:.3},\n",
-            "  \"mean_access_time_slots\": {:.3},\n",
-            "  \"before\": {{\"path\": \"scalar simulator::access\", ",
-            "\"requests\": {}, \"wall_s\": {:.3}, \"rps\": {:.0}}},\n",
-            "  \"after\": {{\"path\": \"CompiledProgram::serve_batch\", ",
-            "\"requests\": {}, \"wall_s\": {:.4}, \"rps\": {:.0}}},\n",
-            "  \"speedup\": {:.1}\n}}\n"
-        ),
-        ITEMS,
-        FANOUT,
-        CHANNELS,
-        compile_ms,
-        batch_mean,
-        REQUESTS,
-        scalar_s,
-        before_rps,
-        REQUESTS,
-        batch_s,
-        after_rps,
-        after_rps / before_rps
-    )
-}
-
-/// Lossy-channel serving: the same Fig-14 workload and request stream as
-/// the PR-3 section, served through `serve_batch` under each channel
-/// condition of `bcast_workloads::standard_scenarios()`. The zero-fault
-/// row uses `FaultPlan::none()` — the dedicated fast path — and is the
-/// regression guard against the pre-fault engine (BENCH_PR3.json `after`).
-/// Returns the full PR-5 JSON document.
-fn faults_report(pr3: Option<&str>) -> String {
-    const ITEMS: usize = 65_536;
-    const REQUESTS: usize = 1_000_000;
-    const CHANNELS: usize = 3;
-    const FANOUT: usize = 4;
-    let weights = FrequencyDist::paper_fig14(30.0).sample(ITEMS, 14);
-    let tree = knary::build_weight_balanced(&weights, FANOUT).expect("non-empty");
-    let alloc = sorting::sorting_schedule(&tree, CHANNELS)
-        .into_allocation(&tree, CHANNELS)
-        .expect("feasible");
-    let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
-    let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
-    let data = tree.data_nodes();
-    let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 1.0, 3)
-        .take(REQUESTS)
-        .map(|i| data[i])
-        .collect();
-    let policy = RecoveryPolicy::default();
-
-    // Zero-fault guard: FaultPlan::none() must take the pre-PR5 fast path.
-    let base = ServeOptions {
-        threads: 1,
-        seed: 0x5EED,
-        ..ServeOptions::default()
-    };
-    let mut zero_s = f64::INFINITY;
-    let mut zero_mean = 0.0;
-    for _ in 0..3 {
-        let t0 = Instant::now();
-        let m = compiled.serve_batch(&targets, &base).expect("routable");
-        zero_s = zero_s.min(t0.elapsed().as_secs_f64());
-        zero_mean = m.mean_access_time;
-    }
-    let zero_rps = REQUESTS as f64 / zero_s;
-    let pr3_after_rps = pr3
-        .and_then(|text| extract_object(text, "\"after\":"))
-        .and_then(|obj| field_f64(&obj, "rps"));
-    eprintln!(
-        "faults-bench: zero-fault {zero_rps:.0} rps (PR3 after: {})",
-        pr3_after_rps.map_or("n/a".into(), |r| format!("{r:.0} rps"))
-    );
-
-    let mut rows = Vec::new();
-    for scenario in bcast_workloads::standard_scenarios() {
-        let plan = match scenario.burst {
-            Some(b) => FaultPlan::gilbert_elliott(
-                GilbertElliott {
-                    p_good_to_bad: b.p_good_to_bad,
-                    p_bad_to_good: b.p_bad_to_good,
-                    loss_good: b.loss_good,
-                    loss_bad: b.loss_bad,
-                },
-                0x5EED,
-            )
-            .expect("preset probabilities are valid"),
-            None => FaultPlan::erasure(scenario.erasure_p, 0x5EED).expect("preset p is valid"),
-        };
-        let opts = ServeOptions {
-            faults: plan,
-            recovery: policy,
-            ..base
-        };
-        let mut wall_s = f64::INFINITY;
-        let mut metrics = None;
-        for _ in 0..2 {
-            let t0 = Instant::now();
-            let m = compiled.serve_batch(&targets, &opts).expect("routable");
-            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
-            metrics = Some(m);
-        }
-        let m = metrics.expect("at least one run");
-        if scenario.expected_loss() == 0.0 {
-            // The lossy engine at zero loss reproduces the fast path.
-            assert_eq!(m.delivery_rate(), 1.0, "clean scenario lost requests");
-            assert!(
-                (m.mean_access_time - zero_mean).abs() < 1e-9,
-                "lossy engine at p=0 disagrees with the fast path"
-            );
-        }
-        let rps = REQUESTS as f64 / wall_s;
-        eprintln!(
-            "faults-bench: {} {rps:.0} rps, {:.4} delivered, +{:.3} wait",
-            scenario.name,
-            m.delivery_rate(),
-            m.mean_extra_wait
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\"name\": \"{}\", \"expected_loss\": {:.4}, ",
-                "\"wall_s\": {:.3}, \"rps\": {:.0}, \"delivery_rate\": {:.6}, ",
-                "\"failed\": {}, \"retries_per_request\": {:.4}, ",
-                "\"mean_extra_wait_slots\": {:.3}, ",
-                "\"mean_access_time_slots\": {:.3}}}"
-            ),
-            scenario.name,
-            scenario.expected_loss(),
-            wall_s,
-            rps,
-            m.delivery_rate(),
-            m.failed,
-            m.retries as f64 / REQUESTS as f64,
-            m.mean_extra_wait,
-            m.mean_access_time,
-        ));
-    }
-    format!(
-        concat!(
-            "{{\n  \"pr\": 5,\n",
-            "  \"description\": \"lossy-channel serving on the PR-3 workload ",
-            "(Fig-14 N(100,30), {} items, fanout {}, {} channels, 1M-request ",
-            "Zipf(1.0) stream, 1 thread, default recovery policy): zero_fault ",
-            "= FaultPlan::none() through the unchanged fast path (regression ",
-            "guard vs BENCH_PR3.json after); scenarios = the standard fault ",
-            "grid served through the recovery engine; the clean scenario is ",
-            "cross-checked against the fast path to 1e-9\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"zero_fault\": {{\"wall_s\": {:.3}, \"rps\": {:.0}, ",
-            "\"mean_access_time_slots\": {:.3}, \"pr3_after_rps\": {}, ",
-            "\"vs_pr3\": {}}},\n",
-            "  \"scenarios\": [\n{}\n  ]\n}}\n"
-        ),
-        ITEMS,
-        FANOUT,
-        CHANNELS,
-        zero_s,
-        zero_rps,
-        zero_mean,
-        pr3_after_rps.map_or("null".into(), |r| format!("{r:.0}")),
-        pr3_after_rps.map_or("null".into(), |r| format!("{:.3}", zero_rps / r)),
-        rows.join(",\n")
-    )
-}
-
-/// Live multi-tenant serving: a sustained steady-state run (8 tenants,
-/// lossless, heavy flat rate) for the headline aggregate throughput, then
-/// the four canonical scenarios at bench scale. Every number is measured
-/// through the real `ServeLoop` slice loop — estimator feeding, periodic
-/// republishes and SLO accounting included — and every run is asserted
-/// SLO-clean with zero rebuild downtime before it is written. Returns the
-/// full PR-6 JSON document.
-fn serve_report(pr5: Option<&str>) -> String {
-    use bcast_serve::{run_scenario, ServeLoop, TenantConfig};
-    use bcast_types::SloSpec;
-    use bcast_workloads::{canonical_scenarios, DemandShape, DemandSpec};
-
-    const TENANTS: u64 = 8;
-    const ITEMS: usize = 4_096;
-    const RATE: u32 = 40_000;
-    const SLICES: u32 = 24;
-    const THREADS: usize = 4;
-    const SEED: u64 = 0x5EED;
-
-    // Sustained steady state: 8 tenants × 40k requests/slice × 24 slices
-    // = 7.68M requests served through the live loop.
-    let mut svc = ServeLoop::new(SEED, THREADS);
-    for id in 0..TENANTS {
-        let mut config = TenantConfig::new(id, ITEMS);
-        config.channels = 3;
-        svc.join(config);
-    }
-    let demand = DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, RATE);
-    for t in svc.tenants_mut() {
-        t.begin_phase(demand, None, SloSpec::lossless(), SLICES);
-    }
-    // Warmup: two slices size every tenant's buffers and publish caches.
-    svc.run_slices(2);
-    let t0 = Instant::now();
-    svc.run_slices(SLICES - 2);
-    let wall_s = t0.elapsed().as_secs_f64();
-    let mut sustained_requests = 0u64;
-    let mut worst_p99 = 0u32;
-    let mut rebuilds = 0u64;
-    for t in svc.tenants() {
-        let s = t.phase_snapshot();
-        assert_eq!(s.delivered, s.requests, "lossless tenant lost requests");
-        assert_eq!(s.rebuild_downtime_slots, 0, "swap never stalls a tenant");
-        assert!(t.phase_violations().is_empty(), "{s:?}");
-        // Subtract the warmup slices' requests from the timed window.
-        sustained_requests += s.requests - u64::from(RATE) * 2;
-        worst_p99 = worst_p99.max(s.p99_slots);
-        rebuilds += s.rebuilds;
-    }
-    let sustained_rps = sustained_requests as f64 / wall_s;
-    eprintln!(
-        "serve-bench: sustained {TENANTS} tenants {sustained_rps:.0} rps \
-         (p99 {worst_p99} slots, {rebuilds} rebuilds)"
-    );
-
-    // The four canonical scenarios at bench scale.
-    let mut rows = Vec::new();
-    for spec in canonical_scenarios(8, 256, 4_000, 24) {
-        let t0 = Instant::now();
-        let out = run_scenario(&spec, SEED, THREADS);
-        let scenario_s = t0.elapsed().as_secs_f64();
-        out.assert_slos();
-        assert_eq!(out.total_downtime_slots(), 0, "{}: downtime", out.name);
-        let requests = out.total_requests();
-        let rps = requests as f64 / scenario_s;
-        let min_delivery = out
-            .phases
-            .iter()
-            .map(|p| p.min_delivery_rate())
-            .fold(1.0, f64::min);
-        eprintln!(
-            "serve-bench: {} {rps:.0} rps, min delivery {min_delivery:.4}, \
-             p99 {} slots",
-            out.name,
-            out.worst_p99_slots()
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\"name\": \"{}\", \"requests\": {}, \"wall_s\": {:.3}, ",
-                "\"rps\": {:.0}, \"min_delivery_rate\": {:.6}, ",
-                "\"worst_p99_slots\": {}, \"rebuilds\": {}, ",
-                "\"downtime_slots\": {}, \"fingerprint\": \"{:016x}\"}}"
-            ),
-            out.name,
-            requests,
-            scenario_s,
-            rps,
-            min_delivery,
-            out.worst_p99_slots(),
-            out.total_rebuilds(),
-            out.total_downtime_slots(),
-            out.fingerprint(),
-        ));
-    }
-
-    let pr5_zero_rps = pr5
-        .and_then(|text| extract_object(text, "\"zero_fault\":"))
-        .and_then(|obj| field_f64(&obj, "rps"));
-    format!(
-        concat!(
-            "{{\n  \"pr\": 6,\n",
-            "  \"description\": \"live multi-tenant serving through the ",
-            "ServeLoop ({} tenants, {} items each, fanout 4, 3 channels, ",
-            "{} worker threads, seed {}): sustained = steady Zipf(0.9) load ",
-            "at {} requests/tenant/slice for {} timed slices, estimator ",
-            "feeding and periodic republishes included, every tenant ",
-            "asserted SLO-clean with zero rebuild downtime; scenarios = the ",
-            "four canonical day-in-the-life scripts at bench scale (8 ",
-            "tenants, 256 items, rate 4000, 24 slices/phase), each asserted ",
-            "SLO-clean; pr5_zero_fault_rps is the single-tenant raw ",
-            "serve_batch ceiling from BENCH_PR5.json for context\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"sustained\": {{\"tenants\": {}, \"requests\": {}, ",
-            "\"wall_s\": {:.3}, \"rps\": {:.0}, \"worst_p99_slots\": {}, ",
-            "\"rebuilds\": {}, \"downtime_slots\": 0}},\n",
-            "  \"pr5_zero_fault_rps\": {},\n",
-            "  \"scenarios\": [\n{}\n  ]\n}}\n"
-        ),
-        TENANTS,
-        ITEMS,
-        THREADS,
-        SEED,
-        RATE,
-        SLICES - 2,
-        TENANTS,
-        sustained_requests,
-        wall_s,
-        sustained_rps,
-        worst_p99,
-        rebuilds,
-        pr5_zero_rps.map_or("null".into(), |r| format!("{r:.0}")),
-        rows.join(",\n")
-    )
-}
-
-/// SplitMix64: deterministic churn draws, independent of any test
-/// framework state (mirrors `tests/delta_republish.rs`).
-fn mix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Picks `count` distinct data leaves and drifts their weights by a
-/// 0.9x..1.1x factor, applying the changes to `tree` and returning the
-/// change set the delta lane consumes. Gentle multiplicative drift is the
-/// regime the lane targets (EMA estimates moving epoch over epoch); the
-/// test suite's violent 0.25x..4.25x churn exists to exercise the
-/// fallback lanes, not to measure the patch lane's win.
-fn churn_weights(tree: &mut IndexTree, count: usize, rng: &mut u64) -> Vec<(NodeId, Weight)> {
-    let data: Vec<NodeId> = tree.data_nodes().to_vec();
-    let mut changes = Vec::new();
-    let mut seen = vec![false; tree.len()];
-    for _ in 0..count {
-        let id = data[(mix(rng) % data.len() as u64) as usize];
-        if std::mem::replace(&mut seen[id.index()], true) {
-            continue;
-        }
-        let old = tree.weight(id).get();
-        let factor = 0.98 + (mix(rng) % 1000) as f64 / 25000.0;
-        let w = Weight::new((old * factor).max(1e-6)).expect("positive finite");
-        changes.push((id, w));
-    }
-    tree.reweight(&changes);
-    changes
-}
-
-/// The PR-4 warm-republish wall at 1M items, read out of an existing
-/// BENCH_PR4.json — the external baseline the ISSUE quotes (0.54 s).
-fn pr4_warm_1m(text: &str) -> Option<f64> {
-    let start = text.find("\"items\": 1000000")?;
-    let rest = &text[start..];
-    let row = &rest[..=rest.find('}')?];
-    field_f64(row, "after_warm_s")
-}
-
-/// Incremental delta republish vs the full warm republish: a churn sweep
-/// (0.01% / 0.1% / 1% / 10% of data items reweighted per epoch) at 65k
-/// and 1M items on the stress-test workload (Zipf(0.9) weights, random
-/// tree, fanout ≤ 64, 3 channels, sorting heuristic). Each fraction runs
-/// chained epochs through `Publisher::republish_delta`; patched epochs
-/// are cross-checked bit-identical against a twin full publish of the
-/// same reweighted tree before any number is written. The 1M rows at
-/// ≤1% churn are asserted ≥100× faster than the full warm rebuild
-/// measured on the same tree. PR4/PR5/PR6 headline numbers are carried
-/// forward from their files as regression context. Returns the full
-/// PR-7 JSON document.
-fn delta_report(pr4: Option<&str>, pr5: Option<&str>, pr6: Option<&str>) -> String {
-    use bcast_workloads::{random_tree, RandomTreeConfig};
-    const CHANNELS: usize = 3;
-    const MAX_TOUCHED: f64 = 0.05;
-    let opts = PublishOptions { threads: 1 };
-    let delta_opts = DeltaOptions {
-        max_touched: MAX_TOUCHED,
-    };
-    let fractions = [0.0001f64, 0.001, 0.01, 0.1];
-    // (items, timed full-republish runs, delta epochs per fraction)
-    let sizes: [(usize, usize, usize); 2] = [(65_536, 5, 10), (1_000_000, 3, 8)];
-
-    let mut size_rows = Vec::new();
-    // Best (churn, delta_s, speedup) among the 1M rows at ≤1% churn — the
-    // tentpole's acceptance row.
-    let mut best_1m: Option<(f64, f64, f64)> = None;
-    for (items, full_runs, rounds) in sizes {
-        let t0 = Instant::now();
-        let cfg = RandomTreeConfig {
-            data_nodes: items,
-            max_fanout: 64,
-            weights: FrequencyDist::Zipf {
-                theta: 0.9,
-                scale: 1_000_000.0,
-            },
-        };
-        let tree = random_tree(&cfg, 7);
-        eprintln!(
-            "delta-bench: {items} items -> {} nodes (tree built in {:.2}s)",
-            tree.len(),
-            t0.elapsed().as_secs_f64()
-        );
-
-        // The cost the delta lane displaces: a full warm republish of the
-        // same tree (both double-buffer halves pre-sized, min over runs).
-        let mut publisher = Publisher::new();
-        for _ in 0..2 {
-            publisher
-                .publish(&tree, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-        }
-        let mut full_warm_s = f64::INFINITY;
-        for _ in 0..full_runs {
-            let t0 = Instant::now();
-            publisher
-                .publish(&tree, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-            full_warm_s = full_warm_s.min(t0.elapsed().as_secs_f64());
-        }
-        eprintln!("delta-bench: {items} items full warm republish {full_warm_s:.4}s");
-
-        let mut sweep = Vec::new();
-        for frac in fractions {
-            let mut t = tree.clone();
-            let mut live = Publisher::new();
-            live.publish(&t, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-            let mut rng = 0xFEED ^ (items as u64) ^ frac.to_bits();
-            let count = ((items as f64 * frac).ceil() as usize).max(1);
-            let (mut patched, mut full) = (0usize, 0usize);
-            let mut patched_s = f64::INFINITY;
-            let mut full_lane_s = f64::INFINITY;
-            let mut max_touched_frac = 0.0f64;
-            for round in 0..rounds {
-                let changes = churn_weights(&mut t, count, &mut rng);
-                let t0 = Instant::now();
-                let report = live
-                    .republish_delta(
-                        &t,
-                        &changes,
-                        CHANNELS,
-                        PublishHeuristic::Sorting,
-                        opts,
-                        delta_opts,
-                    )
-                    .expect("delta republish");
-                let wall = t0.elapsed().as_secs_f64();
-                match report.lane {
-                    DeltaLane::Patched => {
-                        eprintln!(
-                            "delta-bench:   round {round} patched: touched {} ({:.5}) in {wall:.6}s",
-                            report.touched,
-                            report.touched_fraction()
-                        );
-                        patched += 1;
-                        patched_s = patched_s.min(wall);
-                        max_touched_frac = max_touched_frac.max(report.touched_fraction());
-                    }
-                    DeltaLane::Full(reason) => {
-                        eprintln!("delta-bench:   round {round} fell back: {reason:?}");
-                        full += 1;
-                        full_lane_s = full_lane_s.min(wall);
-                    }
-                }
-                // Twin check: the repaired program must be bit-identical
-                // to a full publish of the same reweighted tree (every
-                // epoch at 65k, the first epoch per fraction at 1M).
-                if round == 0 || items <= 65_536 {
-                    let mut twin = Publisher::new();
-                    twin.publish(&t, CHANNELS, PublishHeuristic::Sorting, opts)
-                        .expect("twin publish");
-                    assert_eq!(
-                        live.plan(),
-                        twin.plan(),
-                        "slot plan diverged: {items} items, churn {frac}, round {round}"
-                    );
-                    assert_eq!(
-                        live.current(),
-                        twin.current(),
-                        "program diverged: {items} items, churn {frac}, round {round}"
-                    );
-                }
-            }
-            let speedup = (patched > 0).then(|| full_warm_s / patched_s);
-            eprintln!(
-                "delta-bench: {items} items churn {frac} ({count} changed): \
-                 {patched} patched / {full} full, delta {} ({})",
-                if patched > 0 {
-                    format!("{patched_s:.6}s")
-                } else {
-                    "n/a".into()
-                },
-                speedup.map_or("no patched epoch".into(), |s| format!(
-                    "{s:.0}x vs full warm"
-                )),
-            );
-            if items == 1_000_000 && frac <= 0.01 {
-                if let Some(s) = speedup {
-                    if best_1m.is_none_or(|(_, _, b)| s > b) {
-                        best_1m = Some((frac, patched_s, s));
-                    }
-                }
-            }
-            sweep.push(format!(
-                concat!(
-                    "      {{\"churn\": {}, \"changed\": {}, \"epochs\": {}, ",
-                    "\"patched\": {}, \"full\": {}, \"delta_s\": {}, ",
-                    "\"full_lane_s\": {}, \"max_touched_fraction\": {:.6}, ",
-                    "\"speedup_vs_full_warm\": {}}}"
-                ),
-                frac,
-                count,
-                rounds,
-                patched,
-                full,
-                if patched > 0 {
-                    format!("{patched_s:.6}")
-                } else {
-                    "null".into()
-                },
-                if full > 0 {
-                    format!("{full_lane_s:.4}")
-                } else {
-                    "null".into()
-                },
-                max_touched_frac,
-                speedup.map_or("null".into(), |s| format!("{s:.1}")),
-            ));
-        }
-        size_rows.push(format!(
-            concat!(
-                "    {{\"items\": {}, \"nodes\": {}, \"full_warm_s\": {:.4}, ",
-                "\"sweep\": [\n{}\n    ]}}"
-            ),
-            items,
-            tree.len(),
-            full_warm_s,
-            sweep.join(",\n")
-        ));
-    }
-
-    // The tentpole's acceptance criterion: delta republish at 1M items
-    // with ≤1% weight churn is ≥100× faster than the full warm republish.
-    // The lane decisions are deterministic (fixed seeds), so this either
-    // always holds on a machine class or never does.
-    let (acc_churn, acc_delta_s, acc_speedup) =
-        best_1m.expect("no 1M row at <=1% churn took the patch lane");
-    assert!(
-        acc_speedup >= 100.0,
-        "acceptance: best 1M delta republish at <=1% churn is only \
-         {acc_speedup:.1}x faster than full warm (churn {acc_churn})"
-    );
-    eprintln!(
-        "delta-bench: acceptance row: 1M items, churn {acc_churn}: \
-         {acc_delta_s:.6}s, {acc_speedup:.0}x vs full warm (>=100x required)"
-    );
-
-    // Regression context carried forward from the earlier reports.
-    let pr4_warm = pr4.and_then(pr4_warm_1m);
-    let pr5_rps = pr5
-        .and_then(|text| extract_object(text, "\"zero_fault\":"))
-        .and_then(|obj| field_f64(&obj, "rps"));
-    let pr6_rps = pr6
-        .and_then(|text| extract_object(text, "\"sustained\":"))
-        .and_then(|obj| field_f64(&obj, "rps"));
-    let fmt = |v: Option<f64>, digits: usize| v.map_or("null".into(), |x| format!("{x:.digits$}"));
-    format!(
-        concat!(
-            "{{\n  \"pr\": 7,\n",
-            "  \"description\": \"incremental delta republish ",
-            "(Publisher::republish_delta, sorting heuristic, Zipf(0.9) ",
-            "random trees, fanout <= 64, 3 channels, 1 thread, max_touched ",
-            "{}): churn sweep reweights 0.01%/0.1%/1%/10% of data items per ",
-            "epoch at 65k and 1M items; delta_s = min wall over patched ",
-            "epochs, full_warm_s = min wall of a full warm republish of the ",
-            "same tree, every patched epoch cross-checked bit-identical to ",
-            "a twin full publish; full rows past the threshold are the ",
-            "honest fallback regime (wide reorder windows); acceptance = ",
-            "the best 1M row at <=1% churn, asserted >=100x faster than ",
-            "full warm before this file is written; pr4_warm_1m_s / ",
-            "pr5_zero_fault_rps / pr6_sustained_rps are carried forward ",
-            "from their reports as regression context\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"max_touched\": {},\n",
-            "  \"acceptance\": {{\"items\": 1000000, \"churn\": {}, ",
-            "\"delta_s\": {:.6}, \"speedup_vs_full_warm\": {:.1}, ",
-            "\"asserted_min_speedup\": 100}},\n",
-            "  \"regression\": {{\"pr4_warm_1m_s\": {}, ",
-            "\"pr5_zero_fault_rps\": {}, \"pr6_sustained_rps\": {}}},\n",
-            "  \"sizes\": [\n{}\n  ]\n}}\n"
-        ),
-        MAX_TOUCHED,
-        MAX_TOUCHED,
-        acc_churn,
-        acc_delta_s,
-        acc_speedup,
-        fmt(pr4_warm, 4),
-        fmt(pr5_rps, 0),
-        fmt(pr6_rps, 0),
-        size_rows.join(",\n")
-    )
-}
-
-/// Reads a numeric field out of a flat JSON object fragment.
-fn field_f64(obj: &str, name: &str) -> Option<f64> {
-    let key = format!("\"{name}\":");
-    let start = obj.find(&key)? + key.len();
-    let rest = obj[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Looks up a carried-forward seed measurement for `items` inside a
-/// previously written `"seed"` object. `None` when absent or `null`.
-fn carried_seed(seed_obj: &str, items: usize) -> Option<(f64, u64)> {
-    let key = format!("\"{items}\":");
-    let start = seed_obj.find(&key)? + key.len();
-    let rest = seed_obj[start..].trim_start();
-    if !rest.starts_with('{') {
-        return None; // recorded as null (size where the seed is infeasible)
-    }
-    let entry = &rest[..=rest.find('}')?];
-    let wall = field_f64(entry, "wall_s")?;
-    let allocs = field_f64(entry, "allocs").unwrap_or(0.0) as u64;
-    Some((wall, allocs))
-}
-
-/// The seed baseline at one size: min wall seconds, heap allocations, and
-/// whether the numbers were carried forward from a previous report rather
-/// than re-measured.
-struct SeedCell {
-    wall_s: f64,
-    allocs: u64,
-    carried: bool,
-}
-
-/// End-to-end publish build time at scale, three paths per size:
-///
-/// * **seed** — the pre-PR4 pipeline, vendored in [`seed_pipeline`]
-///   (allocation-heavy walks, quadratic `1_To_k` dump). The true *before*
-///   of PR 4. Quadratic cost makes it measurable only up to 1M items
-///   (~6 s at 65k, ~25 min at 1M on the reference container), so it is
-///   measured once per machine — `previous` carries the numbers forward on
-///   regeneration — and recorded as `null` at 4M.
-/// * **api** — the current `Schedule` → `Allocation` → `BroadcastProgram` →
-///   `CompiledProgram` three-pass. Since PR 4 the legacy wrappers share the
-///   fused engines, so this column isolates the remaining pass-structure
-///   and allocation overhead that the fused `Publisher` removes.
-/// * **after** — the fused `Publisher`, cold (fresh) and warm (republish
-///   into reused buffers, the steady-state path).
-///
-/// Every path that runs is asserted bit-identical to the fused output
-/// before any number is written. Returns the full PR-4 JSON document.
-fn publish_report(previous: Option<&str>) -> String {
-    const CHANNELS: usize = 3;
-    const FANOUT: usize = 4;
-    // Largest size at which the quadratic seed path is still worth running.
-    const SEED_MEASURABLE: usize = 1_000_000;
-    let opts = PublishOptions { threads: 1 };
-    let prev_seed = previous.and_then(|text| extract_object(text, "\"seed\":"));
-    // (items, timed runs): fewer repetitions as size grows.
-    let sizes: [(usize, usize); 3] = [(65_536, 5), (1_000_000, 3), (4_000_000, 1)];
-    let mut rows = Vec::new();
-    let mut seed_rows = Vec::new();
-    let mut speedup_seed_1m = None;
-    let mut speedup_api_1m = 0.0;
-    for (items, runs) in sizes {
-        let t0 = Instant::now();
-        let weights = FrequencyDist::SelfSimilar {
-            fraction: 0.2,
-            total: 1e9,
-        }
-        .sample(items, 14);
-        let tree = knary::build_weight_balanced(&weights, FANOUT).expect("non-empty");
-        eprintln!(
-            "publish-bench: {items} items -> {} nodes (tree built in {:.2}s)",
-            tree.len(),
-            t0.elapsed().as_secs_f64()
-        );
-
-        // Current-API three passes, min wall time over `runs`.
-        let mut api_s = f64::INFINITY;
-        let mut api_allocs = 0u64;
-        let mut compiled_api = None;
-        for _ in 0..runs {
-            let a0 = allocation_count();
-            let t0 = Instant::now();
-            let schedule = sorting::sorting_schedule(&tree, CHANNELS);
-            let alloc = schedule.into_allocation(&tree, CHANNELS).expect("feasible");
-            let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
-            let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
-            api_s = api_s.min(t0.elapsed().as_secs_f64());
-            api_allocs = allocation_count() - a0;
-            compiled_api = Some(compiled);
-        }
-        let compiled_api = compiled_api.expect("at least one run");
-        eprintln!("publish-bench: {items} items current-API three-pass {api_s:.3}s");
-
-        // After (cold): a fresh Publisher per run — first-build cost.
-        let mut cold_s = f64::INFINITY;
-        for _ in 0..runs {
-            let mut publisher = Publisher::new();
-            let t0 = Instant::now();
-            publisher
-                .publish(&tree, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-            cold_s = cold_s.min(t0.elapsed().as_secs_f64());
-        }
-
-        // After (warm): steady-state republish into reused buffers — the
-        // adaptive controller's operating point. Zero heap allocations.
-        // Two warm-ups, so both halves of the double-buffered program are
-        // sized before the measured runs.
-        let mut publisher = Publisher::new();
-        for _ in 0..2 {
-            publisher
-                .publish(&tree, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-        }
-        let mut warm_s = f64::INFINITY;
-        let mut warm_allocs = 0u64;
-        for _ in 0..runs {
-            let a0 = allocation_count();
-            let t0 = Instant::now();
-            publisher
-                .publish(&tree, CHANNELS, PublishHeuristic::Sorting, opts)
-                .expect("feasible");
-            warm_s = warm_s.min(t0.elapsed().as_secs_f64());
-            warm_allocs = allocation_count() - a0;
-        }
-        assert_eq!(
-            *publisher.current(),
-            compiled_api,
-            "fused and three-pass outputs diverged at {items} items"
-        );
-        eprintln!(
-            "publish-bench: {items} items fused cold {cold_s:.3}s warm {warm_s:.3}s \
-             ({:.1}x vs current API)",
-            api_s / warm_s
-        );
-
-        // Seed baseline: carried forward when already on file, measured
-        // (and verified bit-identical) otherwise, skipped above 1M.
-        let seed = if let Some((wall_s, allocs)) =
-            prev_seed.as_deref().and_then(|s| carried_seed(s, items))
-        {
-            eprintln!("publish-bench: {items} items seed three-pass {wall_s:.3}s (carried)");
-            Some(SeedCell {
-                wall_s,
-                allocs,
-                carried: true,
-            })
-        } else if items <= SEED_MEASURABLE {
-            let seed_runs = if items >= SEED_MEASURABLE { 1 } else { 2 };
-            let mut wall_s = f64::INFINITY;
-            let mut allocs = 0u64;
-            for _ in 0..seed_runs {
-                let a0 = allocation_count();
-                let t0 = Instant::now();
-                let compiled = seed_pipeline::publish(&tree, CHANNELS);
-                wall_s = wall_s.min(t0.elapsed().as_secs_f64());
-                allocs = allocation_count() - a0;
-                assert_eq!(
-                    compiled,
-                    *publisher.current(),
-                    "seed and fused outputs diverged at {items} items"
-                );
-            }
-            eprintln!("publish-bench: {items} items seed three-pass {wall_s:.3}s");
-            Some(SeedCell {
-                wall_s,
-                allocs,
-                carried: false,
-            })
-        } else {
-            eprintln!("publish-bench: {items} items seed three-pass skipped (quadratic)");
-            None
-        };
-
-        if items == 1_000_000 {
-            speedup_seed_1m = seed.as_ref().map(|s| s.wall_s / warm_s);
-            speedup_api_1m = api_s / warm_s;
-        }
-        let (seed_s, seed_allocs, speedup_seed) = match &seed {
-            Some(s) => (
-                format!("{:.4}", s.wall_s),
-                s.allocs.to_string(),
-                format!("{:.1}", s.wall_s / warm_s),
-            ),
-            None => ("null".into(), "null".into(), "null".into()),
-        };
-        rows.push(format!(
-            concat!(
-                "    {{\"items\": {}, \"nodes\": {}, \"cycle_len\": {}, ",
-                "\"seed_s\": {}, \"api_s\": {:.4}, \"after_cold_s\": {:.4}, ",
-                "\"after_warm_s\": {:.4}, \"speedup_warm_vs_seed\": {}, ",
-                "\"speedup_warm_vs_api\": {:.2}, \"allocs_seed\": {}, ",
-                "\"allocs_api\": {}, \"allocs_warm\": {}}}"
-            ),
-            items,
-            tree.len(),
-            publisher.current().cycle_len(),
-            seed_s,
-            api_s,
-            cold_s,
-            warm_s,
-            speedup_seed,
-            api_s / warm_s,
-            seed_allocs,
-            api_allocs,
-            warm_allocs,
-        ));
-        seed_rows.push(match &seed {
-            Some(s) => format!(
-                "    \"{}\": {{\"wall_s\": {:.4}, \"allocs\": {}, \"carried\": {}}}",
-                items, s.wall_s, s.allocs, s.carried
-            ),
-            None => format!("    \"{items}\": null"),
-        });
-    }
-    format!(
-        concat!(
-            "{{\n  \"pr\": 4,\n",
-            "  \"description\": \"end-to-end publish build (sorting ",
-            "heuristic, self-similar 80/20 weights, fanout 4, 3 channels, ",
-            "1 thread): seed = the pre-PR4 three-pass pipeline (vendored; ",
-            "quadratic 1_To_k dump), api = the current Schedule -> ",
-            "Allocation -> BroadcastProgram -> CompiledProgram three-pass ",
-            "(shares the PR-4 engines), after = the fused Publisher; every ",
-            "path that runs is asserted bit-identical to the fused output; ",
-            "warm = republish into reused buffers (the steady-state ",
-            "path)\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"alloc_counting\": {},\n",
-            "  \"seed_note\": \"the seed path is measured once per machine ",
-            "(~6 s at 65k, ~25 min at 1M) and carried forward on ",
-            "regeneration; at 4M its quadratic dump would need hours, so ",
-            "the cell is null and only the api column bounds the before ",
-            "there\",\n",
-            "  \"seed\": {{\n{}\n  }},\n",
-            "  \"sizes\": [\n{}\n  ],\n",
-            "  \"speedup_warm_1m_vs_seed\": {},\n",
-            "  \"speedup_warm_1m_vs_api\": {:.2}\n}}\n"
-        ),
-        cfg!(feature = "alloc-count"),
-        seed_rows.join(",\n"),
-        rows.join(",\n"),
-        speedup_seed_1m
-            .map(|s| format!("{s:.1}"))
-            .unwrap_or_else(|| "null".into()),
-        speedup_api_1m
-    )
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut merge_into = None;
@@ -1098,6 +68,7 @@ fn main() {
     let mut faults_into = None;
     let mut serve_into = None;
     let mut delta_into = None;
+    let mut kernel_into = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match (flag.as_str(), it.next()) {
@@ -1107,11 +78,12 @@ fn main() {
             ("--faults-into", Some(path)) => faults_into = Some(path.clone()),
             ("--serve-into", Some(path)) => serve_into = Some(path.clone()),
             ("--delta-into", Some(path)) => delta_into = Some(path.clone()),
+            ("--kernel-into", Some(path)) => kernel_into = Some(path.clone()),
             _ => {
                 eprintln!(
                     "usage: bench_json [--merge-into FILE] [--serving-into FILE] \
                      [--publish-into FILE] [--faults-into FILE] [--serve-into FILE] \
-                     [--delta-into FILE]"
+                     [--delta-into FILE] [--kernel-into FILE]"
                 );
                 std::process::exit(2);
             }
@@ -1124,34 +96,31 @@ fn main() {
         && serving_into.is_none()
         && faults_into.is_none()
         && serve_into.is_none()
-        && delta_into.is_none();
+        && delta_into.is_none()
+        && kernel_into.is_none();
     if let Some(path) = &publish_into {
         let previous = std::fs::read_to_string(path).ok();
-        std::fs::write(path, publish_report(previous.as_deref())).expect("write publish report");
-        eprintln!("wrote {path}");
+        report::write(path, pr4::report(previous.as_deref()));
     }
     if publish_only {
         return;
     }
     if let Some(path) = &serving_into {
-        std::fs::write(path, serving_report()).expect("write serving report");
-        eprintln!("wrote {path}");
+        report::write(path, pr3::report());
     }
     if let Some(path) = &faults_into {
         // The freshly written PR-3 file supplies the regression baseline.
         let pr3 = serving_into
             .as_deref()
             .and_then(|p| std::fs::read_to_string(p).ok());
-        std::fs::write(path, faults_report(pr3.as_deref())).expect("write faults report");
-        eprintln!("wrote {path}");
+        report::write(path, pr5::report(pr3.as_deref()));
     }
     if let Some(path) = &serve_into {
         // The freshly written PR-5 file supplies the raw-engine context row.
         let pr5 = faults_into
             .as_deref()
             .and_then(|p| std::fs::read_to_string(p).ok());
-        std::fs::write(path, serve_report(pr5.as_deref())).expect("write serve report");
-        eprintln!("wrote {path}");
+        report::write(path, pr6::report(pr5.as_deref()));
     }
     // `--delta-into` alone (the `make delta-bench` target) skips the
     // exact-search section; the regression row reads the canonical file
@@ -1162,46 +131,44 @@ fn main() {
         && serving_into.is_none()
         && publish_into.is_none()
         && faults_into.is_none()
-        && serve_into.is_none();
+        && serve_into.is_none()
+        && kernel_into.is_none();
     if let Some(path) = &delta_into {
         let pr4 = std::fs::read_to_string("BENCH_PR4.json").ok();
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
         let pr6 = std::fs::read_to_string("BENCH_PR6.json").ok();
-        std::fs::write(
+        report::write(
             path,
-            delta_report(pr4.as_deref(), pr5.as_deref(), pr6.as_deref()),
-        )
-        .expect("write delta report");
-        eprintln!("wrote {path}");
+            pr7::report(pr4.as_deref(), pr5.as_deref(), pr6.as_deref()),
+        );
     }
     if delta_only {
         return;
     }
-    let current = run_section();
-    let before = merge_into
+    // `--kernel-into` alone (the `make snapshot-bench` target) likewise
+    // runs only the PR-8 section, carrying its regression baselines
+    // forward from the files on disk.
+    let kernel_only = kernel_into.is_some()
+        && merge_into.is_none()
+        && serving_into.is_none()
+        && publish_into.is_none()
+        && faults_into.is_none()
+        && serve_into.is_none()
+        && delta_into.is_none();
+    if let Some(path) = &kernel_into {
+        let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
+        let pr7 = std::fs::read_to_string("BENCH_PR7.json").ok();
+        report::write(path, pr8::report(pr5.as_deref(), pr7.as_deref()));
+    }
+    if kernel_only {
+        return;
+    }
+    let previous = merge_into
         .as_ref()
-        .and_then(|p| std::fs::read_to_string(p).ok())
-        .and_then(|text| extract_object(&text, "\"before\":"));
-    let (before, after) = match before {
-        Some(b) => (b, current),
-        None => (current, "null".to_string()),
-    };
-    let doc = format!(
-        concat!(
-            "{{\n  \"pr\": 2,\n",
-            "  \"description\": \"sequential pruned best-first (Packed bound, ",
-            "Property 1): wall time and search counters, before vs after the ",
-            "incremental-bound + interned dominance table change\",\n",
-            "  \"machine\": \"1-core Linux container\",\n",
-            "  \"before\": {},\n  \"after\": {}\n}}\n"
-        ),
-        before, after
-    );
+        .and_then(|p| std::fs::read_to_string(p).ok());
+    let doc = pr2::report(previous.as_deref());
     match merge_into {
-        Some(path) => {
-            std::fs::write(&path, &doc).expect("write output file");
-            eprintln!("wrote {path}");
-        }
+        Some(path) => report::write(&path, doc),
         None => print!("{doc}"),
     }
 }

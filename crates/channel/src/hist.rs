@@ -52,6 +52,29 @@ impl LatencyHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Records a batch of observations in one call — the serving kernel's
+    /// per-chunk flush. Bit-identical to calling [`record`](Self::record)
+    /// on each value in order (every update is commutative integer
+    /// arithmetic), but keeps the counts base pointer and min/max in
+    /// registers across the whole batch.
+    #[inline]
+    pub fn record_batch(&mut self, values: &[u32]) {
+        let top = self.counts.len() - 1;
+        let mut min = self.min;
+        let mut max = self.max;
+        let mut sum = self.sum;
+        for &value in values {
+            self.counts[(value as usize).min(top)] += 1;
+            sum += u64::from(value);
+            min = min.min(value);
+            max = max.max(value);
+        }
+        self.min = min;
+        self.max = max;
+        self.sum = sum;
+        self.total += values.len() as u64;
+    }
+
     /// Folds another histogram (e.g. a per-thread shard) into this one.
     ///
     /// # Panics
@@ -198,6 +221,22 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_batch_equals_repeated_record() {
+        let values: Vec<u32> = (0..257u32).map(|i| (i * 37) % 90).collect();
+        let mut one = LatencyHistogram::with_bound(64);
+        let mut batch = LatencyHistogram::with_bound(64);
+        for &v in &values {
+            one.record(v);
+        }
+        // Mixed chunk sizes, including empty and clamping values.
+        batch.record_batch(&values[..0]);
+        batch.record_batch(&values[..1]);
+        batch.record_batch(&values[1..64]);
+        batch.record_batch(&values[64..]);
+        assert_eq!(one, batch);
     }
 
     #[test]

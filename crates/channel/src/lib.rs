@@ -31,6 +31,10 @@
 //!   [`SlotPlan`] straight to a servable [`CompiledProgram`]
 //!   ([`PublishPipeline`]), double-buffered so a rebuild never disturbs
 //!   the program currently being served;
+//! * [`snapshot`] — versioned, CRC-sealed, fixed-layout binary images
+//!   of a [`CompiledProgram`] ([`SnapshotImage`]): a publish persisted
+//!   once cold-starts any number of later tenants with a bounds-checked
+//!   cast instead of a re-publish;
 //! * [`faults`] — deterministic lossy-channel fault injection
 //!   ([`FaultPlan`]: seeded erasure and Gilbert–Elliott burst loss) and
 //!   the bounded-budget client recovery protocol ([`RecoveryPolicy`]),
@@ -45,6 +49,7 @@ pub mod hist;
 mod program;
 pub mod publish;
 pub mod simulator;
+pub mod snapshot;
 pub mod wire;
 
 pub use allocation::{Allocation, FeasibilityError};
@@ -57,3 +62,4 @@ pub use hist::LatencyHistogram;
 pub use program::{BroadcastProgram, Bucket, Pointer, ProgramError};
 pub use publish::{PublishPipeline, SlotPlan};
 pub use simulator::SimError;
+pub use snapshot::{MappedSnapshot, SnapshotError, SnapshotImage, SnapshotView};

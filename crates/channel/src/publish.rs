@@ -592,6 +592,43 @@ impl PublishPipeline {
         Ok(())
     }
 
+    /// Channel count of the last successful publish (`0` if none yet).
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// Captures the served program into a [`SnapshotImage`]
+    /// (`data_nodes` is the publish's item catalog, in item order) —
+    /// the persistence half of the microsecond cold-start path.
+    ///
+    /// [`SnapshotImage`]: crate::snapshot::SnapshotImage
+    pub fn snapshot_image(&self, data_nodes: &[NodeId]) -> crate::snapshot::SnapshotImage {
+        crate::snapshot::SnapshotImage::capture(&self.front, self.num_channels, data_nodes)
+    }
+
+    /// Installs an externally built program (a validated snapshot load)
+    /// as the served front buffer — the restore half of the cold-start
+    /// path. The placement arrays stay empty: [`addr`] answers `None`
+    /// and [`materialize_program`] is unavailable until the next full
+    /// [`publish`] re-derives them, but serving and a full republish
+    /// need only the route tables installed here.
+    ///
+    /// [`addr`]: PublishPipeline::addr
+    /// [`materialize_program`]: PublishPipeline::materialize_program
+    /// [`publish`]: PublishPipeline::publish
+    pub fn adopt_program(&mut self, program: CompiledProgram, num_channels: usize) {
+        assert!(num_channels > 0, "need at least one channel");
+        self.front = program;
+        self.num_channels = num_channels;
+        // No placement state: the adopted program serves, but the delta
+        // lane and the address queries must not trust stale arrays.
+        self.channel_of.clear();
+        self.slot_of.clear();
+        self.switches.clear();
+        self.journal.clear();
+        self.back_journaled = false;
+    }
+
     /// Reconstructs the full pointer-grid [`BroadcastProgram`] of the last
     /// successful publish — bit-identical to what
     /// [`BroadcastProgram::build`] produces from the equivalent allocation.

@@ -1,0 +1,960 @@
+//! Zero-copy program snapshots: a versioned, checksummed, fixed-layout
+//! binary image of a [`CompiledProgram`] plus the serving metadata a
+//! tenant needs to cold-start.
+//!
+//! A cold tenant boot normally pays a full publish — heuristic schedule,
+//! feasibility sweep, route compilation — which is ~0.4 s warm at one
+//! million items. Everything that publish produces, though, is a few
+//! flat `u32` arrays; persisting them turns the next boot into a file
+//! map, a checksum, and a column widen. The image is *fixed-layout by
+//! construction*: loading is a bounds-check-and-cast, never a parse, and
+//! [`MappedSnapshot`] validates the page cache's copy in place without
+//! ever materializing a second one.
+//!
+//! # Format
+//!
+//! A snapshot is a sequence of little-endian `u32` words:
+//!
+//! ```text
+//! word  0   magic        0x42435053
+//! word  1   version      1
+//! word  2   endian mark  0x01020304 (readers on any byte order agree)
+//! word  3   k            broadcast channels of the publish
+//! word  4   cycle_len    slots per broadcast cycle
+//! word  5   n            nodes covered by the route tables
+//! word  6   num_data     routed data nodes
+//! word  7   reserved     0
+//! then      slot[n]      T(Di) column (1-based; 0 = unrouted)
+//! then      route[n]     path_len in the low 16 bits, channel switches
+//!                        in the high 16 (both are per-access counters
+//!                        bounded by the tree height, so 16 bits each is
+//!                        generous — capture asserts the bound)
+//! then      data[num_data] data-node ids, item order (the tenant's
+//!                          item → node map)
+//! last      crc          CRC-32C over every preceding word's LE bytes
+//! ```
+//!
+//! Packing the two metric counters into one route word cuts the 1M-item
+//! image from ~20 MB to ~15 MB; at cold-start the dominant cost is
+//! faulting the image through the CPU, so bytes saved are microseconds
+//! saved.
+//!
+//! # Versioning and endianness
+//!
+//! The header pins all three compatibility axes. An unknown `magic` or
+//! `version` fails closed ([`SnapshotError::BadMagic`] /
+//! [`SnapshotError::UnsupportedVersion`]) — version 1 readers never
+//! guess at future layouts. The endian mark is written as the native
+//! byte interpretation of `0x01020304`; since the format is defined as
+//! little-endian and [`SnapshotImage::from_bytes`] decodes words with
+//! explicit LE reads, the mark is a tripwire for images produced by a
+//! (hypothetical) writer that dumped native big-endian memory instead
+//! of the defined layout.
+//!
+//! # Integrity
+//!
+//! The trailing word seals the image with CRC-32C (Castagnoli, the
+//! polynomial with hardware support on x86_64 SSE4.2 — the checker runs
+//! three interleaved `crc32` instruction streams merged with a GF(2)
+//! combine when available and a compile-time table otherwise, and the
+//! two are property-tested equal). A truncated file,
+//! a flipped bit, or a wrong-length column region is always a typed
+//! [`SnapshotError`], never a silently wrong route table; beyond the
+//! checksum, [`SnapshotView::new`] re-validates the structural
+//! invariants the serving kernel relies on (every slot within the
+//! cycle, sentinel count matching `num_data`, every data id routed).
+
+use crate::compiled::CompiledProgram;
+use crate::wire::crc_table;
+use bcast_types::NodeId;
+use std::fmt;
+use std::path::Path;
+
+/// First word of every snapshot image.
+pub const SNAPSHOT_MAGIC: u32 = 0x4243_5053;
+/// Format version this module writes and the only one it reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Byte-order tripwire (see the module docs).
+const ENDIAN_MARK: u32 = 0x0102_0304;
+/// Header words before the column regions.
+const HEADER_WORDS: usize = 8;
+
+/// CRC-32C (Castagnoli, reflected) lookup table, sharing the wire
+/// module's compile-time builder.
+const CRC32C_TABLE: [u32; 256] = crc_table(0x82F6_3B78);
+
+/// CRC-32C over the little-endian byte serialization of `words`
+/// (init all-ones, final xor, reflected) — table-driven fallback.
+fn crc32c_soft(words: &[u32]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            c = CRC32C_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// CRC-32C over `words`, using the SSE4.2 `crc32` instruction when the
+/// CPU has it and the table otherwise. Both paths compute the identical
+/// function (pinned by a test below).
+fn crc32c(words: &[u32]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: the feature check above guards the intrinsic.
+        return unsafe { crc32c_hw(words) };
+    }
+    crc32c_soft(words)
+}
+
+/// Applies a GF(2) linear operator (32×32 bit matrix, `mat[i]` = the
+/// image of bit `i`) to a CRC register.
+fn gf2_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `square = mat ∘ mat` over GF(2).
+fn gf2_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for i in 0..32 {
+        square[i] = gf2_times(mat, mat[i]);
+    }
+}
+
+/// Advances a raw (reflected, un-finalized) CRC-32C register across
+/// `len` zero bytes in O(log len) matrix squarings — zlib's
+/// `crc32_combine` construction with the Castagnoli polynomial. This is
+/// what lets [`crc32c_hw`] split the message into three independent
+/// instruction streams and still produce the one defined checksum:
+/// `crc(A‖B) = shift(crc(A), len(B)) ^ crc0(B)` by linearity.
+fn crc32c_shift(crc: u32, mut len: usize) -> u32 {
+    if len == 0 || crc == 0 {
+        return crc;
+    }
+    // Operator for one zero *bit* in the reflected representation:
+    // bit 0 folds into the polynomial, every other bit shifts down.
+    let mut odd = [0u32; 32];
+    odd[0] = 0x82F6_3B78;
+    for (i, op) in odd.iter_mut().enumerate().skip(1) {
+        *op = 1u32 << (i - 1);
+    }
+    // Square three times: 1 bit → 2 → 4 → 8 = the one-zero-byte operator.
+    let mut even = [0u32; 32];
+    gf2_square(&mut even, &odd); // 2 bits
+    gf2_square(&mut odd, &even); // 4 bits
+    gf2_square(&mut even, &odd); // 8 bits = 1 byte
+                                 // Binary ladder over `len`: `even` holds advance-by-2^k bytes.
+    let mut result = crc;
+    let mut next = odd;
+    loop {
+        if len & 1 != 0 {
+            result = gf2_times(&even, result);
+        }
+        len >>= 1;
+        if len == 0 {
+            return result;
+        }
+        gf2_square(&mut next, &even);
+        std::mem::swap(&mut next, &mut even);
+    }
+}
+
+/// One unaligned 8-byte little-endian load from a `u32` slice.
+///
+/// # Safety
+/// `i + 1 < words.len()` must hold.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn load_u64(words: &[u32], i: usize) -> u64 {
+    debug_assert!(i + 1 < words.len());
+    (words.as_ptr().add(i).cast::<u64>()).read_unaligned()
+}
+
+/// Hardware CRC-32C. The `crc32` instruction has 3-cycle latency but
+/// 1-cycle throughput, so a single chained stream leaves two thirds of
+/// the unit idle; this splits the message into three independent
+/// streams of 8-byte steps and merges them with [`crc32c_shift`] — ~3×
+/// the bytes per cycle, bit-identical result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_hw(words: &[u32]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u32, _mm_crc32_u64};
+    // The instruction consumes its operand as the next message bytes in
+    // little-endian order — exactly the defined layout.
+    let total = words.len();
+    if total < 48 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &w in words {
+            c = _mm_crc32_u32(c, w);
+        }
+        return c ^ 0xFFFF_FFFF;
+    }
+    // Streams A and B get the same even word count; C takes the rest
+    // (at least as long as A, so the interleaved loop never overruns it).
+    let a_len = (total / 3) & !1;
+    let (a, rest) = words.split_at(a_len);
+    let (b, c) = rest.split_at(a_len);
+    let mut ra = 0xFFFF_FFFFu64;
+    let mut rb = 0u64;
+    let mut rc = 0u64;
+    let mut i = 0;
+    while i < a_len {
+        // SAFETY: i + 1 < a_len ≤ b.len() ≤ c.len() inside the loop.
+        ra = _mm_crc32_u64(ra, load_u64(a, i));
+        rb = _mm_crc32_u64(rb, load_u64(b, i));
+        rc = _mm_crc32_u64(rc, load_u64(c, i));
+        i += 2;
+    }
+    let mut rc = rc as u32;
+    for &w in &c[i..] {
+        rc = _mm_crc32_u32(rc, w);
+    }
+    let ab = crc32c_shift(ra as u32, a_len * 4) ^ rb as u32;
+    let abc = crc32c_shift(ab, c.len() * 4) ^ rc;
+    abc ^ 0xFFFF_FFFF
+}
+
+/// Why a snapshot image was rejected. Every variant is fail-closed: a
+/// rejected image yields no program at all, never a partial one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Shorter than a header plus checksum — nothing to validate.
+    TooShort,
+    /// Byte length is not a whole number of `u32` words.
+    NotWordSized(usize),
+    /// First word is not [`SNAPSHOT_MAGIC`].
+    BadMagic(u32),
+    /// Version word names a layout this reader does not know.
+    UnsupportedVersion(u32),
+    /// The endian tripwire word was byte-swapped (see the module docs).
+    BadEndianMark(u32),
+    /// Header counts disagree with the actual image length.
+    LengthMismatch {
+        /// Words the header's `n`/`num_data` imply.
+        expected_words: usize,
+        /// Words actually present.
+        found_words: usize,
+    },
+    /// The trailing CRC-32C does not match the image contents.
+    ChecksumMismatch {
+        /// CRC computed over the received words.
+        expected: u32,
+        /// CRC carried by the image.
+        found: u32,
+    },
+    /// The image decodes structurally but violates a route-table
+    /// invariant the serving kernel relies on.
+    Corrupt(&'static str),
+    /// The underlying file operation failed.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::TooShort => write!(f, "snapshot shorter than header + checksum"),
+            SnapshotError::NotWordSized(len) => {
+                write!(f, "snapshot length {len} is not a multiple of 4 bytes")
+            }
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:#010x}"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadEndianMark(m) => {
+                write!(f, "byte-swapped snapshot (endian mark {m:#010x})")
+            }
+            SnapshotError::LengthMismatch {
+                expected_words,
+                found_words,
+            } => write!(
+                f,
+                "snapshot length mismatch (header implies {expected_words} words, found {found_words})"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch (computed {expected:#010x}, carried {found:#010x})"
+            ),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::Io(kind) => write!(f, "snapshot io error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.kind())
+    }
+}
+
+/// An owned snapshot image: the word buffer exactly as it lives on disk
+/// (modulo byte order — words are held natively, serialized LE).
+///
+/// Capturing, saving, loading and validating are all methods here;
+/// [`view`](SnapshotImage::view) produces the borrowed, validated
+/// [`SnapshotView`] that actual consumers read through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotImage {
+    words: Vec<u32>,
+}
+
+impl SnapshotImage {
+    /// Captures `program` (published on `channels` channels, serving the
+    /// item catalog `data_nodes`, in item order) into an image, sealing
+    /// it with the trailing CRC-32C.
+    ///
+    /// # Panics
+    /// Panics if `data_nodes` disagrees with the program's routed-node
+    /// count — the caller hands in the catalog of the publish that
+    /// produced `program`, so a mismatch is a programming error — or if
+    /// a per-node metric overflows the packed route word's 16 bits
+    /// (both counters are bounded by the tree height; every real tree
+    /// is orders of magnitude below the bound).
+    pub fn capture(program: &CompiledProgram, channels: usize, data_nodes: &[NodeId]) -> Self {
+        let (cycle_len, slot, path_len, switches, num_data) = program.columns();
+        assert_eq!(
+            data_nodes.len(),
+            num_data,
+            "catalog size must match the program's routed nodes"
+        );
+        let n = slot.len();
+        let mut words = Vec::with_capacity(HEADER_WORDS + 2 * n + num_data + 1);
+        words.extend_from_slice(&[
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            ENDIAN_MARK,
+            u32::try_from(channels).expect("channel count fits u32"),
+            cycle_len,
+            u32::try_from(n).expect("node count fits u32"),
+            u32::try_from(num_data).expect("data count fits u32"),
+            0,
+        ]);
+        words.extend_from_slice(slot);
+        words.extend(path_len.iter().zip(switches).map(|(&p, &s)| {
+            assert!(
+                p <= 0xFFFF && s <= 0xFFFF,
+                "route metrics overflow the packed word (path_len {p}, switches {s})"
+            );
+            p | (s << 16)
+        }));
+        words.extend(data_nodes.iter().map(|d| d.0));
+        words.push(crc32c(&words));
+        SnapshotImage { words }
+    }
+
+    /// Decodes an image from its on-disk byte serialization. Only the
+    /// word framing is checked here; header, checksum and invariants are
+    /// [`view`](SnapshotImage::view)'s job, so a caller holding bytes
+    /// from an untrusted source gets every failure as a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(SnapshotError::NotWordSized(bytes.len()));
+        }
+        let mut words = vec![0u32; bytes.len() / 4];
+        // SAFETY: `u32` is plain old data; the byte view covers exactly
+        // the buffer we just allocated.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), bytes.len()) };
+        dst.copy_from_slice(bytes);
+        #[cfg(target_endian = "big")]
+        for w in &mut words {
+            *w = u32::from_le(*w);
+        }
+        Ok(SnapshotImage { words })
+    }
+
+    /// The on-disk byte serialization (little-endian words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Writes the image to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads an image from `path` (framing only; validate via
+    /// [`view`](SnapshotImage::view)). The file is read straight into
+    /// the word buffer — one copy, no intermediate byte vector. For a
+    /// boot path that never needs an owned copy at all, use
+    /// [`MappedSnapshot::open`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).expect("snapshot fits in memory");
+        if len % 4 != 0 {
+            return Err(SnapshotError::NotWordSized(len));
+        }
+        let mut words = vec![0u32; len / 4];
+        // SAFETY: `u32` is plain old data; the byte view covers exactly
+        // the buffer we just allocated.
+        let dst = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(dst)?;
+        #[cfg(target_endian = "big")]
+        for w in &mut words {
+            *w = u32::from_le(*w);
+        }
+        Ok(SnapshotImage { words })
+    }
+
+    /// Size of the serialized image in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Validates the image and borrows it as a [`SnapshotView`].
+    pub fn view(&self) -> Result<SnapshotView<'_>, SnapshotError> {
+        SnapshotView::new(&self.words)
+    }
+}
+
+/// A validated, zero-copy window over a snapshot's words: the column
+/// regions are subslices of the image, borrowed, never re-allocated.
+/// Constructing one performs the full validation (header, length,
+/// CRC-32C, route-table invariants); everything after that is
+/// infallible.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    channels: u32,
+    cycle_len: u32,
+    slot: &'a [u32],
+    route: &'a [u32],
+    data_nodes: &'a [u32],
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Validates `words` as a version-1 snapshot image. The checks run
+    /// in cheapest-first order; each failure names exactly what broke.
+    pub fn new(words: &'a [u32]) -> Result<Self, SnapshotError> {
+        if words.len() < HEADER_WORDS + 1 {
+            return Err(SnapshotError::TooShort);
+        }
+        if words[0] != SNAPSHOT_MAGIC {
+            // A byte-swapped magic means the whole image is byte-swapped;
+            // report that specifically before the generic bad-magic case.
+            if words[0] == SNAPSHOT_MAGIC.swap_bytes() {
+                return Err(SnapshotError::BadEndianMark(words[2]));
+            }
+            return Err(SnapshotError::BadMagic(words[0]));
+        }
+        if words[1] != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(words[1]));
+        }
+        if words[2] != ENDIAN_MARK {
+            return Err(SnapshotError::BadEndianMark(words[2]));
+        }
+        let channels = words[3];
+        let cycle_len = words[4];
+        let n = words[5] as usize;
+        let num_data = words[6] as usize;
+        let expected_words = HEADER_WORDS + 2 * n + num_data + 1;
+        if words.len() != expected_words {
+            return Err(SnapshotError::LengthMismatch {
+                expected_words,
+                found_words: words.len(),
+            });
+        }
+        let expected = crc32c(&words[..words.len() - 1]);
+        let found = words[words.len() - 1];
+        if expected != found {
+            return Err(SnapshotError::ChecksumMismatch { expected, found });
+        }
+
+        // The bounds-check-and-cast: columns are subslices of the image.
+        let slot = &words[HEADER_WORDS..HEADER_WORDS + n];
+        let route = &words[HEADER_WORDS + n..HEADER_WORDS + 2 * n];
+        let data_nodes = &words[HEADER_WORDS + 2 * n..HEADER_WORDS + 2 * n + num_data];
+
+        // Route-table invariants the serving kernel relies on. The CRC
+        // already rules out transport corruption; these rule out a
+        // well-sealed image of a program that was never valid. The scans
+        // are branchless folds (max / count / all) so the compiler can
+        // vectorize them — this runs on the boot path at full image
+        // width — with a slow second pass only on failure to name the
+        // exact violation.
+        if num_data > n {
+            return Err(SnapshotError::Corrupt("more data nodes than nodes"));
+        }
+        if channels == 0 && n > 0 {
+            return Err(SnapshotError::Corrupt("routed program on zero channels"));
+        }
+        let mut max_slot = 0u32;
+        let mut routed = 0usize;
+        for &s in slot {
+            max_slot = max_slot.max(s);
+            routed += usize::from(s != 0);
+        }
+        if max_slot > cycle_len {
+            return Err(SnapshotError::Corrupt("slot beyond the cycle"));
+        }
+        if routed != num_data {
+            return Err(SnapshotError::Corrupt(
+                "sentinel count disagrees with num_data",
+            ));
+        }
+        let mut all_routed = true;
+        for &d in data_nodes {
+            all_routed &= slot.get(d as usize).is_some_and(|&s| s != 0);
+        }
+        if !all_routed {
+            for &d in data_nodes {
+                if slot.get(d as usize).is_none() {
+                    return Err(SnapshotError::Corrupt("catalog id outside the node table"));
+                }
+            }
+            return Err(SnapshotError::Corrupt("catalog id is not a routed node"));
+        }
+        Ok(SnapshotView {
+            channels,
+            cycle_len,
+            slot,
+            route,
+            data_nodes,
+        })
+    }
+
+    /// Broadcast channels of the publish that produced the program.
+    pub fn channels(&self) -> usize {
+        self.channels as usize
+    }
+
+    /// Cycle length in slots.
+    pub fn cycle_len(&self) -> u32 {
+        self.cycle_len
+    }
+
+    /// Nodes covered by the route tables.
+    pub fn num_nodes(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// Routed data nodes (the catalog size).
+    pub fn num_data(&self) -> usize {
+        self.data_nodes.len()
+    }
+
+    /// The item → data-node map, in item order.
+    pub fn data_nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        self.data_nodes.iter().map(|&d| NodeId(d))
+    }
+
+    /// Reconstructs the compiled program: one slot memcpy plus a fused
+    /// route-word widen that fills the metric columns and the packed
+    /// mirror — the entire cost of installing a snapshot beyond the
+    /// file map and checksum.
+    pub fn to_program(&self) -> CompiledProgram {
+        CompiledProgram::from_columns(self.cycle_len, self.slot, self.route, self.num_data())
+    }
+}
+
+/// A read-only memory mapping of a snapshot file: the zero-copy load
+/// path. Where [`SnapshotImage::load`] copies the file into an owned
+/// buffer, `open` maps the page cache's copy directly and
+/// [`view`](MappedSnapshot::view) validates it in place — a 1M-item
+/// cold-start touches each image byte exactly once, for the checksum.
+///
+/// The mapping is private to this process, but it still windows the
+/// file: truncating the file while mapped is undefined behaviour at the
+/// OS level (`SIGBUS` on access). Callers own the file's lifecycle, as
+/// they do for any mapped file; the boot paths here read images they
+/// wrote themselves.
+///
+/// On targets without the fast path (non-Unix, or big-endian hosts
+/// where the little-endian words must be swapped anyway) the type
+/// transparently falls back to an owned [`SnapshotImage`] — same API,
+/// one extra copy.
+#[cfg(all(unix, target_endian = "little"))]
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime,
+// so sharing or sending it across threads is no different from an
+// owned, never-written buffer.
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Send for MappedSnapshot {}
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for MappedSnapshot {}
+
+/// Raw bindings for the three calls the mapping needs. The workspace
+/// vendors no `libc` crate; the platform C library is always linked, so
+/// declaring the symbols directly is dependency-free.
+#[cfg(all(unix, target_endian = "little"))]
+mod mm {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+    /// Linux: fault the whole mapping in up front (readahead included),
+    /// so the validation pass that follows never minor-faults per page.
+    #[cfg(target_os = "linux")]
+    pub const MAP_POPULATE: i32 = 0x8000;
+    #[cfg(not(target_os = "linux"))]
+    pub const MAP_POPULATE: i32 = 0;
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl MappedSnapshot {
+    /// Maps the snapshot file at `path` read-only. Framing only, like
+    /// [`SnapshotImage::load`]; validation is
+    /// [`view`](MappedSnapshot::view)'s job.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).expect("snapshot fits in memory");
+        if len % 4 != 0 {
+            return Err(SnapshotError::NotWordSized(len));
+        }
+        if len == 0 {
+            return Err(SnapshotError::TooShort);
+        }
+        // SAFETY: a fresh read-only shared mapping of `len` bytes; the
+        // fd may close after this call (the mapping holds its own
+        // reference to the file).
+        let ptr = unsafe {
+            mm::mmap(
+                std::ptr::null_mut(),
+                len,
+                mm::PROT_READ,
+                mm::MAP_SHARED | mm::MAP_POPULATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(SnapshotError::Io(std::io::Error::last_os_error().kind()));
+        }
+        Ok(MappedSnapshot { ptr, len })
+    }
+
+    /// The mapped image as words. The format is little-endian and so is
+    /// this target (the `cfg` above), so the cast is the identity.
+    pub fn words(&self) -> &[u32] {
+        // SAFETY: mmap returns page-aligned (hence u32-aligned) memory;
+        // the mapping is `len` bytes, lives as long as `self`, and
+        // `len % 4 == 0` was checked at open.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u32>(), self.len / 4) }
+    }
+
+    /// Size of the mapped image in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.len
+    }
+
+    /// Validates the mapping in place as a [`SnapshotView`].
+    pub fn view(&self) -> Result<SnapshotView<'_>, SnapshotError> {
+        SnapshotView::new(self.words())
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for MappedSnapshot {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are the exact mapping from `open`.
+        unsafe { mm::munmap(self.ptr, self.len) };
+    }
+}
+
+/// Fallback for targets without the mapped fast path: an owned image
+/// behind the same API.
+#[cfg(not(all(unix, target_endian = "little")))]
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    image: SnapshotImage,
+}
+
+#[cfg(not(all(unix, target_endian = "little")))]
+impl MappedSnapshot {
+    /// Loads the snapshot file at `path` into an owned buffer (this
+    /// target has no zero-copy path). Framing only; validation is
+    /// [`view`](MappedSnapshot::view)'s job.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Ok(MappedSnapshot {
+            image: SnapshotImage::load(path)?,
+        })
+    }
+
+    /// The loaded image as words.
+    pub fn words(&self) -> &[u32] {
+        &self.image.words
+    }
+
+    /// Size of the loaded image in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.image.byte_len()
+    }
+
+    /// Validates the image as a [`SnapshotView`].
+    pub fn view(&self) -> Result<SnapshotView<'_>, SnapshotError> {
+        self.image.view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+    use crate::program::BroadcastProgram;
+    use bcast_index_tree::builders;
+
+    fn compiled() -> (CompiledProgram, Vec<NodeId>) {
+        let t = builders::paper_example();
+        let slots: Vec<Vec<NodeId>> = [
+            vec!["1"],
+            vec!["2", "3"],
+            vec!["A", "B"],
+            vec!["4", "E"],
+            vec!["C", "D"],
+        ]
+        .iter()
+        .map(|ls| {
+            ls.iter()
+                .map(|l| t.find_by_label(l).expect("label exists"))
+                .collect()
+        })
+        .collect();
+        let a = Allocation::from_slot_schedule(&slots, &t, 2).unwrap();
+        let p = BroadcastProgram::build(&a, &t).unwrap();
+        (
+            CompiledProgram::compile(&p, &t).unwrap(),
+            t.data_nodes().to_vec(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_exact_equality() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        let view = image.view().unwrap();
+        assert_eq!(view.channels(), 2);
+        assert_eq!(view.cycle_len() as usize, program.cycle_len());
+        assert_eq!(view.num_data(), program.num_data_nodes());
+        assert_eq!(view.data_nodes().collect::<Vec<_>>(), data);
+        assert_eq!(view.to_program(), program);
+    }
+
+    #[test]
+    fn byte_serialization_roundtrips() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        let back = SnapshotImage::from_bytes(&image.to_bytes()).unwrap();
+        assert_eq!(back, image);
+        assert_eq!(back.view().unwrap().to_program(), program);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        let path = std::env::temp_dir().join("bcast_snapshot_test.bin");
+        image.save(&path).unwrap();
+        let back = SnapshotImage::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, image);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = SnapshotImage::load("/nonexistent/bcast.snap").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn every_truncation_fails_closed() {
+        let (program, data) = compiled();
+        let bytes = SnapshotImage::capture(&program, 2, &data).to_bytes();
+        for cut in 0..bytes.len() {
+            let result = SnapshotImage::from_bytes(&bytes[..cut]).and_then(|i| {
+                i.view()?;
+                Ok(())
+            });
+            assert!(result.is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_fails_closed() {
+        let (program, data) = compiled();
+        let bytes = SnapshotImage::capture(&program, 2, &data).to_bytes();
+        let mut checksum_hits = 0usize;
+        for byte in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut raw = bytes.clone();
+                raw[byte] ^= 1 << bit;
+                let image = SnapshotImage::from_bytes(&raw).unwrap();
+                match image.view() {
+                    Err(SnapshotError::ChecksumMismatch { expected, found }) => {
+                        assert_ne!(expected, found);
+                        checksum_hits += 1;
+                    }
+                    // Header-field flips may fail structurally first —
+                    // any error is a detection.
+                    Err(_) => {}
+                    Ok(_) => panic!("byte {byte} bit {bit}: corruption decoded silently"),
+                }
+            }
+        }
+        assert!(checksum_hits > bytes.len(), "CRC barely exercised");
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_rejected() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        let mut words = image.words.clone();
+        words[1] = 2;
+        assert_eq!(
+            SnapshotView::new(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(2)
+        );
+        let mut words = image.words.clone();
+        words[0] = 0xDEAD_BEEF;
+        assert_eq!(
+            SnapshotView::new(&words).unwrap_err(),
+            SnapshotError::BadMagic(0xDEAD_BEEF)
+        );
+        let swapped: Vec<u32> = image.words.iter().map(|w| w.swap_bytes()).collect();
+        assert!(matches!(
+            SnapshotView::new(&swapped).unwrap_err(),
+            SnapshotError::BadEndianMark(_)
+        ));
+    }
+
+    #[test]
+    fn invariant_violations_are_corrupt_even_with_a_valid_seal() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        // Point a slot beyond the cycle and re-seal — only the semantic
+        // validation can catch this.
+        let reseal = |mutate: &dyn Fn(&mut Vec<u32>)| {
+            let mut words = image.words.clone();
+            words.pop();
+            mutate(&mut words);
+            let crc = crc32c(&words);
+            words.push(crc);
+            words
+        };
+        let routed_at = (HEADER_WORDS..HEADER_WORDS + program.num_nodes())
+            .find(|&i| image.words[i] != 0)
+            .unwrap();
+        let bad_slot = reseal(&|w: &mut Vec<u32>| w[routed_at] = w[4] + 1);
+        assert_eq!(
+            SnapshotView::new(&bad_slot).unwrap_err(),
+            SnapshotError::Corrupt("slot beyond the cycle")
+        );
+        let bad_count = reseal(&|w: &mut Vec<u32>| w[routed_at] = 0);
+        assert_eq!(
+            SnapshotView::new(&bad_count).unwrap_err(),
+            SnapshotError::Corrupt("sentinel count disagrees with num_data")
+        );
+        let n = program.num_nodes() as u32;
+        let data_at = HEADER_WORDS + 2 * program.num_nodes();
+        let bad_catalog = reseal(&|w: &mut Vec<u32>| w[data_at] = n);
+        assert_eq!(
+            SnapshotView::new(&bad_catalog).unwrap_err(),
+            SnapshotError::Corrupt("catalog id outside the node table")
+        );
+        // Point the catalog at a node that exists but is unrouted (an
+        // index node has slot 0).
+        let unrouted = (0..program.num_nodes() as u32)
+            .find(|&i| image.words[HEADER_WORDS + i as usize] == 0)
+            .unwrap();
+        let bad_target = reseal(&|w: &mut Vec<u32>| w[data_at] = unrouted);
+        assert_eq!(
+            SnapshotView::new(&bad_target).unwrap_err(),
+            SnapshotError::Corrupt("catalog id is not a routed node")
+        );
+    }
+
+    #[test]
+    fn mapped_snapshot_matches_owned_load() {
+        let (program, data) = compiled();
+        let image = SnapshotImage::capture(&program, 2, &data);
+        let path = std::env::temp_dir().join("bcast_snapshot_map_test.bin");
+        image.save(&path).unwrap();
+        let mapped = MappedSnapshot::open(&path).unwrap();
+        assert_eq!(mapped.byte_len(), image.byte_len());
+        assert_eq!(mapped.words(), &image.words[..]);
+        assert_eq!(mapped.view().unwrap().to_program(), program);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            MappedSnapshot::open(&path).unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn mapped_snapshot_rejects_bad_framing() {
+        let dir = std::env::temp_dir();
+        let odd = dir.join("bcast_snapshot_map_odd.bin");
+        std::fs::write(&odd, [1, 2, 3]).unwrap();
+        assert_eq!(
+            MappedSnapshot::open(&odd).unwrap_err(),
+            SnapshotError::NotWordSized(3)
+        );
+        std::fs::remove_file(&odd).ok();
+        let empty = dir.join("bcast_snapshot_map_empty.bin");
+        std::fs::write(&empty, []).unwrap();
+        assert_eq!(
+            MappedSnapshot::open(&empty).unwrap_err(),
+            SnapshotError::TooShort
+        );
+        std::fs::remove_file(&empty).ok();
+    }
+
+    #[test]
+    fn hardware_and_software_crc32c_agree() {
+        // Known-answer pinning the polynomial: CRC-32C of the ASCII
+        // bytes "12345678" (two LE words) is 0x6087809A.
+        let words = [0x3433_3231u32, 0x3837_3635]; // "12345678" LE
+        assert_eq!(crc32c_soft(&words), 0x6087_809A);
+        // Every length from the single-stream short path through the
+        // 3-stream split (≥48 words), including each split remainder
+        // class, plus larger lengths exercising deep combine ladders.
+        let lengths = (0..160usize).chain([1000, 4093, 4096, 65_537]);
+        for len in lengths {
+            let words: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xA5A5_5A5A)
+                .collect();
+            assert_eq!(crc32c(&words), crc32c_soft(&words), "len {len}");
+        }
+    }
+
+    #[test]
+    fn crc_shift_matches_explicit_zero_padding() {
+        // shift(reg, z) must equal running the register through z zero
+        // bytes — checked against the table path on raw registers.
+        for zeros in [0usize, 1, 2, 3, 7, 64, 1000] {
+            for reg in [0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF] {
+                let mut slow = reg;
+                for _ in 0..zeros {
+                    slow = CRC32C_TABLE[(slow & 0xFF) as usize] ^ (slow >> 8);
+                }
+                assert_eq!(crc32c_shift(reg, zeros), slow, "reg {reg:#x} zeros {zeros}");
+            }
+        }
+    }
+}

@@ -41,28 +41,29 @@ const KIND_DATA: u8 = 2;
 /// `node` field value for empty buckets.
 const NO_NODE: u32 = u32::MAX;
 
-/// CRC-32 (IEEE, reflected 0xEDB88320) lookup table, built at compile
-/// time — the container ships no checksum crate, and 8 lines of const fn
-/// beat a dependency.
-const CRC_TABLE: [u32; 256] = {
+/// Builds the 256-entry lookup table for a reflected CRC-32 polynomial at
+/// compile time — the container ships no checksum crate, and 10 lines of
+/// const fn beat a dependency. Shared by the bucket seal (IEEE
+/// 0xEDB88320) and the snapshot seal (Castagnoli 0x82F63B78,
+/// [`crate::snapshot`]).
+pub(crate) const fn crc_table(poly: u32) -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
+            c = if c & 1 != 0 { poly ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
         table[i] = c;
         i += 1;
     }
     table
-};
+}
+
+/// CRC-32 (IEEE, reflected) lookup table for the bucket seal.
+const CRC_TABLE: [u32; 256] = crc_table(0xEDB8_8320);
 
 /// CRC-32 of `bytes` (IEEE: init all-ones, final xor, reflected).
 fn crc32(bytes: &[u8]) -> u32 {

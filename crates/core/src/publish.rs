@@ -166,6 +166,24 @@ impl Publisher {
         self.pipeline.current()
     }
 
+    /// Captures the served program into a checksummed snapshot image
+    /// (see [`bcast_channel::snapshot`]). `tree` must be the tree of the
+    /// last publish — its data catalog is stored so a cold-start can
+    /// rebuild the item → node map without the tree.
+    pub fn snapshot_image(&self, tree: &IndexTree) -> bcast_channel::SnapshotImage {
+        self.pipeline.snapshot_image(tree.data_nodes())
+    }
+
+    /// Installs a snapshot-loaded program as the served one, bypassing
+    /// the publish path entirely — the microsecond cold-start. The
+    /// incremental delta state is invalidated (there is no diff baseline
+    /// for a program this publisher never derived), so the next
+    /// `republish_delta` falls back to a full publish cleanly.
+    pub fn adopt_snapshot(&mut self, program: CompiledProgram, channels: usize) {
+        self.pipeline.adopt_program(program, channels);
+        self.delta.invalidate();
+    }
+
     /// The slot plan behind the most recent publish attempt.
     pub fn plan(&self) -> &SlotPlan {
         &self.plan

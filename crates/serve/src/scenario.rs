@@ -134,6 +134,9 @@ impl ScenarioOutcome {
     /// it is from `SloSnapshot`'s equality; the rebuild-lane counters
     /// (`delta_rebuilds`, `full_rebuilds`, `touched_ppm`) are *included*,
     /// so the delta/full fallback decision itself is pinned deterministic.
+    /// `snapshot_loads` is also included (despite being excluded from
+    /// snapshot equality): which joins took the boot-image fast path is
+    /// deterministic in the scenario script, so churn runs pin it.
     pub fn fingerprint(&self) -> u64 {
         fn eat(h: u64, x: u64) -> u64 {
             x.to_le_bytes().iter().fold(h, |h, &b| {
@@ -163,6 +166,7 @@ impl ScenarioOutcome {
                     s.delta_rebuilds,
                     s.full_rebuilds,
                     s.touched_ppm,
+                    s.snapshot_loads,
                     t.violations.len() as u64,
                 ] {
                     h = eat(h, x);
@@ -270,6 +274,29 @@ mod tests {
         assert_eq!(out.phases[2].tenants.len(), 3, "2 newest left");
         let ids: Vec<u64> = out.phases[2].tenants.iter().map(|t| t.tenant).collect();
         assert_eq!(ids, vec![0, 1, 2], "original cohort keeps its ids");
+        out.assert_slos();
+    }
+
+    #[test]
+    fn churn_joins_cold_start_from_the_boot_image_cache() {
+        let spec = tenant_churn(3, 32, 60, 5);
+        let out = run_scenario(&spec, 7, 1);
+        // The three boot tenants share one shape: tenant 0 publishes,
+        // tenants 1-2 load its image; the join phase's two newcomers
+        // load it too. Loads land in the first window begun after boot.
+        let steady: u64 = out.phases[0]
+            .tenants
+            .iter()
+            .map(|t| t.snapshot.snapshot_loads)
+            .sum();
+        assert_eq!(steady, 2);
+        let joiners: Vec<u64> = out.phases[1]
+            .tenants
+            .iter()
+            .filter(|t| t.tenant >= 3)
+            .map(|t| t.snapshot.snapshot_loads)
+            .collect();
+        assert_eq!(joiners, vec![1, 1]);
         out.assert_slos();
     }
 

@@ -7,7 +7,20 @@
 //! tenants — so the loop produces bit-identical results at any thread
 //! count, and `threads == 1` never spawns at all.
 
-use crate::tenant::{TenantConfig, TenantRuntime};
+use crate::tenant::{RebuildLane, TenantConfig, TenantRuntime};
+use bcast_channel::SnapshotImage;
+use bcast_core::publish::PublishHeuristic;
+
+/// The boot-program identity: two tenants whose key matches publish the
+/// exact same first program (boot weights are uniform, so the catalog
+/// size, tree fanout, channel count and heuristic determine it fully).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BootKey {
+    items: usize,
+    fanout: usize,
+    channels: usize,
+    heuristic: PublishHeuristic,
+}
 
 /// A live multi-tenant serving loop.
 #[derive(Debug)]
@@ -17,6 +30,13 @@ pub struct ServeLoop {
     threads: usize,
     next_id: u64,
     slices_run: u64,
+    /// Boot snapshot images by config identity: the first tenant of a
+    /// given shape pays the boot publish and deposits its image; every
+    /// later join of the same shape cold-starts from the image in
+    /// microseconds. Scenario churn phases are exactly this pattern.
+    boot_images: Vec<(BootKey, SnapshotImage)>,
+    /// Joins served from the cache (lifetime).
+    snapshot_boots: u64,
 }
 
 impl ServeLoop {
@@ -30,13 +50,23 @@ impl ServeLoop {
             threads,
             next_id: 0,
             slices_run: 0,
+            boot_images: Vec::new(),
+            snapshot_boots: 0,
         }
     }
 
-    /// Boots a tenant cold and adds it to the roster, keeping the roster
+    /// Boots a tenant and adds it to the roster, keeping the roster
     /// sorted by id. The tenant's seed derives from the service seed and
     /// `config.id` only — never from roster position — so a tenant
     /// behaves identically whether it serves alone or among neighbors.
+    ///
+    /// The boot path picks itself: if an earlier join with the same
+    /// boot identity (items, fanout, channels, heuristic) deposited a
+    /// snapshot image, a full-lane tenant cold-starts from it through
+    /// the real binary round-trip ([`TenantRuntime::from_snapshot`]) —
+    /// bit-identical serving, microseconds instead of a publish. The
+    /// first join of each shape pays the boot publish and deposits its
+    /// image for the rest.
     ///
     /// # Panics
     /// Panics if a tenant with the same id is already on the roster.
@@ -47,10 +77,39 @@ impl ServeLoop {
             "tenant id {id} already on the roster"
         );
         self.next_id = self.next_id.max(id + 1);
-        let runtime = TenantRuntime::new(config, self.seed);
+        let key = BootKey {
+            items: config.items,
+            fanout: config.fanout,
+            channels: config.channels,
+            heuristic: config.heuristic,
+        };
+        let cached = (config.rebuild_lane == RebuildLane::Full)
+            .then(|| self.boot_images.iter().find(|(k, _)| *k == key))
+            .flatten();
+        let runtime = match cached {
+            Some((_, image)) => {
+                let view = image.view().expect("cached boot images are self-captured");
+                let t = TenantRuntime::from_snapshot(config, self.seed, &view)
+                    .expect("cached boot image matches the config it was keyed by");
+                self.snapshot_boots += 1;
+                t
+            }
+            None => {
+                let t = TenantRuntime::new(config, self.seed);
+                if t.config().rebuild_lane == RebuildLane::Full {
+                    self.boot_images.push((key, t.snapshot_image()));
+                }
+                t
+            }
+        };
         let at = self.tenants.partition_point(|t| t.id() < id);
         self.tenants.insert(at, runtime);
         id
+    }
+
+    /// Joins served from the boot-image cache over the loop's lifetime.
+    pub fn snapshot_boots(&self) -> u64 {
+        self.snapshot_boots
     }
 
     /// The next unused tenant id (for churn scripts that join anonymous
@@ -194,6 +253,20 @@ mod tests {
             solo.tenant(3).unwrap().phase_snapshot(),
             svc.tenant(3).unwrap().phase_snapshot()
         );
+    }
+
+    #[test]
+    fn boot_image_cache_serves_same_shape_joins() {
+        let svc = boot(1, 5);
+        // First join of the shape pays the publish; the other four
+        // cold-start from its deposited image.
+        assert_eq!(svc.snapshot_boots(), 4);
+        let mut mixed = ServeLoop::new(1, 1);
+        mixed.join(TenantConfig::new(0, 32));
+        mixed.join(TenantConfig::new(1, 48));
+        assert_eq!(mixed.snapshot_boots(), 0, "different shapes never share");
+        mixed.join(TenantConfig::new(2, 48));
+        assert_eq!(mixed.snapshot_boots(), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use bcast_channel::{
     compiled::{BatchMetrics, ServeOptions},
     faults::{FaultPlan, GilbertElliott, RecoveryPolicy},
     hist::LatencyHistogram,
+    snapshot::{SnapshotError, SnapshotView},
 };
 use bcast_core::publish::{PublishHeuristic, PublishOptions, Publisher};
 use bcast_core::{DeltaLane, DeltaOptions};
@@ -130,6 +131,8 @@ struct Window {
     /// window's rebuilds (exact integers → deterministic ppm).
     touched_nodes: u64,
     touched_total: u64,
+    /// Programs installed from a snapshot image during the window.
+    snapshot_loads: u64,
     /// Wall nanoseconds inside rebuilds — side channel, never compared.
     rebuild_wall_ns: u64,
 }
@@ -150,6 +153,7 @@ impl Window {
             full_rebuilds: 0,
             touched_nodes: 0,
             touched_total: 0,
+            snapshot_loads: 0,
             rebuild_wall_ns: 0,
         }
     }
@@ -179,6 +183,7 @@ impl Window {
             touched_ppm: (self.touched_nodes * 1_000_000)
                 .checked_div(self.touched_total)
                 .unwrap_or(0),
+            snapshot_loads: self.snapshot_loads,
             rebuild_wall_ns: self.rebuild_wall_ns,
         }
     }
@@ -205,6 +210,10 @@ pub struct TenantRuntime {
     slices_run: u64,
     total_requests: u64,
     total_rebuilds: u64,
+    /// Snapshot cold-starts not yet attributed to a phase window — the
+    /// boot happens before the first `begin_phase`, which moves this
+    /// into the fresh window so the join phase reports it.
+    pending_snapshot_loads: u64,
     window: Window,
     // Reused per-slice target buffer (allocation-free steady state).
     targets: Vec<NodeId>,
@@ -258,6 +267,7 @@ impl TenantRuntime {
             slices_run: 0,
             total_requests: 0,
             total_rebuilds: 0,
+            pending_snapshot_loads: 0,
             window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
             targets: Vec::new(),
             weights,
@@ -265,6 +275,99 @@ impl TenantRuntime {
             node_changes: Vec::new(),
             config,
         }
+    }
+
+    /// Boots a tenant from a validated snapshot image instead of a boot
+    /// publish — the microsecond cold-start. The snapshot's program is
+    /// installed directly (three memcpys, no heuristic run) and the
+    /// item → node map comes from the image's catalog section, so
+    /// nothing O(items · log) runs at all.
+    ///
+    /// A tenant booted from the image of an identical config's boot
+    /// publish *serves bit-identically* to a cold [`new`]: every random
+    /// draw derives from the tenant seed and slice counter alone, the
+    /// adopted program equals the boot publish by snapshot round-trip
+    /// exactness, and the estimator starts uniform either way. The only
+    /// observable difference is the window's `snapshot_loads` count.
+    ///
+    /// The boot index tree is *not* reconstructed (that is the cost
+    /// being skipped); a one-node stand-in holds its place until the
+    /// first rebuild derives a fresh tree from estimator weights, which
+    /// is why only [`RebuildLane::Full`] tenants may boot this way —
+    /// the delta lane patches against the boot tree's structure.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] if the image's catalog size or channel
+    /// count disagrees with `config` — a snapshot never silently serves
+    /// the wrong catalog.
+    ///
+    /// # Panics
+    /// Panics if `config.items == 0` or the lane is not `Full`.
+    ///
+    /// [`new`]: TenantRuntime::new
+    pub fn from_snapshot(
+        config: TenantConfig,
+        service_seed: u64,
+        view: &SnapshotView<'_>,
+    ) -> Result<Self, SnapshotError> {
+        assert!(config.items > 0, "tenant needs at least one item");
+        assert!(
+            config.rebuild_lane == RebuildLane::Full,
+            "snapshot cold-start requires the full rebuild lane"
+        );
+        if view.num_data() != config.items {
+            return Err(SnapshotError::Corrupt(
+                "snapshot catalog size does not match the tenant config",
+            ));
+        }
+        if view.channels() != config.channels {
+            return Err(SnapshotError::Corrupt(
+                "snapshot channel count does not match the tenant config",
+            ));
+        }
+        let seed = mix2(service_seed, config.id);
+        let estimator = EmaEstimator::new(config.items, config.alpha);
+        let weights = estimator.weights();
+        let data_nodes: Vec<NodeId> = view.data_nodes().collect();
+        let mut publisher = Publisher::new();
+        publisher.adopt_snapshot(view.to_program(), config.channels);
+        // Stand-in tree (see the docs above): one leaf, O(1) to build.
+        let tree = knary::build_weight_balanced(&weights[..1], config.fanout)
+            .expect("a single uniform weight builds a valid tree");
+        let cycle = publisher.current().cycle_len() as u32;
+        Ok(TenantRuntime {
+            seed,
+            tree,
+            data_nodes,
+            publisher,
+            estimator,
+            degradation: config.degradation.map(DegradationTracker::new),
+            demand: DemandSpec::flat(bcast_workloads::DemandShape::Zipf { theta: 0.9 }, 0),
+            faults: None,
+            slo: SloSpec::default(),
+            phase_slices: 0,
+            slice_in_phase: 0,
+            slices_run: 0,
+            total_requests: 0,
+            total_rebuilds: 0,
+            pending_snapshot_loads: 1,
+            window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
+            targets: Vec::new(),
+            weights,
+            changes: Vec::new(),
+            node_changes: Vec::new(),
+            config,
+        })
+    }
+
+    /// Captures the tenant's *boot* program into a snapshot image — the
+    /// persistence half of the cold-start path. Only meaningful before
+    /// the first rebuild (the service's boot-image cache calls it right
+    /// after [`new`](TenantRuntime::new)); after a rebuild the tree and
+    /// program have moved on together and the image would simply record
+    /// the newer epoch.
+    pub fn snapshot_image(&self) -> bcast_channel::SnapshotImage {
+        self.publisher.snapshot_image(&self.tree)
     }
 
     /// Stable tenant id.
@@ -315,6 +418,7 @@ impl TenantRuntime {
         self.phase_slices = slices;
         self.slice_in_phase = 0;
         self.window = Window::new(PHASE_HIST_CYCLES * self.cycle_len().max(1));
+        self.window.snapshot_loads = std::mem::take(&mut self.pending_snapshot_loads);
     }
 
     /// Clears the degradation tracker's transient hysteresis/cooldown
@@ -609,6 +713,40 @@ mod tests {
         };
         // Wall ns differs between the runs; equality must hold anyway.
         assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn snapshot_cold_start_serves_bit_identically() {
+        let config = TenantConfig::new(4, 40);
+        let mut cold = TenantRuntime::new(config.clone(), 0xB007);
+        let image = cold.snapshot_image();
+        let view = image.view().unwrap();
+        let mut warm = TenantRuntime::from_snapshot(config, 0xB007, &view).unwrap();
+        // 12 slices cross the periodic rebuild at slice 8, so the warm
+        // tenant's first full rebuild (replacing the stand-in tree) is
+        // inside the window being compared.
+        for t in [&mut cold, &mut warm] {
+            t.begin_phase(demand(150), None, SloSpec::lossless(), 12);
+            for _ in 0..12 {
+                t.run_slice();
+            }
+        }
+        assert_eq!(cold.phase_snapshot(), warm.phase_snapshot());
+        assert!(warm.phase_violations().is_empty());
+        assert_eq!(cold.phase_snapshot().snapshot_loads, 0);
+        assert_eq!(warm.phase_snapshot().snapshot_loads, 1);
+    }
+
+    #[test]
+    fn snapshot_with_mismatched_config_is_rejected() {
+        let cold = TenantRuntime::new(TenantConfig::new(1, 32), 7);
+        let image = cold.snapshot_image();
+        let view = image.view().unwrap();
+        let wrong_items = TenantConfig::new(2, 33);
+        assert!(TenantRuntime::from_snapshot(wrong_items, 7, &view).is_err());
+        let mut wrong_channels = TenantConfig::new(2, 32);
+        wrong_channels.channels = 2;
+        assert!(TenantRuntime::from_snapshot(wrong_channels, 7, &view).is_err());
     }
 
     #[test]

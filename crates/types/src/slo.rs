@@ -70,11 +70,13 @@ impl SloSpec {
 /// means are derived from integer sums, so equal windows produce
 /// bit-identical snapshots.
 ///
-/// The one exception is [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns):
-/// it measures wall-clock time, which no amount of seeding makes
-/// reproducible, so the manual [`PartialEq`] impl *excludes* it — two
-/// snapshots are equal iff every deterministic field matches, and the
-/// thread-count/replay determinism tests stay exact.
+/// Two exceptions: [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns)
+/// measures wall-clock time, which no amount of seeding makes
+/// reproducible, and [`snapshot_loads`](SloSnapshot::snapshot_loads)
+/// records which *boot path* ran rather than what was served. The manual
+/// [`PartialEq`] impl excludes both — two snapshots are equal iff every
+/// serving-deterministic field matches, and the thread-count/replay
+/// determinism tests stay exact.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SloSnapshot {
     /// Requests offered (delivered + failed).
@@ -107,6 +109,15 @@ pub struct SloSnapshot {
     /// everything, a quiet delta patch close to nothing). `0` when no
     /// rebuild ran.
     pub touched_ppm: u64,
+    /// Programs installed from a validated snapshot image instead of a
+    /// boot publish during the window (tenant cold-starts). The served
+    /// program is bit-identical either way, so — like
+    /// [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns) — the field is
+    /// excluded from equality: a tenant must compare equal to its own
+    /// replay whether or not a boot image happened to be cached. The
+    /// scenario fingerprint *does* fold it in, so churn runs record how
+    /// many joins took the fast path.
+    pub snapshot_loads: u64,
     /// Wall-clock nanoseconds spent inside rebuilds during the window.
     /// A *side channel* for operators and benches — excluded from
     /// equality and fingerprints because wall time is not deterministic.
@@ -115,7 +126,9 @@ pub struct SloSnapshot {
 
 impl PartialEq for SloSnapshot {
     fn eq(&self, other: &Self) -> bool {
-        // Every deterministic field, skipping only `rebuild_wall_ns`.
+        // Every serving-deterministic field, skipping `rebuild_wall_ns`
+        // and the boot-path-dependent `snapshot_loads` (see the field
+        // docs).
         self.requests == other.requests
             && self.delivered == other.delivered
             && self.failed == other.failed
@@ -301,6 +314,11 @@ mod tests {
             ..a
         };
         assert_eq!(a, b, "wall ns must not break determinism equality");
+        let warm_boot = SloSnapshot {
+            snapshot_loads: 1,
+            ..a
+        };
+        assert_eq!(a, warm_boot, "boot path must not break equality");
         let c = SloSnapshot {
             delta_rebuilds: 4,
             ..a

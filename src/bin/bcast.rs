@@ -10,6 +10,9 @@
 //! bcast gen       --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
 //! bcast serve     --scenario NAME|all [--tenants N] [--items N] [--rate R]
 //!                 [--slices S] [--threads T] [--seed S]
+//! bcast snapshot  save  [--input FILE | --demo] --channels K --output FILE [--method M]
+//! bcast snapshot  load  --file FILE
+//! bcast snapshot  serve --file FILE [--requests N] [--seed S]
 //! ```
 //!
 //! Trees are read in the text format of [`broadcast_alloc::textfmt`]
@@ -25,8 +28,8 @@ use broadcast_alloc::alloc::{
     baselines, find_optimal, replication, OptimalOptions, Schedule, Strategy,
 };
 use broadcast_alloc::channel::{
-    simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, RecoveryPolicy,
-    RequestOutcome, ServeOptions,
+    simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, MappedSnapshot,
+    RecoveryPolicy, RequestOutcome, ServeOptions,
 };
 use broadcast_alloc::serve::{run_scenario, ScenarioOutcome};
 use broadcast_alloc::textfmt;
@@ -53,8 +56,30 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
-    let opts = parse_flags(&args[1..])?;
     const INPUT: &[&str] = &["input", "demo"];
+    // `snapshot` takes a subcommand word before its flags.
+    if cmd == "snapshot" {
+        let Some(sub) = args.get(1) else {
+            return Err("snapshot needs a subcommand: save, load or serve".into());
+        };
+        let opts = parse_flags(&args[2..])?;
+        return match sub.as_str() {
+            "save" => {
+                opts.allow(INPUT, &["channels", "output", "method"])?;
+                cmd_snapshot_save(&opts)
+            }
+            "load" => {
+                opts.allow(&[], &["file"])?;
+                cmd_snapshot_load(&opts)
+            }
+            "serve" => {
+                opts.allow(&[], &["file", "requests", "seed"])?;
+                cmd_snapshot_serve(&opts)
+            }
+            other => Err(format!("unknown snapshot subcommand '{other}'")),
+        };
+    }
+    let opts = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "optimal" => {
             opts.allow(INPUT, &["channels", "strategy", "limit", "threads"])?;
@@ -120,6 +145,11 @@ commands:
                                               [--threads T] [--seed S] [--delta MAX_TOUCHED]
              --delta routes rebuilds through the incremental republish lane
              (falls back to a full publish past the MAX_TOUCHED fraction)
+  snapshot   zero-copy program images         save  --channels K --output FILE [--method M]
+                                              load  --file FILE
+                                              serve --file FILE [--requests N] [--seed S]
+             save publishes a tree and writes the checksummed binary image;
+             load verifies it; serve cold-starts the kernel straight from it
 
 input: --input FILE (text format), --demo (paper example), or stdin.";
 
@@ -608,6 +638,99 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         println!("  ! [{phase}] tenant {tenant}: {v}");
     }
     all_held
+}
+
+fn cmd_snapshot_save(opts: &Flags) -> Result<(), String> {
+    use broadcast_alloc::alloc::publish::{PublishHeuristic, PublishOptions, Publisher};
+    let tree = load_tree(opts)?;
+    let k = opts.channels()?;
+    let output: String = opts.require("output")?;
+    let heuristic = match opts.get("method").unwrap_or("sorting") {
+        "sorting" => PublishHeuristic::Sorting,
+        "frontier" => PublishHeuristic::Frontier,
+        "shrink" => PublishHeuristic::Shrink { max_nodes: 12 },
+        "preorder" => PublishHeuristic::Preorder,
+        other => return Err(format!("unknown method '{other}'")),
+    };
+    let mut publisher = Publisher::new();
+    let started = std::time::Instant::now();
+    publisher
+        .publish(&tree, k, heuristic, PublishOptions::default())
+        .map_err(|e| e.to_string())?;
+    let publish_time = started.elapsed();
+    let image = publisher.snapshot_image(&tree);
+    image.save(&output).map_err(|e| e.to_string())?;
+    println!(
+        "snapshot {}: {} bytes, {} data items over {} channels, cycle {} slots \
+         (publish took {:.3} ms)",
+        output,
+        image.byte_len(),
+        tree.data_nodes().len(),
+        k,
+        publisher.current().cycle_len(),
+        publish_time.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_snapshot_load(opts: &Flags) -> Result<(), String> {
+    let path: String = opts.require("file")?;
+    let started = std::time::Instant::now();
+    let mapped = MappedSnapshot::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+    let elapsed = started.elapsed();
+    println!(
+        "snapshot {}: ok — {} bytes, {} nodes ({} data) over {} channels, \
+         cycle {} slots, verified in {:.1} us (zero-copy)",
+        path,
+        mapped.byte_len(),
+        view.num_nodes(),
+        view.num_data(),
+        view.channels(),
+        view.cycle_len(),
+        elapsed.as_secs_f64() * 1e6
+    );
+    Ok(())
+}
+
+fn cmd_snapshot_serve(opts: &Flags) -> Result<(), String> {
+    let path: String = opts.require("file")?;
+    let requests: usize = opts.parse("requests")?.unwrap_or(10_000);
+    let seed: u64 = opts.parse("seed")?.unwrap_or(7);
+    let started = std::time::Instant::now();
+    let mapped = MappedSnapshot::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+    let program = view.to_program();
+    let cold_start = started.elapsed();
+    let data: Vec<_> = view.data_nodes().collect();
+    let weights = vec![1.0f64; data.len()];
+    let targets: Vec<_> = RequestStream::from_weights(&weights, seed)
+        .take(requests)
+        .map(|i| data[i])
+        .collect();
+    let m = program
+        .serve_batch(
+            &targets,
+            &ServeOptions {
+                seed,
+                ..ServeOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "cold-start from {} in {:.1} us (load + verify + install)",
+        path,
+        cold_start.as_secs_f64() * 1e6
+    );
+    println!(
+        "  {} requests: {:.2}% delivered, mean access {:.2} slots, \
+         {:.3} switches/request",
+        m.requests,
+        100.0 * m.delivery_rate(),
+        m.mean_access_time,
+        m.mean_channel_switches
+    );
+    Ok(())
 }
 
 fn cmd_gen(opts: &Flags) -> Result<(), String> {

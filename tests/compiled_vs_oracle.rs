@@ -128,6 +128,79 @@ proptest! {
         prop_assert!((m.mean_channel_switches - switch_sum as f64 / nf).abs() < 1e-9);
         prop_assert_eq!(m.histogram.max(), max_access);
     }
+
+    /// The chunked serve kernel (`serve_batch`, SIMD when compiled in) is
+    /// *bit-identical* to the scalar reference loop (`serve_batch_scalar`)
+    /// — `==` on the whole `BatchMetrics`, histogram included — across
+    /// random trees, k ∈ {1,2,3}, thread counts, and batch sizes sweeping
+    /// every residue of the 256-request chunk (partial tail chunks
+    /// included).
+    #[test]
+    fn chunked_kernel_is_bit_identical_to_scalar(
+        n in 2usize..40,
+        fanout in 2usize..5,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        batch in 0usize..600,
+        threads in 1usize..4,
+    ) {
+        let cfg = RandomTreeConfig {
+            data_nodes: n,
+            max_fanout: fanout,
+            weights: FrequencyDist::Zipf { theta: 0.9, scale: 100.0 },
+        };
+        let tree = random_tree(&cfg, seed);
+        let schedule = sorting::sorting_schedule(&tree, k);
+        let alloc = schedule.into_allocation(&tree, k).expect("feasible");
+        let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+        let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+        let data = tree.data_nodes();
+        let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 1.0, seed ^ 0xC0FFEE)
+            .take(batch)
+            .map(|i| data[i])
+            .collect();
+        let opts = ServeOptions { threads, seed, ..ServeOptions::default() };
+        let chunked = compiled.serve_batch(&targets, &opts).expect("routable");
+        let scalar = compiled.serve_batch_scalar(&targets, &opts).expect("routable");
+        prop_assert_eq!(chunked, scalar);
+    }
+}
+
+/// Deterministic companion to the bit-identity property: batch sizes
+/// pinned to the chunk boundary itself — empty, single request, one
+/// around each of the first two chunk edges — where the kernel switches
+/// between its full-chunk and tail paths.
+#[test]
+fn chunked_kernel_matches_scalar_at_chunk_boundaries() {
+    let cfg = RandomTreeConfig {
+        data_nodes: 300,
+        max_fanout: 4,
+        weights: FrequencyDist::Uniform { lo: 1.0, hi: 50.0 },
+    };
+    let tree = random_tree(&cfg, 11);
+    let schedule = sorting::sorting_schedule(&tree, 3);
+    let alloc = schedule.into_allocation(&tree, 3).expect("feasible");
+    let program = BroadcastProgram::build(&alloc, &tree).expect("valid program");
+    let compiled = CompiledProgram::compile(&program, &tree).expect("routable");
+    let data = tree.data_nodes();
+    let targets: Vec<NodeId> = RequestStream::zipf(data.len(), 0.8, 5)
+        .take(513)
+        .map(|i| data[i])
+        .collect();
+    let opts = ServeOptions {
+        threads: 1,
+        seed: 99,
+        ..ServeOptions::default()
+    };
+    for batch in [0usize, 1, 2, 255, 256, 257, 511, 512, 513] {
+        let chunked = compiled
+            .serve_batch(&targets[..batch], &opts)
+            .expect("routable");
+        let scalar = compiled
+            .serve_batch_scalar(&targets[..batch], &opts)
+            .expect("routable");
+        assert_eq!(chunked, scalar, "batch {batch}");
+    }
 }
 
 // ---------------------------------------------------------------------------

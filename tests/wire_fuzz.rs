@@ -6,8 +6,9 @@
 //! immediate `ChecksumMismatch`.
 
 use broadcast_alloc::alloc::heuristics::sorting;
-use broadcast_alloc::channel::{wire, BroadcastProgram};
-use broadcast_alloc::tree::knary;
+use broadcast_alloc::alloc::publish::{PublishHeuristic, PublishOptions, Publisher};
+use broadcast_alloc::channel::{wire, BroadcastProgram, SnapshotError, SnapshotImage};
+use broadcast_alloc::tree::{knary, IndexTree};
 use broadcast_alloc::types::ChannelId;
 use broadcast_alloc::workloads::FrequencyDist;
 use bytes::Bytes;
@@ -100,6 +101,140 @@ proptest! {
         let _ = wire::decode_bucket(&mut stream);
         let _ = wire::decode_channel(Bytes::from(bytes));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Program snapshots (PR 8) are the other wire format: a published
+// program's binary image must fail closed under the same adversities —
+// truncation, bit flips, version skew — and round-trip bit-identically
+// when intact.
+// ---------------------------------------------------------------------------
+
+/// A published program's snapshot image over a random tree.
+fn published_snapshot(items: usize, k: usize, seed: u64) -> (SnapshotImage, Publisher, IndexTree) {
+    let weights = FrequencyDist::Zipf {
+        theta: 0.8,
+        scale: 100.0,
+    }
+    .sample(items.max(2), seed);
+    let tree = knary::build_weight_balanced(&weights, 3).expect("non-empty weights");
+    let mut publisher = Publisher::new();
+    publisher
+        .publish(
+            &tree,
+            k,
+            PublishHeuristic::Sorting,
+            PublishOptions::default(),
+        )
+        .expect("feasible");
+    let image = publisher.snapshot_image(&tree);
+    (image, publisher, tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Capture → serialize → decode → validate → install reproduces the
+    /// published program *exactly* (`==`, not field-wise) along with the
+    /// item catalog, for random trees and k ∈ {1,2,3}.
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(
+        items in 2usize..30,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let (image, publisher, tree) = published_snapshot(items, k, seed);
+        let back = SnapshotImage::from_bytes(&image.to_bytes()).expect("word framing");
+        let view = back.view().expect("self-captured image validates");
+        prop_assert_eq!(view.channels(), k);
+        prop_assert_eq!(
+            view.data_nodes().collect::<Vec<_>>(),
+            tree.data_nodes().to_vec()
+        );
+        prop_assert_eq!(&view.to_program(), publisher.current());
+    }
+
+    /// Truncating a snapshot at *any* byte boundary fails closed: a typed
+    /// `SnapshotError`, never a panic, never a partial program.
+    #[test]
+    fn snapshot_truncation_fails_closed(
+        items in 2usize..30,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (image, _, _) = published_snapshot(items, k, seed);
+        let bytes = image.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        let result = SnapshotImage::from_bytes(&bytes[..cut]).and_then(|i| {
+            i.view()?;
+            Ok(())
+        });
+        prop_assert!(result.is_err(), "prefix of {} bytes accepted", cut);
+        // Formatting the error exercises the Display impls.
+        let _ = result.unwrap_err().to_string();
+    }
+
+    /// Flipping any single bit anywhere in a snapshot is detected at
+    /// validation — the view errors, never decodes silently.
+    #[test]
+    fn snapshot_bit_flips_fail_closed(
+        items in 2usize..30,
+        k in 1usize..4,
+        seed in 0u64..100_000,
+        flip_pos in 0u64..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let (image, _, _) = published_snapshot(items, k, seed);
+        let mut bytes = image.to_bytes();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let result = SnapshotImage::from_bytes(&bytes).and_then(|i| {
+            i.view()?;
+            Ok(())
+        });
+        prop_assert!(
+            result.is_err(),
+            "bit {} of byte {} flipped yet the snapshot validated",
+            bit,
+            pos
+        );
+    }
+
+    /// Arbitrary bytes fed to the snapshot decoder never panic — garbage
+    /// is rejected with a typed error (or, vanishingly, happens to be a
+    /// valid image; what this pins is "no panic").
+    #[test]
+    fn snapshot_garbage_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = SnapshotImage::from_bytes(&bytes).and_then(|i| {
+            i.view()?;
+            Ok(())
+        });
+    }
+}
+
+/// Deterministic companion: a snapshot stamped with a future format
+/// version is refused up front — version 1 readers never guess at
+/// layouts they do not know — and the same goes for a foreign magic.
+#[test]
+fn snapshot_version_and_magic_skew_are_refused() {
+    let (image, _, _) = published_snapshot(6, 2, 7);
+    let mut bytes = image.to_bytes();
+    bytes[4..8].copy_from_slice(&2u32.to_le_bytes()); // version word
+    let err = SnapshotImage::from_bytes(&bytes)
+        .and_then(|i| i.view().map(|_| ()))
+        .unwrap_err();
+    assert_eq!(err, SnapshotError::UnsupportedVersion(2));
+
+    let mut bytes = image.to_bytes();
+    bytes[0..4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes()); // magic word
+    let err = SnapshotImage::from_bytes(&bytes)
+        .and_then(|i| i.view().map(|_| ()))
+        .unwrap_err();
+    assert_eq!(err, SnapshotError::BadMagic(0xDEAD_BEEF));
 }
 
 /// Deterministic companion: chop an encoded channel *inside the CRC
