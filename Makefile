@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench snapshot-bench clippy fmt fmt-check
+.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench snapshot-bench serve-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated stress tests in release mode (the
@@ -70,12 +70,20 @@ bench:
 # BatchMetrics asserted bit-identical, the 65k row asserted >=1.3x) and
 # the 1M-item snapshot cold-start vs the full warm publish it displaces
 # (asserted >=100x and bit-identical after the disk round-trip).
+# BENCH_PR9.json records the service/kernel gap after the persistent
+# worker pool, LPT lane scheduling, the allocation-free slice path and
+# the drift-gated republish: the steady-state gated service asserted
+# >=0.70x the raw serve_batch ceiling (BENCH_PR5's zero-fault fixture,
+# efficiency taken from ceiling-paired rounds), warm steady slices
+# asserted zero-alloc under the counting allocator, and the PR5/7/8
+# headline assertions re-checked from the files on disk.
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
 		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
 		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json \
-		--delta-into BENCH_PR7.json --kernel-into BENCH_PR8.json
+		--delta-into BENCH_PR7.json --kernel-into BENCH_PR8.json \
+		--service-into BENCH_PR9.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.
@@ -97,6 +105,14 @@ delta-bench:
 snapshot-bench:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench \
 		--bin bench_json -- --kernel-into BENCH_PR8.json
+
+# Regenerates only BENCH_PR9.json (service/kernel efficiency + the
+# zero-alloc steady-slice gate), skipping every other section. Needs
+# alloc-count so the allocation column is real; regression rows are
+# carried forward from the BENCH_PR5/6/7/8 files on disk.
+serve-bench:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
+		--bin bench_json -- --service-into BENCH_PR9.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

@@ -40,6 +40,7 @@ mod pr5;
 mod pr6;
 mod pr7;
 mod pr8;
+mod pr9;
 mod report;
 mod seed_pipeline;
 
@@ -69,6 +70,7 @@ fn main() {
     let mut serve_into = None;
     let mut delta_into = None;
     let mut kernel_into = None;
+    let mut service_into = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match (flag.as_str(), it.next()) {
@@ -79,11 +81,12 @@ fn main() {
             ("--serve-into", Some(path)) => serve_into = Some(path.clone()),
             ("--delta-into", Some(path)) => delta_into = Some(path.clone()),
             ("--kernel-into", Some(path)) => kernel_into = Some(path.clone()),
+            ("--service-into", Some(path)) => service_into = Some(path.clone()),
             _ => {
                 eprintln!(
                     "usage: bench_json [--merge-into FILE] [--serving-into FILE] \
                      [--publish-into FILE] [--faults-into FILE] [--serve-into FILE] \
-                     [--delta-into FILE] [--kernel-into FILE]"
+                     [--delta-into FILE] [--kernel-into FILE] [--service-into FILE]"
                 );
                 std::process::exit(2);
             }
@@ -97,7 +100,8 @@ fn main() {
         && faults_into.is_none()
         && serve_into.is_none()
         && delta_into.is_none()
-        && kernel_into.is_none();
+        && kernel_into.is_none()
+        && service_into.is_none();
     if let Some(path) = &publish_into {
         let previous = std::fs::read_to_string(path).ok();
         report::write(path, pr4::report(previous.as_deref()));
@@ -132,7 +136,8 @@ fn main() {
         && publish_into.is_none()
         && faults_into.is_none()
         && serve_into.is_none()
-        && kernel_into.is_none();
+        && kernel_into.is_none()
+        && service_into.is_none();
     if let Some(path) = &delta_into {
         let pr4 = std::fs::read_to_string("BENCH_PR4.json").ok();
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
@@ -154,13 +159,43 @@ fn main() {
         && publish_into.is_none()
         && faults_into.is_none()
         && serve_into.is_none()
-        && delta_into.is_none();
+        && delta_into.is_none()
+        && service_into.is_none();
     if let Some(path) = &kernel_into {
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
         let pr7 = std::fs::read_to_string("BENCH_PR7.json").ok();
         report::write(path, pr8::report(pr5.as_deref(), pr7.as_deref()));
     }
     if kernel_only {
+        return;
+    }
+    // `--service-into` alone (the `make serve-bench` target) likewise
+    // runs only the PR-9 section, carrying its regression baselines
+    // forward from the files on disk.
+    let service_only = service_into.is_some()
+        && merge_into.is_none()
+        && serving_into.is_none()
+        && publish_into.is_none()
+        && faults_into.is_none()
+        && serve_into.is_none()
+        && delta_into.is_none()
+        && kernel_into.is_none();
+    if let Some(path) = &service_into {
+        let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
+        let pr6 = std::fs::read_to_string("BENCH_PR6.json").ok();
+        let pr7 = std::fs::read_to_string("BENCH_PR7.json").ok();
+        let pr8 = std::fs::read_to_string("BENCH_PR8.json").ok();
+        report::write(
+            path,
+            pr9::report(
+                pr5.as_deref(),
+                pr6.as_deref(),
+                pr7.as_deref(),
+                pr8.as_deref(),
+            ),
+        );
+    }
+    if service_only {
         return;
     }
     let previous = merge_into

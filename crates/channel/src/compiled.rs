@@ -105,8 +105,10 @@ impl FastMod {
 
 /// Chunk size of the batched serving kernel: big enough to amortize the
 /// histogram flush and validation fold, small enough that the per-chunk
-/// probe/total buffers live in registers and L1.
-const SERVE_CHUNK: usize = 256;
+/// probe/total buffers live in registers and L1. Public so streaming
+/// callers ([`ServeSession`]) can size their staging buffers to feed the
+/// kernel whole chunks.
+pub const SERVE_CHUNK: usize = 256;
 
 /// Per-node route tables compiled from a [`BroadcastProgram`].
 ///
@@ -499,7 +501,6 @@ impl CompiledProgram {
         root_gaps: &[u64],
         kernel: Kernel,
     ) -> Result<Shard, SimError> {
-        let cycle = u64::from(self.cycle_len);
         if opts.faults.is_none() {
             return match kernel {
                 Kernel::Reference => self.serve_shard_reference(targets, start, opts),
@@ -511,6 +512,25 @@ impl CompiledProgram {
         // histogram bound gets headroom (values beyond it clamp in
         // percentile queries; the mean stays exact).
         let mut shard = Shard::new(LOSSY_HIST_CYCLES * self.cycle_len);
+        self.serve_lossy_into(&mut shard, targets, start, opts, root_gaps)?;
+        Ok(shard)
+    }
+
+    /// Lossy per-request loop, accumulating into a caller-owned shard —
+    /// shared by [`serve_shard`](Self::serve_shard) and the streaming
+    /// [`serve_chunk`](Self::serve_chunk) path. `start` is the global
+    /// index of `targets[0]`, which keys both the tune-in draw and the
+    /// fault link, so feeding any chunking of a batch through this loop
+    /// is bit-identical to one pass over the whole batch.
+    fn serve_lossy_into(
+        &self,
+        shard: &mut Shard,
+        targets: &[NodeId],
+        start: u64,
+        opts: &ServeOptions,
+        root_gaps: &[u64],
+    ) -> Result<(), SimError> {
+        let cycle = u64::from(self.cycle_len);
         for (j, &target) in targets.iter().enumerate() {
             let i = target.index();
             let slot = self.slot.get(i).copied().unwrap_or(0);
@@ -551,7 +571,7 @@ impl CompiledProgram {
                 }
             }
         }
-        Ok(shard)
+        Ok(())
     }
 
     /// Fault-free serving, one request at a time — the original engine,
@@ -599,8 +619,28 @@ impl CompiledProgram {
         opts: &ServeOptions,
     ) -> Result<Shard, SimError> {
         let mut shard = Shard::new(2 * self.cycle_len);
+        self.serve_chunks_into(&mut shard, targets, start, opts.seed)?;
+        Ok(shard)
+    }
+
+    /// Chunked fault-free kernel body, accumulating into a caller-owned
+    /// shard — shared by [`serve_shard_chunked`] and the streaming
+    /// [`serve_chunk`](Self::serve_chunk) path. `start` is the global
+    /// index of `targets[0]`. Every per-request quantity depends only on
+    /// that global index and the target, and every accumulation is
+    /// commutative exact integer arithmetic, so feeding a batch through
+    /// this body in *any* chunking produces a bit-identical shard.
+    ///
+    /// [`serve_shard_chunked`]: CompiledProgram::serve_shard_chunked
+    fn serve_chunks_into(
+        &self,
+        shard: &mut Shard,
+        targets: &[NodeId],
+        start: u64,
+        seed: u64,
+    ) -> Result<(), SimError> {
         if targets.is_empty() {
-            return Ok(shard);
+            return Ok(());
         }
         let n = self.slot.len();
         if n == 0 {
@@ -619,14 +659,7 @@ impl CompiledProgram {
             if use_avx2 && chunk.len() == SERVE_CHUNK {
                 // SAFETY: AVX2 availability was checked once up front.
                 let ok = unsafe {
-                    self.gather_chunk_avx2(
-                        chunk,
-                        start + base as u64,
-                        fm,
-                        opts.seed,
-                        &mut totals,
-                        &mut shard,
-                    )
+                    self.gather_chunk_avx2(chunk, start + base as u64, fm, seed, &mut totals, shard)
                 };
                 if !ok {
                     return Err(self.first_unrouted(chunk));
@@ -649,8 +682,7 @@ impl CompiledProgram {
             for (c, &target) in chunk.iter().enumerate() {
                 let rec = self.packed.get(target.index()).copied().unwrap_or([0; 4]);
                 bad |= rec[0] == 0;
-                let probe =
-                    self.cycle_len - fm.rem(mix64(opts.seed, start + (base + c) as u64)) as u32;
+                let probe = self.cycle_len - fm.rem(mix64(seed, start + (base + c) as u64)) as u32;
                 let wait = rec[0].wrapping_sub(1);
                 totals[c] = probe.wrapping_add(wait);
                 wait_sum += u64::from(wait);
@@ -666,7 +698,7 @@ impl CompiledProgram {
             shard.switch_sum += switch_sum;
             shard.delivered += chunk.len() as u64;
         }
-        Ok(shard)
+        Ok(())
     }
 
     /// In-order scan for the first unrouted target of a rejected chunk —
@@ -817,6 +849,67 @@ impl CompiledProgram {
             &root_gaps,
         ))
     }
+
+    /// Arms `session` to stream one logical batch through this program,
+    /// reusing all of the session's buffers — allocation-free on the
+    /// fault-free path once the histogram has grown to this program's
+    /// bound. The result of feeding any chunking of a batch through
+    /// [`serve_chunk`](Self::serve_chunk) is bit-identical to one
+    /// [`serve_batch`](Self::serve_batch) call over the concatenation, at
+    /// any thread count (the batch kernel is itself sharding-invariant).
+    pub fn begin_session(&self, session: &mut ServeSession, opts: &ServeOptions) {
+        let lossy = !opts.faults.is_none();
+        let bound = if lossy {
+            LOSSY_HIST_CYCLES * self.cycle_len
+        } else {
+            2 * self.cycle_len
+        };
+        session.shard.reset(bound);
+        session.opts = *opts;
+        session.lossy = lossy;
+        if lossy {
+            faults::root_occurrence_gaps_into(
+                self.cycle_len(),
+                opts.recovery.root_replicas,
+                &mut session.root_gaps,
+            );
+        } else {
+            session.root_gaps.clear();
+        }
+        session.next_index = 0;
+        session.requests = 0;
+    }
+
+    /// Serves the next `targets.len()` requests of the session's batch,
+    /// accumulating into the session's shard. Global request indices
+    /// (which key tune-in and fault draws) advance automatically, so the
+    /// caller only streams target chunks — feed [`SERVE_CHUNK`]-sized
+    /// slices to hand the kernel whole chunks.
+    ///
+    /// # Errors
+    /// [`SimError::NotADataNode`] if any target is not a routed data
+    /// node. The session is left mid-batch and should be re-armed with
+    /// [`begin_session`](Self::begin_session) before reuse.
+    pub fn serve_chunk(
+        &self,
+        session: &mut ServeSession,
+        targets: &[NodeId],
+    ) -> Result<(), SimError> {
+        let start = session.next_index;
+        session.next_index += targets.len() as u64;
+        session.requests += targets.len() as u64;
+        if session.lossy {
+            let ServeSession {
+                shard,
+                opts,
+                root_gaps,
+                ..
+            } = session;
+            self.serve_lossy_into(shard, targets, start, opts, root_gaps)
+        } else {
+            self.serve_chunks_into(&mut session.shard, targets, start, session.opts.seed)
+        }
+    }
 }
 
 /// Histogram headroom for lossy serving, in multiples of the cycle length
@@ -868,8 +961,97 @@ impl ServeOptions {
     }
 }
 
+/// Reusable state for streaming one logical batch through
+/// [`CompiledProgram::serve_chunk`] without per-slice allocation.
+///
+/// A session owns the accumulator shard, the armed [`ServeOptions`] and
+/// the lossy path's replica-gap overlay; [`CompiledProgram::begin_session`]
+/// resets all of them in place (reusing buffer capacity), and the
+/// accessors read the accumulated aggregates at any point mid-stream.
+#[derive(Debug, Clone)]
+pub struct ServeSession {
+    shard: Shard,
+    opts: ServeOptions,
+    root_gaps: Vec<u64>,
+    lossy: bool,
+    next_index: u64,
+    requests: u64,
+}
+
+impl ServeSession {
+    /// Creates an idle session. Arm it with
+    /// [`CompiledProgram::begin_session`] before feeding chunks.
+    pub fn new() -> Self {
+        ServeSession {
+            shard: Shard::new(0),
+            opts: ServeOptions::default(),
+            root_gaps: Vec::new(),
+            lossy: false,
+            next_index: 0,
+            requests: 0,
+        }
+    }
+
+    /// Requests fed so far in the current batch.
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.shard.delivered
+    }
+
+    /// Requests failed so far (always 0 on the fault-free path).
+    #[inline]
+    pub fn failed(&self) -> u64 {
+        self.shard.failed
+    }
+
+    /// Failed reads recovered from (or charged by failed requests).
+    #[inline]
+    pub fn retries(&self) -> u64 {
+        self.shard.retries
+    }
+
+    /// Fraction of fed requests delivered (`1.0` before any are fed).
+    #[inline]
+    pub fn delivery_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.shard.delivered as f64 / self.requests as f64
+        }
+    }
+
+    /// The access-time histogram accumulated so far.
+    #[inline]
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.shard.hist
+    }
+
+    /// Snapshots the session's aggregates as a [`BatchMetrics`] — the
+    /// same value [`CompiledProgram::serve_batch`] would return for the
+    /// concatenation of every chunk fed so far. Clones the histogram, so
+    /// this is for batch boundaries and tests, not the per-chunk path.
+    pub fn to_metrics(&self) -> BatchMetrics {
+        self.shard
+            .clone()
+            .into_metrics(usize::try_from(self.requests).unwrap_or(usize::MAX))
+    }
+}
+
+impl Default for ServeSession {
+    fn default() -> Self {
+        ServeSession::new()
+    }
+}
+
 /// Per-thread accumulator: integer sums (exact, order independent) plus a
 /// histogram shard.
+#[derive(Debug, Clone)]
 struct Shard {
     hist: LatencyHistogram,
     wait_sum: u64,
@@ -893,6 +1075,20 @@ impl Shard {
             delivered: 0,
             failed: 0,
         }
+    }
+
+    /// Empties the accumulator and re-covers histogram values
+    /// `0..=bound`, reusing buffer capacity — bit-equivalent to a fresh
+    /// [`Shard::new`], without the allocation.
+    fn reset(&mut self, bound: u32) {
+        self.hist.reset(bound);
+        self.wait_sum = 0;
+        self.tune_sum = 0;
+        self.switch_sum = 0;
+        self.extra_sum = 0;
+        self.retries = 0;
+        self.delivered = 0;
+        self.failed = 0;
     }
 
     fn merge(&mut self, other: &Shard) {
@@ -1281,6 +1477,69 @@ mod tests {
         assert!(m.histogram.is_empty());
         // Every request charged its full retry budget, nothing more.
         assert_eq!(m.retries, 100 * u64::from(opts.recovery.max_retries));
+    }
+
+    #[test]
+    fn session_chunk_feed_matches_serve_batch_bit_for_bit() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let data = t.data_nodes();
+        let targets: Vec<NodeId> = (0..1000).map(|i| data[(i * 3) % data.len()]).collect();
+        let lossless = ServeOptions {
+            seed: 0xABCD,
+            ..ServeOptions::default()
+        };
+        let lossy = ServeOptions {
+            seed: 0xABCD,
+            faults: FaultPlan::erasure(0.15, 0xFA11).unwrap(),
+            recovery: RecoveryPolicy {
+                max_retries: 5,
+                timeout_slots: 64,
+                ..RecoveryPolicy::default()
+            },
+            ..ServeOptions::default()
+        };
+        // One session reused across batches pins both the chunk-feed
+        // equivalence and the begin_session reset (lossless after lossy
+        // shrinks the histogram bound, lossy after lossless regrows it).
+        let mut session = ServeSession::new();
+        for opts in [&lossless, &lossy, &lossless, &lossy] {
+            let oracle = c.serve_batch(&targets, opts).unwrap();
+            // Odd chunk sizes, never aligned to SERVE_CHUNK.
+            for chunk in [1usize, 7, 100, 255, 257, 999] {
+                c.begin_session(&mut session, opts);
+                for part in targets.chunks(chunk) {
+                    c.serve_chunk(&mut session, part).unwrap();
+                }
+                assert_eq!(session.requests(), targets.len() as u64);
+                assert_eq!(session.to_metrics(), oracle, "chunk {chunk}");
+                assert_eq!(session.delivered(), oracle.delivered);
+                assert_eq!(session.failed(), oracle.failed);
+                assert_eq!(session.retries(), oracle.retries);
+                assert_eq!(session.delivery_rate(), oracle.delivery_rate());
+                assert_eq!(session.histogram(), &oracle.histogram);
+            }
+        }
+    }
+
+    #[test]
+    fn session_rejects_bad_targets_like_the_batch_engine() {
+        let (t, p) = fig2b();
+        let c = CompiledProgram::compile(&p, &t).unwrap();
+        let idx = t.find_by_label("3").unwrap();
+        let mut session = ServeSession::new();
+        c.begin_session(&mut session, &ServeOptions::default());
+        let data = t.data_nodes();
+        let mut targets: Vec<NodeId> = (0..64).map(|i| data[i % data.len()]).collect();
+        targets[37] = idx;
+        assert_eq!(
+            c.serve_chunk(&mut session, &targets).unwrap_err(),
+            SimError::NotADataNode(idx)
+        );
+        // An empty session reports the empty-batch identity rate.
+        c.begin_session(&mut session, &ServeOptions::default());
+        assert_eq!(session.delivery_rate(), 1.0);
+        assert_eq!(session.requests(), 0);
     }
 
     #[test]

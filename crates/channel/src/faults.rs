@@ -457,8 +457,19 @@ impl fmt::Display for RequestOutcome {
 /// `root_replicas` is clamped to at least 1; with exactly 1 the single gap
 /// is the whole cycle.
 pub fn root_occurrence_gaps(cycle_len: usize, root_replicas: u32) -> Vec<u64> {
+    let mut out = Vec::new();
+    root_occurrence_gaps_into(cycle_len, root_replicas, &mut out);
+    out
+}
+
+/// [`root_occurrence_gaps`] into a caller-owned buffer (cleared first) —
+/// the serving session's per-batch refill, allocation-free once the
+/// buffer has grown to the replica count.
+pub fn root_occurrence_gaps_into(cycle_len: usize, root_replicas: u32, out: &mut Vec<u64>) {
     let rep = occurrences::replicate_root(cycle_len, root_replicas.max(1));
-    occurrences::occurrence_gaps(&rep.positions, rep.cycle_len)
+    let gaps = occurrences::occurrence_gaps(&rep.positions, rep.cycle_len);
+    out.clear();
+    out.extend_from_slice(&gaps);
 }
 
 /// Tracks a request's retry/timeout budget; both serving paths charge in

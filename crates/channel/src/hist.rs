@@ -41,6 +41,20 @@ impl LatencyHistogram {
         (self.counts.len() - 1) as u32
     }
 
+    /// Empties the histogram and re-covers `0..=bound`, reusing the
+    /// bucket vector's capacity — the serving session's per-batch reset
+    /// (allocation-free once the buffer has grown to the largest bound
+    /// seen). The result is indistinguishable from a fresh
+    /// [`with_bound`](Self::with_bound).
+    pub fn reset(&mut self, bound: u32) {
+        self.counts.clear();
+        self.counts.resize(bound as usize + 1, 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u32::MAX;
+        self.max = 0;
+    }
+
     /// Records one observation. O(1), allocation-free.
     #[inline]
     pub fn record(&mut self, value: u32) {
@@ -281,6 +295,20 @@ mod tests {
     #[should_panic(expected = "empty histogram")]
     fn empty_percentile_panics() {
         let _ = LatencyHistogram::with_bound(4).percentile(0.5);
+    }
+
+    #[test]
+    fn reset_equals_a_fresh_histogram() {
+        let mut reused = LatencyHistogram::with_bound(100);
+        for v in [3u32, 90, 7] {
+            reused.record(v);
+        }
+        for bound in [4u32, 100, 250] {
+            reused.reset(bound);
+            assert_eq!(reused, LatencyHistogram::with_bound(bound));
+            reused.record(2);
+            reused.record(bound + 5);
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use allocation::{Allocation, FeasibilityError};
-pub use compiled::{BatchMetrics, CompiledProgram, ServeOptions};
+pub use compiled::{BatchMetrics, CompiledProgram, ServeOptions, ServeSession, SERVE_CHUNK};
 pub use faults::{
     ClientLink, DeliveredTrace, FailReason, FaultError, FaultPlan, GilbertElliott, RecoveryFailure,
     RecoveryPolicy, RequestOutcome,

@@ -60,12 +60,24 @@ impl From<validate::TreeInvariantError> for TreeBuildError {
 #[derive(Default)]
 pub struct TreeBuilder {
     nodes: Vec<Node>,
+    child_capacity_hint: usize,
 }
 
 impl TreeBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         TreeBuilder::default()
+    }
+
+    /// Creates an empty builder that reserves `total` arena slots up front
+    /// and `fanout` child slots per index node, so regular trees (every
+    /// rebuild of a k-ary tree over a fixed item set) insert without a
+    /// single mid-build reallocation.
+    pub fn with_capacity(total: usize, fanout: usize) -> Self {
+        TreeBuilder {
+            nodes: Vec::with_capacity(total),
+            child_capacity_hint: fanout,
+        }
     }
 
     /// Creates the root index node. Must be called exactly once, first.
@@ -138,7 +150,11 @@ impl TreeBuilder {
             weight,
             label,
         });
-        self.nodes[parent.index()].children.push(id);
+        let siblings = &mut self.nodes[parent.index()].children;
+        if siblings.is_empty() && self.child_capacity_hint > 0 {
+            siblings.reserve_exact(self.child_capacity_hint);
+        }
+        siblings.push(id);
         Ok(id)
     }
 
@@ -159,6 +175,23 @@ impl TreeBuilder {
         }
         let tree = IndexTree::from_arena(self.nodes);
         tree.check_invariants()?;
+        Ok(tree)
+    }
+
+    /// Finishes the tree without re-walking the invariants.
+    ///
+    /// The builder already rejects unknown parents and children of data
+    /// nodes at insertion, so the only invariant `build` can still catch is
+    /// a leaf *index* node. Callers whose construction makes that impossible
+    /// (e.g. the weight-balanced builder, which only creates an index node
+    /// when a multi-leaf interval is pushed for expansion) use this on
+    /// rebuild hot paths; in debug builds the full check still runs.
+    pub(crate) fn build_trusted(self) -> Result<IndexTree, TreeBuildError> {
+        if self.nodes.is_empty() {
+            return Err(TreeBuildError::EmptyTree);
+        }
+        let tree = IndexTree::from_arena(self.nodes);
+        debug_assert!(tree.check_invariants().is_ok(), "trusted builder lied");
         Ok(tree)
     }
 }

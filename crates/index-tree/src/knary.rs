@@ -217,6 +217,35 @@ pub fn build_weight_balanced(
     weights: &[Weight],
     fanout: usize,
 ) -> Result<IndexTree, AlphabeticError> {
+    build_weight_balanced_impl(weights, fanout, true)
+}
+
+/// [`build_weight_balanced`] without node labels, for rebuild loops.
+///
+/// The tree is structurally **identical** to the labeled variant (same
+/// splits, same node ids, same weights, bit for bit) but skips the
+/// per-node `format!` label and the redundant end-of-build invariant
+/// re-walk — on a 4096-leaf fanout-4 tree that is ~5.5k heap strings per
+/// build, the bulk of a live republish's cost. Use wherever nobody reads
+/// [`IndexTree::label`] (labels fall back to the debug node id).
+///
+/// # Errors
+/// Returns [`AlphabeticError::Empty`] for an empty weight list.
+///
+/// # Panics
+/// Panics if `fanout < 2`.
+pub fn build_weight_balanced_unlabeled(
+    weights: &[Weight],
+    fanout: usize,
+) -> Result<IndexTree, AlphabeticError> {
+    build_weight_balanced_impl(weights, fanout, false)
+}
+
+fn build_weight_balanced_impl(
+    weights: &[Weight],
+    fanout: usize,
+    labeled: bool,
+) -> Result<IndexTree, AlphabeticError> {
     assert!(fanout >= 2, "fanout must be >= 2");
     if weights.is_empty() {
         return Err(AlphabeticError::Empty);
@@ -226,14 +255,24 @@ pub fn build_weight_balanced(
         prefix[i + 1] = prefix[i] + w.get();
     }
 
-    let mut b = TreeBuilder::new();
+    // Node count of a k-ary leaf tree over n items is < n·k/(k-1) + 1;
+    // reserving up front keeps the arena reallocation-free.
+    let capacity = weights.len() + weights.len() / (fanout - 1) + 2;
+    let mut b = TreeBuilder::with_capacity(capacity, fanout);
     let root = b.root("1");
     let mut counter = 1usize;
+    let add_data = |b: &mut TreeBuilder, parent, i: usize| {
+        if labeled {
+            b.add_data(parent, weights[i], format!("D{i}"))
+        } else {
+            b.add_data_unlabeled(parent, weights[i])
+        }
+        .expect("valid");
+    };
     let mut stack = vec![(root, 0usize, weights.len() - 1)];
     while let Some((parent, i, j)) = stack.pop() {
         if i == j {
-            b.add_data(parent, weights[i], format!("D{i}"))
-                .expect("valid");
+            add_data(&mut b, parent, i);
             continue;
         }
         let len = j - i + 1;
@@ -261,22 +300,31 @@ pub fn build_weight_balanced(
         }
         for &(pi, pj) in &bounds {
             if pi == pj {
-                b.add_data(parent, weights[pi], format!("D{pi}"))
-                    .expect("valid");
+                add_data(&mut b, parent, pi);
             } else {
                 counter += 1;
-                let id = b.add_index(parent, counter.to_string()).expect("valid");
+                let id = if labeled {
+                    b.add_index(parent, counter.to_string())
+                } else {
+                    b.add_index_unlabeled(parent)
+                }
+                .expect("valid");
                 stack.push((id, pi, pj));
             }
         }
     }
-    Ok(b.build().expect("weight-balanced construction is valid"))
+    // An index node is only created for a multi-leaf interval, which always
+    // emits children when popped — no leaf index node is constructible, so
+    // the trusted finish is safe for both variants.
+    Ok(b.build_trusted()
+        .expect("weight-balanced construction is valid"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hu_tucker;
+    use bcast_types::NodeId;
     use proptest::prelude::*;
 
     fn w(v: &[u32]) -> Vec<Weight> {
@@ -356,6 +404,36 @@ mod tests {
         let t = build_weight_balanced(&w(&[0, 0, 0, 0, 0]), 3).unwrap();
         t.check_invariants().unwrap();
         assert_eq!(t.num_data_nodes(), 5);
+    }
+
+    #[test]
+    fn unlabeled_variant_is_structurally_identical() {
+        let weights: Vec<Weight> = (0..500u32)
+            .map(|i| Weight::new(f64::from(i % 89) + 0.25).unwrap())
+            .collect();
+        for fanout in [2, 4, 7] {
+            let labeled = build_weight_balanced(&weights, fanout).unwrap();
+            let bare = build_weight_balanced_unlabeled(&weights, fanout).unwrap();
+            bare.check_invariants().unwrap();
+            assert_eq!(labeled.preorder(), bare.preorder());
+            assert_eq!(labeled.level_table(), bare.level_table());
+            assert_eq!(labeled.data_nodes(), bare.data_nodes());
+            assert_eq!(labeled.subtree_size_table(), bare.subtree_size_table());
+            for i in 0..labeled.len() {
+                let id = NodeId::from_index(i);
+                assert_eq!(
+                    labeled.weight(id).get().to_bits(),
+                    bare.weight(id).get().to_bits()
+                );
+                assert_eq!(
+                    labeled.subtree_weight(id).get().to_bits(),
+                    bare.subtree_weight(id).get().to_bits()
+                );
+                // Root keeps its "1" label (one string); everything else
+                // stays bare.
+                assert!(i == 0 || bare.node(id).label.is_none(), "node {i} label");
+            }
+        }
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! * [`tenant`] — one tenant: tree + double-buffered publisher + EMA
 //!   estimator + degradation tracker, advanced one time slice at a time;
 //! * [`service`] — the [`ServeLoop`]: a roster of tenants advanced in
-//!   lock-step slices, sharded across scoped worker threads;
+//!   lock-step slices across a persistent worker pool with deterministic
+//!   load-balanced lane assignment;
 //! * [`scenario`] — the [`run_scenario`] interpreter for the canonical
 //!   [`bcast_workloads::scenario`] scripts, producing per-phase SLO
-//!   verdicts.
+//!   verdicts (plus [`run_scenario_with_stats`] for the pool's wall-clock
+//!   side channel).
 //!
 //! Determinism is the design invariant: tenants are self-contained (all
 //! randomness derives from the service seed and the tenant's stable id),
@@ -24,6 +26,8 @@ pub mod scenario;
 pub mod service;
 pub mod tenant;
 
-pub use scenario::{run_scenario, PhaseReport, ScenarioOutcome, TenantPhaseReport};
-pub use service::ServeLoop;
+pub use scenario::{
+    run_scenario, run_scenario_with_stats, PhaseReport, ScenarioOutcome, TenantPhaseReport,
+};
+pub use service::{PoolStats, ServeLoop};
 pub use tenant::{RebuildLane, TenantConfig, TenantRuntime};

@@ -8,7 +8,7 @@
 //! different thread counts or reruns, and [`ScenarioOutcome::fingerprint`]
 //! folds the whole outcome into one `u64` for cheap cross-run comparison.
 
-use crate::service::ServeLoop;
+use crate::service::{PoolStats, ServeLoop};
 use crate::tenant::{RebuildLane, TenantConfig};
 use bcast_types::{SloSnapshot, SloSpec, SloViolation};
 use bcast_workloads::{PhaseSpec, ScenarioSpec};
@@ -216,6 +216,18 @@ fn begin_phase(svc: &mut ServeLoop, phase: &PhaseSpec, spec: &ScenarioSpec) {
 /// and advances the loop `slices` times. Deterministic in `(spec, seed)`
 /// alone — `threads` only partitions work.
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64, threads: usize) -> ScenarioOutcome {
+    run_scenario_with_stats(spec, seed, threads).0
+}
+
+/// [`run_scenario`] plus the serving loop's wall-clock [`PoolStats`] —
+/// the observability side channel (lane busy times, imbalance, pooled
+/// slice count) that the deterministic outcome deliberately excludes.
+/// The outcome half is bit-identical to [`run_scenario`]'s.
+pub fn run_scenario_with_stats(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+) -> (ScenarioOutcome, PoolStats) {
     let mut svc = ServeLoop::new(seed, threads);
     for id in 0..spec.tenants as u64 {
         svc.join(tenant_config(id, spec));
@@ -239,11 +251,15 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64, threads: usize) -> ScenarioO
                 .collect(),
         });
     }
-    ScenarioOutcome {
-        name: spec.name.to_string(),
-        seed,
-        phases,
-    }
+    let stats = svc.pool_stats();
+    (
+        ScenarioOutcome {
+            name: spec.name.to_string(),
+            seed,
+            phases,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

@@ -1,15 +1,36 @@
 //! The multi-tenant event loop: a roster of [`TenantRuntime`]s advanced
-//! in lock-step time slices, sharded across scoped worker threads.
+//! in lock-step time slices across a persistent worker pool.
 //!
-//! Sharding is pure partitioning: tenants are self-contained (every
+//! Parallelism is pure partitioning: tenants are self-contained (every
 //! random draw derives from the tenant's own seed), workers get disjoint
-//! contiguous chunks of the roster, and no state is merged across
-//! tenants — so the loop produces bit-identical results at any thread
-//! count, and `threads == 1` never spawns at all.
+//! sets of tenants, and no state is merged across tenants — so the loop
+//! produces bit-identical results at any thread count, and `threads == 1`
+//! never spawns at all.
+//!
+//! Two execution properties distinguish the steady state from a naive
+//! scoped-spawn loop:
+//!
+//! * **Persistent workers.** A slice is a few hundred microseconds of
+//!   work; spawning OS threads per slice costs a comparable amount of
+//!   kernel time. The loop parks a [`WorkerPool`] for its lifetime and
+//!   wakes it with an epoch handshake each slice ([`ServeLoop::run_slice`]).
+//!   The original spawn-per-slice executor survives as
+//!   [`run_slice_scoped`](ServeLoop::run_slice_scoped) — the equivalence
+//!   oracle the pooled path is property-tested against.
+//! * **Load-balanced lanes.** Tenants are assigned to worker lanes by
+//!   deterministic LPT (longest processing time first) over each tenant's
+//!   [`cost_hint`](TenantRuntime::cost_hint) — an EWMA of its scripted
+//!   request rate — instead of contiguous roster chunks, so one hot
+//!   tenant no longer serializes a whole chunk's neighbors behind it.
+//!   The assignment is a pure function of deterministic hints, and lane
+//!   placement cannot affect any tenant's outcome anyway (isolation), so
+//!   scheduling is free to chase balance.
 
 use crate::tenant::{RebuildLane, TenantConfig, TenantRuntime};
 use bcast_channel::SnapshotImage;
 use bcast_core::publish::PublishHeuristic;
+use bcast_types::WorkerPool;
+use std::collections::HashMap;
 
 /// The boot-program identity: two tenants whose key matches publish the
 /// exact same first program (boot weights are uniform, so the catalog
@@ -20,6 +41,49 @@ struct BootKey {
     fanout: usize,
     channels: usize,
     heuristic: PublishHeuristic,
+}
+
+/// Reused per-slice scheduling buffers — the lane assignment is computed
+/// every slice without allocating.
+#[derive(Debug, Default)]
+struct SchedScratch {
+    /// Tenant indices sorted heaviest-first (the LPT order).
+    order: Vec<u32>,
+    /// Assigned lane per tenant index.
+    lane_of: Vec<u32>,
+    /// Accumulated cost per lane during assignment.
+    lane_load: Vec<u64>,
+    /// Tenant indices grouped by lane (counting-sorted, roster order
+    /// within a lane).
+    perm: Vec<u32>,
+    /// Lane group boundaries into `perm` (`starts[l]..starts[l + 1]`).
+    starts: Vec<u32>,
+    /// Write cursors for the counting sort.
+    cursor: Vec<u32>,
+}
+
+/// Shared mutable access to the tenant array for the pool closure. Lanes
+/// index **disjoint** tenant sets (the counting-sorted permutation
+/// partitions `0..n`), so no element is touched by two lanes.
+struct TenantsPtr(*mut TenantRuntime);
+// SAFETY: see above — all concurrent accesses go to disjoint elements.
+unsafe impl Sync for TenantsPtr {}
+
+/// Wall-clock execution statistics of the serving loop's worker pool — a
+/// side channel for operators and benches, never part of a deterministic
+/// outcome (lane busy times are wall time).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Pool lanes (caller thread included); `1` when running sequentially.
+    pub workers: usize,
+    /// Cumulative busy nanoseconds per lane since the pool started.
+    pub busy_ns: Vec<u64>,
+    /// Load imbalance across lanes in parts-per-million:
+    /// `(max − min) · 10⁶ / max` over `busy_ns` (`0` = perfectly even,
+    /// also `0` before any pooled slice ran).
+    pub imbalance_ppm: u64,
+    /// Slices executed through the pooled load-balanced path.
+    pub scheduled_slices: u64,
 }
 
 /// A live multi-tenant serving loop.
@@ -37,6 +101,14 @@ pub struct ServeLoop {
     boot_images: Vec<(BootKey, SnapshotImage)>,
     /// Joins served from the cache (lifetime).
     snapshot_boots: u64,
+    /// Tenant id → roster index, rebuilt on join/leave so id lookups on
+    /// the request path are O(1) instead of a roster scan.
+    index_of: HashMap<u64, usize>,
+    /// Persistent workers, created on the first pooled slice and parked
+    /// between slices for the life of the loop.
+    pool: Option<WorkerPool>,
+    sched: SchedScratch,
+    scheduled_slices: u64,
 }
 
 impl ServeLoop {
@@ -52,6 +124,10 @@ impl ServeLoop {
             slices_run: 0,
             boot_images: Vec::new(),
             snapshot_boots: 0,
+            index_of: HashMap::new(),
+            pool: None,
+            sched: SchedScratch::default(),
+            scheduled_slices: 0,
         }
     }
 
@@ -104,6 +180,7 @@ impl ServeLoop {
         };
         let at = self.tenants.partition_point(|t| t.id() < id);
         self.tenants.insert(at, runtime);
+        self.rebuild_index();
         id
     }
 
@@ -121,12 +198,22 @@ impl ServeLoop {
     /// Removes a tenant from the roster. Returns `false` if no tenant
     /// with that id is present.
     pub fn leave(&mut self, id: u64) -> bool {
-        match self.tenants.iter().position(|t| t.id() == id) {
+        match self.index_of.get(&id).copied() {
             Some(at) => {
                 self.tenants.remove(at);
+                self.rebuild_index();
                 true
             }
             None => false,
+        }
+    }
+
+    /// Re-derives the id → index map after a roster mutation. O(roster),
+    /// paid only on join/leave — every per-slice lookup stays O(1).
+    fn rebuild_index(&mut self) {
+        self.index_of.clear();
+        for (i, t) in self.tenants.iter().enumerate() {
+            self.index_of.insert(t.id(), i);
         }
     }
 
@@ -140,14 +227,17 @@ impl ServeLoop {
         &mut self.tenants
     }
 
-    /// One tenant by id.
+    /// One tenant by id — an O(1) map lookup.
     pub fn tenant(&self, id: u64) -> Option<&TenantRuntime> {
-        self.tenants.iter().find(|t| t.id() == id)
+        self.index_of.get(&id).map(|&i| &self.tenants[i])
     }
 
-    /// One tenant by id, mutably.
+    /// One tenant by id, mutably — an O(1) map lookup.
     pub fn tenant_mut(&mut self, id: u64) -> Option<&mut TenantRuntime> {
-        self.tenants.iter_mut().find(|t| t.id() == id)
+        match self.index_of.get(&id).copied() {
+            Some(i) => Some(&mut self.tenants[i]),
+            None => None,
+        }
     }
 
     /// Slices the loop has run.
@@ -155,11 +245,104 @@ impl ServeLoop {
         self.slices_run
     }
 
-    /// Advances every tenant by one time slice, sharding the roster over
-    /// the worker threads. Each worker owns a disjoint contiguous chunk,
-    /// so there is no synchronization beyond the scope join and no
-    /// execution-order dependence in the results.
+    /// Advances every tenant by one time slice.
+    ///
+    /// With more than one thread and more than one tenant, tenants are
+    /// assigned to the persistent pool's lanes by deterministic LPT over
+    /// their cost hints and executed in parallel; otherwise the roster
+    /// runs sequentially on the calling thread. Either way the result is
+    /// bit-identical to every other thread count — lanes own disjoint
+    /// tenants and tenants are self-contained.
     pub fn run_slice(&mut self) {
+        let lanes = self.threads.clamp(1, self.tenants.len().max(1));
+        if lanes <= 1 {
+            for t in &mut self.tenants {
+                t.run_slice();
+            }
+        } else {
+            let pool_lanes = self.threads;
+            self.schedule(lanes, pool_lanes);
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(pool_lanes));
+            let base = TenantsPtr(self.tenants.as_mut_ptr());
+            // Capture the `Sync` wrapper by reference, not its raw-pointer
+            // field (closure field-capture would otherwise grab the
+            // non-`Sync` pointer itself).
+            let base = &base;
+            let perm = &self.sched.perm;
+            let starts = &self.sched.starts;
+            pool.run(|lane| {
+                let lo = starts[lane] as usize;
+                let hi = starts[lane + 1] as usize;
+                for &ti in &perm[lo..hi] {
+                    // SAFETY: `perm` is a permutation of the roster
+                    // partitioned by lane, so every tenant index is
+                    // visited by exactly one lane — accesses through the
+                    // shared base pointer are disjoint.
+                    unsafe { (*base.0.add(ti as usize)).run_slice() };
+                }
+            });
+            self.scheduled_slices += 1;
+        }
+        self.slices_run += 1;
+    }
+
+    /// Assigns each tenant to one of `lanes` lanes by LPT: walk tenants
+    /// heaviest-hint-first, always placing onto the least-loaded lane
+    /// (ties → lowest lane). `pool_lanes ≥ lanes` sizes the boundary
+    /// array — lanes past `lanes` get empty groups, which the pool
+    /// tolerates (a roster smaller than the pool leaves workers idle).
+    /// All buffers are retained scratch; no allocation in steady state.
+    fn schedule(&mut self, lanes: usize, pool_lanes: usize) {
+        let n = self.tenants.len();
+        let tenants = &self.tenants;
+        let s = &mut self.sched;
+        s.order.clear();
+        s.order.extend(0..n as u32);
+        s.order
+            .sort_unstable_by_key(|&i| (std::cmp::Reverse(tenants[i as usize].cost_hint()), i));
+        s.lane_load.clear();
+        s.lane_load.resize(lanes, 0);
+        s.lane_of.clear();
+        s.lane_of.resize(n, 0);
+        for &i in &s.order {
+            let lane = s
+                .lane_load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(l, &c)| (c, l))
+                .map(|(l, _)| l)
+                .expect("lanes >= 1");
+            s.lane_of[i as usize] = lane as u32;
+            s.lane_load[lane] += tenants[i as usize].cost_hint();
+        }
+        // Counting-sort tenant indices by lane (roster order within each
+        // lane group) so each lane walks one contiguous run of `perm`.
+        s.starts.clear();
+        s.starts.resize(pool_lanes + 1, 0);
+        for &l in &s.lane_of {
+            s.starts[l as usize + 1] += 1;
+        }
+        for k in 1..s.starts.len() {
+            s.starts[k] += s.starts[k - 1];
+        }
+        s.cursor.clear();
+        s.cursor.extend_from_slice(&s.starts);
+        s.perm.clear();
+        s.perm.resize(n, 0);
+        for (i, &l) in s.lane_of.iter().enumerate() {
+            let at = s.cursor[l as usize];
+            s.perm[at as usize] = i as u32;
+            s.cursor[l as usize] += 1;
+        }
+    }
+
+    /// The original spawn-per-slice executor over contiguous roster
+    /// chunks, retained verbatim as the equivalence oracle for the pooled
+    /// path: property tests demand `run_slice` and `run_slice_scoped`
+    /// produce bit-identical tenants at every thread count. Prefer
+    /// [`run_slice`](Self::run_slice) — this one pays a thread spawn per
+    /// worker per slice.
+    pub fn run_slice_scoped(&mut self) {
         let threads = self.threads.clamp(1, self.tenants.len().max(1));
         if threads <= 1 {
             for t in &mut self.tenants {
@@ -184,6 +367,28 @@ impl ServeLoop {
     pub fn run_slices(&mut self, n: u32) {
         for _ in 0..n {
             self.run_slice();
+        }
+    }
+
+    /// Wall-clock pool statistics (see [`PoolStats`]). Before any pooled
+    /// slice has run — including always-sequential loops — reports one
+    /// idle lane with no busy time.
+    pub fn pool_stats(&self) -> PoolStats {
+        let (workers, busy_ns) = match &self.pool {
+            Some(p) => (p.size(), p.busy_ns()),
+            None => (1, Vec::new()),
+        };
+        let max = busy_ns.iter().copied().max().unwrap_or(0);
+        let min = busy_ns.iter().copied().min().unwrap_or(0);
+        let imbalance_ppm = (max - min)
+            .saturating_mul(1_000_000)
+            .checked_div(max)
+            .unwrap_or(0);
+        PoolStats {
+            workers,
+            busy_ns,
+            imbalance_ppm,
+            scheduled_slices: self.scheduled_slices,
         }
     }
 
@@ -229,6 +434,57 @@ mod tests {
         assert_eq!(one, snapshots(2));
         assert_eq!(one, snapshots(4));
         assert_eq!(one, snapshots(16), "more threads than tenants");
+    }
+
+    #[test]
+    fn pooled_executor_matches_the_scoped_oracle() {
+        for threads in [1usize, 2, 4] {
+            let mut pooled = boot(threads, 5);
+            let mut scoped = boot(threads, 5);
+            for _ in 0..6 {
+                pooled.run_slice();
+                scoped.run_slice_scoped();
+            }
+            let snap = |svc: &ServeLoop| {
+                svc.tenants()
+                    .iter()
+                    .map(|t| (t.id(), t.phase_snapshot()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(snap(&pooled), snap(&scoped), "threads = {threads}");
+            assert_eq!(pooled.slices_run(), scoped.slices_run());
+        }
+    }
+
+    #[test]
+    fn fewer_tenants_than_threads_leaves_lanes_empty() {
+        // Regression: the old chunked split could produce fewer chunks
+        // than workers; the pooled scheduler must tolerate a roster
+        // smaller than the pool (idle lanes) and still match sequential.
+        let mut wide = boot(8, 3);
+        let mut narrow = boot(1, 3);
+        for _ in 0..6 {
+            wide.run_slice();
+            narrow.run_slice();
+        }
+        let snap = |svc: &ServeLoop| {
+            svc.tenants()
+                .iter()
+                .map(|t| (t.id(), t.phase_snapshot()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snap(&wide), snap(&narrow));
+        // Mid-run shrink to a single tenant: pooled path degrades to
+        // sequential without touching the parked pool.
+        wide.leave(1);
+        wide.leave(2);
+        narrow.leave(1);
+        narrow.leave(2);
+        for _ in 0..3 {
+            wide.run_slice();
+            narrow.run_slice();
+        }
+        assert_eq!(snap(&wide), snap(&narrow));
     }
 
     #[test]
@@ -282,5 +538,42 @@ mod tests {
             vec![0, 2, 3]
         );
         assert!(!svc.leave(99), "unknown id");
+    }
+
+    #[test]
+    fn id_lookups_stay_correct_across_churn() {
+        let mut svc = boot(1, 4);
+        // The map, not roster order, resolves ids: remove from the
+        // middle, join a high id, then check every survivor.
+        svc.leave(1);
+        svc.join(TenantConfig::new(40, 32));
+        svc.leave(0);
+        for id in [2u64, 3, 40] {
+            assert_eq!(svc.tenant(id).map(|t| t.id()), Some(id));
+            assert_eq!(svc.tenant_mut(id).map(|t| t.id()), Some(id));
+        }
+        for id in [0u64, 1, 99] {
+            assert!(svc.tenant(id).is_none());
+            assert!(svc.tenant_mut(id).is_none());
+        }
+    }
+
+    #[test]
+    fn pool_stats_report_lanes_and_busy_time() {
+        let mut svc = boot(1, 2);
+        svc.run_slices(2);
+        let seq = svc.pool_stats();
+        assert_eq!(seq.workers, 1, "sequential loop never builds a pool");
+        assert_eq!(seq.scheduled_slices, 0);
+        assert_eq!(seq.imbalance_ppm, 0);
+
+        let mut svc = boot(2, 4);
+        svc.run_slices(4);
+        let stats = svc.pool_stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.scheduled_slices, 4);
+        assert_eq!(stats.busy_ns.len(), 2);
+        assert!(stats.busy_ns.iter().all(|&ns| ns > 0));
+        assert!(stats.imbalance_ppm <= 1_000_000);
     }
 }

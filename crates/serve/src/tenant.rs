@@ -13,7 +13,7 @@
 
 use bcast_adaptive::{DegradationPolicy, DegradationTracker, EmaEstimator};
 use bcast_channel::{
-    compiled::{BatchMetrics, ServeOptions},
+    compiled::{ServeOptions, ServeSession, SERVE_CHUNK},
     faults::{FaultPlan, GilbertElliott, RecoveryPolicy},
     hist::LatencyHistogram,
     snapshot::{SnapshotError, SnapshotView},
@@ -22,7 +22,7 @@ use bcast_core::publish::{PublishHeuristic, PublishOptions, Publisher};
 use bcast_core::{DeltaLane, DeltaOptions};
 use bcast_index_tree::{knary, IndexTree};
 use bcast_types::{mix64, NodeId, SloSnapshot, SloSpec, SloViolation, Weight};
-use bcast_workloads::{DemandSpec, FaultScenario, RequestStream};
+use bcast_workloads::{DemandShape, DemandSpec, FaultScenario, TaggedAliasTable};
 use std::time::Instant;
 
 /// Mixes two 64-bit values into one seed. [`mix64`] is a one-argument
@@ -84,6 +84,15 @@ pub struct TenantConfig {
     pub alpha: f64,
     /// Republish every this many slices (`None` = only on degradation).
     pub rebuild_every: Option<u64>,
+    /// Minimum relative estimator drift (see
+    /// [`EmaEstimator::drift_since_publish`]) for a periodic republish to
+    /// actually run; below it the cadence point is recorded as a skipped
+    /// rebuild and the served program stays. `None` (the default, and the
+    /// historical behavior) republishes unconditionally. Degradation-fired
+    /// rebuilds are never gated. Deterministic: drift is a pure function
+    /// of the request stream, so skips replay identically at any thread
+    /// count.
+    pub rebuild_min_drift: Option<f64>,
     /// Degradation-feedback rebuild policy (`None` = disabled).
     pub degradation: Option<DegradationPolicy>,
     /// Client recovery budget under channel faults.
@@ -105,6 +114,7 @@ impl TenantConfig {
             heuristic: PublishHeuristic::Sorting,
             alpha: 0.4,
             rebuild_every: Some(8),
+            rebuild_min_drift: None,
             degradation: Some(DegradationPolicy::default()),
             recovery: RecoveryPolicy::default(),
             rebuild_lane: RebuildLane::Full,
@@ -133,8 +143,12 @@ struct Window {
     touched_total: u64,
     /// Programs installed from a snapshot image during the window.
     snapshot_loads: u64,
+    /// Periodic republish points gated off by `rebuild_min_drift`.
+    skipped_rebuilds: u64,
     /// Wall nanoseconds inside rebuilds — side channel, never compared.
     rebuild_wall_ns: u64,
+    /// Demand-sampler alias tables rebuilt — cache-miss side channel.
+    alias_rebuilds: u64,
 }
 
 impl Window {
@@ -154,7 +168,9 @@ impl Window {
             touched_nodes: 0,
             touched_total: 0,
             snapshot_loads: 0,
+            skipped_rebuilds: 0,
             rebuild_wall_ns: 0,
+            alias_rebuilds: 0,
         }
     }
 
@@ -184,7 +200,9 @@ impl Window {
                 .checked_div(self.touched_total)
                 .unwrap_or(0),
             snapshot_loads: self.snapshot_loads,
+            skipped_rebuilds: self.skipped_rebuilds,
             rebuild_wall_ns: self.rebuild_wall_ns,
+            alias_rebuilds: self.alias_rebuilds,
         }
     }
 }
@@ -215,8 +233,28 @@ pub struct TenantRuntime {
     /// into the fresh window so the join phase reports it.
     pending_snapshot_loads: u64,
     window: Window,
-    // Reused per-slice target buffer (allocation-free steady state).
-    targets: Vec<NodeId>,
+    /// Cached demand sampler with the item→node map fused in (each draw
+    /// yields the target [`NodeId`] from the same cache line as the
+    /// alias decision). Rebuilt only when the demand *shape* changes
+    /// ([`sampler_shape`](Self::sampler_shape) tracks the shape it was
+    /// built for) or a full republish remints the node ids the tags bake
+    /// in. Within a phase only the request rate interpolates — the pmf
+    /// is constant — so steady-state slices skip the O(items) Vose
+    /// construction entirely.
+    sampler: TaggedAliasTable,
+    sampler_shape: Option<DemandShape>,
+    /// Scratch pmf for sampler rebuilds (reused capacity).
+    pmf: Vec<f64>,
+    /// Reused [`SERVE_CHUNK`]-sized staging buffer: sampled targets are
+    /// gathered here and fed straight to the chunked serve kernel, so a
+    /// slice never materializes its full request vector.
+    chunk: Vec<NodeId>,
+    /// Reusable streaming-serve state (histogram shard and fault
+    /// overlay buffers persist across slices).
+    session: ServeSession,
+    /// EWMA of recent slice request counts — the deterministic cost
+    /// input to the service's load-balanced lane assignment.
+    ewma_cost: u64,
     /// Popularity snapshot the next rebuild consumes, patched in place
     /// from the estimator's changed set — rebuilds no longer clone the
     /// full weight vector.
@@ -239,7 +277,7 @@ impl TenantRuntime {
         let seed = mix2(service_seed, config.id);
         let estimator = EmaEstimator::new(config.items, config.alpha);
         let weights = estimator.weights();
-        let tree = knary::build_weight_balanced(&weights, config.fanout)
+        let tree = knary::build_weight_balanced_unlabeled(&weights, config.fanout)
             .expect("uniform weights build a valid tree");
         let mut publisher = Publisher::new();
         publisher
@@ -269,7 +307,12 @@ impl TenantRuntime {
             total_rebuilds: 0,
             pending_snapshot_loads: 0,
             window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
-            targets: Vec::new(),
+            sampler: TaggedAliasTable::new(),
+            sampler_shape: None,
+            pmf: Vec::new(),
+            chunk: Vec::with_capacity(SERVE_CHUNK),
+            session: ServeSession::new(),
+            ewma_cost: 0,
             weights,
             changes: Vec::new(),
             node_changes: Vec::new(),
@@ -332,7 +375,7 @@ impl TenantRuntime {
         let mut publisher = Publisher::new();
         publisher.adopt_snapshot(view.to_program(), config.channels);
         // Stand-in tree (see the docs above): one leaf, O(1) to build.
-        let tree = knary::build_weight_balanced(&weights[..1], config.fanout)
+        let tree = knary::build_weight_balanced_unlabeled(&weights[..1], config.fanout)
             .expect("a single uniform weight builds a valid tree");
         let cycle = publisher.current().cycle_len() as u32;
         Ok(TenantRuntime {
@@ -352,7 +395,12 @@ impl TenantRuntime {
             total_rebuilds: 0,
             pending_snapshot_loads: 1,
             window: Window::new(PHASE_HIST_CYCLES * cycle.max(1)),
-            targets: Vec::new(),
+            sampler: TaggedAliasTable::new(),
+            sampler_shape: None,
+            pmf: Vec::new(),
+            chunk: Vec::with_capacity(SERVE_CHUNK),
+            session: ServeSession::new(),
+            ewma_cost: 0,
             weights,
             changes: Vec::new(),
             node_changes: Vec::new(),
@@ -437,6 +485,15 @@ impl TenantRuntime {
     /// paths go through the double-buffered publisher swap, so requests
     /// are never held while a program compiles — the downtime counter
     /// stays at zero and the SLO check proves it.
+    ///
+    /// The steady-state slice is allocation-free: the alias sampler is
+    /// cached across slices (rebuilt only on a demand-shape change),
+    /// sampled targets stream through a reused [`SERVE_CHUNK`]-sized
+    /// buffer straight into the chunked serve kernel, and the session's
+    /// histogram shard is reset in place. Sampling draws, tune-in slots
+    /// and fault links are all keyed by the slice seed and the global
+    /// request index, so the streamed slice is bit-identical to the
+    /// original build-a-batch-then-serve form.
     pub fn run_slice(&mut self) {
         let rate = self
             .demand
@@ -444,23 +501,27 @@ impl TenantRuntime {
         let slice_seed = mix2(self.seed, self.slices_run);
         self.slice_in_phase = (self.slice_in_phase + 1).min(self.phase_slices.saturating_sub(1));
         self.slices_run += 1;
+        // Cost hint for the service's lane assignment: an EWMA over
+        // slice request counts, updated before the slice runs so the
+        // scheduler could have used this very value. Pure integer
+        // arithmetic on deterministic inputs.
+        self.ewma_cost = (3 * self.ewma_cost + u64::from(rate)).div_ceil(4);
 
         if rate > 0 {
-            // Sample this slice's requests. The alias table is rebuilt per
-            // slice because the scripted pmf may change every slice (rate
-            // interpolation keeps the shape, drift scripts move it).
-            let pmf = self.demand.shape.pmf(self.config.items);
-            let mut stream = RequestStream::from_weights(&pmf, mix2(slice_seed, 1));
-            self.targets.clear();
-            self.targets.reserve(rate as usize);
-            for _ in 0..rate {
-                let item = stream.sample();
-                // The estimator sees what was *requested* (demand, not
-                // delivery — channel loss must not starve the allocator's
-                // view of popularity).
-                self.estimator.observe(item);
-                self.targets.push(self.data_nodes[item]);
+            // The demand *shape* is constant within a phase (only the
+            // request rate interpolates slice to slice), so the Vose
+            // construction runs once per shape change, not once per
+            // slice — plus once after any full republish, which remints
+            // the node ids the table's tags bake in. Same pmf → byte-
+            // identical table → identical draws.
+            if self.sampler_shape != Some(self.demand.shape) {
+                self.demand.shape.pmf_into(self.config.items, &mut self.pmf);
+                let data_nodes = &self.data_nodes;
+                self.sampler.rebuild(&self.pmf, |i| data_nodes[i].0);
+                self.sampler_shape = Some(self.demand.shape);
+                self.window.alias_rebuilds += 1;
             }
+            let mut state = mix2(slice_seed, 1);
 
             // Serve against the program on air. `current()` is always
             // servable — the publisher swaps buffers atomically between
@@ -469,6 +530,12 @@ impl TenantRuntime {
             // check rather than assume it.
             let program = self.publisher.current();
             if program.num_data_nodes() == 0 {
+                // Demand still arrives during downtime: the estimator
+                // sees what was *requested*, exactly as when serving.
+                for _ in 0..rate {
+                    let (item, _) = self.sampler.sample(&mut state);
+                    self.estimator.observe(item as usize);
+                }
                 self.window.downtime_slots += 1;
             } else {
                 let opts = ServeOptions {
@@ -477,16 +544,34 @@ impl TenantRuntime {
                     faults: fault_plan(self.faults.as_ref(), mix2(slice_seed, 3)),
                     recovery: self.config.recovery,
                 };
-                let metrics = program
-                    .serve_batch(&self.targets, &opts)
-                    .expect("targets are data nodes of the published tree");
-                self.absorb_metrics(&metrics);
+                program.begin_session(&mut self.session, &opts);
+                let mut remaining = rate as usize;
+                while remaining > 0 {
+                    let n = remaining.min(SERVE_CHUNK);
+                    self.chunk.clear();
+                    for _ in 0..n {
+                        // One fused draw: the item for the estimator and
+                        // its serving node from the same cache line.
+                        let (item, node) = self.sampler.sample(&mut state);
+                        // The estimator sees what was *requested*
+                        // (demand, not delivery — channel loss must not
+                        // starve the allocator's view of popularity).
+                        self.estimator.observe(item as usize);
+                        self.chunk.push(NodeId(node));
+                    }
+                    program
+                        .serve_chunk(&mut self.session, &self.chunk)
+                        .expect("targets are data nodes of the published tree");
+                    remaining -= n;
+                }
+                self.absorb_session();
 
                 // Degradation feedback reacts to this slice's delivery.
+                let rate_served = self.session.delivery_rate();
                 let fire = self
                     .degradation
                     .as_mut()
-                    .is_some_and(|t| t.observe(metrics.delivery_rate()));
+                    .is_some_and(|t| t.observe(rate_served));
                 if fire {
                     self.rebuild();
                     self.window.degraded_rebuilds += 1;
@@ -497,9 +582,31 @@ impl TenantRuntime {
         self.estimator.roll_epoch();
         if let Some(every) = self.config.rebuild_every {
             if every > 0 && self.slices_run.is_multiple_of(every) {
-                self.rebuild();
+                // Drift gate: a converged stream makes the cadence
+                // republish a no-op — skip it and keep serving the
+                // program already on air. Degradation-fired rebuilds
+                // (above) bypass this on purpose.
+                let quiet = self
+                    .config
+                    .rebuild_min_drift
+                    .is_some_and(|floor| self.estimator.drift_since_publish() < floor);
+                if quiet {
+                    self.window.skipped_rebuilds += 1;
+                } else {
+                    self.rebuild();
+                }
             }
         }
+    }
+
+    /// Deterministic per-slice cost estimate for the service's
+    /// load-balanced lane assignment (larger = more expensive). Derived
+    /// only from the tenant's own scripted request rates, so schedules
+    /// built from it are identical on every run and thread count. Never
+    /// zero: even an idle tenant costs a slice call.
+    #[inline]
+    pub fn cost_hint(&self) -> u64 {
+        self.ewma_cost.max(1)
     }
 
     /// The window accumulated so far, as plain data.
@@ -512,14 +619,18 @@ impl TenantRuntime {
         self.window.snapshot().check(&self.slo)
     }
 
-    fn absorb_metrics(&mut self, m: &BatchMetrics) {
-        self.window.requests += m.requests as u64;
-        self.window.delivered += m.delivered;
-        self.window.failed += m.failed;
-        self.window.retries += m.retries;
-        self.window.hist.absorb(&m.histogram);
+    /// Folds the finished slice's session aggregates into the window —
+    /// the streaming counterpart of the old `BatchMetrics` absorb, with
+    /// no intermediate metrics struct (the histogram absorbs directly
+    /// from the session's shard).
+    fn absorb_session(&mut self) {
+        self.window.requests += self.session.requests();
+        self.window.delivered += self.session.delivered();
+        self.window.failed += self.session.failed();
+        self.window.retries += self.session.retries();
+        self.window.hist.absorb(self.session.histogram());
         self.window.max_cycle_len = self.window.max_cycle_len.max(self.cycle_len());
-        self.total_requests += m.requests as u64;
+        self.total_requests += self.session.requests();
     }
 
     /// Republishes from the estimator's current weights through the
@@ -540,8 +651,9 @@ impl TenantRuntime {
         }
         match self.config.rebuild_lane {
             RebuildLane::Full => {
-                let tree = knary::build_weight_balanced(&self.weights, self.config.fanout)
-                    .expect("estimator weights are positive");
+                let tree =
+                    knary::build_weight_balanced_unlabeled(&self.weights, self.config.fanout)
+                        .expect("estimator weights are positive");
                 self.publisher
                     .publish(
                         &tree,
@@ -553,6 +665,11 @@ impl TenantRuntime {
                 self.data_nodes.clear();
                 self.data_nodes.extend_from_slice(tree.data_nodes());
                 self.tree = tree;
+                // The sampler's tags bake in the item→node map this
+                // rebuild just reminted — invalidate so the next serving
+                // slice re-tags (the delta lane keeps node ids stable
+                // and skips this).
+                self.sampler_shape = None;
                 self.window.full_rebuilds += 1;
                 let total = self.tree.len() as u64;
                 self.window.touched_nodes += total;
@@ -747,6 +864,120 @@ mod tests {
         let mut wrong_channels = TenantConfig::new(2, 32);
         wrong_channels.channels = 2;
         assert!(TenantRuntime::from_snapshot(wrong_channels, 7, &view).is_err());
+    }
+
+    #[test]
+    fn alias_table_rebuilds_only_on_shape_changes() {
+        // Republishes disabled: only demand-shape changes can miss.
+        let mut config = TenantConfig::new(2, 32);
+        config.rebuild_every = None;
+        config.degradation = None;
+        let mut t = TenantRuntime::new(config, 0xA11A5);
+        t.begin_phase(demand(100), None, SloSpec::lossless(), 6);
+        for _ in 0..6 {
+            t.run_slice();
+        }
+        assert_eq!(
+            t.phase_snapshot().alias_rebuilds,
+            1,
+            "one Vose construction for six same-shape slices"
+        );
+        // A new phase with the same shape keeps the cached table.
+        t.begin_phase(demand(50), None, SloSpec::lossless(), 4);
+        for _ in 0..4 {
+            t.run_slice();
+        }
+        assert_eq!(t.phase_snapshot().alias_rebuilds, 0);
+        // A shape change rebuilds exactly once.
+        let hot = DemandSpec::flat(
+            DemandShape::HotSet {
+                hot_items: 4,
+                hot_mass: 0.8,
+                offset: 0,
+            },
+            50,
+        );
+        t.begin_phase(hot, None, SloSpec::lossless(), 4);
+        for _ in 0..4 {
+            t.run_slice();
+        }
+        assert_eq!(t.phase_snapshot().alias_rebuilds, 1);
+        assert!(t.cost_hint() >= 1);
+    }
+
+    #[test]
+    fn full_republish_retags_the_sampler_and_the_delta_lane_does_not() {
+        // The fused sampler bakes item→node tags in, so a *full*
+        // republish (new tree, new node ids) must re-tag on the next
+        // serving slice; the delta lane keeps node ids stable and the
+        // cache survives its republishes.
+        let run = |lane: RebuildLane| {
+            let mut config = TenantConfig::new(3, 32);
+            config.degradation = None; // periodic rebuilds only
+            config.rebuild_lane = lane;
+            let mut t = TenantRuntime::new(config, 0xA11A5);
+            t.begin_phase(demand(100), None, SloSpec::lossless(), 12);
+            for _ in 0..12 {
+                t.run_slice();
+            }
+            let snap = t.phase_snapshot();
+            assert_eq!(snap.rebuilds, 1, "one periodic republish at slice 8");
+            snap.alias_rebuilds
+        };
+        assert_eq!(
+            run(RebuildLane::Full),
+            2,
+            "cold build + post-republish re-tag"
+        );
+        assert_eq!(
+            run(RebuildLane::Delta { max_touched: 0.5 }),
+            1,
+            "cold build only; delta republishes keep the cache"
+        );
+    }
+
+    #[test]
+    fn drift_gate_skips_quiet_cadences_but_not_real_shifts() {
+        let mut config = TenantConfig::new(11, 64);
+        config.rebuild_min_drift = Some(0.3);
+        let mut t = TenantRuntime::new(config, 0x5EED);
+        // Stationary phase crossing three cadence points (slices 8, 16,
+        // 24): the first republish publishes the estimator for the first
+        // time (everything counts as drifted), the remaining two see only
+        // sampling noise and are gated off.
+        t.begin_phase(demand(300), None, SloSpec::lossless(), 24);
+        for _ in 0..24 {
+            t.run_slice();
+        }
+        let quiet = t.phase_snapshot();
+        assert_eq!(quiet.rebuilds, 1, "{quiet:?}");
+        assert_eq!(quiet.skipped_rebuilds, 2, "{quiet:?}");
+        assert_eq!(
+            quiet.requests, quiet.delivered,
+            "gate must not drop requests"
+        );
+        assert!(t.phase_violations().is_empty(), "{quiet:?}");
+        // The hot set relocates: the mass itself moves, drift exceeds the
+        // floor, and the next cadence point (slice 32) rebuilds through
+        // the gate.
+        let moved = DemandSpec::flat(
+            DemandShape::HotSet {
+                hot_items: 8,
+                hot_mass: 0.9,
+                offset: 32,
+            },
+            300,
+        );
+        t.begin_phase(moved, None, SloSpec::lossless(), 8);
+        for _ in 0..8 {
+            t.run_slice();
+        }
+        let shifted = t.phase_snapshot();
+        assert_eq!(
+            shifted.rebuilds, 1,
+            "real shift must republish: {shifted:?}"
+        );
+        assert_eq!(shifted.skipped_rebuilds, 0, "{shifted:?}");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! The pooled executor is pinned bit-identical to the retained
+//! scoped-spawn oracle: same tenants, same slices, same churn — exactly
+//! equal phase snapshots at every thread count, plus scenario
+//! fingerprints invariant across thread counts. The `--ignored` soak
+//! drives the pool handshake through ten thousand wake/park cycles.
+
+use bcast_serve::{run_scenario, ServeLoop, TenantConfig};
+use bcast_types::{SloSnapshot, SloSpec};
+use bcast_workloads::{canonical_scenarios, DemandShape, DemandSpec};
+use proptest::prelude::*;
+
+fn demand(rate: u32) -> DemandSpec {
+    DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, rate)
+}
+
+fn boot(seed: u64, threads: usize, tenants: usize, rate: u32, slices: u32) -> ServeLoop {
+    let mut svc = ServeLoop::new(seed, threads);
+    for id in 0..tenants as u64 {
+        svc.join(TenantConfig::new(id, 24));
+        svc.tenant_mut(id)
+            .unwrap()
+            .begin_phase(demand(rate), None, SloSpec::lossless(), slices);
+    }
+    svc
+}
+
+fn snapshots(svc: &ServeLoop) -> Vec<(u64, SloSnapshot)> {
+    svc.tenants()
+        .iter()
+        .map(|t| (t.id(), t.phase_snapshot()))
+        .collect()
+}
+
+/// Drives both executors through the same script: slices, then a
+/// mid-run join/leave wave, then more slices — asserting snapshot
+/// equality at both checkpoints.
+fn compare_executors(seed: u64, threads: usize, tenants: usize, rate: u32) {
+    let slices = 8u32;
+    let mut pooled = boot(seed, threads, tenants, rate, slices);
+    let mut scoped = boot(seed, threads, tenants, rate, slices);
+    for _ in 0..4 {
+        pooled.run_slice();
+        scoped.run_slice_scoped();
+    }
+    assert_eq!(
+        snapshots(&pooled),
+        snapshots(&scoped),
+        "pre-churn, threads {threads} tenants {tenants}"
+    );
+    for svc in [&mut pooled, &mut scoped] {
+        for _ in 0..2 {
+            let id = svc.next_id();
+            svc.join(TenantConfig::new(id, 24));
+            svc.tenant_mut(id).unwrap().begin_phase(
+                demand(rate),
+                None,
+                SloSpec::lossless(),
+                slices,
+            );
+        }
+        svc.leave(0);
+    }
+    for _ in 0..4 {
+        pooled.run_slice();
+        scoped.run_slice_scoped();
+    }
+    assert_eq!(
+        snapshots(&pooled),
+        snapshots(&scoped),
+        "post-churn, threads {threads} tenants {tenants}"
+    );
+    assert_eq!(pooled.slices_run(), scoped.slices_run());
+}
+
+#[test]
+fn pooled_matches_scoped_across_the_full_grid() {
+    for &threads in &[1usize, 2, 4, 8] {
+        for &tenants in &[1usize, 3, 8, 17] {
+            compare_executors(0x5EED, threads, tenants, 60);
+        }
+    }
+}
+
+#[test]
+fn scenario_fingerprints_are_thread_count_invariant_under_the_pool() {
+    for spec in canonical_scenarios(3, 24, 500, 4) {
+        let base = run_scenario(&spec, 0xF00D, 1);
+        for threads in [2usize, 8] {
+            let other = run_scenario(&spec, 0xF00D, threads);
+            assert_eq!(base, other, "{} threads {threads}", spec.name);
+            assert_eq!(base.fingerprint(), other.fingerprint(), "{}", spec.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn pooled_matches_scoped_on_random_rosters(
+        seed in any::<u64>(),
+        threads_pick in 0usize..4,
+        tenants_pick in 0usize..4,
+        rate in 20u32..120,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_pick];
+        let tenants = [1usize, 3, 8, 17][tenants_pick];
+        compare_executors(seed, threads, tenants, rate);
+    }
+}
+
+/// Long-haul soak: ten thousand pooled slices (ten thousand pool
+/// wake/park handshakes) stay bit-identical to a sequential run of the
+/// same roster. Run via `make stress` (`cargo test --release -- --ignored
+/// stress`).
+#[test]
+#[ignore = "long soak; run via make stress"]
+fn stress_pooled_soak_10k_slices() {
+    const SLICES: u32 = 10_000;
+    let mut pooled = boot(0xDEAD_5EED, 4, 8, 60, SLICES);
+    let mut sequential = boot(0xDEAD_5EED, 1, 8, 60, SLICES);
+    for block in 0..10 {
+        for _ in 0..(SLICES / 10) {
+            pooled.run_slice();
+            sequential.run_slice();
+        }
+        assert_eq!(
+            snapshots(&pooled),
+            snapshots(&sequential),
+            "divergence by block {block}"
+        );
+    }
+    assert_eq!(pooled.slices_run(), u64::from(SLICES));
+    let stats = pooled.pool_stats();
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.scheduled_slices, u64::from(SLICES));
+    assert!(stats.busy_ns.iter().all(|&ns| ns > 0));
+    for (id, snap) in snapshots(&pooled) {
+        assert_eq!(snap.requests, u64::from(SLICES) * 60, "tenant {id}");
+        assert_eq!(snap.failed, 0, "tenant {id}");
+        assert_eq!(snap.rebuild_downtime_slots, 0, "tenant {id}");
+    }
+}

@@ -19,6 +19,9 @@
 //!   the parallel branch-and-bound engines (see [`incumbent`]),
 //! * [`occurrences`] — cyclic root-occurrence geometry shared by the §5
 //!   replication analysis and the lossy-serving recovery overlay,
+//! * [`pool`] — a persistent parked worker pool ([`WorkerPool`]) with an
+//!   epoch publish/retire handshake, amortizing thread-spawn cost across
+//!   the serving loop's per-slice parallel regions,
 //! * [`slo`] — service-level-objective vocabulary ([`SloSpec`],
 //!   [`SloSnapshot`], [`SloViolation`]) shared by the multi-tenant serving
 //!   loop, the scenario harness and the CLI.
@@ -35,6 +38,7 @@ pub mod dominance;
 mod ids;
 pub mod incumbent;
 pub mod occurrences;
+pub mod pool;
 pub mod slo;
 mod weight;
 
@@ -42,5 +46,6 @@ pub use bitset::{mix64, total_clone_count, BitSet};
 pub use dominance::DominanceTable;
 pub use ids::{BucketAddr, ChannelId, NodeId, Slot};
 pub use incumbent::SharedIncumbent;
+pub use pool::WorkerPool;
 pub use slo::{SloSnapshot, SloSpec, SloViolation};
 pub use weight::{Weight, WeightError};

@@ -1,0 +1,342 @@
+//! A persistent worker pool for slice-synchronous fan-out.
+//!
+//! The serving loop executes one short parallel region per slice — a few
+//! hundred microseconds of tenant work — thousands of times per run.
+//! Spawning OS threads per region (`std::thread::scope`) costs tens of
+//! microseconds of kernel work *per slice*; at slice granularity that
+//! overhead rivals the work itself. [`WorkerPool`] amortizes it: threads
+//! are spawned once, parked between regions, and woken by an epoch
+//! handshake — the same publication discipline as the workspace's other
+//! lock-free structures (a monotonically increasing [`AtomicU64`] whose
+//! release store publishes the job and whose acquire load on the worker
+//! side synchronizes-with it, exactly like the snapshot seqlock).
+//!
+//! # Execution model
+//!
+//! [`WorkerPool::run`] takes a `Fn(usize) + Sync` job and executes it once
+//! per pool *lane* (the caller's thread is lane 0; parked workers are
+//! lanes `1..size`). The call returns only after **every** lane has
+//! finished, so the job may borrow local state — the erased pointer
+//! never outlives the call. Determinism is untouched: the pool decides
+//! *when* lanes run, never *what* they compute; the caller assigns work
+//! to lanes deterministically.
+//!
+//! # Observability
+//!
+//! Per-lane busy nanoseconds accumulate across regions
+//! ([`WorkerPool::busy_ns`]) — the scheduling layer reads them to report
+//! load imbalance. They are a wall-clock side channel, never part of any
+//! deterministic outcome.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Type-erased borrow of the caller's job, valid only while `run` blocks.
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// State shared between the pool owner and its worker threads.
+struct Shared {
+    /// Even = idle, odd = a job is published. Incremented (release) once
+    /// to publish and once to retire each job; workers acquire-load it to
+    /// observe the job pointer written before publication.
+    epoch: AtomicU64,
+    /// The current job, erased. Written only while `epoch` is even (no
+    /// worker reads it), read by workers only after observing the odd
+    /// epoch that published it.
+    job: UnsafeCell<Option<Job>>,
+    /// Count of workers done with the current job, plus the shutdown
+    /// flag, under one mutex so `run` can condvar-wait for completion.
+    done: Mutex<DoneState>,
+    all_done: Condvar,
+    /// Cumulative busy wall-nanoseconds per lane (lane 0 = the caller).
+    busy_ns: Vec<AtomicU64>,
+}
+
+#[derive(Debug, Default)]
+struct DoneState {
+    finished: usize,
+    shutdown: bool,
+}
+
+// SAFETY: `job` is the only non-Sync/non-Send field. It is written
+// exclusively by the owner while no job is published (workers are parked
+// on an even epoch) and read by workers only between the two epoch
+// increments that bracket a job, ordered by the release/acquire pair on
+// `epoch` — so all accesses are data-race free. The pointee is `Sync`
+// (bound on `run`), so calling it from worker threads is sound.
+unsafe impl Sync for Shared {}
+// SAFETY: as above — the raw job pointer crosses threads only under the
+// epoch handshake, and its pointee is `Sync`.
+unsafe impl Send for Shared {}
+
+/// A fixed-size pool of parked worker threads executing one job per
+/// parallel region. See the module docs for the execution model.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .field("busy_ns", &self.busy_ns())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `size` lanes: the caller's thread plus
+    /// `size − 1` spawned workers. `size ≤ 1` spawns nothing — `run`
+    /// degenerates to a plain sequential call.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            done: Mutex::new(DoneState::default()),
+            all_done: Condvar::new(),
+            busy_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (1..size)
+            .map(|lane| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, lane))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of lanes (caller + workers).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `job(lane)` once per lane `0..size`, on the caller's thread
+    /// for lane 0 and on the parked workers for the rest, returning after
+    /// every lane has finished. Lanes with nothing assigned simply return
+    /// immediately inside the job — empty assignments are fine.
+    pub fn run<F>(&self, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.size <= 1 {
+            let t0 = Instant::now();
+            job(0);
+            self.bump_busy(0, t0);
+            return;
+        }
+        let local: *const (dyn Fn(usize) + Sync + '_) = &job;
+        // SAFETY: erasing the borrow's lifetime is sound because `run`
+        // retires the pointer (and waits for every worker) before
+        // returning, so no dereference outlives `job`.
+        let erased: Job =
+            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), Job>(local) };
+        // Publish: write the job while the epoch is even (workers parked,
+        // none reading), then flip to odd with a release store that the
+        // workers' acquire load pairs with.
+        //
+        // SAFETY: no worker dereferences `job` while the epoch is even
+        // (they only read it after observing the odd epoch), and `run`
+        // does not return until all workers report done — so the erased
+        // borrow of `job` is live for every dereference.
+        unsafe {
+            *self.shared.job.get() = Some(erased);
+        }
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        // Lane 0 runs on the calling thread — no context switch for the
+        // first share of the work.
+        let t0 = Instant::now();
+        job(0);
+        self.bump_busy(0, t0);
+        // Wait for the workers, then retire the job before returning so
+        // the borrow cannot be observed after `run` unwinds.
+        let mut done = self
+            .shared
+            .done
+            .lock()
+            .expect("worker panicked while holding the done lock");
+        while done.finished < self.handles.len() {
+            done = self
+                .shared
+                .all_done
+                .wait(done)
+                .expect("worker panicked while holding the done lock");
+        }
+        done.finished = 0;
+        drop(done);
+        // SAFETY: every worker has reported done, so none will read the
+        // job pointer again until the next odd epoch.
+        unsafe {
+            *self.shared.job.get() = None;
+        }
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Cumulative busy wall-nanoseconds per lane since construction.
+    /// A wall-clock side channel for imbalance reporting — never part of
+    /// a deterministic outcome.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    #[inline]
+    fn bump_busy(&self, lane: usize, since: Instant) {
+        let ns = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.shared.busy_ns[lane].fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut done = match self.shared.done.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            done.shutdown = true;
+        }
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Park until the epoch moves past the last job we completed.
+        // `park` can wake spuriously, so the epoch is the real gate.
+        loop {
+            let now = shared.epoch.load(Ordering::Acquire);
+            if now != seen && now % 2 == 1 {
+                seen = now;
+                break;
+            }
+            if shared.done.lock().map(|d| d.shutdown).unwrap_or(true) {
+                return;
+            }
+            std::thread::park();
+        }
+        // SAFETY: the acquire load above observed the odd epoch whose
+        // release store happened after the owner wrote the job pointer,
+        // and the owner keeps the pointee alive until we report done.
+        let job = unsafe { (*shared.job.get()).expect("odd epoch publishes a job") };
+        let t0 = Instant::now();
+        // SAFETY: see above — the borrow is live for the whole call.
+        unsafe { (*job)(lane) };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.busy_ns[lane].fetch_add(ns, Ordering::Relaxed);
+        let mut done = shared
+            .done
+            .lock()
+            .expect("owner panicked while holding the done lock");
+        done.finished += 1;
+        if done.finished == shared.busy_ns.len() - 1 {
+            shared.all_done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_lane_exactly_once_per_region() {
+        for size in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(size);
+            assert_eq!(pool.size(), size);
+            let hits: Vec<AtomicUsize> = (0..size).map(|_| AtomicUsize::new(0)).collect();
+            for _ in 0..100 {
+                pool.run(|lane| {
+                    hits[lane].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            for (lane, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 100, "size {size} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_may_do_nothing() {
+        let pool = WorkerPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.run(|lane| {
+            if lane == 0 {
+                sum.fetch_add(7, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn borrows_caller_state_mutably_through_disjoint_lanes() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 4 * 1000];
+        let chunk = 1000;
+        // Hand each lane a disjoint chunk through a raw base pointer —
+        // the pattern the serving loop uses for per-tenant state.
+        struct SendPtr(*mut u64);
+        unsafe impl Sync for SendPtr {}
+        let base = SendPtr(data.as_mut_ptr());
+        pool.run(|lane| {
+            let base = &base;
+            for i in 0..chunk {
+                // SAFETY: lanes write disjoint index ranges.
+                unsafe {
+                    *base.0.add(lane * chunk + i) = (lane * chunk + i) as u64;
+                }
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn busy_ns_accumulates_for_working_lanes() {
+        let pool = WorkerPool::new(2);
+        pool.run(|_| {
+            // Enough work to register on any clock.
+            let mut x = 0u64;
+            for i in 0..100_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            assert_ne!(x, 1);
+        });
+        let busy = pool.busy_ns();
+        assert_eq!(busy.len(), 2);
+        assert!(busy.iter().all(|&ns| ns > 0), "busy_ns {busy:?}");
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..50 {
+            let pool = WorkerPool::new(4);
+            pool.run(|_| {});
+            drop(pool); // must not hang or leak
+        }
+    }
+}

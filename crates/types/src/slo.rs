@@ -70,11 +70,13 @@ impl SloSpec {
 /// means are derived from integer sums, so equal windows produce
 /// bit-identical snapshots.
 ///
-/// Two exceptions: [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns)
+/// Three exceptions: [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns)
 /// measures wall-clock time, which no amount of seeding makes
-/// reproducible, and [`snapshot_loads`](SloSnapshot::snapshot_loads)
-/// records which *boot path* ran rather than what was served. The manual
-/// [`PartialEq`] impl excludes both — two snapshots are equal iff every
+/// reproducible; [`snapshot_loads`](SloSnapshot::snapshot_loads) records
+/// which *boot path* ran rather than what was served; and
+/// [`alias_rebuilds`](SloSnapshot::alias_rebuilds) records sampler-cache
+/// misses rather than what was sampled. The manual [`PartialEq`] impl
+/// excludes all three — two snapshots are equal iff every
 /// serving-deterministic field matches, and the thread-count/replay
 /// determinism tests stay exact.
 #[derive(Debug, Clone, Copy, Default)]
@@ -118,17 +120,31 @@ pub struct SloSnapshot {
     /// scenario fingerprint *does* fold it in, so churn runs record how
     /// many joins took the fast path.
     pub snapshot_loads: u64,
+    /// Periodic republish points the drift gate turned into no-ops
+    /// (`rebuild_min_drift` in the serve crate): cadence fired, estimator
+    /// drift sat under the floor, program stayed on air. Deterministic —
+    /// drift is a pure function of the request stream — so the field
+    /// participates in equality like the rebuild counters do.
+    pub skipped_rebuilds: u64,
     /// Wall-clock nanoseconds spent inside rebuilds during the window.
     /// A *side channel* for operators and benches — excluded from
     /// equality and fingerprints because wall time is not deterministic.
     pub rebuild_wall_ns: u64,
+    /// Demand-sampler alias tables rebuilt during the window. The serving
+    /// loop caches each tenant's alias table across slices and rebuilds it
+    /// only when the demand *shape* changes (a phase boundary), so this
+    /// counts cache misses — an efficiency observability channel, excluded
+    /// from equality and fingerprints like
+    /// [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns) so caching policy
+    /// can evolve without perturbing replay identities.
+    pub alias_rebuilds: u64,
 }
 
 impl PartialEq for SloSnapshot {
     fn eq(&self, other: &Self) -> bool {
-        // Every serving-deterministic field, skipping `rebuild_wall_ns`
-        // and the boot-path-dependent `snapshot_loads` (see the field
-        // docs).
+        // Every serving-deterministic field, skipping `rebuild_wall_ns`,
+        // the boot-path-dependent `snapshot_loads` and the caching-policy
+        // channel `alias_rebuilds` (see the field docs).
         self.requests == other.requests
             && self.delivered == other.delivered
             && self.failed == other.failed
@@ -141,6 +157,7 @@ impl PartialEq for SloSnapshot {
             && self.rebuild_downtime_slots == other.rebuild_downtime_slots
             && self.delta_rebuilds == other.delta_rebuilds
             && self.full_rebuilds == other.full_rebuilds
+            && self.skipped_rebuilds == other.skipped_rebuilds
             && self.touched_ppm == other.touched_ppm
     }
 }
@@ -319,11 +336,21 @@ mod tests {
             ..a
         };
         assert_eq!(a, warm_boot, "boot path must not break equality");
+        let cold_cache = SloSnapshot {
+            alias_rebuilds: 7,
+            ..a
+        };
+        assert_eq!(a, cold_cache, "alias caching must not break equality");
         let c = SloSnapshot {
             delta_rebuilds: 4,
             ..a
         };
         assert_ne!(a, c, "lane counters are deterministic and compared");
+        let gated = SloSnapshot {
+            skipped_rebuilds: 2,
+            ..a
+        };
+        assert_ne!(a, gated, "drift-gate skips are deterministic and compared");
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod shapes;
 
 pub use fault_scenarios::{erasure_sweep, standard_scenarios, BurstProfile, FaultScenario};
 pub use freq::FrequencyDist;
-pub use requests::RequestStream;
+pub use requests::{AliasTable, RequestStream, TaggedAliasTable};
 pub use scenario::{
     brownout, brownout_channel, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn,
     DemandShape, DemandSpec, PhaseSpec, ScenarioSpec, TenantOverride,

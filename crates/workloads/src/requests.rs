@@ -2,33 +2,62 @@
 //!
 //! The serving-side experiments (latency tails, throughput benches, the
 //! adaptive harness) need millions of item draws per run, so sampling must
-//! be O(1) per request with no allocation. [`RequestStream`] preprocesses
-//! an arbitrary probability mass function into a Walker **alias table**
+//! be O(1) per request with no allocation. [`AliasTable`] preprocesses an
+//! arbitrary probability mass function into a Walker **alias table**
 //! (O(items) build) and then draws with one SplitMix64 step, one
-//! multiply-shift index map and one comparison per sample.
+//! multiply-shift index map and one comparison per sample. The table and
+//! the generator state are deliberately separate: a long-lived caller (the
+//! serving loop's tenants) builds the table once per demand shape and
+//! reseeds a plain `u64` state per slice — [`AliasTable::rebuild`] even
+//! reuses the table's buffers, so steady-state sampling allocates nothing.
+//! [`RequestStream`] bundles the two back together for one-shot callers.
 //!
 //! Deterministic given an explicit `u64` seed, like every generator in
 //! this crate.
 
-/// An infinite, deterministic stream of item indices drawn i.i.d. from a
-/// fixed probability mass function, via the alias method.
-#[derive(Debug, Clone)]
-pub struct RequestStream {
+/// A Walker alias table over a fixed probability mass function: the
+/// state-free half of a [`RequestStream`], sharable across draws whose
+/// generator state lives elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
     /// Acceptance threshold per column, scaled to `u32::MAX + 1`.
     threshold: Vec<u32>,
     /// Alias item per column.
     alias: Vec<u32>,
-    state: u64,
+    /// Vose construction worklists, retained so rebuilds allocate nothing
+    /// once the buffers reach steady-state size.
+    scaled: Vec<f64>,
+    small: Vec<u32>,
+    large: Vec<u32>,
 }
 
-impl RequestStream {
-    /// Builds a stream over `weights.len()` items with draw probability
-    /// proportional to each weight.
+impl AliasTable {
+    /// An empty table (no items). Sampling panics until the first
+    /// [`rebuild`](Self::rebuild) fills it.
+    pub fn new() -> Self {
+        AliasTable::default()
+    }
+
+    /// Builds a table with draw probability proportional to each weight.
     ///
     /// # Panics
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
-    pub fn from_weights(weights: &[f64], seed: u64) -> Self {
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let mut table = AliasTable::new();
+        table.rebuild(weights);
+        table
+    }
+
+    /// Rebuilds the table in place over a new pmf, reusing every buffer —
+    /// allocation-free once capacities have grown to the item count. The
+    /// construction is exactly [`from_weights`](Self::from_weights)', so a
+    /// rebuilt table samples bit-identically to a fresh one.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn rebuild(&mut self, weights: &[f64]) {
         let n = weights.len();
         assert!(n > 0, "need at least one item");
         let total: f64 = weights
@@ -41,33 +70,195 @@ impl RequestStream {
         assert!(total > 0.0, "weights must not all be zero");
         // Vose's stable alias construction: scale each probability by n,
         // then pair every under-full column with an over-full donor.
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
-        let mut small: Vec<u32> = Vec::with_capacity(n);
-        let mut large: Vec<u32> = Vec::with_capacity(n);
-        for (i, &s) in scaled.iter().enumerate() {
+        self.scaled.clear();
+        self.scaled
+            .extend(weights.iter().map(|&w| w * n as f64 / total));
+        self.small.clear();
+        self.large.clear();
+        for (i, &s) in self.scaled.iter().enumerate() {
             if s < 1.0 {
-                small.push(i as u32);
+                self.small.push(i as u32);
             } else {
-                large.push(i as u32);
+                self.large.push(i as u32);
             }
         }
-        let mut threshold = vec![u32::MAX; n];
-        let mut alias: Vec<u32> = (0..n as u32).collect();
-        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
-            threshold[s as usize] = (scaled[s as usize] * (u32::MAX as f64 + 1.0)) as u32;
-            alias[s as usize] = l;
-            scaled[l as usize] -= 1.0 - scaled[s as usize];
-            if scaled[l as usize] < 1.0 {
-                small.push(l);
+        self.threshold.clear();
+        self.threshold.resize(n, u32::MAX);
+        self.alias.clear();
+        self.alias.extend(0..n as u32);
+        while let (Some(s), Some(l)) = (self.small.pop(), self.large.pop()) {
+            self.threshold[s as usize] = (self.scaled[s as usize] * (u32::MAX as f64 + 1.0)) as u32;
+            self.alias[s as usize] = l;
+            self.scaled[l as usize] -= 1.0 - self.scaled[s as usize];
+            if self.scaled[l as usize] < 1.0 {
+                self.small.push(l);
             } else {
-                large.push(l);
+                self.large.push(l);
             }
         }
         // Leftovers (either list) are exactly full up to rounding: always
         // accept.
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// True until the first build.
+    pub fn is_empty(&self) -> bool {
+        self.threshold.is_empty()
+    }
+
+    /// Draws the next item index, advancing `state` by one SplitMix64
+    /// step: O(1), allocation-free. The caller owns the state, so one
+    /// table serves any number of independent streams — reseeding costs a
+    /// single store.
+    ///
+    /// # Panics
+    /// Panics (debug: index out of bounds) on an empty table.
+    #[inline]
+    pub fn sample(&self, state: &mut u64) -> usize {
+        // SplitMix64 step.
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Low 32 bits pick the column (Lemire multiply-shift, bias-free at
+        // these table sizes); high 32 bits flip the acceptance coin.
+        let col = ((u64::from(z as u32) * self.threshold.len() as u64) >> 32) as usize;
+        if (z >> 32) as u32 <= self.threshold[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+/// One column of a [`TaggedAliasTable`]: the acceptance threshold plus
+/// the pre-resolved `(item, tag)` pair for *both* branch outcomes, packed
+/// into 16 bytes so a draw touches exactly one cache line beyond the
+/// generator state. The accept-branch item is the column index itself and
+/// is not stored.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedColumn {
+    /// Acceptance threshold, scaled to `u32::MAX + 1`.
+    threshold: u32,
+    /// Tag of the column's own item (accept branch).
+    accept_tag: u32,
+    /// Alias item (reject branch).
+    alias_item: u32,
+    /// Tag of the alias item (reject branch).
+    alias_tag: u32,
+}
+
+/// An [`AliasTable`] fused with a per-item `u32` tag, resolved at build
+/// time so the sampling hot path never chases a second lookup table.
+///
+/// The serving loop's tenants sample an item *and* immediately map it to
+/// the catalog node serving it; with a plain [`AliasTable`] that is up to
+/// three dependent random reads per request (threshold, alias, item→node
+/// map). Here each column carries the threshold and both possible
+/// `(item, tag)` outcomes in one 16-byte record, so a draw costs one
+/// SplitMix64 step and a single random cache-line read. Draw decisions
+/// are bit-identical to [`AliasTable`] built over the same pmf — the
+/// construction *is* [`AliasTable::rebuild`], the tags ride along.
+#[derive(Debug, Clone, Default)]
+pub struct TaggedAliasTable {
+    columns: Vec<TaggedColumn>,
+    /// Plain table retained for the Vose construction (and as the oracle
+    /// the fused columns are derived from); rebuilds reuse its buffers.
+    base: AliasTable,
+}
+
+impl TaggedAliasTable {
+    /// An empty table. Sampling panics until the first
+    /// [`rebuild`](Self::rebuild).
+    pub fn new() -> Self {
+        TaggedAliasTable::default()
+    }
+
+    /// Rebuilds in place over a new pmf, attaching `tag(item)` to every
+    /// branch outcome — allocation-free once capacities have grown to the
+    /// item count.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn rebuild(&mut self, weights: &[f64], mut tag: impl FnMut(usize) -> u32) {
+        self.base.rebuild(weights);
+        self.columns.clear();
+        self.columns.reserve(weights.len());
+        for col in 0..weights.len() {
+            let alias = self.base.alias[col] as usize;
+            self.columns.push(TaggedColumn {
+                threshold: self.base.threshold[col],
+                accept_tag: tag(col),
+                alias_item: alias as u32,
+                alias_tag: tag(alias),
+            });
+        }
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True until the first build.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Draws the next `(item, tag)`, advancing `state` by one SplitMix64
+    /// step. The item sequence is bit-identical to
+    /// [`AliasTable::sample`] over the same pmf and state.
+    ///
+    /// # Panics
+    /// Panics (debug: index out of bounds) on an empty table.
+    #[inline]
+    pub fn sample(&self, state: &mut u64) -> (u32, u32) {
+        // SplitMix64 step — kept textually in lock-step with
+        // `AliasTable::sample`, which tests pin bit-for-bit.
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let col = ((u64::from(z as u32) * self.columns.len() as u64) >> 32) as usize;
+        let c = self.columns[col];
+        // Branchless select: the acceptance coin is data-random, so a
+        // conditional jump here mispredicts constantly — but both
+        // outcomes were just loaded from the same cache line, so the
+        // compare folds into two cmovs instead.
+        let reject = (z >> 32) as u32 > c.threshold;
+        (
+            if reject { c.alias_item } else { col as u32 },
+            if reject { c.alias_tag } else { c.accept_tag },
+        )
+    }
+}
+
+/// An infinite, deterministic stream of item indices drawn i.i.d. from a
+/// fixed probability mass function, via the alias method: an
+/// [`AliasTable`] bundled with its generator state.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    table: AliasTable,
+    state: u64,
+}
+
+impl RequestStream {
+    /// Builds a stream over `weights.len()` items with draw probability
+    /// proportional to each weight.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn from_weights(weights: &[f64], seed: u64) -> Self {
         RequestStream {
-            threshold,
-            alias,
+            table: AliasTable::from_weights(weights),
             state: seed,
         }
     }
@@ -118,31 +309,18 @@ impl RequestStream {
 
     /// Number of distinct items.
     pub fn len(&self) -> usize {
-        self.threshold.len()
+        self.table.len()
     }
 
     /// Always false — streams have at least one item by construction.
     pub fn is_empty(&self) -> bool {
-        self.threshold.is_empty()
+        self.table.is_empty()
     }
 
     /// Draws the next item index: O(1), allocation-free.
     #[inline]
     pub fn sample(&mut self) -> usize {
-        // SplitMix64 step.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        // Low 32 bits pick the column (Lemire multiply-shift, bias-free at
-        // these table sizes); high 32 bits flip the acceptance coin.
-        let col = ((u64::from(z as u32) * self.threshold.len() as u64) >> 32) as usize;
-        if (z >> 32) as u32 <= self.threshold[col] {
-            col
-        } else {
-            self.alias[col] as usize
-        }
+        self.table.sample(&mut self.state)
     }
 }
 
@@ -223,5 +401,86 @@ mod tests {
     #[should_panic(expected = "not all be zero")]
     fn rejects_zero_mass() {
         let _ = RequestStream::from_weights(&[0.0, 0.0], 1);
+    }
+
+    #[test]
+    fn shared_table_matches_bundled_stream_bit_for_bit() {
+        let weights: Vec<f64> = (0..64).map(|i| 1.0 / (i + 1) as f64).collect();
+        let table = AliasTable::from_weights(&weights);
+        for seed in [0u64, 1, 0x5EED, u64::MAX] {
+            let bundled: Vec<usize> = RequestStream::from_weights(&weights, seed)
+                .take(500)
+                .collect();
+            let mut state = seed;
+            let resumed: Vec<usize> = (0..500).map(|_| table.sample(&mut state)).collect();
+            assert_eq!(bundled, resumed, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_samples_identically() {
+        let a: Vec<f64> = (0..32).map(|i| (i + 1) as f64).collect();
+        let b = [5.0, 1.0, 3.0, 1.0];
+        let mut reused = AliasTable::from_weights(&a);
+        reused.rebuild(&b);
+        let fresh = AliasTable::from_weights(&b);
+        let (mut s1, mut s2) = (9u64, 9u64);
+        for _ in 0..1000 {
+            assert_eq!(reused.sample(&mut s1), fresh.sample(&mut s2));
+        }
+        // Growing back to the larger pmf works too.
+        reused.rebuild(&a);
+        let fresh = AliasTable::from_weights(&a);
+        let (mut s1, mut s2) = (11u64, 11u64);
+        for _ in 0..1000 {
+            assert_eq!(reused.sample(&mut s1), fresh.sample(&mut s2));
+        }
+    }
+
+    #[test]
+    fn reseeding_state_replays_the_slice_sequence() {
+        // The serving loop's usage: one cached table, a fresh state per
+        // slice — equal to building a fresh stream per slice.
+        let weights = [4.0, 2.0, 1.0, 1.0, 0.5];
+        let table = AliasTable::from_weights(&weights);
+        for slice_seed in [7u64, 8, 9] {
+            let fresh: Vec<usize> = RequestStream::from_weights(&weights, slice_seed)
+                .take(64)
+                .collect();
+            let mut state = slice_seed;
+            let cached: Vec<usize> = (0..64).map(|_| table.sample(&mut state)).collect();
+            assert_eq!(fresh, cached);
+        }
+    }
+
+    #[test]
+    fn tagged_table_draws_the_same_items_with_resolved_tags() {
+        // Fused draws must be bit-identical to the plain table over the
+        // same pmf — the determinism contract the serving loop leans on —
+        // with every tag equal to the side lookup it replaces.
+        let weights: Vec<f64> = (0..257).map(|i| 1.0 / (i + 1) as f64).collect();
+        let nodes: Vec<u32> = (0..257).map(|i| 1000 + 3 * i as u32).collect();
+        let plain = AliasTable::from_weights(&weights);
+        let mut tagged = TaggedAliasTable::new();
+        tagged.rebuild(&weights, |i| nodes[i]);
+        assert_eq!(tagged.len(), plain.len());
+        let (mut s1, mut s2) = (0x5EED_u64, 0x5EED_u64);
+        for _ in 0..10_000 {
+            let item = plain.sample(&mut s1);
+            let (tagged_item, tag) = tagged.sample(&mut s2);
+            assert_eq!(tagged_item as usize, item);
+            assert_eq!(tag, nodes[item]);
+        }
+        // Rebuilding over a different pmf retargets the tags too.
+        let flipped: Vec<f64> = weights.iter().rev().copied().collect();
+        tagged.rebuild(&flipped, |i| nodes[i] + 1);
+        let flipped_plain = AliasTable::from_weights(&flipped);
+        let (mut s1, mut s2) = (9u64, 9u64);
+        for _ in 0..1000 {
+            let item = flipped_plain.sample(&mut s1);
+            let (tagged_item, tag) = tagged.sample(&mut s2);
+            assert_eq!(tagged_item as usize, item);
+            assert_eq!(tag, nodes[item] + 1);
+        }
     }
 }

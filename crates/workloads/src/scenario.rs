@@ -47,11 +47,25 @@ impl DemandShape {
     /// Panics if `items == 0`, or on a `HotSet` whose block is empty or
     /// larger than the item count.
     pub fn pmf(&self, items: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.pmf_into(items, &mut out);
+        out
+    }
+
+    /// Fills `out` with the pmf over `items` item ids, reusing its
+    /// capacity — the serving loop's allocation-free variant of
+    /// [`pmf`](Self::pmf) (identical values, bit for bit).
+    ///
+    /// # Panics
+    /// Panics if `items == 0`, or on a `HotSet` whose block is empty or
+    /// larger than the item count.
+    pub fn pmf_into(&self, items: usize, out: &mut Vec<f64>) {
         assert!(items > 0, "need at least one item");
+        out.clear();
         match *self {
-            DemandShape::Zipf { theta } => (0..items)
-                .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
-                .collect(),
+            DemandShape::Zipf { theta } => {
+                out.extend((0..items).map(|r| 1.0 / ((r + 1) as f64).powf(theta)));
+            }
             DemandShape::HotSet {
                 hot_items,
                 hot_mass,
@@ -69,11 +83,10 @@ impl DemandShape {
                 } else {
                     (1.0 - hot_mass) / cold_items as f64
                 };
-                let mut pmf = vec![cold_p; items];
+                out.resize(items, cold_p);
                 for i in 0..hot_items {
-                    pmf[(offset + i) % items] = hot_p;
+                    out[(offset + i) % items] = hot_p;
                 }
-                pmf
             }
         }
     }

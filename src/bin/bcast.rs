@@ -31,7 +31,7 @@ use broadcast_alloc::channel::{
     simulator, BroadcastProgram, CompiledProgram, FaultPlan, GilbertElliott, MappedSnapshot,
     RecoveryPolicy, RequestOutcome, ServeOptions,
 };
-use broadcast_alloc::serve::{run_scenario, ScenarioOutcome};
+use broadcast_alloc::serve::{run_scenario_with_stats, PoolStats, ScenarioOutcome};
 use broadcast_alloc::textfmt;
 use broadcast_alloc::tree::{knary, IndexTree, TreeStats};
 use broadcast_alloc::types::Slot;
@@ -551,8 +551,9 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     }
     let mut all_held = true;
     for spec in &specs {
-        let outcome = run_scenario(spec, seed, threads);
+        let (outcome, stats) = run_scenario_with_stats(spec, seed, threads);
         all_held &= print_outcome(&outcome);
+        print_pool_stats(&stats);
     }
     if all_held {
         Ok(())
@@ -573,7 +574,7 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         outcome.fingerprint()
     );
     println!(
-        "  {:<12} {:>7} {:>10} {:>9} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10} {:>9}  slo",
+        "  {:<12} {:>7} {:>10} {:>9} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10} {:>9} {:>6}  slo",
         "phase",
         "tenants",
         "requests",
@@ -584,7 +585,8 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         "full",
         "touch_ppm",
         "rebuild_ms",
-        "downtime"
+        "downtime",
+        "alias"
     );
     let mut all_held = true;
     for p in &outcome.phases {
@@ -613,9 +615,13 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
             .map(|t| t.snapshot.rebuild_downtime_slots)
             .sum();
         let violated: usize = p.tenants.iter().map(|t| t.violations.len()).sum();
+        // Alias-table rebuilds: one per (tenant, phase) when demand
+        // shapes only change at phase boundaries — more means the cache
+        // is missing inside a phase.
+        let alias: u64 = p.tenants.iter().map(|t| t.snapshot.alias_rebuilds).sum();
         all_held &= violated == 0;
         println!(
-            "  {:<12} {:>7} {:>10} {:>9.3} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10.3} {:>9}  {}",
+            "  {:<12} {:>7} {:>10} {:>9.3} {:>9} {:>8} {:>6} {:>5} {:>9} {:>10.3} {:>9} {:>6}  {}",
             p.name,
             p.tenants.len(),
             requests,
@@ -627,6 +633,7 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
             touched_ppm,
             wall_ns as f64 / 1e6,
             downtime,
+            alias,
             if violated == 0 {
                 "ok".to_string()
             } else {
@@ -638,6 +645,25 @@ fn print_outcome(outcome: &ScenarioOutcome) -> bool {
         println!("  ! [{phase}] tenant {tenant}: {v}");
     }
     all_held
+}
+
+/// Renders the worker pool's wall-clock side channel (excluded from the
+/// deterministic outcome and its fingerprint): per-lane busy time, the
+/// busiest-vs-idlest lane spread, and how many slices ran pooled.
+fn print_pool_stats(stats: &PoolStats) {
+    let busy: Vec<String> = stats
+        .busy_ns
+        .iter()
+        .map(|&ns| format!("{:.2}ms", ns as f64 / 1e6))
+        .collect();
+    println!(
+        "  pool: {} worker{}, {} pooled slices, lane busy [{}], imbalance {} ppm",
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        stats.scheduled_slices,
+        busy.join(" "),
+        stats.imbalance_ppm
+    );
 }
 
 fn cmd_snapshot_save(opts: &Flags) -> Result<(), String> {

@@ -194,16 +194,22 @@ fn serve_runs_a_scenario_and_reports_phases() {
         ]
         .concat(),
     );
-    // The rebuild_ms column is wall time — the one machine-dependent
-    // field, deliberately excluded from the fingerprint — so mask it
-    // before demanding textual equality.
+    // The rebuild_ms column is wall time — machine-dependent,
+    // deliberately excluded from the fingerprint — and the pool footer
+    // reports worker count and per-lane busy wall time, both of which
+    // legitimately vary with --threads. Mask both before demanding
+    // textual equality; everything else (including the alias column)
+    // must match exactly.
     let mask_wall = |out: &str| -> String {
         out.lines()
             .map(|line| {
+                if line.trim_start().starts_with("pool:") {
+                    return "  pool: -".to_string();
+                }
                 let cols: Vec<&str> = line.split_whitespace().collect();
                 match cols.as_slice() {
-                    // phase rows: ... touch_ppm rebuild_ms downtime slo
-                    [.., _ppm, _wall, _downtime, _slo] if cols.len() == 12 => {
+                    // phase rows: ... touch_ppm rebuild_ms downtime alias slo
+                    [.., _ppm, _wall, _downtime, _alias, _slo] if cols.len() == 13 => {
                         let mut cols = cols;
                         cols[9] = "-";
                         cols.join(" ")
