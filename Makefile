@@ -6,7 +6,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test stress chaos scenarios bench bench-json publish-bench delta-bench snapshot-bench serve-bench clippy fmt fmt-check
+.PHONY: check build test stress crash chaos scenarios bench bench-json publish-bench delta-bench snapshot-bench serve-bench robust-bench clippy fmt fmt-check
 
 # The tier-1 gate: formatting, lints, release build, the full default
 # suite, then the #[ignore]-gated stress tests in release mode (the
@@ -23,12 +23,19 @@ test:
 stress:
 	$(CARGO) test --release $(OFFLINE) -- --ignored stress
 
+# Crash-recovery storm: kill the service at an adversarial schedule of
+# slice boundaries, restore each time from the latest manifest, and
+# require the stitched run to fingerprint bit-identically to one that
+# never crashed (panic quarantine and shedding active throughout).
+crash:
+	$(CARGO) test --release $(OFFLINE) --test checkpoint_restore -- --ignored
+
 # Lossy-channel chaos stress: 100k requests under 35% erasure and a burst
 # storm, pinning thread-count invariance and recovery-budget bounds; plus
 # the tenant-isolation storm — one tenant under sustained ~20%
 # Gilbert–Elliott loss while its neighbors must match their solo-run
-# baselines exactly.
-chaos:
+# baselines exactly; plus the crash-recovery storm (`make crash`).
+chaos: crash
 	$(CARGO) test --release $(OFFLINE) --test faults_recovery \
 		--test tenant_isolation -- --ignored chaos
 
@@ -77,13 +84,18 @@ bench:
 # efficiency taken from ceiling-paired rounds), warm steady slices
 # asserted zero-alloc under the counting allocator, and the PR5/7/8
 # headline assertions re-checked from the files on disk.
+# BENCH_PR10.json records crash safety: the sustained PR-9 workload run
+# plain vs checkpointing every 24 slices (paired rounds, bit-identical
+# cross-check, overhead asserted <=5%) and a cold restore of 8 tenants x
+# 65k items driven through its first slice (restore-to-serving asserted
+# <=50 ms), with the PR7/8/9 headline assertions re-checked from disk.
 bench-json:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --merge-into BENCH_PR2.json \
 		--serving-into BENCH_PR3.json --publish-into BENCH_PR4.json \
 		--faults-into BENCH_PR5.json --serve-into BENCH_PR6.json \
 		--delta-into BENCH_PR7.json --kernel-into BENCH_PR8.json \
-		--service-into BENCH_PR9.json
+		--service-into BENCH_PR9.json --robust-into BENCH_PR10.json
 
 # Regenerates only BENCH_PR4.json (fused publish at 65k/1M/4M items),
 # skipping the exact-search and serving sections.
@@ -113,6 +125,13 @@ snapshot-bench:
 serve-bench:
 	$(CARGO) run --release $(OFFLINE) -p bcast-bench --features alloc-count \
 		--bin bench_json -- --service-into BENCH_PR9.json
+
+# Regenerates only BENCH_PR10.json (checkpoint overhead + cold restore-
+# to-serving), skipping every other section; regression rows are carried
+# forward from the BENCH_PR7/8/9 files on disk.
+robust-bench:
+	$(CARGO) run --release $(OFFLINE) -p bcast-bench \
+		--bin bench_json -- --robust-into BENCH_PR10.json
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

@@ -150,6 +150,35 @@ impl DegradationTracker {
     pub fn degraded_rebuilds(&self) -> u64 {
         self.degraded_rebuilds
     }
+
+    /// Appends the tracker's mutable state (streak, lockout, escalated
+    /// backoff, lifetime count) to `out` — the policy itself is immutable
+    /// configuration and travels separately. Inverse of
+    /// [`import_state`](DegradationTracker::import_state).
+    pub fn export_state(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(self.degraded_streak));
+        out.push(self.cooldown_left);
+        out.push(self.next_cooldown);
+        out.push(self.degraded_rebuilds);
+    }
+
+    /// Rebuilds a tracker for `policy` from a word stream written by
+    /// [`export_state`](DegradationTracker::export_state), consuming
+    /// exactly the words it reads. Fails closed on truncation.
+    pub fn import_state(policy: DegradationPolicy, words: &mut &[u64]) -> Option<Self> {
+        if words.len() < 4 {
+            return None;
+        }
+        let (head, rest) = words.split_at(4);
+        *words = rest;
+        Some(DegradationTracker {
+            policy,
+            degraded_streak: u32::try_from(head[0]).ok()?,
+            cooldown_left: head[1],
+            next_cooldown: head[2],
+            degraded_rebuilds: head[3],
+        })
+    }
 }
 
 /// Rebuild configuration.

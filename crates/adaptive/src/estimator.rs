@@ -176,6 +176,117 @@ impl EmaEstimator {
     pub fn estimate(&self, item: usize) -> f64 {
         self.estimate[item]
     }
+
+    /// Appends the estimator's complete state to `out` as `u64` words —
+    /// float bit patterns, never rounded values, so a restored estimator
+    /// continues the exact trajectory of the original (the checkpoint
+    /// path depends on this bit-identity). The inverse is
+    /// [`import_state`](EmaEstimator::import_state).
+    /// Mid-epoch counts are encoded sparsely (`item << 32 | count`,
+    /// ascending): a checkpoint is taken at an epoch boundary where
+    /// [`roll_epoch`](EmaEstimator::roll_epoch) has just zeroed them, so
+    /// the dense array would be `items` words of zeros. Dirty items pack
+    /// two per word, order preserved — at snapshot scale these two runs
+    /// would otherwise dominate the estimator section.
+    pub fn export_state(&self, out: &mut Vec<u64>) {
+        out.push(self.alpha.to_bits());
+        out.push(self.counts.len() as u64);
+        out.push(self.epochs);
+        let occupied = self.counts.iter().filter(|&&c| c != 0).count();
+        out.push(occupied as u64);
+        out.extend(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| ((i as u64) << 32) | u64::from(c)),
+        );
+        out.extend(self.estimate.iter().map(|e| e.to_bits()));
+        out.extend(self.published.iter().map(|p| p.to_bits()));
+        out.push(self.dirty.len() as u64);
+        out.extend(
+            self.dirty.chunks(2).map(|pair| {
+                u64::from(pair[0]) | (pair.get(1).map_or(0, |&hi| u64::from(hi)) << 32)
+            }),
+        );
+    }
+
+    /// Rebuilds an estimator from a word stream written by
+    /// [`export_state`](EmaEstimator::export_state), consuming exactly
+    /// the words it reads from the front of `*words`. Fails closed:
+    /// a truncated or structurally invalid stream yields `None`, never a
+    /// half-restored estimator.
+    pub fn import_state(words: &mut &[u64]) -> Option<EmaEstimator> {
+        fn take<'a>(words: &mut &'a [u64], n: usize) -> Option<&'a [u64]> {
+            if words.len() < n {
+                return None;
+            }
+            let (head, rest) = words.split_at(n);
+            *words = rest;
+            Some(head)
+        }
+        let header = take(words, 4)?;
+        let alpha = f64::from_bits(header[0]);
+        let items = usize::try_from(header[1]).ok()?;
+        let epochs = header[2];
+        if !(alpha > 0.0 && alpha <= 1.0) || items == 0 {
+            return None;
+        }
+        let occupied = usize::try_from(header[3]).ok()?;
+        if occupied > items {
+            return None;
+        }
+        let mut counts = vec![0u32; items];
+        let mut prev: Option<usize> = None;
+        for &pair in take(words, occupied)? {
+            let i = usize::try_from(pair >> 32).ok()?;
+            let c = pair as u32;
+            if i >= items || prev.is_some_and(|p| p >= i) || c == 0 {
+                return None;
+            }
+            prev = Some(i);
+            counts[i] = c;
+        }
+        let estimate: Vec<f64> = take(words, items)?
+            .iter()
+            .map(|&w| f64::from_bits(w))
+            .collect();
+        let published: Vec<f64> = take(words, items)?
+            .iter()
+            .map(|&w| f64::from_bits(w))
+            .collect();
+        let dirty_len = usize::try_from(*take(words, 1)?.first()?).ok()?;
+        if dirty_len > items {
+            return None;
+        }
+        let packed = take(words, dirty_len.div_ceil(2))?;
+        let mut dirty = Vec::with_capacity(dirty_len);
+        for k in 0..dirty_len {
+            let word = packed[k / 2];
+            dirty.push(if k % 2 == 0 {
+                word as u32
+            } else {
+                (word >> 32) as u32
+            });
+        }
+        let mut dirty_flag = vec![false; items];
+        for &d in &dirty {
+            let flag = dirty_flag.get_mut(d as usize)?;
+            if *flag {
+                return None; // duplicate dirty entry
+            }
+            *flag = true;
+        }
+        Some(EmaEstimator {
+            alpha,
+            counts,
+            estimate,
+            epochs,
+            published,
+            dirty,
+            dirty_flag,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +416,54 @@ mod tests {
             e.roll_epoch();
         }
         assert!(e.drift_since_publish() > 0.5, "{}", e.drift_since_publish());
+    }
+
+    #[test]
+    fn exported_state_restores_the_exact_trajectory() {
+        let mut e = EmaEstimator::new(5, 0.4);
+        let mut out = Vec::new();
+        for epoch in 0..13usize {
+            for r in 0..(epoch % 4) + 1 {
+                e.observe(r);
+            }
+            e.roll_epoch();
+            if epoch == 6 {
+                e.drain_changed(&mut out);
+            }
+        }
+        // Mid-epoch counts survive too.
+        e.observe(3);
+        let mut words = Vec::new();
+        e.export_state(&mut words);
+        let mut cursor = &words[..];
+        let mut back = EmaEstimator::import_state(&mut cursor).expect("valid stream");
+        assert!(cursor.is_empty(), "import must consume exactly its words");
+        // Same continuation: identical epochs, weights, drift and
+        // changed-set behaviour after more traffic on both copies.
+        assert_eq!(back.epochs(), e.epochs());
+        assert_eq!(
+            back.drift_since_publish().to_bits(),
+            e.drift_since_publish().to_bits()
+        );
+        for _ in 0..3 {
+            e.observe(1);
+            back.observe(1);
+            e.roll_epoch();
+            back.roll_epoch();
+        }
+        assert_eq!(back.changed(), e.changed());
+        let (ws_a, ws_b) = (e.weights(), back.weights());
+        for (a, b) in ws_a.iter().zip(&ws_b) {
+            assert_eq!(a.get().to_bits(), b.get().to_bits());
+        }
+        // Truncations fail closed at every cut.
+        for cut in 0..words.len() {
+            let mut cursor = &words[..cut];
+            assert!(
+                EmaEstimator::import_state(&mut cursor).is_none(),
+                "cut {cut}"
+            );
+        }
     }
 
     proptest! {

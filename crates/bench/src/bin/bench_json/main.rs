@@ -29,10 +29,18 @@
 //!   kernel vs the scalar oracle (interleaved, bit-identical, 65k row
 //!   asserted ≥1.3×) and the 1M-item snapshot cold-start vs the full
 //!   warm publish (asserted ≥100×).
+//! * [`pr9`] → `BENCH_PR9.json` (`--service-into`): the steady-state
+//!   service slice vs the raw kernel ceiling (asserted ≥0.70×) plus the
+//!   zero-allocation steady window.
+//! * [`pr10`] → `BENCH_PR10.json` (`--robust-into`): checkpointing
+//!   overhead over the steady loop (asserted ≤5%) and cold
+//!   restore-to-serving at snapshot scale (asserted ≤50 ms), both
+//!   cross-checked bit-identical.
 //!
 //! Wall times are the minimum over several runs after a warmup — the most
 //! reproducible point statistic for a CPU-bound workload on a shared box.
 
+mod pr10;
 mod pr2;
 mod pr3;
 mod pr4;
@@ -71,6 +79,7 @@ fn main() {
     let mut delta_into = None;
     let mut kernel_into = None;
     let mut service_into = None;
+    let mut robust_into = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match (flag.as_str(), it.next()) {
@@ -82,11 +91,13 @@ fn main() {
             ("--delta-into", Some(path)) => delta_into = Some(path.clone()),
             ("--kernel-into", Some(path)) => kernel_into = Some(path.clone()),
             ("--service-into", Some(path)) => service_into = Some(path.clone()),
+            ("--robust-into", Some(path)) => robust_into = Some(path.clone()),
             _ => {
                 eprintln!(
                     "usage: bench_json [--merge-into FILE] [--serving-into FILE] \
                      [--publish-into FILE] [--faults-into FILE] [--serve-into FILE] \
-                     [--delta-into FILE] [--kernel-into FILE] [--service-into FILE]"
+                     [--delta-into FILE] [--kernel-into FILE] [--service-into FILE] \
+                     [--robust-into FILE]"
                 );
                 std::process::exit(2);
             }
@@ -101,7 +112,8 @@ fn main() {
         && serve_into.is_none()
         && delta_into.is_none()
         && kernel_into.is_none()
-        && service_into.is_none();
+        && service_into.is_none()
+        && robust_into.is_none();
     if let Some(path) = &publish_into {
         let previous = std::fs::read_to_string(path).ok();
         report::write(path, pr4::report(previous.as_deref()));
@@ -137,7 +149,8 @@ fn main() {
         && faults_into.is_none()
         && serve_into.is_none()
         && kernel_into.is_none()
-        && service_into.is_none();
+        && service_into.is_none()
+        && robust_into.is_none();
     if let Some(path) = &delta_into {
         let pr4 = std::fs::read_to_string("BENCH_PR4.json").ok();
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
@@ -160,7 +173,8 @@ fn main() {
         && faults_into.is_none()
         && serve_into.is_none()
         && delta_into.is_none()
-        && service_into.is_none();
+        && service_into.is_none()
+        && robust_into.is_none();
     if let Some(path) = &kernel_into {
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
         let pr7 = std::fs::read_to_string("BENCH_PR7.json").ok();
@@ -179,7 +193,8 @@ fn main() {
         && faults_into.is_none()
         && serve_into.is_none()
         && delta_into.is_none()
-        && kernel_into.is_none();
+        && kernel_into.is_none()
+        && robust_into.is_none();
     if let Some(path) = &service_into {
         let pr5 = std::fs::read_to_string("BENCH_PR5.json").ok();
         let pr6 = std::fs::read_to_string("BENCH_PR6.json").ok();
@@ -196,6 +211,30 @@ fn main() {
         );
     }
     if service_only {
+        return;
+    }
+    // `--robust-into` alone (the `make robust-bench` target) likewise
+    // runs only the PR-10 section, carrying its regression baselines
+    // forward from the files on disk.
+    let robust_only = robust_into.is_some()
+        && merge_into.is_none()
+        && serving_into.is_none()
+        && publish_into.is_none()
+        && faults_into.is_none()
+        && serve_into.is_none()
+        && delta_into.is_none()
+        && kernel_into.is_none()
+        && service_into.is_none();
+    if let Some(path) = &robust_into {
+        let pr7 = std::fs::read_to_string("BENCH_PR7.json").ok();
+        let pr8 = std::fs::read_to_string("BENCH_PR8.json").ok();
+        let pr9 = std::fs::read_to_string("BENCH_PR9.json").ok();
+        report::write(
+            path,
+            pr10::report(pr7.as_deref(), pr8.as_deref(), pr9.as_deref()),
+        );
+    }
+    if robust_only {
         return;
     }
     let previous = merge_into

@@ -193,6 +193,74 @@ impl LatencyHistogram {
         assert!(self.total > 0, "max of an empty histogram");
         self.max
     }
+
+    /// Appends the histogram's complete state (bucket counts and exact
+    /// moments) to `out` as `u64` words, for checkpointing. Inverse of
+    /// [`import_state`](Self::import_state).
+    ///
+    /// Occupied buckets are encoded sparsely as ascending
+    /// `(index, count)` pairs: a serving-latency histogram is bounded by
+    /// the broadcast cycle length but populated only around the cycle
+    /// positions traffic actually hits, so the dense bucket array would
+    /// be megabytes of zeros per tenant at snapshot scale.
+    pub fn export_state(&self, out: &mut Vec<u64>) {
+        out.push(self.counts.len() as u64);
+        out.push(self.total);
+        out.push(self.sum);
+        out.push(u64::from(self.min));
+        out.push(u64::from(self.max));
+        let occupied = self.counts.iter().filter(|&&c| c != 0).count();
+        out.push(occupied as u64);
+        out.reserve(2 * occupied);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                out.push(i as u64);
+                out.push(c);
+            }
+        }
+    }
+
+    /// Rebuilds a histogram from a word stream written by
+    /// [`export_state`](Self::export_state), consuming exactly the words
+    /// it reads. Fails closed: a truncated stream, out-of-order or
+    /// out-of-range bucket indices, or counts that do not sum to `total`
+    /// yield `None`.
+    pub fn import_state(words: &mut &[u64]) -> Option<Self> {
+        if words.len() < 6 {
+            return None;
+        }
+        let (head, rest) = words.split_at(6);
+        let buckets = usize::try_from(head[0]).ok()?;
+        let occupied = usize::try_from(head[5]).ok()?;
+        if buckets == 0 || occupied > buckets || rest.len() < 2 * occupied {
+            return None;
+        }
+        let (pairs, rest) = rest.split_at(2 * occupied);
+        *words = rest;
+        let mut counts = vec![0u64; buckets];
+        let mut prev: Option<usize> = None;
+        let mut total_check = 0u64;
+        for pair in pairs.chunks_exact(2) {
+            let i = usize::try_from(pair[0]).ok()?;
+            if i >= buckets || prev.is_some_and(|p| p >= i) || pair[1] == 0 {
+                return None;
+            }
+            prev = Some(i);
+            counts[i] = pair[1];
+            total_check = total_check.checked_add(pair[1])?;
+        }
+        let total = head[1];
+        if total_check != total {
+            return None;
+        }
+        Some(LatencyHistogram {
+            counts,
+            total,
+            sum: head[2],
+            min: u32::try_from(head[3]).ok()?,
+            max: u32::try_from(head[4]).ok()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -316,5 +384,31 @@ mod tests {
     fn mismatched_merge_panics() {
         let mut a = LatencyHistogram::with_bound(4);
         a.merge(&LatencyHistogram::with_bound(5));
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact_and_fails_closed_on_truncation() {
+        let mut h = LatencyHistogram::with_bound(32);
+        for v in [0u32, 3, 3, 31, 200, 7] {
+            h.record(v);
+        }
+        let mut words = Vec::new();
+        h.export_state(&mut words);
+        let mut cursor = &words[..];
+        let back = LatencyHistogram::import_state(&mut cursor).expect("valid stream");
+        assert!(cursor.is_empty());
+        assert_eq!(back, h);
+        for cut in 0..words.len() {
+            let mut cursor = &words[..cut];
+            assert!(
+                LatencyHistogram::import_state(&mut cursor).is_none(),
+                "cut {cut}"
+            );
+        }
+        // A tampered total is rejected, not adopted.
+        let mut bad = words.clone();
+        bad[1] += 1;
+        let mut cursor = &bad[..];
+        assert!(LatencyHistogram::import_state(&mut cursor).is_none());
     }
 }

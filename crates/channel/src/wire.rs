@@ -31,6 +31,7 @@
 //! protocol of [`crate::faults`] treat "corrupt" and "lost" identically.
 
 use crate::program::{BroadcastProgram, Bucket, Pointer};
+use bcast_types::crc::crc_table;
 use bcast_types::{BucketAddr, ChannelId, NodeId, Slot};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -41,28 +42,8 @@ const KIND_DATA: u8 = 2;
 /// `node` field value for empty buckets.
 const NO_NODE: u32 = u32::MAX;
 
-/// Builds the 256-entry lookup table for a reflected CRC-32 polynomial at
-/// compile time — the container ships no checksum crate, and 10 lines of
-/// const fn beat a dependency. Shared by the bucket seal (IEEE
-/// 0xEDB88320) and the snapshot seal (Castagnoli 0x82F63B78,
-/// [`crate::snapshot`]).
-pub(crate) const fn crc_table(poly: u32) -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { poly ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-/// CRC-32 (IEEE, reflected) lookup table for the bucket seal.
+/// CRC-32 (IEEE, reflected) lookup table for the bucket seal, built by
+/// the shared compile-time builder in [`bcast_types::crc`].
 const CRC_TABLE: [u32; 256] = crc_table(0xEDB8_8320);
 
 /// CRC-32 of `bytes` (IEEE: init all-ones, final xor, reflected).

@@ -26,21 +26,50 @@
 //!   placement cannot affect any tenant's outcome anyway (isolation), so
 //!   scheduling is free to chase balance.
 
-use crate::tenant::{RebuildLane, TenantConfig, TenantRuntime};
+use crate::checkpoint::{CheckpointError, WordReader, WordWriter};
+use crate::tenant::{mix2, RebuildLane, TenantConfig, TenantRuntime};
 use bcast_channel::SnapshotImage;
 use bcast_core::publish::PublishHeuristic;
 use bcast_types::WorkerPool;
 use std::collections::HashMap;
 
+/// Seed salt for the overload shedder's per-slice remainder lottery,
+/// keeping its draw stream disjoint from every tenant's request stream
+/// (which derives from `mix2(seed, id)` without the salt).
+const ADMIT_SALT: u64 = 0x5AED_AD31_7B0D_6E75;
+
 /// The boot-program identity: two tenants whose key matches publish the
 /// exact same first program (boot weights are uniform, so the catalog
 /// size, tree fanout, channel count and heuristic determine it fully).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct BootKey {
+pub(crate) struct BootKey {
     items: usize,
     fanout: usize,
     channels: usize,
     heuristic: PublishHeuristic,
+}
+
+/// The boot identity of a tenant config — the cache key for shared boot
+/// images, and the key a manifest's by-reference program record resolves
+/// through on restore.
+pub(crate) fn boot_key(c: &TenantConfig) -> BootKey {
+    BootKey {
+        items: c.items,
+        fanout: c.fanout,
+        channels: c.channels,
+        heuristic: c.heuristic,
+    }
+}
+
+/// A boot-cache image pre-decoded once per restore: the compiled
+/// program and its data-node catalog, cloned (a pair of memcpys)
+/// by every tenant whose manifest block references the image instead of
+/// each tenant re-running the column decode and catalog walk on the
+/// same bytes.
+pub(crate) struct CachedProgram {
+    pub(crate) program: bcast_channel::CompiledProgram,
+    pub(crate) data_nodes: Vec<bcast_types::NodeId>,
+    pub(crate) channels: usize,
 }
 
 /// Reused per-slice scheduling buffers — the lane assignment is computed
@@ -109,6 +138,15 @@ pub struct ServeLoop {
     pool: Option<WorkerPool>,
     sched: SchedScratch,
     scheduled_slices: u64,
+    /// Per-slice request budget across the whole roster; `None` admits
+    /// everything. See [`set_slice_budget`](Self::set_slice_budget).
+    slice_budget: Option<u64>,
+    /// Scratch for the shedder's water-filling pass (tenant indices in
+    /// rate order, then clipped indices in lottery order).
+    admit_order: Vec<u32>,
+    /// Scratch: per-roster-index admitted cap for the coming slice
+    /// (`u64::MAX` = uncapped).
+    admit_caps: Vec<u64>,
 }
 
 impl ServeLoop {
@@ -128,6 +166,92 @@ impl ServeLoop {
             pool: None,
             sched: SchedScratch::default(),
             scheduled_slices: 0,
+            slice_budget: None,
+            admit_order: Vec::new(),
+            admit_caps: Vec::new(),
+        }
+    }
+
+    /// Caps the total requests admitted per slice across the roster.
+    /// When the roster's scripted demand exceeds the budget, admission
+    /// water-fills: every tenant at or below its fair share keeps its
+    /// full rate (bit-identical to serving solo), and only over-quota
+    /// tenants are clipped to the common level, with the remainder
+    /// distributed one request each by a seeded per-slice lottery. Shed
+    /// requests still count against the tenant's delivery rate (surfaced
+    /// as [`shed_requests`](bcast_types::SloSnapshot::shed_requests)),
+    /// so the existing SLO floor catches sustained overload.
+    ///
+    /// Deterministic: admission is a pure function of the roster's
+    /// scripted rates, the service seed and the slice counter — thread
+    /// count never enters.
+    pub fn set_slice_budget(&mut self, budget: Option<u64>) {
+        self.slice_budget = budget;
+    }
+
+    /// The per-slice admission budget, if one is set.
+    pub fn slice_budget(&self) -> Option<u64> {
+        self.slice_budget
+    }
+
+    /// Computes each tenant's admitted cap for the coming slice (the
+    /// water-filling pass described on
+    /// [`set_slice_budget`](Self::set_slice_budget)) and arms the caps.
+    /// Runs on the caller thread before tenants fan out to lanes, in
+    /// both the pooled path and the scoped oracle.
+    fn admit_slice(&mut self) {
+        let Some(budget) = self.slice_budget else {
+            return;
+        };
+        let n = self.tenants.len();
+        if n == 0 {
+            return;
+        }
+        let total: u64 = self.tenants.iter().map(|t| u64::from(t.next_rate())).sum();
+        if total <= budget {
+            for t in &mut self.tenants {
+                t.set_admitted_cap(None);
+            }
+            return;
+        }
+        // Water-fill: walk tenants cheapest-first; whoever fits under
+        // the running fair share keeps its full rate, the rest split the
+        // remaining budget evenly at the water level.
+        let tenants = &self.tenants;
+        let order = &mut self.admit_order;
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by_key(|&i| (tenants[i as usize].next_rate(), i));
+        self.admit_caps.clear();
+        self.admit_caps.resize(n, u64::MAX);
+        let mut remaining = budget;
+        let mut left = n as u64;
+        let mut first_clipped = n;
+        for (at, &i) in order.iter().enumerate() {
+            let rate = u64::from(tenants[i as usize].next_rate());
+            if rate <= remaining / left {
+                remaining -= rate;
+                left -= 1;
+            } else {
+                first_clipped = at;
+                break;
+            }
+        }
+        if first_clipped < n {
+            let level = remaining / left;
+            let extra = (remaining % left) as usize;
+            // The remainder goes one request each to `extra` clipped
+            // tenants, chosen by a seeded per-slice lottery over tenant
+            // ids (stable under roster churn, fresh every slice).
+            let slice_key = mix2(self.seed ^ ADMIT_SALT, self.slices_run);
+            let clipped = &mut order[first_clipped..];
+            clipped.sort_unstable_by_key(|&i| (mix2(slice_key, tenants[i as usize].id()), i));
+            for (won, &i) in clipped.iter().enumerate() {
+                self.admit_caps[i as usize] = level + u64::from(won < extra);
+            }
+        }
+        for (t, &cap) in self.tenants.iter_mut().zip(&self.admit_caps) {
+            t.set_admitted_cap((cap != u64::MAX).then(|| cap.min(u64::from(u32::MAX)) as u32));
         }
     }
 
@@ -153,12 +277,7 @@ impl ServeLoop {
             "tenant id {id} already on the roster"
         );
         self.next_id = self.next_id.max(id + 1);
-        let key = BootKey {
-            items: config.items,
-            fanout: config.fanout,
-            channels: config.channels,
-            heuristic: config.heuristic,
-        };
+        let key = boot_key(&config);
         let cached = (config.rebuild_lane == RebuildLane::Full)
             .then(|| self.boot_images.iter().find(|(k, _)| *k == key))
             .flatten();
@@ -245,6 +364,11 @@ impl ServeLoop {
         self.slices_run
     }
 
+    /// The service seed every tenant's randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Advances every tenant by one time slice.
     ///
     /// With more than one thread and more than one tenant, tenants are
@@ -254,6 +378,7 @@ impl ServeLoop {
     /// bit-identical to every other thread count — lanes own disjoint
     /// tenants and tenants are self-contained.
     pub fn run_slice(&mut self) {
+        self.admit_slice();
         let lanes = self.threads.clamp(1, self.tenants.len().max(1));
         if lanes <= 1 {
             for t in &mut self.tenants {
@@ -343,6 +468,7 @@ impl ServeLoop {
     /// [`run_slice`](Self::run_slice) — this one pays a thread spawn per
     /// worker per slice.
     pub fn run_slice_scoped(&mut self) {
+        self.admit_slice();
         let threads = self.threads.clamp(1, self.tenants.len().max(1));
         if threads <= 1 {
             for t in &mut self.tenants {
@@ -397,6 +523,204 @@ impl ServeLoop {
     pub fn total_requests(&self) -> u64 {
         self.tenants.iter().map(|t| t.total_requests()).sum()
     }
+
+    /// Serializes the full deterministic service state — everything the
+    /// slice loop consumes — into the manifest word stream. The worker
+    /// pool, scheduler scratch and wall-clock stats are execution-side
+    /// and excluded (a restore at a different thread count is still
+    /// bit-identical).
+    ///
+    /// # Errors
+    /// [`CheckpointError::DeltaLaneUnsupported`] if any tenant rebuilds
+    /// through the delta lane.
+    pub(crate) fn export_state(&self, w: &mut WordWriter) -> Result<(), CheckpointError> {
+        if self
+            .tenants
+            .iter()
+            .any(|t| t.config().rebuild_lane != RebuildLane::Full)
+        {
+            return Err(CheckpointError::DeltaLaneUnsupported);
+        }
+        w.u64(self.seed);
+        w.u64(self.next_id);
+        w.u64(self.slices_run);
+        w.u64(self.snapshot_boots);
+        w.opt_u64(self.slice_budget);
+        // The boot-image cache is part of the deterministic state:
+        // churn joins after a restore must hit (or miss) the cache
+        // exactly as the uninterrupted run would, and `snapshot_loads`
+        // is fingerprinted.
+        w.u64(self.boot_images.len() as u64);
+        for (key, image) in &self.boot_images {
+            w.u64(key.items as u64);
+            w.u64(key.fanout as u64);
+            w.u64(key.channels as u64);
+            write_heuristic(w, key.heuristic);
+            w.u32_slice(image.words());
+        }
+        w.u64(self.tenants.len() as u64);
+        // Each tenant block carries a backpatched word-length prefix so
+        // restore can split the roster into independent slices and decode
+        // them in parallel — at snapshot scale the per-tenant payload
+        // (estimator trajectory, weights, on-air program image) dominates
+        // the manifest, and a sequential decode dominates the
+        // restore-to-serving wall.
+        for t in &self.tenants {
+            let at = w.placeholder();
+            let start = w.len();
+            let key = boot_key(t.config());
+            let boot = self
+                .boot_images
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, image)| image);
+            t.export_state(w, boot);
+            let span = w.len() - start;
+            w.patch(at, u32::try_from(span).expect("tenant block fits u32"));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a service from [`export_state`](Self::export_state)'s
+    /// word stream. Fails closed (`None`) on any truncation or invariant
+    /// violation — a roster out of id order, a boot image that does not
+    /// self-validate, a tenant that does not decode. `threads` comes
+    /// from the caller, not the manifest.
+    pub(crate) fn import_state(r: &mut WordReader<'_>, threads: usize) -> Option<ServeLoop> {
+        let seed = r.u64()?;
+        let next_id = r.u64()?;
+        let slices_run = r.u64()?;
+        let snapshot_boots = r.u64()?;
+        let slice_budget = r.opt_u64()?;
+        let n_images = usize::try_from(r.u64()?).ok()?;
+        let mut boot_images = Vec::with_capacity(n_images.min(64));
+        let mut boot_programs = Vec::with_capacity(n_images.min(64));
+        for _ in 0..n_images {
+            let items = usize::try_from(r.u64()?).ok()?;
+            let fanout = usize::try_from(r.u64()?).ok()?;
+            let channels = usize::try_from(r.u64()?).ok()?;
+            let heuristic = read_heuristic(r)?;
+            let image = SnapshotImage::from_words(r.u32_vec()?);
+            // Validate and decode the image exactly once here; every
+            // tenant that references it clones the result instead of
+            // re-walking the same megabytes.
+            let view = image.view().ok()?;
+            let key = BootKey {
+                items,
+                fanout,
+                channels,
+                heuristic,
+            };
+            if boot_images.iter().any(|(k, _)| *k == key) {
+                return None;
+            }
+            boot_programs.push((
+                key,
+                CachedProgram {
+                    program: view.to_program(),
+                    data_nodes: view.data_nodes().collect(),
+                    channels,
+                },
+            ));
+            boot_images.push((key, image));
+        }
+        let n_tenants = usize::try_from(r.u64()?).ok()?;
+        let mut blocks = Vec::with_capacity(n_tenants.min(1024));
+        for _ in 0..n_tenants {
+            let span = usize::try_from(r.u32()?).ok()?;
+            blocks.push(r.take(span)?);
+        }
+        let tenants = decode_tenant_blocks(seed, &blocks, &boot_programs, threads)?;
+        for (i, t) in tenants.iter().enumerate() {
+            if t.id() >= next_id {
+                return None;
+            }
+            if i > 0 && tenants[i - 1].id() >= t.id() {
+                return None;
+            }
+        }
+        let mut svc = ServeLoop {
+            tenants,
+            seed,
+            threads,
+            next_id,
+            slices_run,
+            boot_images,
+            snapshot_boots,
+            index_of: HashMap::new(),
+            pool: None,
+            sched: SchedScratch::default(),
+            scheduled_slices: 0,
+            slice_budget,
+            admit_order: Vec::new(),
+            admit_caps: Vec::new(),
+        };
+        svc.rebuild_index();
+        Some(svc)
+    }
+}
+
+/// Decodes the length-prefixed tenant blocks of a manifest, fanning the
+/// work across up to `threads` scoped workers. The blocks are
+/// independent by construction — each carries its full word span — so
+/// order-preserving chunked decode is safe; any malformed or
+/// not-fully-consumed block fails the whole restore closed (`None`).
+/// Worker count is execution-only: the decoded roster is identical at
+/// any `threads`.
+fn decode_tenant_blocks(
+    seed: u64,
+    blocks: &[&[u32]],
+    cache: &[(BootKey, CachedProgram)],
+    threads: usize,
+) -> Option<Vec<TenantRuntime>> {
+    fn one(seed: u64, block: &[u32], cache: &[(BootKey, CachedProgram)]) -> Option<TenantRuntime> {
+        let mut r = WordReader::new(block);
+        let t = TenantRuntime::import_state(seed, &mut r, cache)?;
+        r.is_empty().then_some(t)
+    }
+    let workers = threads.max(1).min(blocks.len());
+    if workers <= 1 {
+        return blocks.iter().map(|b| one(seed, b, cache)).collect();
+    }
+    let chunk = blocks.len().div_ceil(workers);
+    let decoded: Vec<Option<TenantRuntime>> = std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .chunks(chunk)
+            .map(|run| s.spawn(move || run.iter().map(|b| one(seed, b, cache)).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tenant decode worker never panics"))
+            .collect()
+    });
+    decoded.into_iter().collect()
+}
+
+/// Manifest tag for a [`PublishHeuristic`] (shared between the tenant
+/// config section and the boot-image cache keys).
+fn write_heuristic(w: &mut WordWriter, h: PublishHeuristic) {
+    match h {
+        PublishHeuristic::Sorting => w.u32(0),
+        PublishHeuristic::Frontier => w.u32(1),
+        PublishHeuristic::Shrink { max_nodes } => {
+            w.u32(2);
+            w.u64(max_nodes as u64);
+        }
+        PublishHeuristic::Preorder => w.u32(3),
+    }
+}
+
+/// Inverse of [`write_heuristic`]; fails closed on unknown tags.
+fn read_heuristic(r: &mut WordReader<'_>) -> Option<PublishHeuristic> {
+    Some(match r.u32()? {
+        0 => PublishHeuristic::Sorting,
+        1 => PublishHeuristic::Frontier,
+        2 => PublishHeuristic::Shrink {
+            max_nodes: usize::try_from(r.u64()?).ok()?,
+        },
+        3 => PublishHeuristic::Preorder,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -555,6 +879,141 @@ mod tests {
         for id in [0u64, 1, 99] {
             assert!(svc.tenant(id).is_none());
             assert!(svc.tenant_mut(id).is_none());
+        }
+    }
+
+    fn snap(svc: &ServeLoop) -> Vec<(u64, bcast_types::SloSnapshot)> {
+        svc.tenants()
+            .iter()
+            .map(|t| (t.id(), t.phase_snapshot()))
+            .collect()
+    }
+
+    #[test]
+    fn budget_at_or_above_demand_is_a_no_op() {
+        let mut capped = boot(1, 4);
+        capped.set_slice_budget(Some(4 * 120));
+        let mut free = boot(1, 4);
+        for _ in 0..6 {
+            capped.run_slice();
+            free.run_slice();
+        }
+        assert_eq!(snap(&capped), snap(&free));
+        assert!(snap(&capped).iter().all(|(_, s)| s.shed_requests == 0));
+    }
+
+    #[test]
+    fn shedding_is_deterministic_across_threads_and_executors() {
+        let run = |threads: usize, scoped: bool| {
+            let mut svc = boot(threads, 5);
+            svc.set_slice_budget(Some(300));
+            for _ in 0..6 {
+                if scoped {
+                    svc.run_slice_scoped();
+                } else {
+                    svc.run_slice();
+                }
+            }
+            snap(&svc)
+        };
+        let one = run(1, false);
+        assert_eq!(one, run(2, false));
+        assert_eq!(one, run(4, false));
+        assert_eq!(one, run(2, true), "scoped oracle under budget");
+        // 5 tenants at 120 against a budget of 300: every slice admits
+        // exactly the budget and sheds the rest, and the floor keeps
+        // delivery rate honest.
+        let total_shed: u64 = one.iter().map(|(_, s)| s.shed_requests).sum();
+        let total_requests: u64 = one.iter().map(|(_, s)| s.requests).sum();
+        assert_eq!(total_requests, 5 * 120 * 6);
+        assert_eq!(total_shed, (5 * 120 - 300) * 6);
+        for (_, s) in &one {
+            assert!(s.shed_requests > 0, "uniform roster: everyone clipped");
+            assert!(s.delivery_rate() < 0.9, "shedding shows in the SLO");
+        }
+    }
+
+    #[test]
+    fn under_share_tenants_are_untouched_by_neighbors_shedding() {
+        // Tenant 3 asks for far less than its fair share; three hot
+        // neighbors blow the budget. Water-filling must leave tenant 3
+        // bit-identical to serving solo with no budget at all.
+        let script = |svc: &mut ServeLoop, id: u64, rate: u32| {
+            svc.tenant_mut(id)
+                .unwrap()
+                .begin_phase(demand(rate), None, SloSpec::lossless(), 6)
+        };
+        let mut solo = ServeLoop::new(0x5EED, 1);
+        solo.join(TenantConfig::new(3, 32));
+        script(&mut solo, 3, 50);
+        solo.run_slices(6);
+
+        let mut crowded = ServeLoop::new(0x5EED, 2);
+        for id in [0u64, 1, 2, 3] {
+            crowded.join(TenantConfig::new(id, 32));
+            script(&mut crowded, id, if id == 3 { 50 } else { 500 });
+        }
+        crowded.set_slice_budget(Some(800));
+        crowded.run_slices(6);
+
+        let quiet = crowded.tenant(3).unwrap().phase_snapshot();
+        assert_eq!(solo.tenant(3).unwrap().phase_snapshot(), quiet);
+        assert_eq!(quiet.shed_requests, 0);
+        // The hot neighbors split the remaining 750 at the water level.
+        for id in [0u64, 1, 2] {
+            let s = crowded.tenant(id).unwrap().phase_snapshot();
+            assert_eq!(s.requests, 500 * 6);
+            assert_eq!(s.shed_requests, 250 * 6);
+        }
+    }
+
+    #[test]
+    fn poisoned_tenant_is_quarantined_and_neighbors_never_notice() {
+        crate::silence_chaos_panic_reports();
+        let mut clean = boot(2, 4);
+        let mut poisoned = boot(2, 4);
+        poisoned.tenant_mut(1).unwrap().inject_panic_after(2);
+        for _ in 0..6 {
+            clean.run_slice();
+            poisoned.run_slice();
+        }
+        for id in [0u64, 2, 3] {
+            assert_eq!(
+                clean.tenant(id).unwrap().phase_snapshot(),
+                poisoned.tenant(id).unwrap().phase_snapshot(),
+                "neighbor {id} perturbed by the poisoned tenant"
+            );
+        }
+        let sick = poisoned.tenant(1).unwrap().phase_snapshot();
+        assert_eq!(sick.quarantined, 1);
+        assert_eq!(sick.readmitted, 1, "probe after backoff readmits");
+    }
+
+    #[test]
+    fn exported_state_restores_bit_identically_mid_run() {
+        let mut svc = boot(2, 5);
+        svc.set_slice_budget(Some(400));
+        svc.run_slices(3);
+        let mut w = WordWriter::new();
+        svc.export_state(&mut w).unwrap();
+        let words = w.into_words();
+        let mut restored = ServeLoop::import_state(&mut WordReader::new(&words), 4)
+            .expect("self-exported state must import");
+        svc.run_slices(3);
+        restored.run_slices(3);
+        assert_eq!(svc.slices_run(), restored.slices_run());
+        assert_eq!(snap(&svc), snap(&restored));
+        assert_eq!(svc.snapshot_boots(), restored.snapshot_boots());
+        // Post-restore churn must hit the boot-image cache exactly as
+        // the uninterrupted run would.
+        let id = restored.next_id();
+        assert_eq!(id, svc.next_id());
+        svc.join(TenantConfig::new(id, 32));
+        restored.join(TenantConfig::new(id, 32));
+        assert_eq!(svc.snapshot_boots(), restored.snapshot_boots());
+        // Truncation at every cut fails closed, never half-restores.
+        for cut in 0..words.len().min(200) {
+            assert!(ServeLoop::import_state(&mut WordReader::new(&words[..cut]), 1).is_none());
         }
     }
 

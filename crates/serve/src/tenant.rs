@@ -11,6 +11,7 @@
 //! lets the isolation tests demand *exact* equality between a tenant's
 //! solo run and its run amid noisy co-tenants.
 
+use crate::checkpoint::{WordReader, WordWriter};
 use bcast_adaptive::{DegradationPolicy, DegradationTracker, EmaEstimator};
 use bcast_channel::{
     compiled::{ServeOptions, ServeSession, SERVE_CHUNK},
@@ -29,7 +30,7 @@ use std::time::Instant;
 /// finalizer, so two-value mixing composes it: the golden-ratio multiply
 /// separates `(a, b)` from `(a, b + 1)` before the final avalanche.
 #[inline]
-fn mix2(a: u64, b: u64) -> u64 {
+pub(crate) fn mix2(a: u64, b: u64) -> u64 {
     mix64(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -38,6 +39,34 @@ fn mix2(a: u64, b: u64) -> u64 {
 /// exactly, not clamped. Rebuilds within a phase change the cycle length
 /// slightly; [`LatencyHistogram::absorb`] clamps only above this bound.
 const PHASE_HIST_CYCLES: u32 = 16;
+
+/// First quarantine term after a caught panic, in slices.
+const QUARANTINE_BASE_SLICES: u64 = 2;
+
+/// Ceiling of the doubling quarantine backoff, in slices.
+const QUARANTINE_MAX_SLICES: u64 = 64;
+
+/// Manifest tag: the tenant's on-air program is still the boot image for
+/// its shape — restore resolves it through the manifest's boot-image
+/// cache section instead of an embedded copy.
+const IMAGE_BOOT_REF: u32 = 0;
+
+/// Manifest tag: the tenant's on-air program follows inline as a
+/// self-validating [`SnapshotImage`](bcast_channel::SnapshotImage).
+const IMAGE_EMBEDDED: u32 = 1;
+
+/// Quarantine state of a poisoned tenant: a panic during its slice work
+/// was caught, and until the backoff elapses the tenant serves from its
+/// last-good double-buffered program with every rebuild path suspended.
+/// Re-entry doubles the term up to [`QUARANTINE_MAX_SLICES`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Quarantine {
+    /// First slice index eligible for a readmission probe (a full slice
+    /// with rebuilds re-enabled; success clears the quarantine).
+    until_slice: u64,
+    /// Term (slices) the *next* quarantine entry will serve.
+    next_backoff: u64,
+}
 
 /// Which republish machinery a tenant's rebuilds run through.
 ///
@@ -149,6 +178,12 @@ struct Window {
     rebuild_wall_ns: u64,
     /// Demand-sampler alias tables rebuilt — cache-miss side channel.
     alias_rebuilds: u64,
+    /// Panics caught and turned into quarantine entries.
+    quarantined: u64,
+    /// Successful readmission probes out of quarantine.
+    readmitted: u64,
+    /// Requests refused by the overload-shedding admission controller.
+    shed: u64,
 }
 
 impl Window {
@@ -171,6 +206,9 @@ impl Window {
             skipped_rebuilds: 0,
             rebuild_wall_ns: 0,
             alias_rebuilds: 0,
+            quarantined: 0,
+            readmitted: 0,
+            shed: 0,
         }
     }
 
@@ -203,6 +241,9 @@ impl Window {
             skipped_rebuilds: self.skipped_rebuilds,
             rebuild_wall_ns: self.rebuild_wall_ns,
             alias_rebuilds: self.alias_rebuilds,
+            quarantined: self.quarantined,
+            readmitted: self.readmitted,
+            shed_requests: self.shed,
         }
     }
 }
@@ -263,6 +304,16 @@ pub struct TenantRuntime {
     changes: Vec<(u32, Weight)>,
     /// The same changes mapped onto tree data nodes for the delta lane.
     node_changes: Vec<(NodeId, Weight)>,
+    /// Panic-quarantine state (`None` = healthy).
+    quarantine: Option<Quarantine>,
+    /// Admission cap for the *next* slice, set by the service's overload
+    /// shedder and consumed by [`run_slice`](Self::run_slice) (`None` =
+    /// everything admitted). Transient per-slice state — never part of a
+    /// checkpoint.
+    admitted_cap: Option<u32>,
+    /// Chaos hook: absolute slice indices at which the slice body panics
+    /// (deterministic fault injection for the quarantine tests).
+    chaos_panic_slices: Vec<u64>,
 }
 
 impl TenantRuntime {
@@ -316,6 +367,9 @@ impl TenantRuntime {
             weights,
             changes: Vec::new(),
             node_changes: Vec::new(),
+            quarantine: None,
+            admitted_cap: None,
+            chaos_panic_slices: Vec::new(),
             config,
         }
     }
@@ -404,6 +458,9 @@ impl TenantRuntime {
             weights,
             changes: Vec::new(),
             node_changes: Vec::new(),
+            quarantine: None,
+            admitted_cap: None,
+            chaos_panic_slices: Vec::new(),
             config,
         })
     }
@@ -494,7 +551,50 @@ impl TenantRuntime {
     /// and fault links are all keyed by the slice seed and the global
     /// request index, so the streamed slice is bit-identical to the
     /// original build-a-batch-then-serve form.
+    ///
+    /// The whole slice runs under `catch_unwind`: a panic anywhere in
+    /// the tenant's work — serving, estimator feedback, a republish — is
+    /// caught *here*, inside the tenant, so it can never poison a worker
+    /// lane or perturb a neighbor. The panicking tenant enters
+    /// quarantine: it keeps serving from its last-good double-buffered
+    /// program with every rebuild path suspended, and after an
+    /// exponential backoff ([`QUARANTINE_BASE_SLICES`] slices, doubling
+    /// to [`QUARANTINE_MAX_SLICES`]) a probe slice with rebuilds
+    /// re-enabled decides readmission. Both transitions are counted in
+    /// the window ([`SloSnapshot::quarantined`] /
+    /// [`SloSnapshot::readmitted`]) and — panics being deterministic
+    /// under the chaos hooks — participate in replay equality.
     pub fn run_slice(&mut self) {
+        let parked = self
+            .quarantine
+            .is_some_and(|q| self.slices_run < q.until_slice);
+        let body =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.slice_body(parked)));
+        match body {
+            Ok(()) => {
+                if !parked && self.quarantine.take().is_some() {
+                    self.window.readmitted += 1;
+                }
+            }
+            Err(payload) => {
+                drop(payload);
+                self.window.quarantined += 1;
+                let term = self
+                    .quarantine
+                    .map_or(QUARANTINE_BASE_SLICES, |q| q.next_backoff);
+                self.quarantine = Some(Quarantine {
+                    until_slice: self.slices_run + term,
+                    next_backoff: (term * 2).min(QUARANTINE_MAX_SLICES),
+                });
+            }
+        }
+    }
+
+    /// The actual slice work (see [`run_slice`](Self::run_slice), which
+    /// wraps it in the panic boundary). `parked` suspends both rebuild
+    /// paths — the quarantined tenant serves from the program already on
+    /// air and its degradation tracker is frozen.
+    fn slice_body(&mut self, parked: bool) {
         let rate = self
             .demand
             .rate_at(self.slice_in_phase, self.phase_slices.max(1));
@@ -504,8 +604,24 @@ impl TenantRuntime {
         // Cost hint for the service's lane assignment: an EWMA over
         // slice request counts, updated before the slice runs so the
         // scheduler could have used this very value. Pure integer
-        // arithmetic on deterministic inputs.
+        // arithmetic on deterministic inputs. Scripted demand — not the
+        // admitted share — drives the hint: a shed tenant still costs
+        // its sampling draws.
         self.ewma_cost = (3 * self.ewma_cost + u64::from(rate)).div_ceil(4);
+        // The service's admission cap is consumed whether or not the
+        // slice completes, so a stale cap can never leak into a later
+        // slice.
+        let admitted = match self.admitted_cap.take() {
+            Some(cap) => rate.min(cap),
+            None => rate,
+        };
+        let shed = rate - admitted;
+        if self.chaos_panic_slices.contains(&(self.slices_run - 1)) {
+            panic!(
+                "chaos poison: injected panic at slice {}",
+                self.slices_run - 1
+            );
+        }
 
         if rate > 0 {
             // The demand *shape* is constant within a phase (only the
@@ -538,48 +654,76 @@ impl TenantRuntime {
                 }
                 self.window.downtime_slots += 1;
             } else {
-                let opts = ServeOptions {
-                    threads: 1,
-                    seed: mix2(slice_seed, 2),
-                    faults: fault_plan(self.faults.as_ref(), mix2(slice_seed, 3)),
-                    recovery: self.config.recovery,
-                };
-                program.begin_session(&mut self.session, &opts);
-                let mut remaining = rate as usize;
-                while remaining > 0 {
-                    let n = remaining.min(SERVE_CHUNK);
-                    self.chunk.clear();
-                    for _ in 0..n {
-                        // One fused draw: the item for the estimator and
-                        // its serving node from the same cache line.
-                        let (item, node) = self.sampler.sample(&mut state);
-                        // The estimator sees what was *requested*
-                        // (demand, not delivery — channel loss must not
-                        // starve the allocator's view of popularity).
-                        self.estimator.observe(item as usize);
-                        self.chunk.push(NodeId(node));
+                if admitted > 0 {
+                    let opts = ServeOptions {
+                        threads: 1,
+                        seed: mix2(slice_seed, 2),
+                        faults: fault_plan(self.faults.as_ref(), mix2(slice_seed, 3)),
+                        recovery: self.config.recovery,
+                    };
+                    program.begin_session(&mut self.session, &opts);
+                    let mut remaining = admitted as usize;
+                    while remaining > 0 {
+                        let n = remaining.min(SERVE_CHUNK);
+                        self.chunk.clear();
+                        for _ in 0..n {
+                            // One fused draw: the item for the estimator
+                            // and its serving node from the same cache
+                            // line.
+                            let (item, node) = self.sampler.sample(&mut state);
+                            // The estimator sees what was *requested*
+                            // (demand, not delivery — channel loss must
+                            // not starve the allocator's view of
+                            // popularity).
+                            self.estimator.observe(item as usize);
+                            self.chunk.push(NodeId(node));
+                        }
+                        program
+                            .serve_chunk(&mut self.session, &self.chunk)
+                            .expect("targets are data nodes of the published tree");
+                        remaining -= n;
                     }
-                    program
-                        .serve_chunk(&mut self.session, &self.chunk)
-                        .expect("targets are data nodes of the published tree");
-                    remaining -= n;
                 }
-                self.absorb_session();
+                // The shed tail continues the same sampler state stream:
+                // refused requests are still demand, so the estimator
+                // observes them and the window counts them as offered —
+                // shedding shows up as a delivery-rate drop on the shed
+                // tenant, never as vanished load.
+                for _ in 0..shed {
+                    let (item, _) = self.sampler.sample(&mut state);
+                    self.estimator.observe(item as usize);
+                }
+                if shed > 0 {
+                    self.window.requests += u64::from(shed);
+                    self.window.shed += u64::from(shed);
+                    self.total_requests += u64::from(shed);
+                }
+                if admitted > 0 {
+                    self.absorb_session();
 
-                // Degradation feedback reacts to this slice's delivery.
-                let rate_served = self.session.delivery_rate();
-                let fire = self
-                    .degradation
-                    .as_mut()
-                    .is_some_and(|t| t.observe(rate_served));
-                if fire {
-                    self.rebuild();
-                    self.window.degraded_rebuilds += 1;
+                    // Degradation feedback reacts to this slice's
+                    // delivery; a parked (quarantined) tenant's tracker
+                    // is frozen along with its rebuilds.
+                    let rate_served = self.session.delivery_rate();
+                    let fire = !parked
+                        && self
+                            .degradation
+                            .as_mut()
+                            .is_some_and(|t| t.observe(rate_served));
+                    if fire {
+                        self.rebuild();
+                        self.window.degraded_rebuilds += 1;
+                    }
                 }
             }
         }
 
         self.estimator.roll_epoch();
+        if parked {
+            // Quarantine suspends the periodic republish path too: the
+            // last-good program stays on air until readmission.
+            return;
+        }
         if let Some(every) = self.config.rebuild_every {
             if every > 0 && self.slices_run.is_multiple_of(every) {
                 // Drift gate: a converged stream makes the cadence
@@ -607,6 +751,44 @@ impl TenantRuntime {
     #[inline]
     pub fn cost_hint(&self) -> u64 {
         self.ewma_cost.max(1)
+    }
+
+    /// The scripted request rate of the tenant's *next* slice — the
+    /// deterministic input the service's overload shedder water-fills
+    /// over before dispatching the slice.
+    pub fn next_rate(&self) -> u32 {
+        self.demand
+            .rate_at(self.slice_in_phase, self.phase_slices.max(1))
+    }
+
+    /// Caps the next slice's admitted requests (the overload shedder's
+    /// verdict; `None` admits everything). Consumed by the next
+    /// [`run_slice`](Self::run_slice) — the cap never outlives one slice.
+    pub fn set_admitted_cap(&mut self, cap: Option<u32>) {
+        self.admitted_cap = cap;
+    }
+
+    /// Whether the tenant is currently quarantined (serving from its
+    /// last-good program with rebuilds suspended).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine.is_some()
+    }
+
+    /// Chaos hook: make the slice body panic at absolute slice index
+    /// `slice` (the tenant's `slices_run` value when the slice starts).
+    /// Deterministic by construction — the quarantine tests script exact
+    /// poison points with it. Always compiled: the hook is a `Vec`
+    /// lookup on the slice path, free when unused.
+    pub fn inject_panic_at_slice(&mut self, slice: u64) {
+        self.chaos_panic_slices.push(slice);
+    }
+
+    /// Chaos hook: panic `slices_from_now` slices into the future (0 =
+    /// the very next slice). The scenario interpreter arms phase-scripted
+    /// poison points through this.
+    pub fn inject_panic_after(&mut self, slices_from_now: u64) {
+        let at = self.slices_run + slices_from_now;
+        self.chaos_panic_slices.push(at);
     }
 
     /// The window accumulated so far, as plain data.
@@ -709,6 +891,535 @@ impl TenantRuntime {
         self.total_rebuilds += 1;
         self.window.rebuild_wall_ns += started.elapsed().as_nanos() as u64;
     }
+
+    /// Serializes the tenant's complete mutable state into the
+    /// checkpoint word stream: config, phase script, lifetime counters,
+    /// the full window (histogram included), estimator and degradation
+    /// trajectories, quarantine state, armed chaos points, the weight
+    /// snapshot and the program on air (as a CRC-sealed
+    /// [`SnapshotImage`](bcast_channel::SnapshotImage)). The admission
+    /// cap is deliberately absent — it is per-slice transient state the
+    /// service re-derives after a restore — and so are the sampler and
+    /// session scratch, which the first restored slice rebuilds
+    /// deterministically (only the equality-excluded `alias_rebuilds`
+    /// side channel can tell).
+    ///
+    /// `boot` is the service's cached boot image for this tenant's shape
+    /// (if any): when the program on air is still bit-identical to it —
+    /// every tenant that has not rebuilt since boot — the manifest
+    /// stores a one-word reference instead of re-embedding the
+    /// multi-megabyte image. At snapshot scale that reference is the
+    /// difference between a manifest dominated by `n_tenants` identical
+    /// program images and one that carries the image once, in the cache
+    /// section.
+    pub(crate) fn export_state(
+        &self,
+        w: &mut WordWriter,
+        boot: Option<&bcast_channel::SnapshotImage>,
+    ) {
+        let c = &self.config;
+        w.u64(c.id);
+        w.u64(c.items as u64);
+        w.u64(c.fanout as u64);
+        w.u64(c.channels as u64);
+        match c.heuristic {
+            PublishHeuristic::Sorting => w.u32(0),
+            PublishHeuristic::Frontier => w.u32(1),
+            PublishHeuristic::Shrink { max_nodes } => {
+                w.u32(2);
+                w.u64(max_nodes as u64);
+            }
+            PublishHeuristic::Preorder => w.u32(3),
+        }
+        w.f64(c.alpha);
+        w.opt_u64(c.rebuild_every);
+        w.opt_f64(c.rebuild_min_drift);
+        match &c.degradation {
+            None => w.u32(0),
+            Some(p) => {
+                w.u32(1);
+                w.f64(p.min_delivery_rate);
+                w.f64(p.recovered_rate);
+                w.u32(p.sustain_epochs);
+                w.u64(p.cooldown_epochs);
+                w.u64(p.max_cooldown_epochs);
+            }
+        }
+        w.u32(c.recovery.max_retries);
+        w.u64(c.recovery.timeout_slots);
+        w.u32(c.recovery.backoff_cap);
+        w.u32(c.recovery.root_replicas);
+        match c.rebuild_lane {
+            RebuildLane::Full => w.u32(0),
+            RebuildLane::Delta { max_touched } => {
+                w.u32(1);
+                w.f64(max_touched);
+            }
+        }
+
+        // Phase script. The fault scenario's `&'static str` name cannot
+        // round-trip; it never reaches serving, so restore substitutes a
+        // literal (outcome-neutral by construction).
+        match self.demand.shape {
+            DemandShape::Zipf { theta } => {
+                w.u32(0);
+                w.f64(theta);
+            }
+            DemandShape::HotSet {
+                hot_items,
+                hot_mass,
+                offset,
+            } => {
+                w.u32(1);
+                w.u64(hot_items as u64);
+                w.f64(hot_mass);
+                w.u64(offset as u64);
+            }
+        }
+        w.u32(self.demand.start_rate);
+        w.u32(self.demand.end_rate);
+        match &self.faults {
+            None => w.u32(0),
+            Some(f) => {
+                w.u32(1);
+                w.f64(f.erasure_p);
+                match &f.burst {
+                    None => w.u32(0),
+                    Some(b) => {
+                        w.u32(1);
+                        w.f64(b.p_good_to_bad);
+                        w.f64(b.p_bad_to_good);
+                        w.f64(b.loss_good);
+                        w.f64(b.loss_bad);
+                    }
+                }
+            }
+        }
+        w.f64(self.slo.min_delivery_rate);
+        w.f64(self.slo.max_p99_cycles);
+        w.u64(self.slo.max_rebuild_downtime_slots);
+        w.u32(self.phase_slices);
+        w.u32(self.slice_in_phase);
+
+        // Lifetime counters and the scheduler's cost EWMA.
+        w.u64(self.slices_run);
+        w.u64(self.total_requests);
+        w.u64(self.total_rebuilds);
+        w.u64(self.pending_snapshot_loads);
+        w.u64(self.ewma_cost);
+
+        // Quarantine and armed chaos points (a pending poison must
+        // survive a checkpoint, or the restored run would diverge from
+        // the uninterrupted one).
+        match &self.quarantine {
+            None => w.u32(0),
+            Some(q) => {
+                w.u32(1);
+                w.u64(q.until_slice);
+                w.u64(q.next_backoff);
+            }
+        }
+        w.u64_slice(&self.chaos_panic_slices);
+
+        // The window, histogram included.
+        let win = &self.window;
+        w.u64(win.requests);
+        w.u64(win.delivered);
+        w.u64(win.failed);
+        w.u64(win.retries);
+        let mut scratch = Vec::new();
+        win.hist.export_state(&mut scratch);
+        w.u64_slice(&scratch);
+        w.u32(win.max_cycle_len);
+        for x in [
+            win.rebuilds,
+            win.degraded_rebuilds,
+            win.downtime_slots,
+            win.delta_rebuilds,
+            win.full_rebuilds,
+            win.touched_nodes,
+            win.touched_total,
+            win.snapshot_loads,
+            win.skipped_rebuilds,
+            win.rebuild_wall_ns,
+            win.alias_rebuilds,
+            win.quarantined,
+            win.readmitted,
+            win.shed,
+        ] {
+            w.u64(x);
+        }
+
+        // Adaptive state: estimator trajectory, tracker hysteresis.
+        scratch.clear();
+        self.estimator.export_state(&mut scratch);
+        w.u64_slice(&scratch);
+        match &self.degradation {
+            None => w.u32(0),
+            Some(t) => {
+                w.u32(1);
+                scratch.clear();
+                t.export_state(&mut scratch);
+                w.u64_slice(&scratch);
+            }
+        }
+
+        // The weight snapshot rebuilds consume, bit for bit.
+        scratch.clear();
+        scratch.extend(self.weights.iter().map(|wt| wt.get().to_bits()));
+        w.u64_slice(&scratch);
+
+        // The demand sampler, when one is live: the fused alias columns
+        // themselves, not the pmf they were built from. Both derive
+        // deterministically from the demand shape, but the columns are
+        // the finished product — a restored tenant copies them straight
+        // back and samples immediately, skipping both the pmf
+        // derivation (a `powf` per item for Zipf) and the Vose
+        // construction on its first slice.
+        match self.sampler_shape {
+            Some(shape) if self.sampler.len() == c.items => {
+                w.u32(1);
+                match shape {
+                    DemandShape::Zipf { theta } => {
+                        w.u32(0);
+                        w.f64(theta);
+                    }
+                    DemandShape::HotSet {
+                        hot_items,
+                        hot_mass,
+                        offset,
+                    } => {
+                        w.u32(1);
+                        w.u64(hot_items as u64);
+                        w.f64(hot_mass);
+                        w.u64(offset as u64);
+                    }
+                }
+                let mut cols = Vec::new();
+                self.sampler.export_columns(&mut cols);
+                w.u32_slice(&cols);
+            }
+            _ => w.u32(0),
+        }
+
+        // The program on air: a reference into the boot-image cache when
+        // it is still the boot program, a self-validating embedded
+        // snapshot image otherwise.
+        let image = bcast_channel::SnapshotImage::capture(
+            self.publisher.current(),
+            c.channels,
+            &self.data_nodes,
+        );
+        match boot {
+            Some(b) if b.words() == image.words() => w.u32(IMAGE_BOOT_REF),
+            _ => {
+                w.u32(IMAGE_EMBEDDED);
+                w.u32_slice(image.words());
+            }
+        }
+    }
+
+    /// Rebuilds a tenant from [`export_state`](Self::export_state)'s
+    /// words. Fails closed (`None`) on any truncation, range violation
+    /// or image corruption — a checkpoint never restores approximately.
+    ///
+    /// Mirrors [`from_snapshot`](Self::from_snapshot): the boot index
+    /// tree is a one-leaf stand-in until the next full rebuild derives
+    /// the real one from the restored weights, so only
+    /// [`RebuildLane::Full`] tenants restore this way.
+    /// `cache` is the already-restored boot-image section of the same
+    /// manifest, each image pre-decoded to its program once by the
+    /// service: a by-reference program record clones the shared decode
+    /// (and fails closed if the shape's image is absent).
+    pub(crate) fn import_state(
+        service_seed: u64,
+        r: &mut WordReader<'_>,
+        cache: &[(crate::service::BootKey, crate::service::CachedProgram)],
+    ) -> Option<TenantRuntime> {
+        let id = r.u64()?;
+        let items = usize::try_from(r.u64()?).ok()?;
+        let fanout = usize::try_from(r.u64()?).ok()?;
+        let channels = usize::try_from(r.u64()?).ok()?;
+        if items == 0 || fanout < 2 || channels == 0 {
+            return None;
+        }
+        let heuristic = match r.u32()? {
+            0 => PublishHeuristic::Sorting,
+            1 => PublishHeuristic::Frontier,
+            2 => PublishHeuristic::Shrink {
+                max_nodes: usize::try_from(r.u64()?).ok()?,
+            },
+            3 => PublishHeuristic::Preorder,
+            _ => return None,
+        };
+        let alpha = r.f64()?;
+        let rebuild_every = r.opt_u64()?;
+        let rebuild_min_drift = r.opt_f64()?;
+        let degradation = match r.u32()? {
+            0 => None,
+            1 => Some(DegradationPolicy {
+                min_delivery_rate: r.f64()?,
+                recovered_rate: r.f64()?,
+                sustain_epochs: r.u32()?,
+                cooldown_epochs: r.u64()?,
+                max_cooldown_epochs: r.u64()?,
+            }),
+            _ => return None,
+        };
+        let recovery = RecoveryPolicy {
+            max_retries: r.u32()?,
+            timeout_slots: r.u64()?,
+            backoff_cap: r.u32()?,
+            root_replicas: r.u32()?,
+        };
+        let rebuild_lane = match r.u32()? {
+            0 => RebuildLane::Full,
+            1 => RebuildLane::Delta {
+                max_touched: r.f64()?,
+            },
+            _ => return None,
+        };
+        if rebuild_lane != RebuildLane::Full {
+            // The delta lane patches against the live boot tree, which a
+            // checkpoint does not carry (documented restore limit).
+            return None;
+        }
+        let config = TenantConfig {
+            id,
+            items,
+            fanout,
+            channels,
+            heuristic,
+            alpha,
+            rebuild_every,
+            rebuild_min_drift,
+            degradation,
+            recovery,
+            rebuild_lane,
+        };
+
+        let shape = match r.u32()? {
+            0 => DemandShape::Zipf { theta: r.f64()? },
+            1 => DemandShape::HotSet {
+                hot_items: usize::try_from(r.u64()?).ok()?,
+                hot_mass: r.f64()?,
+                offset: usize::try_from(r.u64()?).ok()?,
+            },
+            _ => return None,
+        };
+        let demand = DemandSpec {
+            shape,
+            start_rate: r.u32()?,
+            end_rate: r.u32()?,
+        };
+        let faults = match r.u32()? {
+            0 => None,
+            1 => {
+                let erasure_p = r.f64()?;
+                let burst = match r.u32()? {
+                    0 => None,
+                    1 => Some(bcast_workloads::BurstProfile {
+                        p_good_to_bad: r.f64()?,
+                        p_bad_to_good: r.f64()?,
+                        loss_good: r.f64()?,
+                        loss_bad: r.f64()?,
+                    }),
+                    _ => return None,
+                };
+                Some(FaultScenario {
+                    name: "restored",
+                    erasure_p,
+                    burst,
+                })
+            }
+            _ => return None,
+        };
+        let slo = SloSpec {
+            min_delivery_rate: r.f64()?,
+            max_p99_cycles: r.f64()?,
+            max_rebuild_downtime_slots: r.u64()?,
+        };
+        let phase_slices = r.u32()?;
+        let slice_in_phase = r.u32()?;
+
+        let slices_run = r.u64()?;
+        let total_requests = r.u64()?;
+        let total_rebuilds = r.u64()?;
+        let pending_snapshot_loads = r.u64()?;
+        let ewma_cost = r.u64()?;
+
+        let quarantine = match r.u32()? {
+            0 => None,
+            1 => Some(Quarantine {
+                until_slice: r.u64()?,
+                next_backoff: r.u64()?,
+            }),
+            _ => return None,
+        };
+        let chaos_panic_slices = r.u64_vec()?;
+
+        let requests = r.u64()?;
+        let delivered = r.u64()?;
+        let failed = r.u64()?;
+        let retries = r.u64()?;
+        let hist_words = r.u64_vec()?;
+        let mut cur = &hist_words[..];
+        let hist = LatencyHistogram::import_state(&mut cur)?;
+        if !cur.is_empty() {
+            return None;
+        }
+        let max_cycle_len = r.u32()?;
+        let mut tail = [0u64; 14];
+        for slot in &mut tail {
+            *slot = r.u64()?;
+        }
+        let window = Window {
+            requests,
+            delivered,
+            failed,
+            retries,
+            hist,
+            max_cycle_len,
+            rebuilds: tail[0],
+            degraded_rebuilds: tail[1],
+            downtime_slots: tail[2],
+            delta_rebuilds: tail[3],
+            full_rebuilds: tail[4],
+            touched_nodes: tail[5],
+            touched_total: tail[6],
+            snapshot_loads: tail[7],
+            skipped_rebuilds: tail[8],
+            rebuild_wall_ns: tail[9],
+            alias_rebuilds: tail[10],
+            quarantined: tail[11],
+            readmitted: tail[12],
+            shed: tail[13],
+        };
+
+        let est_words = r.u64_vec()?;
+        let mut cur = &est_words[..];
+        let estimator = EmaEstimator::import_state(&mut cur)?;
+        if !cur.is_empty() || estimator.len() != items {
+            return None;
+        }
+        let degradation = match (r.u32()?, config.degradation) {
+            (0, None) => None,
+            (1, Some(policy)) => {
+                let words = r.u64_vec()?;
+                let mut cur = &words[..];
+                let tracker = DegradationTracker::import_state(policy, &mut cur)?;
+                if !cur.is_empty() {
+                    return None;
+                }
+                Some(tracker)
+            }
+            _ => return None,
+        };
+
+        let weight_bits = r.u64_vec()?;
+        if weight_bits.len() != items {
+            return None;
+        }
+        let weights = weight_bits
+            .iter()
+            .map(|&b| Weight::new(f64::from_bits(b)).ok())
+            .collect::<Option<Vec<_>>>()?;
+
+        // The live sampler, if the checkpoint carried one: the fused
+        // alias columns restore by straight copy (structurally validated
+        // — word count, alias ranges, item count — so a malformed
+        // manifest fails closed).
+        let sampler_state = match r.u32()? {
+            0 => None,
+            1 => {
+                let shape = match r.u32()? {
+                    0 => DemandShape::Zipf { theta: r.f64()? },
+                    1 => DemandShape::HotSet {
+                        hot_items: usize::try_from(r.u64()?).ok()?,
+                        hot_mass: r.f64()?,
+                        offset: usize::try_from(r.u64()?).ok()?,
+                    },
+                    _ => return None,
+                };
+                let table = TaggedAliasTable::import_columns(&r.u32_vec()?)?;
+                if table.len() != items {
+                    return None;
+                }
+                Some((shape, table))
+            }
+            _ => return None,
+        };
+
+        // The program on air: a boot-cache reference clones the decode
+        // the service already shares across every tenant of this shape;
+        // an embedded image decodes here. Either way the program must
+        // match the config it claims to serve.
+        let (publisher, data_nodes) = match r.u32()? {
+            IMAGE_BOOT_REF => {
+                let key = crate::service::boot_key(&config);
+                let cached = &cache.iter().find(|(k, _)| *k == key)?.1;
+                if cached.data_nodes.len() != items || cached.channels != channels {
+                    return None;
+                }
+                let mut publisher = Publisher::new();
+                publisher.adopt_snapshot(cached.program.clone(), channels);
+                (publisher, cached.data_nodes.clone())
+            }
+            IMAGE_EMBEDDED => {
+                let image = bcast_channel::SnapshotImage::from_words(r.u32_vec()?);
+                let view = image.view().ok()?;
+                if view.num_data() != items || view.channels() != channels {
+                    return None;
+                }
+                let data_nodes: Vec<NodeId> = view.data_nodes().collect();
+                let mut publisher = Publisher::new();
+                publisher.adopt_snapshot(view.to_program(), channels);
+                (publisher, data_nodes)
+            }
+            _ => return None,
+        };
+        // Stand-in tree, exactly like `from_snapshot`: one leaf, O(1),
+        // replaced by the next full rebuild from the restored weights.
+        let tree = knary::build_weight_balanced_unlabeled(&weights[..1], fanout).ok()?;
+        let mut sampler = TaggedAliasTable::new();
+        let mut sampler_shape = None;
+        if let Some((shape, table)) = sampler_state {
+            sampler = table;
+            sampler_shape = Some(shape);
+        }
+
+        Some(TenantRuntime {
+            seed: mix2(service_seed, id),
+            tree,
+            data_nodes,
+            publisher,
+            estimator,
+            degradation,
+            demand,
+            faults,
+            slo,
+            phase_slices,
+            slice_in_phase,
+            slices_run,
+            total_requests,
+            total_rebuilds,
+            pending_snapshot_loads,
+            window,
+            sampler,
+            sampler_shape,
+            pmf: Vec::new(),
+            chunk: Vec::with_capacity(SERVE_CHUNK),
+            session: ServeSession::new(),
+            ewma_cost,
+            weights,
+            changes: Vec::new(),
+            node_changes: Vec::new(),
+            quarantine,
+            admitted_cap: None,
+            chaos_panic_slices,
+            config,
+        })
+    }
 }
 
 /// Interprets a workload-crate [`FaultScenario`] (plain numbers) as a
@@ -756,6 +1467,43 @@ mod tests {
         assert_eq!(snap.delivered, 2000);
         assert_eq!(snap.rebuild_downtime_slots, 0);
         assert!(snap.rebuilds >= 1, "periodic republish every 8 slices");
+        assert!(
+            t.phase_violations().is_empty(),
+            "{:?}",
+            t.phase_violations()
+        );
+    }
+
+    #[test]
+    fn quarantine_backs_off_exponentially_and_readmits() {
+        crate::silence_chaos_panic_reports();
+        let mut t = TenantRuntime::new(TenantConfig::new(7, 32), 0xBAD);
+        t.begin_phase(demand(100), None, SloSpec::lossless(), 16);
+        // Poison slice 2, and slice 5 — exactly the probe slice after the
+        // first 2-slice quarantine term — so the term doubles to 4.
+        t.inject_panic_at_slice(2);
+        t.inject_panic_at_slice(5);
+        let mut quarantined_timeline = Vec::new();
+        for _ in 0..12 {
+            t.run_slice();
+            quarantined_timeline.push(t.is_quarantined());
+        }
+        assert_eq!(
+            quarantined_timeline,
+            [
+                false, false, // healthy
+                true, true, true, // first panic: 2-slice term + probe
+                true, true, true, true, true, // probe panics: 4-slice term
+                false, false, // second probe succeeds
+            ]
+        );
+        let snap = t.phase_snapshot();
+        assert_eq!(snap.quarantined, 2);
+        assert_eq!(snap.readmitted, 1);
+        // A panicked slice is a clean no-op: the 10 surviving slices
+        // serve their full rate losslessly, so even the strict SLO holds.
+        assert_eq!(snap.requests, 1000);
+        assert_eq!(snap.delivered, 1000);
         assert!(
             t.phase_violations().is_empty(),
             "{:?}",

@@ -24,7 +24,10 @@
 //!   the serving loop's per-slice parallel regions,
 //! * [`slo`] — service-level-objective vocabulary ([`SloSpec`],
 //!   [`SloSnapshot`], [`SloViolation`]) shared by the multi-tenant serving
-//!   loop, the scenario harness and the CLI.
+//!   loop, the scenario harness and the CLI,
+//! * [`crc`] — the shared compile-time CRC table builder and the
+//!   hardware/software CRC-32C engine sealing snapshots, wire buckets and
+//!   the service checkpoint manifest.
 //!
 //! All types except the incumbent are plain data: `Copy` where possible, no
 //! interior mutability, no allocation beyond the bitset's backing vector.
@@ -34,6 +37,7 @@
 #[cfg(feature = "alloc-count")]
 pub mod alloc_counter;
 mod bitset;
+pub mod crc;
 pub mod dominance;
 mod ids;
 pub mod incumbent;

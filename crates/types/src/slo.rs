@@ -138,6 +138,23 @@ pub struct SloSnapshot {
     /// [`rebuild_wall_ns`](SloSnapshot::rebuild_wall_ns) so caching policy
     /// can evolve without perturbing replay identities.
     pub alias_rebuilds: u64,
+    /// Slices this tenant entered quarantine (a panic during its slice
+    /// work or republish was caught; serving continues from the last-good
+    /// double-buffered program with rebuilds suspended). Panics are
+    /// injected deterministically in tests, so the counter participates
+    /// in equality and the fingerprint.
+    pub quarantined: u64,
+    /// Times the tenant was readmitted from quarantine after its
+    /// exponential backoff elapsed and a probe slice succeeded.
+    /// Deterministic, compared and fingerprinted.
+    pub readmitted: u64,
+    /// Requests the overload-shedding admission controller refused this
+    /// tenant during the window (still counted in
+    /// [`requests`](SloSnapshot::requests), never in
+    /// [`delivered`](SloSnapshot::delivered), so shedding shows up as a
+    /// delivery-rate drop on the shed tenant itself). Admission is
+    /// deterministic, so the counter is compared and fingerprinted.
+    pub shed_requests: u64,
 }
 
 impl PartialEq for SloSnapshot {
@@ -159,6 +176,9 @@ impl PartialEq for SloSnapshot {
             && self.full_rebuilds == other.full_rebuilds
             && self.skipped_rebuilds == other.skipped_rebuilds
             && self.touched_ppm == other.touched_ppm
+            && self.quarantined == other.quarantined
+            && self.readmitted == other.readmitted
+            && self.shed_requests == other.shed_requests
     }
 }
 
@@ -351,6 +371,20 @@ mod tests {
             ..a
         };
         assert_ne!(a, gated, "drift-gate skips are deterministic and compared");
+        let poisoned = SloSnapshot {
+            quarantined: 1,
+            readmitted: 1,
+            ..a
+        };
+        assert_ne!(
+            a, poisoned,
+            "quarantine counters are deterministic and compared"
+        );
+        let shed = SloSnapshot {
+            shed_requests: 100,
+            ..a
+        };
+        assert_ne!(a, shed, "shed requests are deterministic and compared");
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub use fault_scenarios::{erasure_sweep, standard_scenarios, BurstProfile, Fault
 pub use freq::FrequencyDist;
 pub use requests::{AliasTable, RequestStream, TaggedAliasTable};
 pub use scenario::{
-    brownout, brownout_channel, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn,
-    DemandShape, DemandSpec, PhaseSpec, ScenarioSpec, TenantOverride,
+    brownout, brownout_channel, canonical_scenarios, diurnal_drift, flash_crowd, overload_storm,
+    poison_pill, tenant_churn, DemandShape, DemandSpec, PhaseSpec, ScenarioSpec, TenantOverride,
 };
 pub use shapes::{random_tree, RandomTreeConfig};

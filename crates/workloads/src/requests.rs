@@ -201,6 +201,45 @@ impl TaggedAliasTable {
         }
     }
 
+    /// Appends each fused column as four words — threshold, accept tag,
+    /// alias item, alias tag — for checkpointing. Inverse:
+    /// [`import_columns`](Self::import_columns).
+    pub fn export_columns(&self, out: &mut Vec<u32>) {
+        out.reserve(4 * self.columns.len());
+        for c in &self.columns {
+            out.extend_from_slice(&[c.threshold, c.accept_tag, c.alias_item, c.alias_tag]);
+        }
+    }
+
+    /// Rebuilds a table from [`export_columns`](Self::export_columns)'s
+    /// words — a straight copy, bit-identical draws, no Vose
+    /// reconstruction. `None` if the word count is not a multiple of
+    /// four or an alias index is out of range. The plain base table is
+    /// left empty: it is a construction-time oracle, not a sampling
+    /// dependency, and the next [`rebuild`](Self::rebuild) regrows it.
+    pub fn import_columns(words: &[u32]) -> Option<TaggedAliasTable> {
+        if !words.len().is_multiple_of(4) {
+            return None;
+        }
+        let n = words.len() / 4;
+        let mut columns = Vec::with_capacity(n);
+        for q in words.chunks_exact(4) {
+            if q[2] as usize >= n {
+                return None;
+            }
+            columns.push(TaggedColumn {
+                threshold: q[0],
+                accept_tag: q[1],
+                alias_item: q[2],
+                alias_tag: q[3],
+            });
+        }
+        Some(TaggedAliasTable {
+            columns,
+            base: AliasTable::default(),
+        })
+    }
+
     /// Number of distinct items.
     pub fn len(&self) -> usize {
         self.columns.len()

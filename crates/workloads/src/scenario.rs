@@ -15,6 +15,15 @@
 //! * [`brownout`] — one tenant's channel takes sustained Gilbert–Elliott
 //!   burst loss while its neighbors stay lossless;
 //! * [`tenant_churn`] — tenants join cold and leave mid-day.
+//!
+//! Two robustness scripts ride alongside the canonical four:
+//!
+//! * [`overload_storm`] — one tenant's demand blows past a service-wide
+//!   per-slice request budget; the shedder must clip the storm while
+//!   every polite neighbor keeps its strict SLO;
+//! * [`poison_pill`] — one tenant's slice work panics mid-phase; the
+//!   quarantine must absorb it with every SLO (including the poisoned
+//!   tenant's) intact.
 
 use crate::fault_scenarios::{BurstProfile, FaultScenario};
 use bcast_types::SloSpec;
@@ -141,6 +150,12 @@ pub struct TenantOverride {
     /// SLO replacing the phase default, if any (a browned-out tenant gets
     /// a degraded SLO while its neighbors keep the strict one).
     pub slo: Option<SloSpec>,
+    /// Chaos injection: panic this tenant's slice work at the given
+    /// slice offset within the phase (`0` = the phase's first slice).
+    /// Plain data — the serve crate arms its panic-quarantine machinery
+    /// from it; the panicking slice serves nothing and the tenant is
+    /// quarantined with backoff.
+    pub poison_slice: Option<u32>,
 }
 
 impl TenantOverride {
@@ -151,6 +166,19 @@ impl TenantOverride {
             demand: None,
             faults: Some(faults),
             slo: Some(slo),
+            poison_slice: None,
+        }
+    }
+
+    /// An override that only injects a panic at a slice offset within
+    /// the phase.
+    pub fn poisoned(tenant: u64, poison_slice: u32) -> Self {
+        TenantOverride {
+            tenant,
+            demand: None,
+            faults: None,
+            slo: None,
+            poison_slice: Some(poison_slice),
         }
     }
 }
@@ -215,6 +243,15 @@ impl PhaseSpec {
             .and_then(|o| o.slo)
             .unwrap_or(self.slo)
     }
+
+    /// The slice offset (within the phase) at which this tenant's slice
+    /// work is scripted to panic, if any.
+    pub fn poison_for(&self, tenant: u64) -> Option<u32> {
+        self.overrides
+            .iter()
+            .find(|o| o.tenant == tenant)
+            .and_then(|o| o.poison_slice)
+    }
 }
 
 /// A complete scripted scenario.
@@ -236,6 +273,12 @@ pub struct ScenarioSpec {
     /// canonical behavior). Plain data here — the serve crate maps it
     /// onto its `RebuildLane`.
     pub delta_max_touched: Option<f64>,
+    /// When set, the serving loop admits at most this many requests per
+    /// slice across the whole roster, shedding the excess from
+    /// over-quota tenants first (`None` = admit everything, the
+    /// canonical behavior). Plain data — the serve crate's water-filling
+    /// shedder interprets it.
+    pub slice_budget: Option<u64>,
     /// The phase timeline.
     pub phases: Vec<PhaseSpec>,
 }
@@ -251,6 +294,14 @@ impl ScenarioSpec {
     /// through the other republish machinery.
     pub fn with_delta_lane(mut self, max_touched: f64) -> Self {
         self.delta_max_touched = Some(max_touched);
+        self
+    }
+
+    /// Caps the roster's total admitted requests per slice at `budget`
+    /// — the same script replayed under the serving loop's overload
+    /// shedder.
+    pub fn with_slice_budget(mut self, budget: u64) -> Self {
+        self.slice_budget = Some(budget);
         self
     }
 
@@ -314,6 +365,7 @@ pub fn flash_crowd(tenants: usize, items: usize, rate: u32, slices: u32) -> Scen
         fanout: 4,
         channels: 3,
         delta_max_touched: None,
+        slice_budget: None,
         phases: vec![
             PhaseSpec::uniform("calm", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {
@@ -325,6 +377,7 @@ pub fn flash_crowd(tenants: usize, items: usize, rate: u32, slices: u32) -> Scen
                     demand: Some(spike),
                     faults: None,
                     slo: None,
+                    poison_slice: None,
                 }],
                 join: 0,
                 leave: 0,
@@ -339,6 +392,7 @@ pub fn flash_crowd(tenants: usize, items: usize, rate: u32, slices: u32) -> Scen
                     demand: Some(decay),
                     faults: None,
                     slo: None,
+                    poison_slice: None,
                 }],
                 join: 0,
                 leave: 0,
@@ -364,6 +418,7 @@ pub fn diurnal_drift(tenants: usize, items: usize, rate: u32, slices: u32) -> Sc
         fanout: 4,
         channels: 3,
         delta_max_touched: None,
+        slice_budget: None,
         phases: vec![
             PhaseSpec::uniform(
                 "night",
@@ -411,6 +466,7 @@ pub fn brownout(tenants: usize, items: usize, rate: u32, slices: u32) -> Scenari
         fanout: 4,
         channels: 3,
         delta_max_touched: None,
+        slice_budget: None,
         phases: vec![
             PhaseSpec::uniform("clean", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {
@@ -441,6 +497,7 @@ pub fn tenant_churn(tenants: usize, items: usize, rate: u32, slices: u32) -> Sce
         fanout: 4,
         channels: 3,
         delta_max_touched: None,
+        slice_budget: None,
         phases: vec![
             PhaseSpec::uniform("steady", slices, calm(rate), SloSpec::lossless()),
             PhaseSpec {
@@ -461,6 +518,75 @@ pub fn tenant_churn(tenants: usize, items: usize, rate: u32, slices: u32) -> Sce
                 leave: 2,
                 slo: SloSpec::lossless(),
             },
+        ],
+    }
+}
+
+/// Overload storm: a per-slice request budget sized for twice the calm
+/// load, then tenant 0's demand multiplies by 16 — far past the budget.
+/// Water-filling admission must leave every polite neighbor whole (they
+/// keep the lossless SLO) while the storming tenant is clipped to the
+/// leftover budget and held only to a storm-rate floor sized so the
+/// budget `(tenants + 1) · rate` left over for it stays comfortably
+/// above `0.15 · 16 · rate` for any roster of at least two tenants.
+pub fn overload_storm(tenants: usize, items: usize, rate: u32, slices: u32) -> ScenarioSpec {
+    let storm = DemandSpec::flat(DemandShape::Zipf { theta: 1.1 }, rate * 16);
+    ScenarioSpec {
+        name: "overload-storm",
+        tenants,
+        items_per_tenant: items,
+        fanout: 4,
+        channels: 3,
+        delta_max_touched: None,
+        slice_budget: Some(2 * tenants as u64 * u64::from(rate)),
+        phases: vec![
+            PhaseSpec::uniform("calm", slices, calm(rate), SloSpec::lossless()),
+            PhaseSpec {
+                name: "storm",
+                slices,
+                demand: calm(rate),
+                overrides: vec![TenantOverride {
+                    tenant: 0,
+                    demand: Some(storm),
+                    faults: None,
+                    slo: Some(SloSpec::degraded(0.15, 8.0)),
+                    poison_slice: None,
+                }],
+                join: 0,
+                leave: 0,
+                slo: SloSpec::lossless(),
+            },
+            PhaseSpec::uniform("calm-again", slices, calm(rate), SloSpec::lossless()),
+        ],
+    }
+}
+
+/// Poison pill: tenant 0's slice work panics on the second slice of the
+/// middle phase. The serving loop's quarantine catches the panic, parks
+/// the tenant on its last-good program with backoff, and readmits it —
+/// all under the *lossless* SLO for everyone, the panicked slice being a
+/// clean no-op rather than a burst of failures.
+pub fn poison_pill(tenants: usize, items: usize, rate: u32, slices: u32) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "poison-pill",
+        tenants,
+        items_per_tenant: items,
+        fanout: 4,
+        channels: 3,
+        delta_max_touched: None,
+        slice_budget: None,
+        phases: vec![
+            PhaseSpec::uniform("calm", slices, calm(rate), SloSpec::lossless()),
+            PhaseSpec {
+                name: "poison",
+                slices,
+                demand: calm(rate),
+                overrides: vec![TenantOverride::poisoned(0, 1)],
+                join: 0,
+                leave: 0,
+                slo: SloSpec::lossless(),
+            },
+            PhaseSpec::uniform("recovered", slices, calm(rate), SloSpec::lossless()),
         ],
     }
 }
@@ -549,6 +675,41 @@ mod tests {
         assert_eq!(spec.phases[0].demand.start_rate, 300);
         let spike = spec.phases[1].overrides[0].demand.unwrap();
         assert_eq!(spike.start_rate, 2400);
+    }
+
+    #[test]
+    fn overload_storm_budget_spares_polite_neighbors() {
+        let spec = overload_storm(4, 64, 100, 10);
+        let budget = spec.slice_budget.unwrap();
+        assert_eq!(budget, 800);
+        let calm_total = 4 * 100;
+        assert!(calm_total <= budget as u32, "calm phases never shed");
+        let storm = &spec.phases[1];
+        assert_eq!(storm.demand_for(0).start_rate, 1600);
+        assert_eq!(storm.demand_for(1).start_rate, 100);
+        // Leftover budget for the storming tenant after the three
+        // polite neighbors keep their full rate, vs its SLO floor.
+        let leftover = budget - 3 * 100;
+        assert!(leftover as f64 / 1600.0 > 0.15 + 0.05, "floor has slack");
+        assert_eq!(storm.slo_for(1).min_delivery_rate, 1.0);
+    }
+
+    #[test]
+    fn poison_pill_scripts_one_panic_mid_phase() {
+        let spec = poison_pill(3, 64, 80, 8);
+        assert_eq!(spec.phases[1].poison_for(0), Some(1));
+        assert_eq!(spec.phases[1].poison_for(1), None);
+        assert_eq!(spec.phases[0].poison_for(0), None);
+        // The poisoned tenant is still held to the lossless SLO: the
+        // panicked slice must be a no-op, not an outage.
+        assert_eq!(spec.phases[1].slo_for(0).min_delivery_rate, 1.0);
+    }
+
+    #[test]
+    fn slice_budget_builder_sets_the_cap() {
+        let spec = flash_crowd(4, 64, 100, 10);
+        assert_eq!(spec.slice_budget, None, "canonical scripts never shed");
+        assert_eq!(spec.with_slice_budget(640).slice_budget, Some(640));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! bcast render    [--input FILE | --demo]
 //! bcast gen       --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
 //! bcast serve     --scenario NAME|all [--tenants N] [--items N] [--rate R]
-//!                 [--slices S] [--threads T] [--seed S]
+//!                 [--slices S] [--threads T] [--seed S] [--budget R]
+//!                 [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]
 //! bcast snapshot  save  [--input FILE | --demo] --channels K --output FILE [--method M]
 //! bcast snapshot  load  --file FILE
 //! bcast snapshot  serve --file FILE [--requests N] [--seed S]
@@ -115,7 +116,18 @@ fn run(args: &[String]) -> Result<(), String> {
             opts.allow(
                 &[],
                 &[
-                    "scenario", "tenants", "items", "rate", "slices", "threads", "seed", "delta",
+                    "scenario",
+                    "tenants",
+                    "items",
+                    "rate",
+                    "slices",
+                    "threads",
+                    "seed",
+                    "delta",
+                    "budget",
+                    "checkpoint-dir",
+                    "checkpoint-every",
+                    "restore",
                 ],
             )?;
             cmd_serve(&opts)
@@ -140,11 +152,18 @@ commands:
   render     pretty-print the tree
   gen        emit a random tree               --items N [--dist zipf|uniform|normal] [--fanout F] [--seed S]
   compare    run every method on one tree     --channels K [--limit N] [--threads T]
-  serve      multi-tenant scenario service    --scenario flash-crowd|diurnal-drift|brownout|tenant-churn|all
+  serve      multi-tenant scenario service    --scenario flash-crowd|diurnal-drift|brownout|tenant-churn|
+                                                         overload-storm|poison-pill|all
                                               [--tenants N] [--items N] [--rate R] [--slices S]
                                               [--threads T] [--seed S] [--delta MAX_TOUCHED]
+                                              [--budget REQUESTS_PER_SLICE]
+                                              [--checkpoint-dir DIR] [--checkpoint-every N] [--restore]
              --delta routes rebuilds through the incremental republish lane
              (falls back to a full publish past the MAX_TOUCHED fraction)
+             --budget caps admitted requests per slice (water-filling shed)
+             --checkpoint-dir writes crash-safe manifests every N slices
+             (single scenario only); --restore resumes the newest valid
+             manifest instead of starting fresh, non-zero exit if none
   snapshot   zero-copy program images         save  --channels K --output FILE [--method M]
                                               load  --file FILE
                                               serve --file FILE [--requests N] [--seed S]
@@ -206,7 +225,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument '{a}'"));
         };
         // Boolean flags take no value.
-        if key == "demo" {
+        if key == "demo" || key == "restore" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -516,8 +535,10 @@ fn cmd_compare(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use broadcast_alloc::serve::ScenarioDriver;
     use broadcast_alloc::workloads::{
-        brownout, canonical_scenarios, diurnal_drift, flash_crowd, tenant_churn,
+        brownout, canonical_scenarios, diurnal_drift, flash_crowd, overload_storm, poison_pill,
+        tenant_churn,
     };
     let tenants: usize = opts.parse("tenants")?.unwrap_or(4);
     let items: usize = opts.parse("items")?.unwrap_or(64);
@@ -534,6 +555,20 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             return Err("--delta must be a fraction in [0, 1]".into());
         }
     }
+    let budget: Option<u64> = opts.parse("budget")?;
+    if budget == Some(0) {
+        return Err("--budget must be positive".into());
+    }
+    let checkpoint_dir = opts.get("checkpoint-dir").map(str::to_string);
+    let checkpoint_every: u64 = opts.parse("checkpoint-every")?.unwrap_or(1);
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    if checkpoint_dir.is_none()
+        && (opts.get("checkpoint-every").is_some() || opts.get("restore").is_some())
+    {
+        return Err("--checkpoint-every and --restore need --checkpoint-dir".into());
+    }
     let name = opts.get("scenario").unwrap_or("all");
     let mut specs = match name {
         "all" => canonical_scenarios(tenants, items, rate, slices),
@@ -541,6 +576,8 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         "diurnal-drift" => vec![diurnal_drift(tenants, items, rate, slices)],
         "brownout" => vec![brownout(tenants, items, rate, slices)],
         "tenant-churn" => vec![tenant_churn(tenants, items, rate, slices)],
+        "overload-storm" => vec![overload_storm(tenants, items, rate, slices)],
+        "poison-pill" => vec![poison_pill(tenants, items, rate, slices)],
         other => return Err(format!("unknown scenario '{other}' (try `all`)")),
     };
     if let Some(max_touched) = delta {
@@ -549,6 +586,54 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             .map(|s| s.with_delta_lane(max_touched))
             .collect();
     }
+    if let Some(b) = budget {
+        specs = specs.into_iter().map(|s| s.with_slice_budget(b)).collect();
+    }
+    // Scripted panics (poison-pill) are caught and quarantined; keep the
+    // default hook from spraying their backtraces over the report.
+    broadcast_alloc::serve::silence_chaos_panic_reports();
+
+    if let Some(dir) = checkpoint_dir {
+        // Checkpointing drives one scenario through the resumable
+        // driver; `all` would interleave manifests from different specs.
+        if specs.len() != 1 {
+            return Err("--checkpoint-dir needs a single --scenario, not `all`".into());
+        }
+        let spec = specs.remove(0);
+        let mut driver = if opts.get("restore").is_some() {
+            ScenarioDriver::restore(&dir, &spec, threads)
+                .map_err(|e| format!("cannot restore from {dir}: {e}"))?
+        } else {
+            ScenarioDriver::new(spec.clone(), seed, threads)
+        };
+        let resumed_at = driver.service().slices_run();
+        let mut since_checkpoint = 0u64;
+        loop {
+            let more = driver.step();
+            since_checkpoint += 1;
+            if since_checkpoint >= checkpoint_every || !more {
+                driver
+                    .checkpoint(&dir)
+                    .map_err(|e| format!("checkpoint failed: {e}"))?;
+                since_checkpoint = 0;
+            }
+            if !more {
+                break;
+            }
+        }
+        let (outcome, stats) = driver.into_outcome_with_stats();
+        let held = print_outcome(&outcome);
+        print_pool_stats(&stats);
+        println!(
+            "  checkpoint: manifests in {dir} every {checkpoint_every} slice(s), resumed at slice {resumed_at}"
+        );
+        return if held {
+            Ok(())
+        } else {
+            Err("one or more phase SLOs were violated".into())
+        };
+    }
+
     let mut all_held = true;
     for spec in &specs {
         let (outcome, stats) = run_scenario_with_stats(spec, seed, threads);

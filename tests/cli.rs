@@ -234,3 +234,193 @@ fn serve_runs_a_scenario_and_reports_phases() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 }
+
+/// `serve` is scriptable: a violated phase SLO is a non-zero exit, not
+/// just a table row. A starvation budget under a lossless SLO guarantees
+/// shedding, and shedding under lossless is a delivery-rate violation.
+#[test]
+fn serve_exits_non_zero_when_slos_are_violated() {
+    let out = bcast()
+        .args([
+            "serve",
+            "--scenario",
+            "flash-crowd",
+            "--tenants",
+            "3",
+            "--items",
+            "32",
+            "--rate",
+            "150",
+            "--slices",
+            "6",
+            "--budget",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "a starved budget must violate the lossless SLO"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("VIOLATED"),
+        "table marks the phase: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("one or more phase SLOs were violated"),
+        "exit reason names the SLO failure: {stderr}"
+    );
+
+    // The same scenario under the same load passes without the budget —
+    // the violation above is the shed, not the workload.
+    run_ok(&[
+        "serve",
+        "--scenario",
+        "flash-crowd",
+        "--tenants",
+        "3",
+        "--items",
+        "32",
+        "--rate",
+        "150",
+        "--slices",
+        "6",
+    ]);
+}
+
+/// The robustness scenario scripts are reachable from the CLI: the
+/// overload storm sheds within its degraded SLO and the poison pill's
+/// quarantine keeps every phase green — both exit zero.
+#[test]
+fn serve_runs_the_robustness_scenarios() {
+    let small = &[
+        "--tenants",
+        "3",
+        "--items",
+        "32",
+        "--rate",
+        "120",
+        "--slices",
+        "6",
+    ];
+    let out = run_ok(&[&["serve", "--scenario", "overload-storm"], &small[..]].concat());
+    assert!(out.contains("scenario overload-storm"), "{out}");
+    assert!(out.contains("storm"), "{out}");
+    let out = run_ok(&[&["serve", "--scenario", "poison-pill"], &small[..]].concat());
+    assert!(out.contains("scenario poison-pill"), "{out}");
+    assert!(
+        !out.contains("VIOLATED"),
+        "quarantine keeps SLOs green: {out}"
+    );
+}
+
+/// Checkpoint/restore round-trips through the CLI: a checkpointed run
+/// leaves manifests behind, and `--restore` resumes from them and
+/// reports the same fingerprint as the original run. An empty directory
+/// fails closed with a non-zero exit.
+#[test]
+fn serve_checkpoints_and_restores_from_manifests() {
+    let dir = std::env::temp_dir().join(format!("bcast-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("utf8 temp path");
+
+    // Restoring before any checkpoint exists is a clean error.
+    let out = bcast()
+        .args([
+            "serve",
+            "--scenario",
+            "flash-crowd",
+            "--checkpoint-dir",
+            dir_arg,
+            "--restore",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot restore"));
+
+    let small = &[
+        "--tenants",
+        "3",
+        "--items",
+        "32",
+        "--rate",
+        "150",
+        "--slices",
+        "6",
+        "--seed",
+        "77",
+    ];
+    let fresh = run_ok(
+        &[
+            &[
+                "serve",
+                "--scenario",
+                "flash-crowd",
+                "--checkpoint-dir",
+                dir_arg,
+                "--checkpoint-every",
+                "2",
+            ],
+            &small[..],
+        ]
+        .concat(),
+    );
+    assert!(fresh.contains("checkpoint: manifests in"), "{fresh}");
+    assert!(
+        std::fs::read_dir(&dir)
+            .expect("checkpoint dir exists")
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".bcp")),
+        "run leaves manifests behind"
+    );
+
+    // Resume from the final manifest: the driver restores the completed
+    // run (including every phase report) and prints the same scenario
+    // line — fingerprint equality proves the manifest carried the run.
+    let restored = run_ok(
+        &[
+            &[
+                "serve",
+                "--scenario",
+                "flash-crowd",
+                "--checkpoint-dir",
+                dir_arg,
+                "--restore",
+            ],
+            &small[..],
+        ]
+        .concat(),
+    );
+    let fingerprint_line = |out: &str| {
+        out.lines()
+            .find(|l| l.contains("fingerprint"))
+            .expect("scenario header line")
+            .to_string()
+    };
+    assert_eq!(fingerprint_line(&fresh), fingerprint_line(&restored));
+
+    // Restoring under a different spec is refused, never silently run.
+    let out = bcast()
+        .args(
+            [
+                &[
+                    "serve",
+                    "--scenario",
+                    "tenant-churn",
+                    "--checkpoint-dir",
+                    dir_arg,
+                    "--restore",
+                ],
+                &small[..],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("spec"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

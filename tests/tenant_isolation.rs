@@ -111,3 +111,90 @@ fn chaos_isolation_under_sustained_storm() {
         assert_isolation(8, 96, 2_000, 40, threads);
     }
 }
+
+/// A tenant whose slice work *panics* must be just as invisible to its
+/// neighbors as one whose channel burns: quarantine catches the poison
+/// inside the panicking tenant's own slice, so every neighbor stays
+/// bit-identical to its solo baseline — same bar as the loss storm,
+/// across thread counts (on the pooled path an uncaught panic would
+/// poison a whole worker lane, taking innocent tenants with it).
+#[test]
+fn poisoned_tenant_never_perturbs_neighbors() {
+    broadcast_alloc::serve::silence_chaos_panic_reports();
+    let (tenants, items, rate, slices) = (4u64, 48, 250, 10);
+    for threads in [1usize, 2, 4] {
+        let mut svc = ServeLoop::new(SEED, threads);
+        for id in 0..tenants {
+            svc.join(TenantConfig::new(id, items));
+            svc.tenant_mut(id).unwrap().begin_phase(
+                demand(rate),
+                None,
+                SloSpec::lossless(),
+                slices,
+            );
+        }
+        // Tenant 0 panics twice: once mid-run and once on its probe
+        // slice, so the storm also crosses a backoff doubling.
+        svc.tenant_mut(0).unwrap().inject_panic_at_slice(3);
+        svc.tenant_mut(0).unwrap().inject_panic_at_slice(6);
+        svc.run_slices(slices);
+
+        let sick = svc.tenant(0).unwrap().phase_snapshot();
+        assert_eq!(
+            sick.quarantined, 2,
+            "both poisons caught (threads {threads})"
+        );
+        for id in 1..tenants {
+            let among_crowd = svc.tenant(id).unwrap().phase_snapshot();
+            let alone = solo_baseline(id, items, rate, slices);
+            assert_eq!(
+                among_crowd, alone,
+                "tenant {id} observed the poisoned neighbor (threads {threads})"
+            );
+            assert!(svc.tenant(id).unwrap().phase_violations().is_empty());
+        }
+    }
+}
+
+/// Overload shedding must clip *only* the tenant that blew the budget:
+/// under water-filling admission, every tenant asking for no more than
+/// its fair share is bit-identical to its solo (budget-free) baseline,
+/// while the over-quota tenant alone sheds.
+#[test]
+fn shedding_clips_only_the_over_quota_tenant() {
+    let (tenants, items, slices) = (4u64, 48, 10);
+    let quiet_rate = 250u32;
+    let greedy_rate = 4_000u32;
+    for threads in [1usize, 2, 4] {
+        let mut svc = ServeLoop::new(SEED, threads);
+        for id in 0..tenants {
+            svc.join(TenantConfig::new(id, items));
+            let rate = if id == 0 { greedy_rate } else { quiet_rate };
+            svc.tenant_mut(id).unwrap().begin_phase(
+                demand(rate),
+                None,
+                SloSpec::lossless(),
+                slices,
+            );
+        }
+        // Budget: room for the three quiet tenants in full plus half of
+        // the greedy tenant's demand.
+        svc.set_slice_budget(Some(u64::from(quiet_rate) * 3 + u64::from(greedy_rate) / 2));
+        svc.run_slices(slices);
+
+        let greedy = svc.tenant(0).unwrap().phase_snapshot();
+        assert_eq!(
+            greedy.shed_requests,
+            u64::from(greedy_rate / 2) * u64::from(slices),
+            "the over-quota tenant absorbs all shedding (threads {threads})"
+        );
+        for id in 1..tenants {
+            let among_crowd = svc.tenant(id).unwrap().phase_snapshot();
+            let alone = solo_baseline(id, items, quiet_rate, slices);
+            assert_eq!(
+                among_crowd, alone,
+                "tenant {id} was clipped by the neighbor's overload (threads {threads})"
+            );
+        }
+    }
+}

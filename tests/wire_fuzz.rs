@@ -8,11 +8,14 @@
 use broadcast_alloc::alloc::heuristics::sorting;
 use broadcast_alloc::alloc::publish::{PublishHeuristic, PublishOptions, Publisher};
 use broadcast_alloc::channel::{wire, BroadcastProgram, SnapshotError, SnapshotImage};
+use broadcast_alloc::serve::{ServeLoop, TenantConfig};
 use broadcast_alloc::tree::{knary, IndexTree};
-use broadcast_alloc::types::ChannelId;
-use broadcast_alloc::workloads::FrequencyDist;
+use broadcast_alloc::types::{crc::crc32c, ChannelId, SloSpec};
+use broadcast_alloc::workloads::{DemandShape, DemandSpec, FrequencyDist};
 use bytes::Bytes;
 use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// A small but non-trivial encoded channel: random weights, 2 channels,
 /// payloads of varying length so bucket framing is irregular.
@@ -249,6 +252,167 @@ fn missing_crc_trailer_reads_as_truncation() {
             .expect_err("a bucket without its full CRC cannot decode");
         assert_eq!(err, wire::WireError::Truncated, "missing {missing} bytes");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint manifests (PR 10) are the third wire format: the crash-safe
+// service's on-disk state. The bar is stricter than fail-closed — a
+// damaged *newest* manifest must fall back to the previous good
+// generation (truncation, bit flips, version skew, a torn `.tmp` from a
+// crashed rename), and only a directory with no valid manifest at all
+// may error. Never fail open, never resume from damaged state.
+// ---------------------------------------------------------------------------
+
+/// Two checkpoint generations of a small service — gen A at 2 slices,
+/// gen B at 4 — plus the per-tenant snapshots a gen-A restore must
+/// reproduce. Built once; the fuzz cases rewrite them into scratch
+/// directories.
+struct ManifestFixture {
+    gen_a_name: String,
+    gen_a: Vec<u8>,
+    gen_b_name: String,
+    gen_b: Vec<u8>,
+    gen_a_snapshots: Vec<(u64, broadcast_alloc::types::SloSnapshot)>,
+}
+
+fn snapshots(svc: &ServeLoop) -> Vec<(u64, broadcast_alloc::types::SloSnapshot)> {
+    svc.tenants()
+        .iter()
+        .map(|t| (t.id(), t.phase_snapshot()))
+        .collect()
+}
+
+fn manifest_fixture() -> &'static ManifestFixture {
+    static FIXTURE: OnceLock<ManifestFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("bcast-mfx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc = ServeLoop::new(0xF1F7, 1);
+        for id in 0..2 {
+            svc.join(TenantConfig::new(id, 24));
+            svc.tenant_mut(id).unwrap().begin_phase(
+                DemandSpec::flat(DemandShape::Zipf { theta: 0.9 }, 120),
+                None,
+                SloSpec::lossless(),
+                8,
+            );
+        }
+        svc.run_slices(2);
+        let gen_a_path = svc.checkpoint(&dir).unwrap();
+        let gen_a = std::fs::read(&gen_a_path).unwrap();
+        let gen_a_snapshots = snapshots(&svc);
+        svc.run_slices(2);
+        let gen_b_path = svc.checkpoint(&dir).unwrap();
+        let gen_b = std::fs::read(&gen_b_path).unwrap();
+        let name = |p: &Path| p.file_name().unwrap().to_str().unwrap().to_string();
+        let fixture = ManifestFixture {
+            gen_a_name: name(&gen_a_path),
+            gen_a,
+            gen_b_name: name(&gen_b_path),
+            gen_b,
+            gen_a_snapshots,
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        fixture
+    })
+}
+
+/// Writes gen A intact and gen B as `newest_bytes` into a fresh scratch
+/// directory, returning its path.
+fn stage_generations(tag: &str, newest_bytes: &[u8]) -> PathBuf {
+    let f = manifest_fixture();
+    let dir = std::env::temp_dir().join(format!("bcast-mf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(&f.gen_a_name), &f.gen_a).unwrap();
+    std::fs::write(dir.join(&f.gen_b_name), newest_bytes).unwrap();
+    dir
+}
+
+/// Asserts that restoring from `dir` lands on gen A (the last good
+/// generation): same slice counter, bit-identical tenant snapshots.
+fn assert_restores_gen_a(dir: &Path, context: &str) {
+    let f = manifest_fixture();
+    let restored = ServeLoop::restore(dir, 1)
+        .unwrap_or_else(|e| panic!("{context}: must fall back to gen A, got {e}"));
+    assert_eq!(restored.slices_run(), 2, "{context}: wrong generation");
+    assert_eq!(snapshots(&restored), f.gen_a_snapshots, "{context}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating the newest manifest at any byte boundary restores the
+    /// previous generation — never the torn one, never an error.
+    #[test]
+    fn manifest_truncation_falls_back_to_last_good(cut_frac in 0.0f64..1.0) {
+        let f = manifest_fixture();
+        let cut = ((f.gen_b.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < f.gen_b.len());
+        let dir = stage_generations("trunc", &f.gen_b[..cut]);
+        assert_restores_gen_a(&dir, &format!("truncated to {cut} bytes"));
+    }
+
+    /// Flipping any single bit anywhere in the newest manifest is caught
+    /// by the CRC seal and falls back to the previous generation.
+    #[test]
+    fn manifest_bit_flips_fall_back_to_last_good(
+        flip_pos in 0u64..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let f = manifest_fixture();
+        let mut bytes = f.gen_b.clone();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let dir = stage_generations("flip", &bytes);
+        assert_restores_gen_a(&dir, &format!("bit {bit} of byte {pos} flipped"));
+    }
+}
+
+/// A manifest stamped with a future format version is refused even with
+/// a *valid* CRC re-sealed over it — version skew is structural, and the
+/// restore falls back rather than guessing at an unknown layout.
+#[test]
+fn manifest_version_skew_falls_back_even_with_valid_crc() {
+    let f = manifest_fixture();
+    let mut words: Vec<u32> = f
+        .gen_b
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    words[1] += 1; // version word
+    let last = words.len() - 1;
+    words[last] = crc32c(&words[..last]); // re-seal so only the version is wrong
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let dir = stage_generations("skew", &bytes);
+    assert_restores_gen_a(&dir, "version skew with re-sealed crc");
+}
+
+/// A crash between writing the temp file and renaming it leaves a stale
+/// `.tmp` beside the previous manifest. Restore must ignore the temp —
+/// even one whose content is a fully valid manifest — and serve the last
+/// adopted generation.
+#[test]
+fn partial_rename_leaves_the_previous_generation_authoritative() {
+    let f = manifest_fixture();
+    let dir = std::env::temp_dir().join(format!("bcast-mf-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(&f.gen_a_name), &f.gen_a).unwrap();
+    // The interrupted write: gen B's bytes still under their .tmp name.
+    std::fs::write(dir.join(format!("{}.tmp", f.gen_b_name)), &f.gen_b).unwrap();
+    assert_restores_gen_a(&dir, "stale .tmp beside the old manifest");
+}
+
+/// Arbitrary garbage under a manifest name (wrong length, no framing) is
+/// skipped, not fatal.
+#[test]
+fn garbage_manifest_files_are_skipped() {
+    let f = manifest_fixture();
+    let dir = stage_generations("garbage", b"not a manifest at all\x01\x02\x03");
+    let _ = f;
+    assert_restores_gen_a(&dir, "garbage under the newest manifest name");
 }
 
 /// Corrupting a *payload* byte (not framing) is exactly the case headers
